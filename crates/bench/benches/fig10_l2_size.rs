@@ -1,0 +1,20 @@
+//! Bench target for Figure 10 - sensitivity to L2 capacity: regenerates the figure's rows at smoke scale
+//! and measures the cost of a representative simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pv_bench::{bench_runner, figure_bench_group, print_report, smoke_run};
+use pv_sim::PrefetcherKind;
+use pv_workloads::WorkloadId;
+
+fn bench(c: &mut Criterion) {
+    let runner = bench_runner();
+    print_report("Figure 10 - sensitivity to L2 capacity", &pv_experiments::fig10::report(&runner));
+    let mut group = figure_bench_group(c, "fig10_l2_size");
+    group.bench_function("Qry17_sms_pv8_smoke_run", |b| {
+        b.iter(|| smoke_run(WorkloadId::Qry17, PrefetcherKind::sms_pv8()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Bench target for Figure 4 - SMS performance potential: regenerates the figure's rows at smoke scale
+//! and measures the cost of a representative simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pv_bench::{bench_runner, figure_bench_group, print_report, smoke_run};
+use pv_sim::PrefetcherKind;
+use pv_workloads::WorkloadId;
+
+fn bench(c: &mut Criterion) {
+    let runner = bench_runner();
+    print_report("Figure 4 - SMS performance potential", &pv_experiments::fig4::report(&runner));
+    let mut group = figure_bench_group(c, "fig4_potential");
+    group.bench_function("Oracle_sms_1k_11a_smoke_run", |b| {
+        b.iter(|| smoke_run(WorkloadId::Oracle, PrefetcherKind::sms_1k_11a()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

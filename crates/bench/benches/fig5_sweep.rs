@@ -1,0 +1,20 @@
+//! Bench target for Figure 5 - coverage across PHT sizes: regenerates the figure's rows at smoke scale
+//! and measures the cost of a representative simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pv_bench::{bench_runner, figure_bench_group, print_report, smoke_run};
+use pv_sim::PrefetcherKind;
+use pv_workloads::WorkloadId;
+
+fn bench(c: &mut Criterion) {
+    let runner = bench_runner();
+    print_report("Figure 5 - coverage across PHT sizes", &pv_experiments::fig5::report(&runner));
+    let mut group = figure_bench_group(c, "fig5_sweep");
+    group.bench_function("Apache_sms_1k_11a_smoke_run", |b| {
+        b.iter(|| smoke_run(WorkloadId::Apache, PrefetcherKind::sms_1k_11a()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

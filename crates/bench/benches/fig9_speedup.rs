@@ -1,0 +1,20 @@
+//! Bench target for Figure 9 - speedup of the virtualized predictor: regenerates the figure's rows at smoke scale
+//! and measures the cost of a representative simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pv_bench::{bench_runner, figure_bench_group, print_report, smoke_run};
+use pv_sim::PrefetcherKind;
+use pv_workloads::WorkloadId;
+
+fn bench(c: &mut Criterion) {
+    let runner = bench_runner();
+    print_report("Figure 9 - speedup of the virtualized predictor", &pv_experiments::fig9::report(&runner));
+    let mut group = figure_bench_group(c, "fig9_speedup");
+    group.bench_function("Qry1_sms_pv8_smoke_run", |b| {
+        b.iter(|| smoke_run(WorkloadId::Qry1, PrefetcherKind::sms_pv8()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the substrates the reproduction is built on: cache
+//! accesses, PHT lookups through both storage backends, PVProxy operations
+//! and workload-trace generation. These guard the simulator's own
+//! performance (the experiments run hundreds of millions of such operations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pv_core::{PvConfig, PvProxy};
+use pv_mem::{
+    AccessKind, CacheConfig, DataClass, HierarchyConfig, MemoryHierarchy, Requester,
+};
+use pv_sms::{build_storage, PatternStorage, SmsConfig, SpatialPattern, TriggerKey};
+use pv_workloads::{workloads, TraceGenerator};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = pv_mem::Cache::new("bench-L1", CacheConfig::l1_paper());
+    // Pre-fill with a footprint larger than the cache so the benchmark sees
+    // a hit/miss mix.
+    for block in 0..4096u64 {
+        cache.fill(pv_mem::BlockAddr::new(block), false, 0, pv_mem::FillOrigin::Demand);
+    }
+    let mut block = 0u64;
+    c.bench_function("micro_l1_cache_access", |b| {
+        b.iter(|| {
+            block = (block + 17) % 8192;
+            cache.access(pv_mem::BlockAddr::new(black_box(block)), AccessKind::Read, block)
+        })
+    });
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::paper_baseline(4));
+    let mut addr = 0u64;
+    c.bench_function("micro_hierarchy_demand_access", |b| {
+        b.iter(|| {
+            addr = (addr + 4096) % (256 * 1024 * 1024);
+            hierarchy.access(
+                Requester::data(0),
+                black_box(addr),
+                AccessKind::Read,
+                DataClass::Application,
+                addr,
+            )
+        })
+    });
+}
+
+fn bench_pht(c: &mut Criterion) {
+    let config = SmsConfig::paper_1k_11a();
+    let mut dedicated = build_storage(&config);
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_baseline(1));
+    for i in 0..4096u64 {
+        dedicated.store(
+            TriggerKey::new(i * 4, (i % 32) as u32).index(),
+            SpatialPattern::from_bits(0xA5A5_5A5A),
+            &mut mem,
+            i,
+        );
+    }
+    let mut i = 0u64;
+    c.bench_function("micro_dedicated_pht_lookup", |b| {
+        b.iter(|| {
+            i += 1;
+            dedicated.lookup(TriggerKey::new((i % 8192) * 4, (i % 32) as u32).index(), &mut mem, i)
+        })
+    });
+
+    let hierarchy_config = HierarchyConfig::paper_baseline(1);
+    let mut proxy = PvProxy::new(0, PvConfig::pv8(), hierarchy_config.pv_regions.core_base(0));
+    let mut mem = MemoryHierarchy::new(hierarchy_config);
+    let mut i = 0u64;
+    c.bench_function("micro_pvproxy_lookup", |b| {
+        b.iter(|| {
+            i += 1;
+            proxy.lookup(TriggerKey::new((i % 8192) * 4, (i % 32) as u32).index(), &mut mem, i * 10)
+        })
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let params = workloads::oracle();
+    let mut generator = TraceGenerator::new(&params, 7, 0);
+    c.bench_function("micro_trace_generation", |b| {
+        b.iter(|| generator.next().expect("trace is infinite"))
+    });
+}
+
+fn all(c: &mut Criterion) {
+    bench_cache(c);
+    bench_hierarchy(c);
+    bench_pht(c);
+    bench_workload(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

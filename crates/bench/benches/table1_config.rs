@@ -1,0 +1,17 @@
+//! Bench target for Table 1: prints the system configuration and measures
+//! the cost of constructing the simulated memory hierarchy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pv_bench::print_report;
+use pv_mem::{HierarchyConfig, MemoryHierarchy};
+
+fn bench(c: &mut Criterion) {
+    print_report("Table 1 - system configuration", &pv_experiments::table1::report());
+    print_report("Table 2 - workloads", &pv_experiments::table2::report());
+    c.bench_function("table1_build_paper_hierarchy", |b| {
+        b.iter(|| MemoryHierarchy::new(HierarchyConfig::paper_baseline(4)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench target for Table 3 and Section 4.6: prints the storage accounting
+//! and measures the PVTable set packing codec (the Figure 3a layout).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pv_bench::print_report;
+use pv_core::{decode_set, encode_set, PvConfig, PvSet};
+use pv_sms::SpatialPattern;
+
+fn bench(c: &mut Criterion) {
+    print_report("Table 3 - PHT storage", &pv_experiments::table3::report());
+    print_report("Section 4.6 - PVProxy storage", &pv_experiments::sec46::report());
+
+    let config = PvConfig::pv8();
+    let mut set = PvSet::new(config.ways);
+    for i in 0..config.ways as u16 {
+        set.insert(i * 37 % 2048, SpatialPattern::from_bits(0x8421_1248 ^ u32::from(i)));
+    }
+    c.bench_function("table3_encode_pvtable_set", |b| {
+        b.iter(|| encode_set(black_box(&set), &config))
+    });
+    let encoded = encode_set(&set, &config);
+    c.bench_function("table3_decode_pvtable_set", |b| {
+        b.iter(|| decode_set(black_box(&encoded), &config))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

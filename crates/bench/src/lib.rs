@@ -1,0 +1,40 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target corresponds to one table or figure of the paper: it
+//! first *regenerates* the rows/series the paper reports (printed to
+//! standard error so `cargo bench` output contains the reproduction data)
+//! and then benchmarks the cost of the underlying simulation kernel so
+//! regressions in the simulator itself are caught.
+
+use criterion::Criterion;
+use pv_experiments::{Runner, Scale};
+use pv_sim::{run_workload, PrefetcherKind, RunMetrics, SimConfig};
+use pv_workloads::WorkloadId;
+
+/// Builds the smoke-scale runner used to regenerate a figure inside a bench.
+pub fn bench_runner() -> Runner {
+    Runner::with_default_threads(Scale::Smoke)
+}
+
+/// Prints a figure/table report to standard error with a banner, so the
+/// regenerated rows appear in the `cargo bench` log.
+pub fn print_report(name: &str, report: &str) {
+    eprintln!("\n===== {name} (regenerated at smoke scale) =====\n{report}");
+}
+
+/// Runs one smoke-scale simulation of `workload` with `prefetcher`; used as
+/// the measured kernel inside figure benches.
+pub fn smoke_run(workload: WorkloadId, prefetcher: PrefetcherKind) -> RunMetrics {
+    let mut config = SimConfig::quick(prefetcher);
+    config.warmup_records = 20_000;
+    config.measure_records = 30_000;
+    run_workload(&config, &workload.params())
+}
+
+/// Standard Criterion settings for the figure benches: few samples because
+/// each iteration is a full (smoke-scale) simulation.
+pub fn figure_bench_group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group(name.to_owned());
+    group.sample_size(10);
+    group
+}

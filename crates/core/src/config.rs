@@ -1,0 +1,163 @@
+//! Configuration of the virtualized predictor.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one virtualized PHT (PVTable layout plus PVProxy
+/// resources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PvConfig {
+    /// Number of sets of the virtualized predictor table (1K in the paper).
+    pub table_sets: usize,
+    /// Entries per set, chosen so a whole set packs into one memory block
+    /// (11 in the paper: 11 × 43 bits fit in 64 bytes).
+    pub ways: usize,
+    /// Bits per packed entry (43 = 11-bit tag + 32-bit pattern).
+    pub entry_bits: u32,
+    /// Memory-block size the PVTable is packed into (64 bytes, the L1 block
+    /// size).
+    pub block_bytes: u64,
+    /// Number of PVTable sets the PVCache holds (8 in the final design; 16
+    /// and 32 are evaluated in Figures 6 and 7).
+    pub pvcache_sets: usize,
+    /// PVProxy MSHR entries.
+    pub mshr_entries: usize,
+    /// Evict-buffer entries (dirty sets waiting to be written to the L2).
+    pub evict_buffer_entries: usize,
+    /// Pattern-buffer entries (triggers waiting for their set to arrive).
+    pub pattern_buffer_entries: usize,
+    /// Lookup latency of the PVCache itself in cycles (it is tiny, so the
+    /// paper argues it is faster than a large dedicated table).
+    pub pvcache_latency: u64,
+    /// Whether dirty predictor blocks evicted from the L2 are propagated
+    /// off-chip (the paper's default) or dropped at the chip boundary (the
+    /// design option of Section 2.2, evaluated as an ablation).
+    pub propagate_offchip: bool,
+}
+
+impl PvConfig {
+    /// The paper's final design: an 8-set PVCache in front of a 1K-set,
+    /// 11-way PVTable.
+    pub fn pv8() -> Self {
+        PvConfig {
+            table_sets: 1024,
+            ways: 11,
+            entry_bits: 43,
+            block_bytes: 64,
+            pvcache_sets: 8,
+            mshr_entries: 4,
+            evict_buffer_entries: 4,
+            pattern_buffer_entries: 16,
+            pvcache_latency: 1,
+            propagate_offchip: true,
+        }
+    }
+
+    /// The 16-set PVCache variant (PV-16 in Figures 6 and 7).
+    pub fn pv16() -> Self {
+        PvConfig {
+            pvcache_sets: 16,
+            ..Self::pv8()
+        }
+    }
+
+    /// The 32-set PVCache variant discussed in Section 4.3.
+    pub fn pv32() -> Self {
+        PvConfig {
+            pvcache_sets: 32,
+            ..Self::pv8()
+        }
+    }
+
+    /// A variant with a different number of PVCache sets.
+    pub fn with_pvcache_sets(mut self, sets: usize) -> Self {
+        self.pvcache_sets = sets;
+        self
+    }
+
+    /// A variant that drops dirty predictor blocks at the chip boundary
+    /// instead of writing them back to memory (Section 2.2 design option).
+    pub fn without_offchip_propagation(mut self) -> Self {
+        self.propagate_offchip = false;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, sets not a power
+    /// of two, or a packed set that does not fit in one block).
+    pub fn assert_valid(&self) {
+        assert!(self.table_sets > 0 && self.table_sets.is_power_of_two(), "table_sets must be a power of two");
+        assert!(self.ways > 0, "ways must be positive");
+        assert!(self.pvcache_sets > 0, "pvcache_sets must be positive");
+        assert!(self.mshr_entries > 0, "mshr_entries must be positive");
+        assert!(self.evict_buffer_entries > 0, "evict_buffer_entries must be positive");
+        assert!(self.pattern_buffer_entries > 0, "pattern_buffer_entries must be positive");
+        assert!(
+            u64::from(self.entry_bits) * self.ways as u64 <= self.block_bytes * 8,
+            "{} entries of {} bits do not fit in a {}-byte block",
+            self.ways,
+            self.entry_bits,
+            self.block_bytes
+        );
+    }
+
+    /// Bytes of main memory reserved per core for the PVTable
+    /// (sets × block size; 64 KB for the paper configuration).
+    pub fn table_bytes(&self) -> u64 {
+        self.table_sets as u64 * self.block_bytes
+    }
+
+    /// Number of tag bits identifying a PVTable set held in the PVCache
+    /// (log2 of the number of table sets).
+    pub fn pvcache_tag_bits(&self) -> u32 {
+        self.table_sets.trailing_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations_are_valid() {
+        PvConfig::pv8().assert_valid();
+        PvConfig::pv16().assert_valid();
+        PvConfig::pv32().assert_valid();
+    }
+
+    #[test]
+    fn pv8_matches_paper_geometry() {
+        let config = PvConfig::pv8();
+        assert_eq!(config.table_sets, 1024);
+        assert_eq!(config.ways, 11);
+        assert_eq!(config.entry_bits, 43);
+        assert_eq!(config.table_bytes(), 64 * 1024);
+        assert_eq!(config.pvcache_tag_bits(), 10);
+    }
+
+    #[test]
+    fn packed_set_fits_in_a_block() {
+        let config = PvConfig::pv8();
+        assert!(u64::from(config.entry_bits) * config.ways as u64 <= config.block_bytes * 8);
+        // 11 x 43 = 473 bits, leaving 39 unused bits out of 512 (Figure 3a's
+        // "unused" trailer).
+        assert_eq!(config.block_bytes * 8 - u64::from(config.entry_bits) * config.ways as u64, 39);
+    }
+
+    #[test]
+    fn builder_variants_apply() {
+        assert_eq!(PvConfig::pv8().with_pvcache_sets(32).pvcache_sets, 32);
+        assert!(!PvConfig::pv8().without_offchip_propagation().propagate_offchip);
+        assert_eq!(PvConfig::pv16().pvcache_sets, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn oversized_entries_panic() {
+        let mut config = PvConfig::pv8();
+        config.entry_bits = 64;
+        config.assert_valid();
+    }
+}

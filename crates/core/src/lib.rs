@@ -1,0 +1,66 @@
+//! # pv-core — Predictor Virtualization
+//!
+//! This crate implements the paper's contribution: *Predictor
+//! Virtualization* (PV), a technique that emulates large predictor tables by
+//! storing them in the ordinary memory hierarchy instead of in dedicated
+//! on-chip SRAM.
+//!
+//! The architecture follows Section 2 of the paper:
+//!
+//! * the [`PvTable`] is the full predictor table, laid out in a reserved
+//!   region of physical memory whose base lives in the per-core
+//!   [`PvStartRegister`]; one predictor set (11 entries of 43 bits) is packed
+//!   into each 64-byte memory block ([`packing`], Figure 3a);
+//! * the [`PvProxy`] is the small on-chip agent between the optimization
+//!   engine and the PVTable: it holds a fully-associative [`PvCache`] of a
+//!   handful of PVTable sets, an MSHR, an evict buffer and a pattern buffer;
+//!   lookups that miss in the PVCache become ordinary memory requests
+//!   injected at the L2 (Figure 3b shows the address computation);
+//! * [`PvStorageBudget`] reproduces the Section 4.6 accounting of the
+//!   on-chip storage the proxy needs (889 bytes for the paper's
+//!   configuration, versus ~59 KB for the dedicated table it replaces).
+//!
+//! The proxy implements [`pv_sms::PatternStorage`], so the unmodified SMS
+//! engine from `pv-sms` runs on top of it — exactly the property the paper
+//! relies on ("the optimization engine remains unchanged").
+//!
+//! # Example
+//!
+//! ```
+//! use pv_core::{PvConfig, PvProxy};
+//! use pv_mem::{HierarchyConfig, MemoryHierarchy};
+//! use pv_sms::{PatternStorage, SmsConfig, SmsPrefetcher};
+//!
+//! let hierarchy_config = HierarchyConfig::paper_baseline(4);
+//! let mut hierarchy = MemoryHierarchy::new(hierarchy_config);
+//!
+//! // Build the virtualized PHT for core 0 and run SMS over it.
+//! let proxy = PvProxy::new(0, PvConfig::pv8(), hierarchy_config.pv_regions.core_base(0));
+//! let sms_config = SmsConfig::paper_1k_11a();
+//! let mut sms = SmsPrefetcher::new(sms_config, Box::new(proxy));
+//! let response = sms.on_data_access(0x400, 0x10_0000, &mut hierarchy, 0);
+//! assert!(response.prefetches.is_empty()); // nothing learned yet
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffers;
+pub mod config;
+pub mod packing;
+pub mod proxy;
+pub mod pvcache;
+pub mod register;
+pub mod stats;
+pub mod storage;
+pub mod table;
+
+pub use buffers::{EvictBuffer, PatternBuffer};
+pub use config::PvConfig;
+pub use packing::{decode_set, encode_set};
+pub use proxy::PvProxy;
+pub use pvcache::PvCache;
+pub use register::PvStartRegister;
+pub use stats::PvStats;
+pub use storage::PvStorageBudget;
+pub use table::{PvSet, PvTable};

@@ -1,0 +1,186 @@
+//! Bit-level packing of PVTable sets into memory blocks (Figure 3a).
+//!
+//! Eleven entries of 43 bits each (an 11-bit tag followed by a 32-bit
+//! spatial pattern) are packed back to back into a 64-byte block, leaving 39
+//! trailing bits unused (the paper suggests using them for LRU state or
+//! future extensions). The simulator keeps table contents in structured form
+//! for speed, but this codec is what defines the in-memory layout, and the
+//! proxy's footprint and tests are checked against it.
+
+use crate::config::PvConfig;
+use crate::table::{PvEntry, PvSet};
+use bytes::{Bytes, BytesMut};
+use pv_sms::SpatialPattern;
+
+/// Number of tag bits stored per packed entry for a 1K-set table.
+pub const PACKED_TAG_BITS: u32 = 11;
+/// Number of pattern bits stored per packed entry.
+pub const PACKED_PATTERN_BITS: u32 = 32;
+
+fn write_bits(buffer: &mut [u8], bit_offset: usize, value: u64, bits: u32) {
+    for i in 0..bits as usize {
+        let bit = (value >> i) & 1;
+        let position = bit_offset + i;
+        let byte = position / 8;
+        let shift = position % 8;
+        if bit == 1 {
+            buffer[byte] |= 1 << shift;
+        }
+    }
+}
+
+fn read_bits(buffer: &[u8], bit_offset: usize, bits: u32) -> u64 {
+    let mut value = 0u64;
+    for i in 0..bits as usize {
+        let position = bit_offset + i;
+        let byte = position / 8;
+        let shift = position % 8;
+        if buffer[byte] & (1 << shift) != 0 {
+            value |= 1 << i;
+        }
+    }
+    value
+}
+
+/// Encodes a PVTable set into the packed 64-byte representation.
+///
+/// Entries are written in recency order; empty ways are encoded as all-zero
+/// entries with an empty pattern (an empty pattern is never stored by the
+/// prefetcher, so "pattern == 0" doubles as the invalid marker).
+///
+/// # Panics
+///
+/// Panics if the set holds more entries than `config.ways`.
+pub fn encode_set(set: &PvSet, config: &PvConfig) -> Bytes {
+    assert!(set.len() <= config.ways, "set has more entries than the configured associativity");
+    let mut buffer = BytesMut::zeroed(config.block_bytes as usize);
+    for (slot, entry) in set.iter().enumerate() {
+        let bit_offset = slot * config.entry_bits as usize;
+        write_bits(&mut buffer, bit_offset, u64::from(entry.tag), PACKED_TAG_BITS);
+        write_bits(
+            &mut buffer,
+            bit_offset + PACKED_TAG_BITS as usize,
+            u64::from(entry.pattern.bits()),
+            PACKED_PATTERN_BITS,
+        );
+    }
+    buffer.freeze()
+}
+
+/// Decodes a packed 64-byte block back into a PVTable set.
+///
+/// # Panics
+///
+/// Panics if `block` is shorter than the configured block size.
+pub fn decode_set(block: &[u8], config: &PvConfig) -> PvSet {
+    assert!(
+        block.len() >= config.block_bytes as usize,
+        "packed block must be at least {} bytes",
+        config.block_bytes
+    );
+    let mut set = PvSet::new(config.ways);
+    // Rebuild in reverse so that the first packed entry ends up
+    // most-recently-used, matching the encoding order.
+    let mut entries = Vec::new();
+    for slot in 0..config.ways {
+        let bit_offset = slot * config.entry_bits as usize;
+        let tag = read_bits(block, bit_offset, PACKED_TAG_BITS) as u16;
+        let pattern_bits = read_bits(block, bit_offset + PACKED_TAG_BITS as usize, PACKED_PATTERN_BITS) as u32;
+        if pattern_bits != 0 {
+            entries.push(PvEntry {
+                tag,
+                pattern: SpatialPattern::from_bits(pattern_bits),
+            });
+        }
+    }
+    for entry in entries.into_iter().rev() {
+        set.insert(entry.tag, entry.pattern);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> PvConfig {
+        PvConfig::pv8()
+    }
+
+    #[test]
+    fn encoded_block_is_one_cache_block() {
+        let set = PvSet::new(11);
+        let block = encode_set(&set, &config());
+        assert_eq!(block.len(), 64);
+        assert!(block.iter().all(|&b| b == 0), "an empty set encodes to zeroes");
+    }
+
+    #[test]
+    fn round_trip_preserves_entries() {
+        let config = config();
+        let mut set = PvSet::new(config.ways);
+        set.insert(0x2aa, SpatialPattern::from_offsets([0, 3, 31]));
+        set.insert(0x155, SpatialPattern::from_offsets([7]));
+        set.insert(0x001, SpatialPattern::from_bits(0xdead_beef));
+        let decoded = decode_set(&encode_set(&set, &config), &config);
+        assert_eq!(decoded.len(), set.len());
+        for entry in set.iter() {
+            assert_eq!(decoded.peek(entry.tag), Some(entry.pattern), "tag {:#x}", entry.tag);
+        }
+    }
+
+    #[test]
+    fn full_set_round_trips() {
+        let config = config();
+        let mut set = PvSet::new(config.ways);
+        for i in 0..config.ways as u16 {
+            set.insert(i, SpatialPattern::from_bits(0x8000_0001 | (u32::from(i) << 8)));
+        }
+        let decoded = decode_set(&encode_set(&set, &config), &config);
+        assert_eq!(decoded.len(), config.ways);
+        for i in 0..config.ways as u16 {
+            assert!(decoded.peek(i).is_some());
+        }
+    }
+
+    #[test]
+    fn recency_order_is_preserved() {
+        let config = config();
+        let mut set = PvSet::new(config.ways);
+        for i in 0..config.ways as u16 {
+            set.insert(i, SpatialPattern::single(u32::from(i) % 32));
+        }
+        // Touch tag 0 so it is most recently used.
+        set.lookup(0);
+        let decoded = decode_set(&encode_set(&set, &config), &config);
+        let first = decoded.iter().next().expect("set is not empty");
+        assert_eq!(first.tag, 0, "MRU entry must survive the round trip in first position");
+    }
+
+    #[test]
+    fn trailing_bits_are_unused() {
+        // 11 entries x 43 bits = 473 bits; bits 473..512 must stay zero even
+        // for a full set (Figure 3a's unused trailer).
+        let config = config();
+        let mut set = PvSet::new(config.ways);
+        for i in 0..config.ways as u16 {
+            set.insert(i | 0x7ff, SpatialPattern::from_bits(u32::MAX));
+        }
+        let block = encode_set(&set, &config);
+        let full_bits = config.ways * config.entry_bits as usize;
+        for bit in full_bits..512 {
+            let byte = bit / 8;
+            let shift = bit % 8;
+            assert_eq!(block[byte] & (1 << shift), 0, "bit {bit} must be unused");
+        }
+    }
+
+    #[test]
+    fn max_tag_and_pattern_round_trip() {
+        let config = config();
+        let mut set = PvSet::new(config.ways);
+        set.insert(0x7ff, SpatialPattern::from_bits(u32::MAX));
+        let decoded = decode_set(&encode_set(&set, &config), &config);
+        assert_eq!(decoded.peek(0x7ff), Some(SpatialPattern::from_bits(u32::MAX)));
+    }
+}

@@ -1,0 +1,351 @@
+//! The PVProxy: the on-chip mediator between the optimization engine and the
+//! in-memory PVTable (paper Section 2.2 and 3.2.2).
+
+use crate::buffers::{EvictBuffer, PatternBuffer};
+use crate::config::PvConfig;
+use crate::pvcache::{PvCache, PvCacheEviction};
+use crate::register::PvStartRegister;
+use crate::stats::PvStats;
+use crate::storage::PvStorageBudget;
+use crate::table::PvTable;
+use pv_mem::{AccessKind, Address, DataClass, MemoryHierarchy, MshrFile, Requester};
+use pv_sms::{PatternLookup, PatternStorage, PhtIndex, SpatialPattern};
+
+/// The virtualized PHT backend for one core's SMS prefetcher.
+///
+/// The proxy receives the same two operations the dedicated table supports —
+/// retrieve an entry and store an entry — keyed by the same index. Requests
+/// that hit in the [`PvCache`] complete immediately; misses compute the
+/// PVTable set's memory address from the `PVStart` register (Figure 3b) and
+/// issue an ordinary read to the L2, through which the set is installed in
+/// the PVCache. Dirty victims are written back towards the L2 like any other
+/// modified block.
+#[derive(Debug)]
+pub struct PvProxy {
+    core: usize,
+    config: PvConfig,
+    table: PvTable,
+    cache: PvCache,
+    mshr: MshrFile,
+    pattern_buffer: PatternBuffer,
+    evict_buffer: EvictBuffer,
+    stats: PvStats,
+}
+
+impl PvProxy {
+    /// Creates the proxy for `core`, with its PVTable based at `pv_start`
+    /// (normally `HierarchyConfig::pv_regions.core_base(core)`).
+    pub fn new(core: usize, config: PvConfig, pv_start: Address) -> Self {
+        config.assert_valid();
+        let register = PvStartRegister::new(pv_start);
+        PvProxy {
+            core,
+            table: PvTable::new(&config, register),
+            cache: PvCache::new(config.pvcache_sets),
+            mshr: MshrFile::new(config.mshr_entries),
+            pattern_buffer: PatternBuffer::new(config.pattern_buffer_entries),
+            evict_buffer: EvictBuffer::new(config.evict_buffer_entries),
+            config,
+            stats: PvStats::default(),
+        }
+    }
+
+    /// The proxy's configuration.
+    pub fn config(&self) -> &PvConfig {
+        &self.config
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &PvStats {
+        &self.stats
+    }
+
+    /// The in-memory table backing this proxy.
+    pub fn table(&self) -> &PvTable {
+        &self.table
+    }
+
+    /// The on-chip PVCache.
+    pub fn pvcache(&self) -> &PvCache {
+        &self.cache
+    }
+
+    /// The Section 4.6 storage budget of this proxy.
+    pub fn storage_budget(&self) -> PvStorageBudget {
+        PvStorageBudget::for_config(&self.config)
+    }
+
+    /// Which core this proxy serves.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    fn split_index(&self, index: PhtIndex) -> (usize, u16) {
+        (
+            index.set_index(self.config.table_sets),
+            index.tag(self.config.table_sets) as u16,
+        )
+    }
+
+    /// Fetches PVTable set `set_index` through the memory hierarchy and
+    /// installs it in the PVCache. Returns the cycle at which the set's data
+    /// is available.
+    fn fetch_set(&mut self, set_index: usize, mem: &mut MemoryHierarchy, now: u64) -> u64 {
+        let address = self.table.set_address(set_index);
+        self.mshr.retire(now);
+        let ready_at = if let Some(entry) = self.mshr.lookup(address.block()) {
+            self.stats.mshr_merges += 1;
+            let ready = entry.ready_at;
+            let _ = self.mshr.register(address.block(), now, ready);
+            ready
+        } else {
+            self.stats.memory_requests += 1;
+            let response = mem.access(
+                Requester::pv_proxy(self.core),
+                address.raw(),
+                AccessKind::Read,
+                DataClass::Predictor,
+                now,
+            );
+            let ready = now + response.latency;
+            let _ = self.mshr.register(address.block(), now, ready);
+            ready
+        };
+        let contents = self.table.read_set(set_index).clone();
+        if let Some(evicted) = self.cache.insert(set_index, contents, false) {
+            self.handle_eviction(evicted, mem, now);
+        }
+        ready_at
+    }
+
+    fn handle_eviction(&mut self, evicted: PvCacheEviction, mem: &mut MemoryHierarchy, now: u64) {
+        if !evicted.dirty {
+            // Non-modified entries are discarded (paper Section 2.2).
+            return;
+        }
+        self.stats.dirty_writebacks += 1;
+        let address = self.table.set_address(evicted.set_index);
+        // The authoritative contents move back to the in-memory table, and
+        // the block travels to the L2 like an ordinary write-back.
+        self.table.write_set(evicted.set_index, evicted.contents);
+        self.evict_buffer
+            .push(evicted.set_index, now, now + mem.config().l2.data_latency);
+        mem.writeback(Requester::pv_proxy(self.core), address.raw(), now);
+    }
+
+    /// Writes every dirty PVCache entry back to the memory hierarchy (used
+    /// at the end of a simulation window so no learned state is lost).
+    pub fn drain(&mut self, mem: &mut MemoryHierarchy, now: u64) {
+        for evicted in self.cache.drain_dirty() {
+            self.handle_eviction(evicted, mem, now);
+        }
+    }
+}
+
+impl PatternStorage for PvProxy {
+    fn lookup(&mut self, index: PhtIndex, mem: &mut MemoryHierarchy, now: u64) -> PatternLookup {
+        self.stats.lookups += 1;
+        let (set_index, tag) = self.split_index(index);
+        if let Some(entry) = self.cache.lookup(set_index) {
+            self.stats.pvcache_hits += 1;
+            return PatternLookup {
+                pattern: entry.contents.lookup(tag),
+                ready_at: now + self.config.pvcache_latency,
+            };
+        }
+        self.stats.pvcache_misses += 1;
+        // A miss needs a pattern-buffer slot to hold the pending trigger; if
+        // none is free the prediction is simply dropped (the predictor is
+        // advisory, so correctness is unaffected).
+        let provisional_done = now + mem.config().l2.tag_latency + mem.config().l2.data_latency;
+        if !self.pattern_buffer.try_reserve(index.raw(), now, provisional_done) {
+            self.stats.dropped_lookups += 1;
+            return PatternLookup {
+                pattern: None,
+                ready_at: now,
+            };
+        }
+        let ready_at = self.fetch_set(set_index, mem, now);
+        let pattern = self
+            .cache
+            .lookup(set_index)
+            .and_then(|entry| entry.contents.lookup(tag));
+        PatternLookup { pattern, ready_at }
+    }
+
+    fn store(&mut self, index: PhtIndex, pattern: SpatialPattern, mem: &mut MemoryHierarchy, now: u64) {
+        self.stats.stores += 1;
+        let (set_index, tag) = self.split_index(index);
+        if self.cache.lookup(set_index).is_none() {
+            // Write-allocate: bring the set in before updating it, so the
+            // other ten entries of the set are preserved.
+            self.stats.store_misses += 1;
+            let _ = self.fetch_set(set_index, mem, now);
+        }
+        let entry = self
+            .cache
+            .lookup(set_index)
+            .expect("the set was just installed in the PVCache");
+        entry.contents.insert(tag, pattern);
+        entry.dirty = true;
+    }
+
+    fn label(&self) -> String {
+        format!("PV-{}", self.config.pvcache_sets)
+    }
+
+    fn dedicated_storage_bytes(&self) -> u64 {
+        self.storage_budget().total_bytes()
+    }
+
+    fn resident_patterns(&self) -> usize {
+        // Patterns visible on chip (PVCache) plus the in-memory table.
+        self.table.resident_patterns().max(self.cache.resident_patterns())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PvStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_mem::{HierarchyConfig, HitLevel};
+    use pv_sms::TriggerKey;
+
+    fn setup() -> (MemoryHierarchy, PvProxy) {
+        let config = HierarchyConfig::paper_baseline(4);
+        let mem = MemoryHierarchy::new(config);
+        let proxy = PvProxy::new(0, PvConfig::pv8(), config.pv_regions.core_base(0));
+        (mem, proxy)
+    }
+
+    fn index_for(pc: u64, offset: u32) -> PhtIndex {
+        TriggerKey::new(pc, offset).index()
+    }
+
+    #[test]
+    fn cold_lookup_misses_and_costs_memory_latency() {
+        let (mut mem, mut proxy) = setup();
+        let lookup = proxy.lookup(index_for(0x4000, 3), &mut mem, 0);
+        assert!(lookup.pattern.is_none());
+        assert!(lookup.ready_at >= 400, "cold PVTable set must come from DRAM");
+        assert_eq!(proxy.stats().pvcache_misses, 1);
+        assert_eq!(proxy.stats().memory_requests, 1);
+    }
+
+    #[test]
+    fn store_then_lookup_hits_in_pvcache() {
+        let (mut mem, mut proxy) = setup();
+        let index = index_for(0x4000, 3);
+        let pattern = SpatialPattern::from_offsets([3, 4, 9]);
+        proxy.store(index, pattern, &mut mem, 0);
+        let lookup = proxy.lookup(index, &mut mem, 100);
+        assert_eq!(lookup.pattern, Some(pattern));
+        assert_eq!(lookup.ready_at, 100 + proxy.config().pvcache_latency);
+        assert_eq!(proxy.stats().pvcache_hits, 1);
+    }
+
+    #[test]
+    fn pvcache_misses_generate_predictor_classified_l2_requests() {
+        let (mut mem, mut proxy) = setup();
+        proxy.lookup(index_for(0x4000, 3), &mut mem, 0);
+        let stats = mem.stats();
+        assert_eq!(stats.l2_requests.predictor, 1);
+        assert_eq!(stats.l2_requests.application, 0);
+    }
+
+    #[test]
+    fn evicted_dirty_sets_survive_in_memory() {
+        let (mut mem, mut proxy) = setup();
+        let pattern = SpatialPattern::from_offsets([1, 2]);
+        // Store patterns into more distinct sets than the PVCache holds so
+        // the first one is evicted (dirty) and written back.
+        let capacity = proxy.config().pvcache_sets;
+        for i in 0..(capacity + 4) as u64 {
+            // Consecutive instruction words map to different PVTable sets
+            // (the set index is the low bits of PC-bits concatenated with
+            // the offset, so a PC step of 4 moves the set by 32).
+            let index = index_for(0x4000 + i * 4, 1);
+            proxy.store(index, pattern, &mut mem, i * 1000);
+        }
+        assert!(proxy.stats().dirty_writebacks >= 1);
+        // The first index's pattern must still be retrievable: its set comes
+        // back from the memory hierarchy.
+        let lookup = proxy.lookup(index_for(0x4000, 1), &mut mem, 1_000_000);
+        assert_eq!(lookup.pattern, Some(pattern), "dirty write-back must preserve the pattern");
+    }
+
+    #[test]
+    fn hot_sets_are_served_from_l2_after_first_touch() {
+        let (mut mem, mut proxy) = setup();
+        let index = index_for(0x8000, 5);
+        // First touch goes to DRAM.
+        proxy.lookup(index, &mut mem, 0);
+        // Push the set out of the PVCache by touching many other sets.
+        for i in 1..=proxy.config().pvcache_sets as u64 {
+            proxy.lookup(index_for(0x8000 + i * 4, 5), &mut mem, i * 1000);
+        }
+        // The set is gone from the PVCache but still resident in the L2, so
+        // re-fetching it is cheap (no DRAM access).
+        let dram_before = mem.stats().dram_reads;
+        let lookup = proxy.lookup(index, &mut mem, 1_000_000);
+        assert!(lookup.ready_at - 1_000_000 < 100, "refetch should be an L2 hit");
+        assert_eq!(mem.stats().dram_reads, dram_before);
+    }
+
+    #[test]
+    fn merged_requests_do_not_duplicate_memory_traffic() {
+        let (mut mem, mut proxy) = setup();
+        let index_a = index_for(0x4000, 1);
+        let index_b = index_for(0x4000, 1);
+        proxy.lookup(index_a, &mut mem, 0);
+        // Same set requested again before the first fetch completes: the
+        // PVCache already has the (stale-free) set installed, so this is a
+        // PVCache hit rather than a second memory request.
+        proxy.lookup(index_b, &mut mem, 1);
+        assert_eq!(proxy.stats().memory_requests, 1);
+    }
+
+    #[test]
+    fn lookup_after_l2_residency_is_l2_hit_level() {
+        let (mut mem, mut proxy) = setup();
+        let index = index_for(0xbeef0, 7);
+        proxy.store(index, SpatialPattern::from_offsets([7, 9]), &mut mem, 0);
+        proxy.drain(&mut mem, 10);
+        // After draining, the set's block lives in the L2.
+        let set_index = index.set_index(proxy.config().table_sets);
+        let address = proxy.table().set_address(set_index);
+        assert!(mem.l2_contains(address.block()));
+        let response = mem.access(
+            Requester::pv_proxy(0),
+            address.raw(),
+            AccessKind::Read,
+            DataClass::Predictor,
+            100,
+        );
+        assert_eq!(response.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn storage_budget_matches_paper_total() {
+        let (_, proxy) = setup();
+        assert_eq!(proxy.dedicated_storage_bytes(), 889);
+        assert_eq!(proxy.label(), "PV-8");
+    }
+
+    #[test]
+    fn per_core_tables_use_disjoint_address_ranges() {
+        let config = HierarchyConfig::paper_baseline(4);
+        let proxy0 = PvProxy::new(0, PvConfig::pv8(), config.pv_regions.core_base(0));
+        let proxy1 = PvProxy::new(1, PvConfig::pv8(), config.pv_regions.core_base(1));
+        let last0 = proxy0.table().set_address(1023).raw() + 63;
+        let first1 = proxy1.table().set_address(0).raw();
+        assert!(last0 < first1);
+    }
+}

@@ -1,0 +1,214 @@
+//! The PVCache: the small, fully-associative cache of PVTable sets inside
+//! the PVProxy.
+
+use crate::table::PvSet;
+
+/// A PVTable set resident in the PVCache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PvCacheEntry {
+    /// Which PVTable set this entry caches.
+    pub set_index: usize,
+    /// The cached contents.
+    pub contents: PvSet,
+    /// Whether the contents were modified since they were fetched.
+    pub dirty: bool,
+}
+
+/// An entry evicted from the PVCache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PvCacheEviction {
+    /// Which PVTable set was evicted.
+    pub set_index: usize,
+    /// Its contents at eviction time.
+    pub contents: PvSet,
+    /// Whether it must be written back (dirty).
+    pub dirty: bool,
+}
+
+/// The fully-associative PVCache with LRU replacement.
+///
+/// The paper's final design uses eight entries; each entry caches one whole
+/// PVTable set (one 64-byte block worth of predictor entries), with a dirty
+/// bit per entry.
+#[derive(Debug, Clone, Default)]
+pub struct PvCache {
+    capacity: usize,
+    /// Most recently used first.
+    entries: Vec<PvCacheEntry>,
+}
+
+impl PvCache {
+    /// Creates a PVCache with room for `capacity` PVTable sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "the PVCache needs at least one entry");
+        PvCache {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Configured capacity in PVTable sets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of sets currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of dirty entries.
+    pub fn dirty_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.dirty).count()
+    }
+
+    /// Whether `set_index` is cached (no recency update).
+    pub fn contains(&self, set_index: usize) -> bool {
+        self.entries.iter().any(|e| e.set_index == set_index)
+    }
+
+    /// Looks up `set_index`, promoting it to most-recently-used and returning
+    /// a mutable reference to the entry.
+    pub fn lookup(&mut self, set_index: usize) -> Option<&mut PvCacheEntry> {
+        let pos = self.entries.iter().position(|e| e.set_index == set_index)?;
+        let entry = self.entries.remove(pos);
+        self.entries.insert(0, entry);
+        Some(&mut self.entries[0])
+    }
+
+    /// Installs `set_index` with `contents`, evicting the LRU entry when the
+    /// cache is full. If the set is already present its contents are
+    /// replaced (and the dirty flag ORed).
+    pub fn insert(&mut self, set_index: usize, contents: PvSet, dirty: bool) -> Option<PvCacheEviction> {
+        if let Some(entry) = self.lookup(set_index) {
+            entry.contents = contents;
+            entry.dirty |= dirty;
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            self.entries.pop().map(|e| PvCacheEviction {
+                set_index: e.set_index,
+                contents: e.contents,
+                dirty: e.dirty,
+            })
+        } else {
+            None
+        };
+        self.entries.insert(
+            0,
+            PvCacheEntry {
+                set_index,
+                contents,
+                dirty,
+            },
+        );
+        evicted
+    }
+
+    /// Removes every entry, returning the dirty ones (used when draining the
+    /// proxy at the end of a run).
+    pub fn drain_dirty(&mut self) -> Vec<PvCacheEviction> {
+        let drained: Vec<PvCacheEviction> = self
+            .entries
+            .drain(..)
+            .filter(|e| e.dirty)
+            .map(|e| PvCacheEviction {
+                set_index: e.set_index,
+                contents: e.contents,
+                dirty: true,
+            })
+            .collect();
+        drained
+    }
+
+    /// Total number of predictor entries cached across all resident sets.
+    pub fn resident_patterns(&self) -> usize {
+        self.entries.iter().map(|e| e.contents.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_sms::SpatialPattern;
+
+    fn set_with(tag: u16) -> PvSet {
+        let mut set = PvSet::new(11);
+        set.insert(tag, SpatialPattern::single(1));
+        set
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips() {
+        let mut cache = PvCache::new(8);
+        assert!(cache.insert(5, set_with(1), false).is_none());
+        assert!(cache.contains(5));
+        let entry = cache.lookup(5).expect("set 5 was just inserted");
+        assert_eq!(entry.set_index, 5);
+        assert!(!entry.dirty);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_picks_least_recently_used() {
+        let mut cache = PvCache::new(2);
+        cache.insert(1, set_with(1), false);
+        cache.insert(2, set_with(2), true);
+        cache.lookup(1);
+        let evicted = cache.insert(3, set_with(3), false).expect("cache was full");
+        assert_eq!(evicted.set_index, 2);
+        assert!(evicted.dirty);
+        assert!(cache.contains(1));
+        assert!(cache.contains(3));
+    }
+
+    #[test]
+    fn reinsert_merges_dirty_flag() {
+        let mut cache = PvCache::new(4);
+        cache.insert(9, set_with(1), false);
+        cache.insert(9, set_with(2), true);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(9).unwrap().dirty);
+        // Re-inserting clean must not clear the dirty bit.
+        cache.insert(9, set_with(3), false);
+        assert!(cache.lookup(9).unwrap().dirty);
+    }
+
+    #[test]
+    fn drain_dirty_returns_only_dirty_entries() {
+        let mut cache = PvCache::new(4);
+        cache.insert(1, set_with(1), false);
+        cache.insert(2, set_with(2), true);
+        cache.insert(3, set_with(3), true);
+        let drained = cache.drain_dirty();
+        assert_eq!(drained.len(), 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn dirty_count_and_resident_patterns() {
+        let mut cache = PvCache::new(4);
+        cache.insert(1, set_with(1), true);
+        let mut multi = PvSet::new(11);
+        multi.insert(1, SpatialPattern::single(1));
+        multi.insert(2, SpatialPattern::single(2));
+        cache.insert(2, multi, false);
+        assert_eq!(cache.dirty_count(), 1);
+        assert_eq!(cache.resident_patterns(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        PvCache::new(0);
+    }
+}

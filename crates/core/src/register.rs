@@ -1,0 +1,65 @@
+//! The `PVStart` control register.
+
+use pv_mem::Address;
+use serde::{Deserialize, Serialize};
+
+/// The per-core control register holding the base physical address of the
+/// core's in-memory PVTable.
+///
+/// In the paper's design the register is set at boot to point into a
+/// reserved chunk of physical memory and is *not* part of the architectural
+/// state (the predictor table is shared by everything running on the core).
+/// Making it architectural — saved and restored on context switches — would
+/// give each process its own predictor table; [`PvStartRegister::swap`]
+/// models that operation for the process-private-table extension discussed
+/// in Section 2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PvStartRegister {
+    base: Address,
+}
+
+impl PvStartRegister {
+    /// Creates a register pointing at `base`.
+    pub fn new(base: Address) -> Self {
+        PvStartRegister { base }
+    }
+
+    /// The PVTable base address.
+    pub fn base(&self) -> Address {
+        self.base
+    }
+
+    /// The memory address of PVTable set `set_index` when each set occupies
+    /// `block_bytes` bytes: the Figure 3b computation (set index shifted by
+    /// the block size, added to the start address).
+    pub fn set_address(&self, set_index: usize, block_bytes: u64) -> Address {
+        Address::new(self.base.raw() + set_index as u64 * block_bytes)
+    }
+
+    /// Replaces the base address, returning the previous one (models a
+    /// context switch with per-process predictor tables).
+    pub fn swap(&mut self, new_base: Address) -> Address {
+        std::mem::replace(&mut self.base, new_base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_addresses_are_contiguous_blocks() {
+        let reg = PvStartRegister::new(Address::new(0x1000));
+        assert_eq!(reg.set_address(0, 64), Address::new(0x1000));
+        assert_eq!(reg.set_address(1, 64), Address::new(0x1040));
+        assert_eq!(reg.set_address(1023, 64), Address::new(0x1000 + 1023 * 64));
+    }
+
+    #[test]
+    fn swap_returns_previous_base() {
+        let mut reg = PvStartRegister::new(Address::new(0x1000));
+        let old = reg.swap(Address::new(0x8000));
+        assert_eq!(old, Address::new(0x1000));
+        assert_eq!(reg.base(), Address::new(0x8000));
+    }
+}

@@ -1,0 +1,67 @@
+//! PVProxy statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by one PVProxy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PvStats {
+    /// Predictor lookups received from the optimization engine.
+    pub lookups: u64,
+    /// Lookups satisfied by the PVCache.
+    pub pvcache_hits: u64,
+    /// Lookups that missed in the PVCache and required a memory request.
+    pub pvcache_misses: u64,
+    /// Predictor stores received from the optimization engine.
+    pub stores: u64,
+    /// Stores whose PVTable set had to be fetched first.
+    pub store_misses: u64,
+    /// Memory requests issued to the L2 (fetches of PVTable sets).
+    pub memory_requests: u64,
+    /// Memory requests merged into an already-outstanding fetch (PVProxy
+    /// MSHR hits).
+    pub mshr_merges: u64,
+    /// Dirty PVCache victims written back towards the L2.
+    pub dirty_writebacks: u64,
+    /// Predictions dropped because the pattern buffer was full.
+    pub dropped_lookups: u64,
+}
+
+impl PvStats {
+    /// PVCache hit ratio over lookups in [0, 1].
+    pub fn pvcache_hit_ratio(&self) -> f64 {
+        let total = self.pvcache_hits + self.pvcache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pvcache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total operations (lookups + stores) observed.
+    pub fn operations(&self) -> u64 {
+        self.lookups + self.stores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_handles_zero() {
+        assert_eq!(PvStats::default().pvcache_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_computes() {
+        let stats = PvStats {
+            pvcache_hits: 3,
+            pvcache_misses: 1,
+            lookups: 4,
+            stores: 2,
+            ..PvStats::default()
+        };
+        assert!((stats.pvcache_hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(stats.operations(), 6);
+    }
+}

@@ -1,0 +1,121 @@
+//! On-chip storage accounting for the PVProxy (paper Section 4.6).
+//!
+//! The paper breaks the proxy's dedicated storage down as: PVCache data
+//! (473 bytes), PVCache tags (11 bytes), dirty bits (1 byte), MSHRs
+//! (84 bytes), a 4-entry evict buffer (256 bytes) and a 16-entry pattern
+//! buffer (64 bytes), for a total of 889 bytes per core — a 68× reduction
+//! over the 59.125 KB dedicated PHT it replaces.
+
+use crate::config::PvConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-component on-chip storage of one PVProxy, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PvStorageBudget {
+    /// PVCache data array (cached PVTable sets).
+    pub pvcache_data_bytes: u64,
+    /// PVCache tags (PVTable set index plus a valid bit per entry).
+    pub tag_bytes: u64,
+    /// Dirty bits, one per PVCache entry.
+    pub dirty_bytes: u64,
+    /// MSHR storage.
+    pub mshr_bytes: u64,
+    /// Evict buffer (one block per entry).
+    pub evict_buffer_bytes: u64,
+    /// Pattern buffer (one pending prediction per entry).
+    pub pattern_buffer_bytes: u64,
+}
+
+/// Bytes per MSHR entry: a 32-bit set address, the 21-bit requesting index,
+/// a few state bits and the merged-request list, rounded to the paper's
+/// per-proxy total (84 bytes for 4 entries).
+const MSHR_ENTRY_BYTES: u64 = 21;
+/// Bytes per pattern-buffer entry (a 32-bit pattern/trigger descriptor).
+const PATTERN_BUFFER_ENTRY_BYTES: u64 = 4;
+
+impl PvStorageBudget {
+    /// Computes the storage budget of a proxy built with `config`.
+    pub fn for_config(config: &PvConfig) -> Self {
+        let pvcache_bits = config.pvcache_sets as u64 * config.ways as u64 * u64::from(config.entry_bits);
+        let tag_bits = config.pvcache_sets as u64 * (u64::from(config.pvcache_tag_bits()) + 1);
+        PvStorageBudget {
+            pvcache_data_bytes: pvcache_bits.div_ceil(8),
+            tag_bytes: tag_bits.div_ceil(8),
+            dirty_bytes: (config.pvcache_sets as u64).div_ceil(8),
+            mshr_bytes: config.mshr_entries as u64 * MSHR_ENTRY_BYTES,
+            evict_buffer_bytes: config.evict_buffer_entries as u64 * config.block_bytes,
+            pattern_buffer_bytes: config.pattern_buffer_entries as u64 * PATTERN_BUFFER_ENTRY_BYTES,
+        }
+    }
+
+    /// Total dedicated on-chip bytes per core.
+    pub fn total_bytes(&self) -> u64 {
+        self.pvcache_data_bytes
+            + self.tag_bytes
+            + self.dirty_bytes
+            + self.mshr_bytes
+            + self.evict_buffer_bytes
+            + self.pattern_buffer_bytes
+    }
+
+    /// Reduction factor versus a dedicated table of `dedicated_bytes`.
+    pub fn reduction_factor(&self, dedicated_bytes: u64) -> f64 {
+        dedicated_bytes as f64 / self.total_bytes() as f64
+    }
+
+    /// The rows of the Section 4.6 breakdown as `(component, bytes)` pairs,
+    /// in the order the paper lists them.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("PVCache data", self.pvcache_data_bytes),
+            ("PVCache tags", self.tag_bytes),
+            ("Dirty bits", self.dirty_bytes),
+            ("MSHRs", self.mshr_bytes),
+            ("Evict buffer", self.evict_buffer_bytes),
+            ("Pattern buffer", self.pattern_buffer_bytes),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_sms::PhtGeometry;
+
+    #[test]
+    fn pv8_matches_paper_section_4_6() {
+        let budget = PvStorageBudget::for_config(&PvConfig::pv8());
+        assert_eq!(budget.pvcache_data_bytes, 473);
+        assert_eq!(budget.tag_bytes, 11);
+        assert_eq!(budget.dirty_bytes, 1);
+        assert_eq!(budget.mshr_bytes, 84);
+        assert_eq!(budget.evict_buffer_bytes, 256);
+        assert_eq!(budget.pattern_buffer_bytes, 64);
+        assert_eq!(budget.total_bytes(), 889);
+    }
+
+    #[test]
+    fn reduction_factor_is_about_68x() {
+        let budget = PvStorageBudget::for_config(&PvConfig::pv8());
+        let dedicated = PhtGeometry::paper_1k_11a().total_bytes().unwrap();
+        let factor = budget.reduction_factor(dedicated);
+        assert!(factor > 60.0 && factor < 75.0, "expected ~68x, got {factor:.1}x");
+    }
+
+    #[test]
+    fn larger_pvcache_costs_more_storage() {
+        let pv8 = PvStorageBudget::for_config(&PvConfig::pv8()).total_bytes();
+        let pv16 = PvStorageBudget::for_config(&PvConfig::pv16()).total_bytes();
+        let pv32 = PvStorageBudget::for_config(&PvConfig::pv32()).total_bytes();
+        assert!(pv8 < pv16 && pv16 < pv32);
+        assert!(pv32 < 4 * 1024, "even PV-32 stays well under the dedicated table size");
+    }
+
+    #[test]
+    fn rows_cover_every_component() {
+        let budget = PvStorageBudget::for_config(&PvConfig::pv8());
+        let sum: u64 = budget.rows().iter().map(|(_, bytes)| bytes).sum();
+        assert_eq!(sum, budget.total_bytes());
+        assert_eq!(budget.rows().len(), 6);
+    }
+}

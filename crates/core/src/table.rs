@@ -1,0 +1,221 @@
+//! The PVTable: the virtualized predictor table living in main memory.
+//!
+//! The simulator tracks the table's *contents* functionally (the actual
+//! pattern values) while the *movement* of those contents through the memory
+//! hierarchy is modelled by issuing real block requests for the table's
+//! addresses. This mirrors how an RTL implementation would behave: the
+//! values live in DRAM/caches, and what the architecture controls is which
+//! blocks move when.
+
+use crate::config::PvConfig;
+use crate::register::PvStartRegister;
+use pv_mem::Address;
+use pv_sms::SpatialPattern;
+use serde::{Deserialize, Serialize};
+
+/// One entry of a PVTable set: the tag that disambiguates indices mapping to
+/// the same set, and the stored spatial pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PvEntry {
+    /// Tag bits of the PHT index (11 bits for a 1K-set table).
+    pub tag: u16,
+    /// The stored spatial pattern.
+    pub pattern: SpatialPattern,
+}
+
+/// One set of the PVTable: up to `ways` entries, kept in recency order
+/// (most recently used first) so that within-set replacement is LRU.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PvSet {
+    entries: Vec<PvEntry>,
+    ways: usize,
+}
+
+impl PvSet {
+    /// Creates an empty set with the given associativity.
+    pub fn new(ways: usize) -> Self {
+        PvSet {
+            entries: Vec::new(),
+            ways,
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Associativity of the set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Looks up `tag`, promoting it to most-recently-used on a hit.
+    pub fn lookup(&mut self, tag: u16) -> Option<SpatialPattern> {
+        let pos = self.entries.iter().position(|e| e.tag == tag)?;
+        let entry = self.entries.remove(pos);
+        let pattern = entry.pattern;
+        self.entries.insert(0, entry);
+        Some(pattern)
+    }
+
+    /// Looks up `tag` without modifying recency.
+    pub fn peek(&self, tag: u16) -> Option<SpatialPattern> {
+        self.entries.iter().find(|e| e.tag == tag).map(|e| e.pattern)
+    }
+
+    /// Inserts or updates `tag`, evicting the least-recently-used entry when
+    /// the set is full. Returns the evicted entry if one was pushed out.
+    pub fn insert(&mut self, tag: u16, pattern: SpatialPattern) -> Option<PvEntry> {
+        if let Some(pos) = self.entries.iter().position(|e| e.tag == tag) {
+            self.entries.remove(pos);
+            self.entries.insert(0, PvEntry { tag, pattern });
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.ways {
+            self.entries.pop()
+        } else {
+            None
+        };
+        self.entries.insert(0, PvEntry { tag, pattern });
+        evicted
+    }
+
+    /// Iterates over the entries, most recently used first.
+    pub fn iter(&self) -> impl Iterator<Item = &PvEntry> {
+        self.entries.iter()
+    }
+}
+
+/// The in-memory predictor table of one core.
+#[derive(Debug, Clone)]
+pub struct PvTable {
+    start: PvStartRegister,
+    block_bytes: u64,
+    sets: Vec<PvSet>,
+}
+
+impl PvTable {
+    /// Creates an empty PVTable for the layout in `config`, based at
+    /// `start`.
+    pub fn new(config: &PvConfig, start: PvStartRegister) -> Self {
+        config.assert_valid();
+        PvTable {
+            start,
+            block_bytes: config.block_bytes,
+            sets: (0..config.table_sets).map(|_| PvSet::new(config.ways)).collect(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The `PVStart` register value this table is based at.
+    pub fn start(&self) -> PvStartRegister {
+        self.start
+    }
+
+    /// Main-memory footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.sets.len() as u64 * self.block_bytes
+    }
+
+    /// The physical address of set `set_index` (Figure 3b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_index` is out of range.
+    pub fn set_address(&self, set_index: usize) -> Address {
+        assert!(set_index < self.sets.len(), "set index {set_index} out of range");
+        self.start.set_address(set_index, self.block_bytes)
+    }
+
+    /// Reads the contents of set `set_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_index` is out of range.
+    pub fn read_set(&self, set_index: usize) -> &PvSet {
+        &self.sets[set_index]
+    }
+
+    /// Overwrites set `set_index` (a dirty PVCache victim being written
+    /// back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_index` is out of range.
+    pub fn write_set(&mut self, set_index: usize, contents: PvSet) {
+        self.sets[set_index] = contents;
+    }
+
+    /// Total number of patterns stored across all sets.
+    pub fn resident_patterns(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_mem::Address;
+
+    fn table() -> PvTable {
+        PvTable::new(&PvConfig::pv8(), PvStartRegister::new(Address::new(0x10_0000)))
+    }
+
+    #[test]
+    fn set_addresses_are_block_strided() {
+        let table = table();
+        assert_eq!(table.set_address(0), Address::new(0x10_0000));
+        assert_eq!(table.set_address(2), Address::new(0x10_0080));
+        assert_eq!(table.footprint_bytes(), 64 * 1024);
+        assert_eq!(table.sets(), 1024);
+    }
+
+    #[test]
+    fn pv_set_lru_eviction() {
+        let mut set = PvSet::new(2);
+        assert!(set.insert(1, SpatialPattern::single(1)).is_none());
+        assert!(set.insert(2, SpatialPattern::single(2)).is_none());
+        // Touch tag 1; tag 2 becomes LRU.
+        assert!(set.lookup(1).is_some());
+        let evicted = set.insert(3, SpatialPattern::single(3)).expect("full set must evict");
+        assert_eq!(evicted.tag, 2);
+        assert_eq!(set.len(), 2);
+        assert!(set.peek(1).is_some());
+        assert!(set.peek(3).is_some());
+    }
+
+    #[test]
+    fn pv_set_update_replaces_in_place() {
+        let mut set = PvSet::new(4);
+        set.insert(7, SpatialPattern::single(1));
+        set.insert(7, SpatialPattern::single(2));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.peek(7), Some(SpatialPattern::single(2)));
+    }
+
+    #[test]
+    fn write_and_read_set_round_trip() {
+        let mut table = table();
+        let mut contents = PvSet::new(11);
+        contents.insert(5, SpatialPattern::from_offsets([1, 2, 3]));
+        table.write_set(100, contents.clone());
+        assert_eq!(table.read_set(100), &contents);
+        assert_eq!(table.resident_patterns(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        table().set_address(5000);
+    }
+}

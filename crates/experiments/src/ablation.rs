@@ -1,0 +1,142 @@
+//! Ablation studies beyond the paper's figures, for the design decisions
+//! DESIGN.md calls out: the PVCache capacity and the importance of packing a
+//! whole PHT set into one memory block.
+
+use crate::report::{pct, Table};
+use crate::runner::{RunSpec, Runner};
+use pv_core::PvConfig;
+use pv_sim::PrefetcherKind;
+use pv_workloads::WorkloadId;
+use serde::Serialize;
+
+/// One PVCache-capacity ablation point.
+#[derive(Debug, Clone, Serialize)]
+pub struct PvCacheAblationRow {
+    /// Workload name.
+    pub workload: String,
+    /// Number of PVCache sets.
+    pub pvcache_sets: usize,
+    /// Coverage achieved.
+    pub coverage: f64,
+    /// PVCache hit ratio.
+    pub pvcache_hit_ratio: f64,
+    /// Relative increase in L2 requests over the dedicated 1K-set SMS.
+    pub l2_request_increase: f64,
+    /// On-chip storage of the proxy in bytes.
+    pub storage_bytes: u64,
+}
+
+/// The PVCache capacities swept.
+pub fn pvcache_sizes() -> [usize; 4] {
+    [4, 8, 16, 32]
+}
+
+/// The workloads used for the ablation (one capacity-sensitive OLTP workload
+/// and one scan).
+pub fn workloads() -> [WorkloadId; 2] {
+    [WorkloadId::Oracle, WorkloadId::Qry1]
+}
+
+/// Runs the PVCache-capacity sweep.
+pub fn pvcache_rows(runner: &Runner) -> Vec<PvCacheAblationRow> {
+    let mut specs: Vec<RunSpec> = Vec::new();
+    for &workload in &workloads() {
+        specs.push(RunSpec::base(workload, PrefetcherKind::sms_1k_11a()));
+        for &sets in &pvcache_sizes() {
+            specs.push(RunSpec::base(
+                workload,
+                PrefetcherKind::sms_virtualized(PvConfig::pv8().with_pvcache_sets(sets)),
+            ));
+        }
+    }
+    runner.prefetch(&specs);
+    let mut rows = Vec::new();
+    for &workload in &workloads() {
+        let dedicated = runner.metrics(&RunSpec::base(workload, PrefetcherKind::sms_1k_11a()));
+        for &sets in &pvcache_sizes() {
+            let pv_config = PvConfig::pv8().with_pvcache_sets(sets);
+            let metrics = runner.metrics(&RunSpec::base(
+                workload,
+                PrefetcherKind::sms_virtualized(pv_config),
+            ));
+            rows.push(PvCacheAblationRow {
+                workload: workload.name().to_owned(),
+                pvcache_sets: sets,
+                coverage: metrics.coverage.coverage(),
+                pvcache_hit_ratio: metrics.pv.map(|pv| pv.pvcache_hit_ratio()).unwrap_or(0.0),
+                l2_request_increase: metrics.l2_request_increase_over(&dedicated),
+                storage_bytes: pv_core::PvStorageBudget::for_config(&pv_config).total_bytes(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the ablation report.
+pub fn report(runner: &Runner) -> String {
+    let mut out = String::new();
+    let mut table = Table::new("Ablation — PVCache capacity (supports the paper's choice of 8 sets)");
+    table.header([
+        "Workload",
+        "PVCache sets",
+        "Coverage",
+        "PVCache hit ratio",
+        "L2 request increase",
+        "On-chip storage",
+    ]);
+    for row in pvcache_rows(runner) {
+        table.row([
+            row.workload,
+            row.pvcache_sets.to_string(),
+            pct(row.coverage),
+            pct(row.pvcache_hit_ratio),
+            pct(row.l2_request_increase),
+            format!("{}B", row.storage_bytes),
+        ]);
+    }
+    table.note(
+        "Paper Section 4.3: growing the PVCache from 8 to 16 or 32 sets barely reduces the extra L2 traffic, so \
+         8 sets is the sweet spot. Coverage should stay flat across the sweep while storage grows.",
+    );
+    out.push_str(&table.render());
+
+    let mut packing = Table::new("Ablation — set packing (Figure 3a layout)");
+    packing.header(["Layout", "Entries per 64B block", "PVTable footprint", "Requests per PHT-set fetch"]);
+    let packed = PvConfig::pv8();
+    packing.row([
+        "Packed (paper)".to_owned(),
+        packed.ways.to_string(),
+        format!("{}KB", packed.table_bytes() / 1024),
+        "1".to_owned(),
+    ]);
+    packing.row([
+        "Unpacked (one entry per block)".to_owned(),
+        "1".to_owned(),
+        format!("{}KB", packed.ways as u64 * packed.table_bytes() / 1024),
+        packed.ways.to_string(),
+    ]);
+    packing.note(
+        "Packing a whole 11-way set into one block is what lets a single L2 request deliver every candidate \
+         entry for a lookup; an unpacked layout would need 11x the memory requests and 11x the footprint.",
+    );
+    out.push_str(&packing.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_definitions_are_consistent() {
+        assert_eq!(pvcache_sizes(), [4, 8, 16, 32]);
+        assert_eq!(workloads().len(), 2);
+    }
+
+    #[test]
+    fn storage_grows_with_pvcache_size() {
+        let small = pv_core::PvStorageBudget::for_config(&PvConfig::pv8().with_pvcache_sets(4)).total_bytes();
+        let large = pv_core::PvStorageBudget::for_config(&PvConfig::pv8().with_pvcache_sets(32)).total_bytes();
+        assert!(small < large);
+    }
+}

@@ -1,0 +1,273 @@
+//! Shared simulation runner with caching and parallel execution.
+
+use parking_lot::Mutex;
+use pv_mem::HierarchyConfig;
+use pv_sim::{run_workload, PrefetcherKind, RunMetrics, SimConfig};
+use pv_workloads::WorkloadId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How long each simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Short warm-up/measure windows: minutes for the whole reproduction.
+    Quick,
+    /// The full windows used for the numbers recorded in EXPERIMENTS.md.
+    Paper,
+    /// Very short windows for unit/integration tests and Criterion benches.
+    Smoke,
+}
+
+impl Scale {
+    /// Reads the scale from the `PV_REPRO_SCALE` environment variable
+    /// (`quick`, `paper` or `smoke`), defaulting to `Quick`.
+    pub fn from_env() -> Self {
+        match std::env::var("PV_REPRO_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            Ok("smoke") => Scale::Smoke,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Parses a command-line value.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            "smoke" => Some(Scale::Smoke),
+            _ => None,
+        }
+    }
+
+    fn base_config(self, prefetcher: PrefetcherKind) -> SimConfig {
+        match self {
+            Scale::Quick => SimConfig::quick(prefetcher),
+            Scale::Paper => SimConfig::paper(prefetcher),
+            Scale::Smoke => {
+                let mut config = SimConfig::quick(prefetcher);
+                config.warmup_records = 20_000;
+                config.measure_records = 30_000;
+                config
+            }
+        }
+    }
+}
+
+/// The memory-hierarchy variant a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HierarchyVariant {
+    /// The paper's Table 1 baseline (8 MB L2, 6/12-cycle latency).
+    Base,
+    /// A different total L2 capacity in bytes (Figure 10).
+    L2Size(u64),
+    /// The slower 8/16-cycle L2 of Figure 11.
+    SlowL2,
+}
+
+impl HierarchyVariant {
+    /// Builds the hierarchy configuration for `cores` cores.
+    pub fn build(self, cores: usize) -> HierarchyConfig {
+        let base = HierarchyConfig::paper_baseline(cores);
+        match self {
+            HierarchyVariant::Base => base,
+            HierarchyVariant::L2Size(bytes) => base.with_l2_size(bytes),
+            HierarchyVariant::SlowL2 => base.with_slow_l2(),
+        }
+    }
+
+    /// Cache-key label.
+    pub fn label(self) -> String {
+        match self {
+            HierarchyVariant::Base => "base".to_owned(),
+            HierarchyVariant::L2Size(bytes) => format!("l2-{}MB", bytes / (1024 * 1024)),
+            HierarchyVariant::SlowL2 => "l2-slow".to_owned(),
+        }
+    }
+}
+
+/// One simulation to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Which workload all four cores run.
+    pub workload: WorkloadId,
+    /// Which prefetcher each core uses.
+    pub prefetcher: PrefetcherKind,
+    /// Which memory hierarchy variant is simulated.
+    pub hierarchy: HierarchyVariant,
+}
+
+impl RunSpec {
+    /// A run on the baseline hierarchy.
+    pub fn base(workload: WorkloadId, prefetcher: PrefetcherKind) -> Self {
+        RunSpec {
+            workload,
+            prefetcher,
+            hierarchy: HierarchyVariant::Base,
+        }
+    }
+
+    fn key(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.workload.name(),
+            self.prefetcher.label(),
+            self.hierarchy.label()
+        )
+    }
+}
+
+/// Runs simulations, caching results so experiments that share
+/// configurations (most of them) never repeat work, and fanning independent
+/// runs out over worker threads.
+pub struct Runner {
+    scale: Scale,
+    threads: usize,
+    cache: Mutex<HashMap<String, Arc<RunMetrics>>>,
+    runs_executed: AtomicUsize,
+}
+
+impl Runner {
+    /// Creates a runner at the given scale using up to `threads` worker
+    /// threads for batched runs.
+    pub fn new(scale: Scale, threads: usize) -> Self {
+        Runner {
+            scale,
+            threads: threads.max(1),
+            cache: Mutex::new(HashMap::new()),
+            runs_executed: AtomicUsize::new(0),
+        }
+    }
+
+    /// A runner using all available parallelism.
+    pub fn with_default_threads(scale: Scale) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Self::new(scale, threads)
+    }
+
+    /// The scale this runner executes at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Number of simulations actually executed (cache misses).
+    pub fn runs_executed(&self) -> usize {
+        self.runs_executed.load(Ordering::Relaxed)
+    }
+
+    fn execute(&self, spec: &RunSpec) -> Arc<RunMetrics> {
+        let config = self
+            .scale
+            .base_config(spec.prefetcher.clone())
+            .with_hierarchy(spec.hierarchy.build(4));
+        let metrics = run_workload(&config, &spec.workload.params());
+        self.runs_executed.fetch_add(1, Ordering::Relaxed);
+        Arc::new(metrics)
+    }
+
+    /// Returns the metrics for `spec`, running the simulation if it has not
+    /// been run yet.
+    pub fn metrics(&self, spec: &RunSpec) -> Arc<RunMetrics> {
+        let key = spec.key();
+        if let Some(found) = self.cache.lock().get(&key) {
+            return Arc::clone(found);
+        }
+        let metrics = self.execute(spec);
+        self.cache.lock().insert(key, Arc::clone(&metrics));
+        metrics
+    }
+
+    /// Runs every spec in `specs` that is not cached yet, in parallel.
+    pub fn prefetch(&self, specs: &[RunSpec]) {
+        let pending: Vec<RunSpec> = {
+            let cache = self.cache.lock();
+            let mut seen = std::collections::HashSet::new();
+            specs
+                .iter()
+                .filter(|spec| !cache.contains_key(&spec.key()) && seen.insert(spec.key()))
+                .cloned()
+                .collect()
+        };
+        if pending.is_empty() {
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(pending.len());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = pending.get(index) else { break };
+                    // Re-check under the lock in case another worker (or a
+                    // duplicate entry in `pending`) beat us to it.
+                    if self.cache.lock().contains_key(&spec.key()) {
+                        continue;
+                    }
+                    let metrics = self.execute(spec);
+                    self.cache.lock().insert(spec.key(), metrics);
+                });
+            }
+        })
+        .expect("experiment worker threads must not panic");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_name("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::from_name("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::from_name("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::from_name("huge"), None);
+    }
+
+    #[test]
+    fn hierarchy_variant_builds_expected_configs() {
+        assert_eq!(HierarchyVariant::Base.build(4).l2.size_bytes, 8 * 1024 * 1024);
+        assert_eq!(
+            HierarchyVariant::L2Size(2 * 1024 * 1024).build(4).l2.size_bytes,
+            2 * 1024 * 1024
+        );
+        assert_eq!(HierarchyVariant::SlowL2.build(4).l2.tag_latency, 8);
+        assert_eq!(HierarchyVariant::L2Size(4 * 1024 * 1024).label(), "l2-4MB");
+    }
+
+    #[test]
+    fn run_specs_have_unique_keys_per_configuration() {
+        let a = RunSpec::base(WorkloadId::Apache, PrefetcherKind::sms_pv8());
+        let b = RunSpec::base(WorkloadId::Apache, PrefetcherKind::sms_1k_11a());
+        let c = RunSpec {
+            hierarchy: HierarchyVariant::SlowL2,
+            ..a.clone()
+        };
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn metrics_are_cached() {
+        let runner = Runner::new(Scale::Smoke, 2);
+        let spec = RunSpec::base(WorkloadId::Qry1, PrefetcherKind::None);
+        let first = runner.metrics(&spec);
+        let second = runner.metrics(&spec);
+        assert_eq!(runner.runs_executed(), 1);
+        assert_eq!(first.elapsed_cycles, second.elapsed_cycles);
+    }
+
+    #[test]
+    fn prefetch_runs_each_spec_once() {
+        let runner = Runner::new(Scale::Smoke, 4);
+        let specs = vec![
+            RunSpec::base(WorkloadId::Qry1, PrefetcherKind::None),
+            RunSpec::base(WorkloadId::Qry1, PrefetcherKind::sms_8_11a()),
+            RunSpec::base(WorkloadId::Qry1, PrefetcherKind::None),
+        ];
+        runner.prefetch(&specs);
+        assert_eq!(runner.runs_executed(), 2);
+        runner.prefetch(&specs);
+        assert_eq!(runner.runs_executed(), 2);
+    }
+}

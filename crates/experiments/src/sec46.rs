@@ -1,0 +1,47 @@
+//! Section 4.6: PVProxy on-chip storage requirements.
+
+use crate::report::{bytes, Table};
+use pv_core::{PvConfig, PvStorageBudget};
+use pv_sms::PhtGeometry;
+
+/// Renders the storage breakdown of the PV-8 proxy and the reduction factor
+/// over the dedicated 1K-set, 11-way PHT.
+pub fn report() -> String {
+    let budget = PvStorageBudget::for_config(&PvConfig::pv8());
+    let mut table = Table::new("Section 4.6 — PVProxy on-chip storage breakdown (per core)");
+    table.header(["Component", "Measured", "Paper"]);
+    let paper = [
+        ("PVCache data", "473B"),
+        ("PVCache tags", "11B"),
+        ("Dirty bits", "1B"),
+        ("MSHRs", "84B"),
+        ("Evict buffer", "256B"),
+        ("Pattern buffer", "64B"),
+    ];
+    for ((component, measured), (_, paper_value)) in budget.rows().into_iter().zip(paper) {
+        table.row([component.to_owned(), bytes(measured), paper_value.to_owned()]);
+    }
+    let dedicated = PhtGeometry::paper_1k_11a().total_bytes().unwrap();
+    table.row([
+        "Total".to_owned(),
+        format!("{}B", budget.total_bytes()),
+        "889B".to_owned(),
+    ]);
+    table.note(format!(
+        "Dedicated 1K-11a PHT needs {}; virtualization reduces dedicated on-chip storage by {:.0}x (paper: ~68x).",
+        bytes(dedicated),
+        budget.reduction_factor(dedicated)
+    ));
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn breakdown_totals_889_bytes() {
+        let report = super::report();
+        assert!(report.contains("889B"));
+        assert!(report.contains("PVCache data"));
+        assert!(report.contains("68x"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Physical addresses, cache-block addresses and spatial-region addresses.
+//!
+//! All address arithmetic used by the caches, the SMS prefetcher and the
+//! PVTable layout goes through the newtypes in this module so that byte
+//! addresses, block addresses and region addresses cannot be mixed up.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of bytes in a cache block (64 B throughout the paper).
+pub const BLOCK_BYTES: u64 = 64;
+
+/// log2 of [`BLOCK_BYTES`].
+pub const BLOCK_OFFSET_BITS: u32 = 6;
+
+/// A byte-granularity physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Address(pub u64);
+
+/// A cache-block-granularity address (byte address divided by 64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BlockAddr(pub u64);
+
+/// A spatial-region-granularity address (block address divided by the number
+/// of blocks per region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct RegionAddr(pub u64);
+
+impl Address {
+    /// Creates an address from a raw byte value.
+    pub fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache-block address containing this byte address.
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_OFFSET_BITS)
+    }
+
+    /// Returns the byte offset within the containing cache block.
+    pub fn block_offset(self) -> u64 {
+        self.0 & (BLOCK_BYTES - 1)
+    }
+
+    /// Returns the spatial region containing this address for regions of
+    /// `blocks_per_region` cache blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_per_region` is not a power of two.
+    pub fn region(self, blocks_per_region: u32) -> RegionAddr {
+        self.block().region(blocks_per_region)
+    }
+
+    /// Returns the block offset of this address inside its spatial region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_per_region` is not a power of two.
+    pub fn region_offset(self, blocks_per_region: u32) -> u32 {
+        self.block().region_offset(blocks_per_region)
+    }
+
+    /// Byte address aligned down to the start of its cache block.
+    pub fn block_aligned(self) -> Address {
+        Address(self.0 & !(BLOCK_BYTES - 1))
+    }
+}
+
+impl BlockAddr {
+    /// Creates a block address from a raw block number.
+    pub fn new(raw: u64) -> Self {
+        BlockAddr(raw)
+    }
+
+    /// Returns the raw block number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of this block.
+    pub fn base_address(self) -> Address {
+        Address(self.0 << BLOCK_OFFSET_BITS)
+    }
+
+    /// Returns the spatial region containing this block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_per_region` is not a power of two.
+    pub fn region(self, blocks_per_region: u32) -> RegionAddr {
+        assert!(
+            blocks_per_region.is_power_of_two(),
+            "blocks per region must be a power of two, got {blocks_per_region}"
+        );
+        RegionAddr(self.0 >> blocks_per_region.trailing_zeros())
+    }
+
+    /// Block offset of this block inside its spatial region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_per_region` is not a power of two.
+    pub fn region_offset(self, blocks_per_region: u32) -> u32 {
+        assert!(
+            blocks_per_region.is_power_of_two(),
+            "blocks per region must be a power of two, got {blocks_per_region}"
+        );
+        (self.0 & u64::from(blocks_per_region - 1)) as u32
+    }
+
+    /// The block immediately following this one (used by the next-line
+    /// instruction prefetcher).
+    pub fn next(self) -> BlockAddr {
+        BlockAddr(self.0.wrapping_add(1))
+    }
+}
+
+impl RegionAddr {
+    /// Creates a region address from a raw region number.
+    pub fn new(raw: u64) -> Self {
+        RegionAddr(raw)
+    }
+
+    /// Returns the raw region number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Block address of the `offset`-th block in this region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_per_region` is not a power of two or `offset` is out
+    /// of range.
+    pub fn block_at(self, offset: u32, blocks_per_region: u32) -> BlockAddr {
+        assert!(
+            blocks_per_region.is_power_of_two(),
+            "blocks per region must be a power of two, got {blocks_per_region}"
+        );
+        assert!(
+            offset < blocks_per_region,
+            "offset {offset} out of range for region of {blocks_per_region} blocks"
+        );
+        BlockAddr((self.0 << blocks_per_region.trailing_zeros()) | u64::from(offset))
+    }
+
+    /// First byte address of this region.
+    pub fn base_address(self, blocks_per_region: u32) -> Address {
+        self.block_at(0, blocks_per_region).base_address()
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(addr: Address) -> Self {
+        addr.0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {:#x}", self.0)
+    }
+}
+
+impl fmt::Display for RegionAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region {:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_extraction_drops_offset_bits() {
+        let addr = Address::new(0x1234_5678);
+        assert_eq!(addr.block().raw(), 0x1234_5678 >> 6);
+        assert_eq!(addr.block_offset(), 0x1234_5678 & 63);
+    }
+
+    #[test]
+    fn block_aligned_is_multiple_of_block_size() {
+        let addr = Address::new(0xdead_beef);
+        assert_eq!(addr.block_aligned().raw() % BLOCK_BYTES, 0);
+        assert_eq!(addr.block_aligned().block(), addr.block());
+    }
+
+    #[test]
+    fn region_round_trip() {
+        let blocks_per_region = 32;
+        let block = BlockAddr::new(0xabcd);
+        let region = block.region(blocks_per_region);
+        let offset = block.region_offset(blocks_per_region);
+        assert_eq!(region.block_at(offset, blocks_per_region), block);
+    }
+
+    #[test]
+    fn region_offset_is_bounded() {
+        for raw in 0..256u64 {
+            let block = BlockAddr::new(raw);
+            assert!(block.region_offset(32) < 32);
+        }
+    }
+
+    #[test]
+    fn region_base_address_is_region_aligned() {
+        let region = RegionAddr::new(7);
+        let base = region.base_address(32);
+        assert_eq!(base.raw() % (32 * BLOCK_BYTES), 0);
+        assert_eq!(base.region(32), region);
+    }
+
+    #[test]
+    fn next_block_is_adjacent() {
+        let block = BlockAddr::new(100);
+        assert_eq!(block.next().raw(), 101);
+        assert_eq!(
+            block.next().base_address().raw(),
+            block.base_address().raw() + BLOCK_BYTES
+        );
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert!(!format!("{}", Address::new(0)).is_empty());
+        assert!(!format!("{}", BlockAddr::new(0)).is_empty());
+        assert!(!format!("{}", RegionAddr::new(0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_region_size_panics() {
+        BlockAddr::new(1).region(33);
+    }
+}

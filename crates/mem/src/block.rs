@@ -1,0 +1,116 @@
+//! Cache-line metadata.
+
+use crate::address::BlockAddr;
+use serde::{Deserialize, Serialize};
+
+/// Coherence-less line state: the reproduction models a shared L2 with
+/// private L1s and tracks only validity and dirtiness, which is all the
+/// paper's traffic metrics require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineState {
+    /// The line holds no valid block.
+    Invalid,
+    /// The line holds a clean copy of the block.
+    Clean,
+    /// The line holds a modified copy that must be written back on eviction.
+    Dirty,
+}
+
+impl Default for LineState {
+    fn default() -> Self {
+        LineState::Invalid
+    }
+}
+
+impl LineState {
+    /// Whether the line holds a valid block.
+    pub fn is_valid(self) -> bool {
+        !matches!(self, LineState::Invalid)
+    }
+
+    /// Whether the line must be written back when evicted.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, LineState::Dirty)
+    }
+}
+
+/// Metadata for one cache line.
+///
+/// `ready_at` records the cycle at which the fill that installed this line
+/// completes; an access arriving earlier pays the residual latency. This is
+/// how prefetch timeliness is modelled without a full event-driven engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLine {
+    /// Block held by this line (meaningful only when `state` is valid).
+    pub block: BlockAddr,
+    /// Validity/dirtiness of the line.
+    pub state: LineState,
+    /// Cycle at which the fill completes and the data is usable.
+    pub ready_at: u64,
+    /// True when the line was installed by a prefetch and has not yet been
+    /// referenced by a demand access (used for over-prediction accounting).
+    pub prefetched_unused: bool,
+}
+
+impl Default for CacheLine {
+    fn default() -> Self {
+        CacheLine {
+            block: BlockAddr::new(0),
+            state: LineState::Invalid,
+            ready_at: 0,
+            prefetched_unused: false,
+        }
+    }
+}
+
+impl CacheLine {
+    /// A freshly filled line.
+    pub fn filled(block: BlockAddr, dirty: bool, ready_at: u64, prefetched: bool) -> Self {
+        CacheLine {
+            block,
+            state: if dirty { LineState::Dirty } else { LineState::Clean },
+            ready_at,
+            prefetched_unused: prefetched,
+        }
+    }
+
+    /// Whether this line currently holds `block`.
+    pub fn matches(&self, block: BlockAddr) -> bool {
+        self.state.is_valid() && self.block == block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_line_is_invalid() {
+        let line = CacheLine::default();
+        assert!(!line.state.is_valid());
+        assert!(!line.matches(BlockAddr::new(0)));
+    }
+
+    #[test]
+    fn filled_line_matches_its_block() {
+        let line = CacheLine::filled(BlockAddr::new(42), false, 10, false);
+        assert!(line.matches(BlockAddr::new(42)));
+        assert!(!line.matches(BlockAddr::new(43)));
+        assert_eq!(line.state, LineState::Clean);
+    }
+
+    #[test]
+    fn dirty_fill_is_dirty() {
+        let line = CacheLine::filled(BlockAddr::new(1), true, 0, false);
+        assert!(line.state.is_dirty());
+        assert!(line.state.is_valid());
+    }
+
+    #[test]
+    fn invalid_state_is_not_dirty() {
+        assert!(!LineState::Invalid.is_dirty());
+        assert!(!LineState::Invalid.is_valid());
+        assert!(LineState::Clean.is_valid());
+        assert!(!LineState::Clean.is_dirty());
+    }
+}

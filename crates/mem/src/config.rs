@@ -1,0 +1,291 @@
+//! Configuration types for the simulated memory system.
+//!
+//! [`HierarchyConfig::paper_baseline`] reproduces Table 1 of the paper:
+//! 64 KB 4-way L1 I/D caches with 64 B blocks and 2-cycle latency, an 8 MB
+//! 16-way shared L2 with 6/12-cycle tag/data latency, and 400-cycle main
+//! memory, for a four-core CMP.
+
+use crate::address::{Address, BLOCK_BYTES};
+use crate::replacement::ReplacementKind;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Block size in bytes (64 throughout the paper).
+    pub block_bytes: u64,
+    /// Tag-array access latency in cycles.
+    pub tag_latency: u64,
+    /// Data-array access latency in cycles (paid on a hit).
+    pub data_latency: u64,
+    /// Replacement policy.
+    pub replacement: ReplacementKind,
+    /// Number of outstanding-miss registers.
+    pub mshr_entries: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn sets(&self) -> usize {
+        let blocks = self.size_bytes / self.block_bytes;
+        assert!(
+            blocks % self.ways as u64 == 0,
+            "cache of {} blocks cannot be {}-way set-associative",
+            blocks,
+            self.ways
+        );
+        (blocks / self.ways as u64) as usize
+    }
+
+    /// Paper Table 1 L1 data/instruction cache: 64 KB, 4-way, 64 B blocks,
+    /// LRU, 2-cycle latency.
+    pub fn l1_paper() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 4,
+            block_bytes: BLOCK_BYTES,
+            tag_latency: 1,
+            data_latency: 2,
+            replacement: ReplacementKind::Lru,
+            mshr_entries: 16,
+        }
+    }
+
+    /// Paper Table 1 unified L2: 8 MB, 16-way, 64 B blocks, LRU,
+    /// 6-cycle tag / 12-cycle data latency.
+    pub fn l2_paper() -> Self {
+        CacheConfig {
+            size_bytes: 8 * 1024 * 1024,
+            ways: 16,
+            block_bytes: BLOCK_BYTES,
+            tag_latency: 6,
+            data_latency: 12,
+            replacement: ReplacementKind::Lru,
+            mshr_entries: 64,
+        }
+    }
+
+    /// L2 with a different total capacity (used by the Figure 10 sweep).
+    pub fn l2_with_size(size_bytes: u64) -> Self {
+        CacheConfig {
+            size_bytes,
+            ..Self::l2_paper()
+        }
+    }
+
+    /// L2 with the slower 8/16-cycle tag/data latency of Figure 11.
+    pub fn l2_slow() -> Self {
+        CacheConfig {
+            tag_latency: 8,
+            data_latency: 16,
+            ..Self::l2_paper()
+        }
+    }
+}
+
+/// Main-memory timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Access latency in cycles (400 in Table 1).
+    pub latency: u64,
+    /// Modelled capacity in bytes (3 GB in Table 1); only used for
+    /// PV-region reservation checks.
+    pub capacity_bytes: u64,
+}
+
+impl DramConfig {
+    /// Paper Table 1 main memory: 3 GB, 400 cycles.
+    pub fn paper() -> Self {
+        DramConfig {
+            latency: 400,
+            capacity_bytes: 3 * 1024 * 1024 * 1024,
+        }
+    }
+}
+
+/// Reserved physical-address regions used to back per-core PVTables.
+///
+/// The paper reserves a chunk of the physical address space per core, fixed
+/// at boot and invisible to the OS; the base is exposed to the PVProxy
+/// through the `PVStart` register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PvRegionConfig {
+    /// Base physical address of core 0's PVTable region.
+    pub base: Address,
+    /// Bytes reserved per core.
+    pub bytes_per_core: u64,
+    /// Number of per-core regions.
+    pub cores: usize,
+}
+
+impl PvRegionConfig {
+    /// Default layout: regions placed just below the top of the modelled
+    /// 3 GB physical memory, 64 KB per core (1K sets of 64 B, as in §4.2).
+    pub fn paper_default(cores: usize) -> Self {
+        let bytes_per_core = 64 * 1024;
+        let total = bytes_per_core * cores as u64;
+        PvRegionConfig {
+            base: Address::new(3 * 1024 * 1024 * 1024 - total),
+            bytes_per_core,
+            cores,
+        }
+    }
+
+    /// Base address of `core`'s region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_base(&self, core: usize) -> Address {
+        assert!(core < self.cores, "core {core} out of range ({} cores)", self.cores);
+        Address::new(self.base.raw() + core as u64 * self.bytes_per_core)
+    }
+
+    /// Whether `addr` lies inside any reserved PV region.
+    pub fn contains(&self, addr: Address) -> bool {
+        let start = self.base.raw();
+        let end = start + self.bytes_per_core * self.cores as u64;
+        addr.raw() >= start && addr.raw() < end
+    }
+
+    /// Total reserved bytes across all cores.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_core * self.cores as u64
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Number of cores (private L1s each).
+    pub cores: usize,
+    /// Per-core L1 data cache.
+    pub l1d: CacheConfig,
+    /// Per-core L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Shared L2.
+    pub l2: CacheConfig,
+    /// Main memory.
+    pub dram: DramConfig,
+    /// Reserved PV regions (present even when PV is unused; harmless).
+    pub pv_regions: PvRegionConfig,
+    /// Whether each core runs the next-line instruction prefetcher of the
+    /// baseline configuration.
+    pub next_line_iprefetch: bool,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table 1 baseline for `cores` cores.
+    pub fn paper_baseline(cores: usize) -> Self {
+        HierarchyConfig {
+            cores,
+            l1d: CacheConfig::l1_paper(),
+            l1i: CacheConfig::l1_paper(),
+            l2: CacheConfig::l2_paper(),
+            dram: DramConfig::paper(),
+            pv_regions: PvRegionConfig::paper_default(cores),
+            next_line_iprefetch: true,
+        }
+    }
+
+    /// Baseline with a different shared-L2 capacity (Figure 10).
+    pub fn with_l2_size(mut self, size_bytes: u64) -> Self {
+        self.l2 = CacheConfig::l2_with_size(size_bytes);
+        self
+    }
+
+    /// Baseline with the slower L2 of Figure 11.
+    pub fn with_slow_l2(mut self) -> Self {
+        self.l2 = CacheConfig::l2_slow();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1_geometry_matches_table1() {
+        let l1 = CacheConfig::l1_paper();
+        assert_eq!(l1.size_bytes, 64 * 1024);
+        assert_eq!(l1.ways, 4);
+        assert_eq!(l1.sets(), 256);
+        assert_eq!(l1.data_latency, 2);
+    }
+
+    #[test]
+    fn paper_l2_geometry_matches_table1() {
+        let l2 = CacheConfig::l2_paper();
+        assert_eq!(l2.size_bytes, 8 * 1024 * 1024);
+        assert_eq!(l2.ways, 16);
+        assert_eq!(l2.sets(), 8192);
+        assert_eq!(l2.tag_latency, 6);
+        assert_eq!(l2.data_latency, 12);
+    }
+
+    #[test]
+    fn slow_l2_matches_fig11_latencies() {
+        let l2 = CacheConfig::l2_slow();
+        assert_eq!(l2.tag_latency, 8);
+        assert_eq!(l2.data_latency, 16);
+        assert_eq!(l2.size_bytes, CacheConfig::l2_paper().size_bytes);
+    }
+
+    #[test]
+    fn dram_matches_table1() {
+        assert_eq!(DramConfig::paper().latency, 400);
+    }
+
+    #[test]
+    fn pv_regions_are_disjoint_per_core() {
+        let pv = PvRegionConfig::paper_default(4);
+        for core in 0..4 {
+            let base = pv.core_base(core);
+            assert!(pv.contains(base));
+            assert!(pv.contains(Address::new(base.raw() + pv.bytes_per_core - 1)));
+            if core > 0 {
+                assert_eq!(
+                    base.raw(),
+                    pv.core_base(core - 1).raw() + pv.bytes_per_core
+                );
+            }
+        }
+        assert_eq!(pv.total_bytes(), 4 * 64 * 1024);
+    }
+
+    #[test]
+    fn pv_region_excludes_low_memory() {
+        let pv = PvRegionConfig::paper_default(4);
+        assert!(!pv.contains(Address::new(0)));
+        assert!(!pv.contains(Address::new(1 << 20)));
+    }
+
+    #[test]
+    fn baseline_builder_overrides_apply() {
+        let base = HierarchyConfig::paper_baseline(4);
+        assert_eq!(base.cores, 4);
+        let small = base.with_l2_size(2 * 1024 * 1024);
+        assert_eq!(small.l2.size_bytes, 2 * 1024 * 1024);
+        let slow = base.with_slow_l2();
+        assert_eq!(slow.l2.tag_latency, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be")]
+    fn bad_geometry_panics() {
+        let cfg = CacheConfig {
+            size_bytes: 64 * 1024 + 64,
+            ..CacheConfig::l1_paper()
+        };
+        cfg.sets();
+    }
+}

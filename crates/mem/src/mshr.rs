@@ -1,0 +1,208 @@
+//! Miss-status holding registers.
+//!
+//! An [`MshrFile`] tracks outstanding fills at block granularity so that
+//! concurrent accesses to a block that is already being fetched merge into
+//! the in-flight request instead of generating duplicate traffic. Both the
+//! L1/L2 caches and the PVProxy use this structure (the paper's PVProxy
+//! contains "an MSHR-like structure").
+
+use crate::address::BlockAddr;
+use std::collections::HashMap;
+
+/// One outstanding fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// Block being fetched.
+    pub block: BlockAddr,
+    /// Cycle at which the fill completes.
+    pub ready_at: u64,
+    /// Number of requests merged into this entry (including the initiator).
+    pub merged: u32,
+}
+
+/// Outcome of asking the MSHR file to track a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must issue the fill.
+    Allocated,
+    /// The block was already in flight; the caller should wait until
+    /// `ready_at` instead of issuing a new fill.
+    Merged {
+        /// Completion cycle of the in-flight fill.
+        ready_at: u64,
+    },
+    /// No free entry was available; the caller must stall and retry (modelled
+    /// as paying the full fill latency serially).
+    Full,
+}
+
+/// A file of miss-status holding registers.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<u64, MshrEntry>,
+    /// Peak simultaneous occupancy, for reporting.
+    peak_occupancy: usize,
+    /// Total merges performed.
+    merges: u64,
+    /// Times a request found the file full.
+    full_stalls: u64,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one entry");
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+            peak_occupancy: 0,
+            merges: 0,
+            full_stalls: 0,
+        }
+    }
+
+    /// Number of entries currently in flight.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Peak simultaneous occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Total number of merged (secondary) misses.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of requests that found the file full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Drops entries whose fills have completed by `now`.
+    pub fn retire(&mut self, now: u64) {
+        self.entries.retain(|_, entry| entry.ready_at > now);
+    }
+
+    /// Looks up an in-flight fill for `block`.
+    pub fn lookup(&self, block: BlockAddr) -> Option<&MshrEntry> {
+        self.entries.get(&block.raw())
+    }
+
+    /// Registers a miss on `block` whose fill would complete at `ready_at`.
+    ///
+    /// Completed entries are retired first (based on `now`), then the miss
+    /// either merges into an existing entry, allocates a new one, or reports
+    /// that the file is full.
+    pub fn register(&mut self, block: BlockAddr, now: u64, ready_at: u64) -> MshrOutcome {
+        self.retire(now);
+        if let Some(entry) = self.entries.get_mut(&block.raw()) {
+            entry.merged += 1;
+            self.merges += 1;
+            return MshrOutcome::Merged {
+                ready_at: entry.ready_at,
+            };
+        }
+        if self.entries.len() >= self.capacity {
+            self.full_stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(
+            block.raw(),
+            MshrEntry {
+                block,
+                ready_at,
+                merged: 1,
+            },
+        );
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Clears all in-flight state (used when resetting between sampling
+    /// windows).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_miss_allocates() {
+        let mut mshr = MshrFile::new(4);
+        let outcome = mshr.register(BlockAddr::new(1), 0, 100);
+        assert_eq!(outcome, MshrOutcome::Allocated);
+        assert_eq!(mshr.occupancy(), 1);
+    }
+
+    #[test]
+    fn second_miss_to_same_block_merges() {
+        let mut mshr = MshrFile::new(4);
+        mshr.register(BlockAddr::new(1), 0, 100);
+        let outcome = mshr.register(BlockAddr::new(1), 10, 110);
+        assert_eq!(outcome, MshrOutcome::Merged { ready_at: 100 });
+        assert_eq!(mshr.merges(), 1);
+        assert_eq!(mshr.occupancy(), 1);
+    }
+
+    #[test]
+    fn completed_entries_retire() {
+        let mut mshr = MshrFile::new(4);
+        mshr.register(BlockAddr::new(1), 0, 100);
+        // At cycle 200 the fill has completed; a new miss allocates again.
+        let outcome = mshr.register(BlockAddr::new(1), 200, 300);
+        assert_eq!(outcome, MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn full_file_reports_full() {
+        let mut mshr = MshrFile::new(2);
+        mshr.register(BlockAddr::new(1), 0, 100);
+        mshr.register(BlockAddr::new(2), 0, 100);
+        let outcome = mshr.register(BlockAddr::new(3), 0, 100);
+        assert_eq!(outcome, MshrOutcome::Full);
+        assert_eq!(mshr.full_stalls(), 1);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water_mark() {
+        let mut mshr = MshrFile::new(8);
+        for i in 0..5 {
+            mshr.register(BlockAddr::new(i), 0, 100);
+        }
+        mshr.retire(1000);
+        assert_eq!(mshr.occupancy(), 0);
+        assert_eq!(mshr.peak_occupancy(), 5);
+    }
+
+    #[test]
+    fn lookup_finds_in_flight_entries() {
+        let mut mshr = MshrFile::new(2);
+        mshr.register(BlockAddr::new(7), 0, 50);
+        assert!(mshr.lookup(BlockAddr::new(7)).is_some());
+        assert!(mshr.lookup(BlockAddr::new(8)).is_none());
+        mshr.clear();
+        assert!(mshr.lookup(BlockAddr::new(7)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+}

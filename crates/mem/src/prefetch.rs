@@ -1,0 +1,82 @@
+//! Next-line instruction prefetcher.
+//!
+//! The paper's baseline configuration gives every core a next-line
+//! instruction prefetcher (and no data prefetching). On an instruction-fetch
+//! miss for block *B*, the prefetcher requests block *B+1* into the L1
+//! instruction cache.
+
+use crate::address::BlockAddr;
+use serde::{Deserialize, Serialize};
+
+/// A simple next-line (sequential, degree-1) instruction prefetcher.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NextLinePrefetcher {
+    issued: u64,
+    suppressed: u64,
+    last_miss: Option<BlockAddr>,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a next-line prefetcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Called on every L1I demand miss; returns the block to prefetch, if
+    /// any. Consecutive misses to the same block are suppressed so a stalled
+    /// fetch stream does not spam the L2.
+    pub fn on_instruction_miss(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        if self.last_miss == Some(block) {
+            self.suppressed += 1;
+            return None;
+        }
+        self.last_miss = Some(block);
+        self.issued += 1;
+        Some(block.next())
+    }
+
+    /// Number of prefetches issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Number of duplicate-miss suppressions.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Resets counters and history.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetches_next_sequential_block() {
+        let mut pf = NextLinePrefetcher::new();
+        assert_eq!(pf.on_instruction_miss(BlockAddr::new(10)), Some(BlockAddr::new(11)));
+        assert_eq!(pf.issued(), 1);
+    }
+
+    #[test]
+    fn repeated_miss_to_same_block_is_suppressed() {
+        let mut pf = NextLinePrefetcher::new();
+        pf.on_instruction_miss(BlockAddr::new(10));
+        assert_eq!(pf.on_instruction_miss(BlockAddr::new(10)), None);
+        assert_eq!(pf.suppressed(), 1);
+        assert_eq!(pf.on_instruction_miss(BlockAddr::new(11)), Some(BlockAddr::new(12)));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut pf = NextLinePrefetcher::new();
+        pf.on_instruction_miss(BlockAddr::new(10));
+        pf.reset();
+        assert_eq!(pf.issued(), 0);
+        assert_eq!(pf.on_instruction_miss(BlockAddr::new(10)), Some(BlockAddr::new(11)));
+    }
+}

@@ -1,0 +1,281 @@
+//! A generic set-associative array with pluggable replacement.
+//!
+//! The same container backs the L1/L2 cache tag arrays, the SMS pattern
+//! history table and the PVCache inside the PVProxy, which keeps the
+//! replacement and eviction behaviour identical everywhere it matters.
+
+use crate::replacement::{ReplacementKind, ReplacementPolicy};
+use std::fmt;
+
+/// One occupied way: the tag stored there and the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Occupied<T> {
+    /// Tag identifying the entry within its set.
+    pub tag: u64,
+    /// Payload stored alongside the tag.
+    pub value: T,
+}
+
+/// A set-associative array of `sets` sets with `ways` ways each.
+///
+/// Entries are addressed by `(set_index, tag)`. Replacement decisions within
+/// a set are delegated to a [`ReplacementPolicy`] instance per set.
+pub struct SetAssociative<T> {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Vec<Option<Occupied<T>>>>,
+    policies: Vec<Box<dyn ReplacementPolicy>>,
+    kind: ReplacementKind,
+}
+
+impl<T: fmt::Debug> fmt::Debug for SetAssociative<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SetAssociative")
+            .field("sets", &self.sets)
+            .field("ways", &self.ways)
+            .field("replacement", &self.kind)
+            .finish()
+    }
+}
+
+impl<T> SetAssociative<T> {
+    /// Creates an array with `sets` sets of `ways` ways using `replacement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero, or if the replacement policy
+    /// rejects the way count (e.g. tree-PLRU with a non-power-of-two).
+    pub fn new(sets: usize, ways: usize, replacement: ReplacementKind) -> Self {
+        assert!(sets > 0, "a set-associative array needs at least one set");
+        assert!(ways > 0, "a set-associative array needs at least one way");
+        let entries = (0..sets)
+            .map(|_| (0..ways).map(|_| None).collect())
+            .collect();
+        let policies = (0..sets)
+            .map(|set| replacement.build(ways, set as u64))
+            .collect();
+        SetAssociative {
+            sets,
+            ways,
+            entries,
+            policies,
+            kind: replacement,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of occupied entries across all sets.
+    pub fn len(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|set| set.iter().filter(|way| way.is_some()).count())
+            .sum()
+    }
+
+    /// Whether no entry is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn assert_set(&self, set: usize) {
+        assert!(
+            set < self.sets,
+            "set index {set} out of range for {} sets",
+            self.sets
+        );
+    }
+
+    fn way_of(&self, set: usize, tag: u64) -> Option<usize> {
+        self.entries[set]
+            .iter()
+            .position(|way| way.as_ref().is_some_and(|occ| occ.tag == tag))
+    }
+
+    /// Looks up `(set, tag)` without updating replacement state.
+    pub fn peek(&self, set: usize, tag: u64) -> Option<&T> {
+        self.assert_set(set);
+        self.way_of(set, tag)
+            .and_then(|way| self.entries[set][way].as_ref())
+            .map(|occ| &occ.value)
+    }
+
+    /// Looks up `(set, tag)`, updating recency on a hit.
+    pub fn get(&mut self, set: usize, tag: u64) -> Option<&T> {
+        self.assert_set(set);
+        let way = self.way_of(set, tag)?;
+        self.policies[set].on_access(way);
+        self.entries[set][way].as_ref().map(|occ| &occ.value)
+    }
+
+    /// Mutable lookup, updating recency on a hit.
+    pub fn get_mut(&mut self, set: usize, tag: u64) -> Option<&mut T> {
+        self.assert_set(set);
+        let way = self.way_of(set, tag)?;
+        self.policies[set].on_access(way);
+        self.entries[set][way].as_mut().map(|occ| &mut occ.value)
+    }
+
+    /// Whether `(set, tag)` is present (no recency update).
+    pub fn contains(&self, set: usize, tag: u64) -> bool {
+        self.peek(set, tag).is_some()
+    }
+
+    /// Inserts `(set, tag) -> value`, returning the evicted entry if the set
+    /// was full and a victim had to be replaced, or the previous value if the
+    /// tag was already present.
+    pub fn insert(&mut self, set: usize, tag: u64, value: T) -> Option<Occupied<T>> {
+        self.assert_set(set);
+        if let Some(way) = self.way_of(set, tag) {
+            self.policies[set].on_access(way);
+            let previous = self.entries[set][way].replace(Occupied { tag, value });
+            return previous;
+        }
+        let valid: Vec<bool> = self.entries[set].iter().map(|w| w.is_some()).collect();
+        let way = self.policies[set].victim(&valid);
+        assert!(way < self.ways, "replacement policy returned way out of range");
+        let evicted = self.entries[set][way].take();
+        self.entries[set][way] = Some(Occupied { tag, value });
+        self.policies[set].on_fill(way);
+        evicted
+    }
+
+    /// Removes `(set, tag)` and returns its payload.
+    pub fn invalidate(&mut self, set: usize, tag: u64) -> Option<T> {
+        self.assert_set(set);
+        let way = self.way_of(set, tag)?;
+        self.entries[set][way].take().map(|occ| occ.value)
+    }
+
+    /// Iterates over all occupied entries of one set.
+    pub fn set_entries(&self, set: usize) -> impl Iterator<Item = &Occupied<T>> {
+        self.assert_set(set);
+        self.entries[set].iter().filter_map(|way| way.as_ref())
+    }
+
+    /// Iterates over every occupied entry as `(set, &Occupied)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Occupied<T>)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .flat_map(|(set, ways)| ways.iter().filter_map(move |w| w.as_ref().map(|occ| (set, occ))))
+    }
+
+    /// Clears every set.
+    pub fn clear(&mut self) {
+        for set in 0..self.sets {
+            for way in 0..self.ways {
+                self.entries[set][way] = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssociative<u32> {
+        SetAssociative::new(4, 2, ReplacementKind::Lru)
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let mut arr = small();
+        assert!(arr.insert(1, 0xaa, 7).is_none());
+        assert_eq!(arr.get(1, 0xaa), Some(&7));
+        assert_eq!(arr.peek(1, 0xaa), Some(&7));
+        assert_eq!(arr.len(), 1);
+    }
+
+    #[test]
+    fn insert_same_tag_replaces_value_and_returns_previous() {
+        let mut arr = small();
+        arr.insert(0, 5, 1);
+        let prev = arr.insert(0, 5, 2);
+        assert_eq!(prev.map(|o| o.value), Some(1));
+        assert_eq!(arr.get(0, 5), Some(&2));
+        assert_eq!(arr.len(), 1);
+    }
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        let mut arr = small();
+        arr.insert(2, 1, 10);
+        arr.insert(2, 2, 20);
+        // Touch tag 1 so tag 2 becomes LRU.
+        arr.get(2, 1);
+        let evicted = arr.insert(2, 3, 30).expect("set was full, must evict");
+        assert_eq!(evicted.tag, 2);
+        assert_eq!(evicted.value, 20);
+        assert!(arr.contains(2, 1));
+        assert!(arr.contains(2, 3));
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut arr = small();
+        arr.insert(3, 9, 99);
+        assert_eq!(arr.invalidate(3, 9), Some(99));
+        assert!(!arr.contains(3, 9));
+        assert_eq!(arr.invalidate(3, 9), None);
+    }
+
+    #[test]
+    fn capacity_and_len_track_occupancy() {
+        let mut arr = SetAssociative::new(2, 3, ReplacementKind::Lru);
+        assert_eq!(arr.capacity(), 6);
+        assert!(arr.is_empty());
+        for tag in 0..3 {
+            arr.insert(0, tag, tag as u32);
+        }
+        assert_eq!(arr.len(), 3);
+        arr.clear();
+        assert!(arr.is_empty());
+    }
+
+    #[test]
+    fn iter_visits_every_entry_once() {
+        let mut arr = SetAssociative::new(4, 4, ReplacementKind::Lru);
+        for set in 0..4 {
+            for tag in 0..4u64 {
+                arr.insert(set, tag, (set as u32) * 10 + tag as u32);
+            }
+        }
+        let mut seen: Vec<(usize, u64)> = arr.iter().map(|(set, occ)| (set, occ.tag)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 16);
+        seen.dedup();
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn peek_does_not_change_replacement_order() {
+        let mut arr = small();
+        arr.insert(0, 1, 1);
+        arr.insert(0, 2, 2);
+        // Peek at tag 1 only; tag 1 stays LRU because peeks don't touch.
+        arr.peek(0, 1);
+        let evicted = arr.insert(0, 3, 3).unwrap();
+        assert_eq!(evicted.tag, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        small().peek(10, 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Statistics collected by the memory system.
+//!
+//! The paper's evaluation reports L1 read misses (for prefetch coverage),
+//! L2 request counts, L2 misses and write-backs, and off-chip traffic split
+//! into application and predictor data. Every counter needed to regenerate
+//! Figures 6-8 and 10 lives here.
+
+use crate::address::BLOCK_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Per-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand read accesses (loads / instruction fetches).
+    pub reads: u64,
+    /// Demand write accesses (stores and write-backs arriving from above).
+    pub writes: u64,
+    /// Demand read hits.
+    pub read_hits: u64,
+    /// Demand read misses.
+    pub read_misses: u64,
+    /// Demand write hits.
+    pub write_hits: u64,
+    /// Demand write misses.
+    pub write_misses: u64,
+    /// Lines installed by prefetches.
+    pub prefetch_fills: u64,
+    /// Prefetched lines that were evicted or invalidated before any demand
+    /// access touched them (the paper's "overpredictions").
+    pub prefetched_evicted_unused: u64,
+    /// Demand accesses that hit a line still in flight from a prefetch
+    /// (partial coverage: the access pays only the residual latency).
+    pub late_prefetch_hits: u64,
+    /// Dirty lines written back to the level below.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total demand misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Read miss ratio in [0, 1]; zero when no reads were made.
+    pub fn read_miss_ratio(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_misses as f64 / self.reads as f64
+        }
+    }
+
+    /// Adds another stats block into this one (used to aggregate per-core L1s).
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+        self.prefetch_fills += other.prefetch_fills;
+        self.prefetched_evicted_unused += other.prefetched_evicted_unused;
+        self.late_prefetch_hits += other.late_prefetch_hits;
+        self.writebacks += other.writebacks;
+    }
+}
+
+/// A counter split into application and predictor (PV) data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficBreakdown {
+    /// Events attributable to ordinary application data.
+    pub application: u64,
+    /// Events attributable to virtualized predictor data.
+    pub predictor: u64,
+}
+
+impl TrafficBreakdown {
+    /// Total across both classes.
+    pub fn total(&self) -> u64 {
+        self.application + self.predictor
+    }
+
+    /// Records one event of the given class.
+    pub fn record(&mut self, predictor: bool) {
+        if predictor {
+            self.predictor += 1;
+        } else {
+            self.application += 1;
+        }
+    }
+}
+
+/// System-wide memory statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Per-core L1 data-cache stats.
+    pub l1d: Vec<CacheStats>,
+    /// Per-core L1 instruction-cache stats.
+    pub l1i: Vec<CacheStats>,
+    /// Shared L2 stats (demand view, both classes).
+    pub l2: CacheStats,
+    /// L2 requests (reads + writes arriving at the L2) split by class.
+    pub l2_requests: TrafficBreakdown,
+    /// L2 misses split by class (off-chip block reads).
+    pub l2_misses: TrafficBreakdown,
+    /// L2 write-backs to memory split by class (off-chip block writes).
+    pub l2_writebacks: TrafficBreakdown,
+    /// DRAM read accesses.
+    pub dram_reads: u64,
+    /// DRAM write accesses.
+    pub dram_writes: u64,
+    /// Prefetches issued into L1 data caches (per core).
+    pub l1d_prefetches: Vec<u64>,
+    /// Next-line instruction prefetches issued (per core).
+    pub l1i_prefetches: Vec<u64>,
+}
+
+impl HierarchyStats {
+    /// Creates zeroed statistics for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        HierarchyStats {
+            l1d: vec![CacheStats::default(); cores],
+            l1i: vec![CacheStats::default(); cores],
+            l2: CacheStats::default(),
+            l2_requests: TrafficBreakdown::default(),
+            l2_misses: TrafficBreakdown::default(),
+            l2_writebacks: TrafficBreakdown::default(),
+            dram_reads: 0,
+            dram_writes: 0,
+            l1d_prefetches: vec![0; cores],
+            l1i_prefetches: vec![0; cores],
+        }
+    }
+
+    /// Aggregate L1 data stats over all cores.
+    pub fn l1d_total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.l1d {
+            total.accumulate(s);
+        }
+        total
+    }
+
+    /// Aggregate L1 instruction stats over all cores.
+    pub fn l1i_total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.l1i {
+            total.accumulate(s);
+        }
+        total
+    }
+
+    /// Off-chip traffic in bytes (block reads + block writes).
+    pub fn offchip_bytes(&self) -> u64 {
+        (self.l2_misses.total() + self.l2_writebacks.total()) * BLOCK_BYTES
+    }
+
+    /// Off-chip traffic attributable to predictor data, in bytes.
+    pub fn offchip_predictor_bytes(&self) -> u64 {
+        (self.l2_misses.predictor + self.l2_writebacks.predictor) * BLOCK_BYTES
+    }
+
+    /// Resets every counter while keeping the core count (used at the end of
+    /// the warm-up window, mirroring the paper's measurement methodology).
+    pub fn reset(&mut self) {
+        let cores = self.l1d.len();
+        *self = HierarchyStats::new(cores);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_stats_totals() {
+        let stats = CacheStats {
+            reads: 100,
+            writes: 50,
+            read_hits: 80,
+            read_misses: 20,
+            write_hits: 45,
+            write_misses: 5,
+            ..CacheStats::default()
+        };
+        assert_eq!(stats.accesses(), 150);
+        assert_eq!(stats.misses(), 25);
+        assert!((stats.read_miss_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_ratio_with_no_reads_is_zero() {
+        assert_eq!(CacheStats::default().read_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_adds_fields() {
+        let mut a = CacheStats {
+            reads: 1,
+            writebacks: 2,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            reads: 3,
+            writebacks: 4,
+            ..CacheStats::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.reads, 4);
+        assert_eq!(a.writebacks, 6);
+    }
+
+    #[test]
+    fn breakdown_records_by_class() {
+        let mut t = TrafficBreakdown::default();
+        t.record(false);
+        t.record(true);
+        t.record(true);
+        assert_eq!(t.application, 1);
+        assert_eq!(t.predictor, 2);
+        assert_eq!(t.total(), 3);
+    }
+
+    #[test]
+    fn hierarchy_stats_aggregate_and_reset() {
+        let mut stats = HierarchyStats::new(2);
+        stats.l1d[0].reads = 10;
+        stats.l1d[1].reads = 20;
+        stats.l2_misses.record(false);
+        stats.l2_writebacks.record(true);
+        assert_eq!(stats.l1d_total().reads, 30);
+        assert_eq!(stats.offchip_bytes(), 2 * BLOCK_BYTES);
+        assert_eq!(stats.offchip_predictor_bytes(), BLOCK_BYTES);
+        stats.reset();
+        assert_eq!(stats.l1d_total().reads, 0);
+        assert_eq!(stats.l1d.len(), 2);
+    }
+}

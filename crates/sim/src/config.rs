@@ -1,0 +1,265 @@
+//! Simulation configuration: core timing parameters, prefetcher selection
+//! and run lengths.
+
+use pv_core::PvConfig;
+use pv_mem::HierarchyConfig;
+use pv_sms::SmsConfig;
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of the trace-driven core model.
+///
+/// The paper's cores are 8-wide out-of-order UltraSPARC III machines with a
+/// 256-entry LSQ. The trace-driven model approximates such a core with an
+/// effective retire width and per-access *exposure factors*: the fraction of
+/// a memory access's latency that actually stalls retirement (out-of-order
+/// execution, store buffering and fetch-ahead hide the rest).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions retired per cycle when nothing stalls.
+    pub retire_width: f64,
+    /// Fraction of a demand-load latency (beyond the L1 hit latency) exposed
+    /// as stall cycles.
+    pub load_exposure: f64,
+    /// Fraction of a store latency exposed (stores retire through the store
+    /// buffer, so most of their latency is hidden).
+    pub store_exposure: f64,
+    /// Fraction of an instruction-fetch miss latency exposed (the fetch
+    /// buffer hides part of it).
+    pub fetch_exposure: f64,
+}
+
+impl CoreConfig {
+    /// Parameters approximating the paper's Table 1 core: an 8-wide
+    /// out-of-order machine with a deep LSQ overlaps a large fraction of
+    /// each load's latency with independent work, so only about a third of
+    /// the post-L1 latency stalls retirement; stores and instruction fetches
+    /// are hidden almost entirely by the store buffer and fetch buffer.
+    pub fn paper() -> Self {
+        CoreConfig {
+            retire_width: 2.0,
+            load_exposure: 0.25,
+            store_exposure: 0.10,
+            fetch_exposure: 0.15,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the retire width is not positive or an exposure factor is
+    /// outside `[0, 1]`.
+    pub fn assert_valid(&self) {
+        assert!(self.retire_width > 0.0, "retire width must be positive");
+        for (name, value) in [
+            ("load_exposure", self.load_exposure),
+            ("store_exposure", self.store_exposure),
+            ("fetch_exposure", self.fetch_exposure),
+        ] {
+            assert!((0.0..=1.0).contains(&value), "{name} must be in [0, 1], got {value}");
+        }
+    }
+}
+
+/// Which data prefetcher each core runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// No data prefetching (the paper's baseline).
+    None,
+    /// SMS with a dedicated on-chip PHT of the given configuration.
+    Sms(SmsConfig),
+    /// SMS with a virtualized PHT: the SMS engine is unchanged, the PHT is
+    /// provided by a per-core PVProxy.
+    VirtualizedSms {
+        /// SMS engine configuration (AGT sizes, region geometry).
+        sms: SmsConfig,
+        /// Virtualization configuration (PVCache size, table layout).
+        pv: PvConfig,
+    },
+}
+
+impl PrefetcherKind {
+    /// SMS with the original 1K-set, 16-way PHT.
+    pub fn sms_1k_16a() -> Self {
+        PrefetcherKind::Sms(SmsConfig::paper_1k_16a())
+    }
+
+    /// SMS with the 1K-set, 11-way PHT chosen for virtualization.
+    pub fn sms_1k_11a() -> Self {
+        PrefetcherKind::Sms(SmsConfig::paper_1k_11a())
+    }
+
+    /// SMS with the small 16-set dedicated PHT.
+    pub fn sms_16_11a() -> Self {
+        PrefetcherKind::Sms(SmsConfig::small_16_11a())
+    }
+
+    /// SMS with the small 8-set dedicated PHT.
+    pub fn sms_8_11a() -> Self {
+        PrefetcherKind::Sms(SmsConfig::small_8_11a())
+    }
+
+    /// SMS with an infinite PHT (potential study).
+    pub fn sms_infinite() -> Self {
+        PrefetcherKind::Sms(SmsConfig::infinite())
+    }
+
+    /// The paper's final virtualized design: SMS-PV8.
+    pub fn sms_pv8() -> Self {
+        PrefetcherKind::VirtualizedSms {
+            sms: SmsConfig::paper_1k_11a(),
+            pv: PvConfig::pv8(),
+        }
+    }
+
+    /// The PV-16 variant.
+    pub fn sms_pv16() -> Self {
+        PrefetcherKind::VirtualizedSms {
+            sms: SmsConfig::paper_1k_11a(),
+            pv: PvConfig::pv16(),
+        }
+    }
+
+    /// A virtualized design with an arbitrary PV configuration.
+    pub fn sms_virtualized(pv: PvConfig) -> Self {
+        PrefetcherKind::VirtualizedSms {
+            sms: SmsConfig::paper_1k_11a(),
+            pv,
+        }
+    }
+
+    /// A short label for reports (e.g. `"SMS-1K"`, `"SMS-PV8"`).
+    pub fn label(&self) -> String {
+        match self {
+            PrefetcherKind::None => "NoPrefetch".to_owned(),
+            PrefetcherKind::Sms(config) => format!("SMS-{}", config.pht.label()),
+            PrefetcherKind::VirtualizedSms { pv, .. } => format!("SMS-PV{}", pv.pvcache_sets),
+        }
+    }
+
+    /// Whether this configuration virtualizes the PHT.
+    pub fn is_virtualized(&self) -> bool {
+        matches!(self, PrefetcherKind::VirtualizedSms { .. })
+    }
+}
+
+/// A complete simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of cores (the paper simulates four).
+    pub cores: usize,
+    /// Memory-system configuration.
+    pub hierarchy: HierarchyConfig,
+    /// Core timing model.
+    pub core: CoreConfig,
+    /// Data prefetcher per core.
+    pub prefetcher: PrefetcherKind,
+    /// Trace records per core consumed during warm-up (statistics are reset
+    /// afterwards).
+    pub warmup_records: u64,
+    /// Trace records per core consumed during measurement.
+    pub measure_records: u64,
+    /// Workload-generator seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's four-core system with the given prefetcher and a
+    /// measurement window sized for full experiment runs.
+    pub fn paper(prefetcher: PrefetcherKind) -> Self {
+        SimConfig {
+            cores: 4,
+            hierarchy: HierarchyConfig::paper_baseline(4),
+            core: CoreConfig::paper(),
+            prefetcher,
+            warmup_records: 600_000,
+            measure_records: 600_000,
+            seed: 0x5EED_0001,
+        }
+    }
+
+    /// A smaller configuration for quick runs, CI and benchmarks.
+    pub fn quick(prefetcher: PrefetcherKind) -> Self {
+        SimConfig {
+            warmup_records: 120_000,
+            measure_records: 180_000,
+            ..Self::paper(prefetcher)
+        }
+    }
+
+    /// Replaces the prefetcher, keeping everything else.
+    pub fn with_prefetcher(mut self, prefetcher: PrefetcherKind) -> Self {
+        self.prefetcher = prefetcher;
+        self
+    }
+
+    /// Replaces the memory hierarchy, keeping everything else.
+    pub fn with_hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.hierarchy = hierarchy;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters (zero cores, core count mismatch
+    /// with the hierarchy, zero-length measurement window).
+    pub fn assert_valid(&self) {
+        assert!(self.cores > 0, "at least one core is required");
+        assert_eq!(
+            self.cores, self.hierarchy.cores,
+            "hierarchy core count must match the simulated core count"
+        );
+        assert!(self.measure_records > 0, "measurement window must be non-empty");
+        self.core.assert_valid();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid_and_four_core() {
+        let config = SimConfig::paper(PrefetcherKind::sms_pv8());
+        config.assert_valid();
+        assert_eq!(config.cores, 4);
+        assert!(config.prefetcher.is_virtualized());
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(PrefetcherKind::None.label(), "NoPrefetch");
+        assert_eq!(PrefetcherKind::sms_1k_11a().label(), "SMS-1K-11a");
+        assert_eq!(PrefetcherKind::sms_8_11a().label(), "SMS-8-11a");
+        assert_eq!(PrefetcherKind::sms_pv8().label(), "SMS-PV8");
+        assert_eq!(PrefetcherKind::sms_pv16().label(), "SMS-PV16");
+        assert_eq!(PrefetcherKind::sms_infinite().label(), "SMS-Infinite");
+    }
+
+    #[test]
+    fn builder_methods_replace_fields() {
+        let config = SimConfig::quick(PrefetcherKind::None)
+            .with_prefetcher(PrefetcherKind::sms_1k_11a())
+            .with_hierarchy(HierarchyConfig::paper_baseline(4).with_l2_size(2 * 1024 * 1024));
+        assert_eq!(config.prefetcher.label(), "SMS-1K-11a");
+        assert_eq!(config.hierarchy.l2.size_bytes, 2 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count must match")]
+    fn mismatched_core_count_panics() {
+        let mut config = SimConfig::quick(PrefetcherKind::None);
+        config.cores = 2;
+        config.assert_valid();
+    }
+
+    #[test]
+    fn core_config_validation_rejects_bad_exposure() {
+        let mut core = CoreConfig::paper();
+        core.load_exposure = 1.5;
+        let result = std::panic::catch_unwind(move || core.assert_valid());
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! The trace-driven core timing model.
+//!
+//! Each core consumes its trace in order, retiring non-memory instructions
+//! at the configured width and exposing a configurable fraction of each
+//! memory access's latency as stall cycles. The model is deliberately
+//! simple: the paper's conclusions rest on memory-system behaviour, and this
+//! model's only job is to convert latencies into cycles consistently across
+//! the configurations being compared.
+
+use crate::config::CoreConfig;
+use pv_mem::AccessKind;
+use pv_workloads::MemOp;
+use serde::{Deserialize, Serialize};
+
+/// Per-core cycle and instruction accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreModel {
+    config: CoreConfig,
+    /// Current local time in cycles (fractional cycles accumulate so narrow
+    /// retire widths are modelled exactly).
+    cycles: f64,
+    /// Instructions retired.
+    instructions: u64,
+    /// Cycles lost to memory stalls (diagnostic).
+    stall_cycles: f64,
+    /// L1 hit latency that is considered "free" (pipelined).
+    l1_hit_latency: u64,
+}
+
+impl CoreModel {
+    /// Creates a core model; `l1_hit_latency` is the pipelined L1 latency
+    /// that does not stall retirement.
+    pub fn new(config: CoreConfig, l1_hit_latency: u64) -> Self {
+        config.assert_valid();
+        CoreModel {
+            config,
+            cycles: 0.0,
+            instructions: 0,
+            stall_cycles: 0.0,
+            l1_hit_latency,
+        }
+    }
+
+    /// Current local cycle count (rounded up).
+    pub fn now(&self) -> u64 {
+        self.cycles.ceil() as u64
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Cycles attributed to memory stalls so far.
+    pub fn stall_cycles(&self) -> f64 {
+        self.stall_cycles
+    }
+
+    /// Instantaneous IPC.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// Retires `count` non-memory instructions.
+    pub fn retire_non_memory(&mut self, count: u32) {
+        self.instructions += u64::from(count);
+        self.cycles += f64::from(count) / self.config.retire_width;
+    }
+
+    /// Accounts for a memory operation of kind `op` that completed with
+    /// `latency` cycles end-to-end.
+    pub fn retire_memory(&mut self, op: MemOp, latency: u64) {
+        let exposure = match op {
+            MemOp::Load => self.config.load_exposure,
+            MemOp::Store => self.config.store_exposure,
+            MemOp::InstructionFetch => self.config.fetch_exposure,
+        };
+        if op.is_data() {
+            self.instructions += 1;
+            self.cycles += 1.0 / self.config.retire_width;
+        }
+        let exposed = latency.saturating_sub(self.l1_hit_latency) as f64 * exposure;
+        self.cycles += exposed;
+        self.stall_cycles += exposed;
+    }
+
+    /// The cache access kind for a trace operation.
+    pub fn access_kind(op: MemOp) -> AccessKind {
+        match op {
+            MemOp::Store => AccessKind::Write,
+            MemOp::Load | MemOp::InstructionFetch => AccessKind::Read,
+        }
+    }
+
+    /// Resets cycle/instruction counters (end of warm-up) while keeping the
+    /// configuration.
+    pub fn reset(&mut self) {
+        self.cycles = 0.0;
+        self.instructions = 0;
+        self.stall_cycles = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> CoreModel {
+        CoreModel::new(CoreConfig::paper(), 2)
+    }
+
+    #[test]
+    fn non_memory_instructions_retire_at_width() {
+        let mut core = core();
+        core.retire_non_memory(20);
+        assert_eq!(core.instructions(), 20);
+        assert!((core.now() as f64 - 10.0).abs() <= 1.0, "2-wide core retires 20 instructions in ~10 cycles");
+    }
+
+    #[test]
+    fn l1_hits_do_not_stall() {
+        let mut core = core();
+        core.retire_memory(MemOp::Load, 2);
+        assert_eq!(core.stall_cycles(), 0.0);
+        assert_eq!(core.instructions(), 1);
+    }
+
+    #[test]
+    fn load_misses_expose_configured_fraction() {
+        let mut core = core();
+        core.retire_memory(MemOp::Load, 402);
+        let expected = (402.0 - 2.0) * CoreConfig::paper().load_exposure;
+        assert!((core.stall_cycles() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stores_are_mostly_hidden() {
+        let mut load_core = core();
+        let mut store_core = core();
+        load_core.retire_memory(MemOp::Load, 402);
+        store_core.retire_memory(MemOp::Store, 402);
+        assert!(store_core.stall_cycles() < load_core.stall_cycles() / 2.0);
+    }
+
+    #[test]
+    fn fetches_do_not_count_as_instructions() {
+        let mut core = core();
+        core.retire_memory(MemOp::InstructionFetch, 20);
+        assert_eq!(core.instructions(), 0);
+        assert!(core.stall_cycles() > 0.0);
+    }
+
+    #[test]
+    fn ipc_improves_when_latency_drops() {
+        let mut slow = core();
+        let mut fast = core();
+        for _ in 0..100 {
+            slow.retire_non_memory(3);
+            slow.retire_memory(MemOp::Load, 402);
+            fast.retire_non_memory(3);
+            fast.retire_memory(MemOp::Load, 20);
+        }
+        assert!(fast.ipc() > slow.ipc() * 2.0, "removing DRAM latency must pay off");
+    }
+
+    #[test]
+    fn reset_clears_progress() {
+        let mut core = core();
+        core.retire_non_memory(10);
+        core.retire_memory(MemOp::Load, 100);
+        core.reset();
+        assert_eq!(core.instructions(), 0);
+        assert_eq!(core.now(), 0);
+        assert_eq!(core.ipc(), 0.0);
+    }
+
+    #[test]
+    fn access_kind_maps_stores_to_writes() {
+        assert_eq!(CoreModel::access_kind(MemOp::Store), AccessKind::Write);
+        assert_eq!(CoreModel::access_kind(MemOp::Load), AccessKind::Read);
+        assert_eq!(CoreModel::access_kind(MemOp::InstructionFetch), AccessKind::Read);
+    }
+}

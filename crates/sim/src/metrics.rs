@@ -1,0 +1,215 @@
+//! Metrics collected from one simulation run.
+
+use pv_core::PvStats;
+use pv_mem::HierarchyStats;
+use pv_sms::SmsStats;
+use serde::{Deserialize, Serialize};
+
+/// Prefetch-coverage accounting in the form Figure 4/5 report it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageMetrics {
+    /// L1 read misses eliminated by prefetching (demand reads whose block
+    /// had been prefetched).
+    pub covered: u64,
+    /// L1 read misses that still occurred.
+    pub uncovered: u64,
+    /// Prefetched blocks evicted or invalidated before any demand use.
+    pub overpredictions: u64,
+}
+
+impl CoverageMetrics {
+    /// Misses the baseline (no-prefetch) configuration would have had:
+    /// covered plus uncovered.
+    pub fn baseline_misses(&self) -> u64 {
+        self.covered + self.uncovered
+    }
+
+    /// Covered misses as a fraction of baseline misses, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        let baseline = self.baseline_misses();
+        if baseline == 0 {
+            0.0
+        } else {
+            self.covered as f64 / baseline as f64
+        }
+    }
+
+    /// Over-predictions as a fraction of baseline misses (the part of the
+    /// paper's bars that extends above 100%).
+    pub fn overprediction_ratio(&self) -> f64 {
+        let baseline = self.baseline_misses();
+        if baseline == 0 {
+            0.0
+        } else {
+            self.overpredictions as f64 / baseline as f64
+        }
+    }
+}
+
+/// Everything measured during one run's measurement window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Label of the prefetcher configuration that produced these metrics.
+    pub configuration: String,
+    /// Workload name.
+    pub workload: String,
+    /// Elapsed cycles (the slowest core's local clock).
+    pub elapsed_cycles: u64,
+    /// Committed instructions summed over all cores.
+    pub total_instructions: u64,
+    /// Per-core IPC.
+    pub per_core_ipc: Vec<f64>,
+    /// Memory-system statistics.
+    pub hierarchy: HierarchyStats,
+    /// Prefetch coverage (zeroed for the no-prefetch baseline).
+    pub coverage: CoverageMetrics,
+    /// SMS engine statistics summed over cores (zeroed for the baseline).
+    pub sms: SmsStats,
+    /// PVProxy statistics summed over cores (`None` for non-virtualized
+    /// configurations).
+    pub pv: Option<PvStats>,
+    /// Data prefetches issued into the L1s.
+    pub prefetches_issued: u64,
+}
+
+impl RunMetrics {
+    /// Aggregate throughput: committed user instructions per cycle summed
+    /// over cores — the paper's performance metric.
+    pub fn aggregate_ipc(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.total_instructions as f64 / self.elapsed_cycles as f64
+        }
+    }
+
+    /// Speedup of this run over `baseline`, as the paper reports it
+    /// (per-cent improvement in aggregate IPC).
+    pub fn speedup_over(&self, baseline: &RunMetrics) -> f64 {
+        let base = baseline.aggregate_ipc();
+        if base == 0.0 {
+            0.0
+        } else {
+            self.aggregate_ipc() / base - 1.0
+        }
+    }
+
+    /// Off-chip traffic (L2 misses plus write-backs) in blocks.
+    pub fn offchip_blocks(&self) -> u64 {
+        self.hierarchy.l2_misses.total() + self.hierarchy.l2_writebacks.total()
+    }
+
+    /// Relative increase of this run's off-chip traffic over `baseline`.
+    pub fn offchip_increase_over(&self, baseline: &RunMetrics) -> f64 {
+        let base = baseline.offchip_blocks();
+        if base == 0 {
+            0.0
+        } else {
+            self.offchip_blocks() as f64 / base as f64 - 1.0
+        }
+    }
+
+    /// Relative increase in L2 requests over `baseline` (Figure 6 metric).
+    pub fn l2_request_increase_over(&self, baseline: &RunMetrics) -> f64 {
+        let base = baseline.hierarchy.l2_requests.total();
+        if base == 0 {
+            0.0
+        } else {
+            self.hierarchy.l2_requests.total() as f64 / base as f64 - 1.0
+        }
+    }
+}
+
+/// Mean and half-width of a 95% confidence interval for a set of samples
+/// (normal approximation), used when experiments run multiple seeds — the
+/// analogue of the paper's SMARTS error bars.
+pub fn mean_and_ci95(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let variance = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    let sem = (variance / n).sqrt();
+    (mean, 1.96 * sem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(instructions: u64, cycles: u64) -> RunMetrics {
+        RunMetrics {
+            configuration: "test".to_owned(),
+            workload: "test".to_owned(),
+            elapsed_cycles: cycles,
+            total_instructions: instructions,
+            per_core_ipc: vec![],
+            hierarchy: HierarchyStats::new(1),
+            coverage: CoverageMetrics::default(),
+            sms: SmsStats::default(),
+            pv: None,
+            prefetches_issued: 0,
+        }
+    }
+
+    #[test]
+    fn coverage_fractions() {
+        let coverage = CoverageMetrics {
+            covered: 60,
+            uncovered: 40,
+            overpredictions: 10,
+        };
+        assert_eq!(coverage.baseline_misses(), 100);
+        assert!((coverage.coverage() - 0.6).abs() < 1e-12);
+        assert!((coverage.overprediction_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_handles_zero_misses() {
+        let coverage = CoverageMetrics::default();
+        assert_eq!(coverage.coverage(), 0.0);
+        assert_eq!(coverage.overprediction_ratio(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_ipc_and_speedup() {
+        let baseline = metrics(1_000, 1_000);
+        let faster = metrics(1_000, 800);
+        assert!((baseline.aggregate_ipc() - 1.0).abs() < 1e-12);
+        assert!((faster.speedup_over(&baseline) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_increases_relative_to_baseline() {
+        let mut baseline = metrics(1, 1);
+        baseline.hierarchy.l2_requests.application = 100;
+        baseline.hierarchy.l2_misses.application = 50;
+        let mut pv = metrics(1, 1);
+        pv.hierarchy.l2_requests.application = 100;
+        pv.hierarchy.l2_requests.predictor = 30;
+        pv.hierarchy.l2_misses.application = 50;
+        pv.hierarchy.l2_misses.predictor = 1;
+        assert!((pv.l2_request_increase_over(&baseline) - 0.3).abs() < 1e-12);
+        assert!((pv.offchip_increase_over(&baseline) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_of_constant_samples_is_zero() {
+        let (mean, ci) = mean_and_ci95(&[2.0, 2.0, 2.0, 2.0]);
+        assert!((mean - 2.0).abs() < 1e-12);
+        assert!(ci.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_grows_with_spread() {
+        let (_, tight) = mean_and_ci95(&[1.0, 1.01, 0.99, 1.0]);
+        let (_, wide) = mean_and_ci95(&[0.5, 1.5, 0.2, 1.8]);
+        assert!(wide > tight);
+        assert_eq!(mean_and_ci95(&[]), (0.0, 0.0));
+        assert_eq!(mean_and_ci95(&[3.0]).1, 0.0);
+    }
+}

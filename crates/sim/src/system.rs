@@ -1,0 +1,330 @@
+//! The simulated CMP: cores, traces, prefetchers and the shared memory
+//! hierarchy, plus the warm-up/measure run loop.
+
+use crate::config::{PrefetcherKind, SimConfig};
+use crate::core_model::CoreModel;
+use crate::metrics::{CoverageMetrics, RunMetrics};
+use pv_core::{PvProxy, PvStats};
+use pv_mem::{DataClass, MemoryHierarchy, Requester};
+use pv_sms::{build_storage, SmsPrefetcher, SmsStats};
+use pv_workloads::{MemOp, TraceGenerator, TraceRecord, WorkloadParams};
+
+/// Per-core simulation state.
+struct CoreState {
+    id: usize,
+    generator: TraceGenerator,
+    model: CoreModel,
+    sms: Option<SmsPrefetcher>,
+    covered: u64,
+    prefetches_issued: u64,
+    records_consumed: u64,
+}
+
+/// The simulated four-core system.
+pub struct System {
+    config: SimConfig,
+    workload_name: String,
+    hierarchy: MemoryHierarchy,
+    cores: Vec<CoreState>,
+}
+
+impl System {
+    /// Builds the system described by `config`, with every core running an
+    /// independent instance of `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` or `workload` fail validation.
+    pub fn new(config: SimConfig, workload: &WorkloadParams) -> Self {
+        config.assert_valid();
+        workload.validate().expect("workload parameters must be valid");
+        let hierarchy = MemoryHierarchy::new(config.hierarchy);
+        let cores = (0..config.cores)
+            .map(|core| {
+                let sms = Self::build_prefetcher(&config, core);
+                CoreState {
+                    id: core,
+                    generator: TraceGenerator::new(workload, config.seed, core),
+                    model: CoreModel::new(config.core, config.hierarchy.l1d.data_latency),
+                    sms,
+                    covered: 0,
+                    prefetches_issued: 0,
+                    records_consumed: 0,
+                }
+            })
+            .collect();
+        System {
+            workload_name: workload.name.clone(),
+            config,
+            hierarchy,
+            cores,
+        }
+    }
+
+    fn build_prefetcher(config: &SimConfig, core: usize) -> Option<SmsPrefetcher> {
+        match &config.prefetcher {
+            PrefetcherKind::None => None,
+            PrefetcherKind::Sms(sms_config) => {
+                Some(SmsPrefetcher::new(*sms_config, build_storage(sms_config)))
+            }
+            PrefetcherKind::VirtualizedSms { sms, pv } => {
+                let base = config.hierarchy.pv_regions.core_base(core);
+                Some(SmsPrefetcher::new(*sms, Box::new(PvProxy::new(core, *pv, base))))
+            }
+        }
+    }
+
+    /// The configuration this system was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The shared memory hierarchy (for inspection in tests).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// Runs the warm-up and measurement windows and returns the metrics of
+    /// the measurement window.
+    pub fn run(&mut self) -> RunMetrics {
+        self.run_phase(self.config.warmup_records);
+        self.reset_measurement_state();
+        self.run_phase(self.config.measure_records);
+        self.collect_metrics()
+    }
+
+    /// Consumes `records_per_core` further trace records on every core,
+    /// always advancing the core whose local clock is furthest behind so the
+    /// shared L2 sees a fair interleaving.
+    fn run_phase(&mut self, records_per_core: u64) {
+        let targets: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.records_consumed + records_per_core)
+            .collect();
+        loop {
+            let next = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(idx, core)| core.records_consumed < targets[*idx])
+                .min_by_key(|(_, core)| core.model.now())
+                .map(|(idx, _)| idx);
+            let Some(idx) = next else { break };
+            self.step_core(idx);
+        }
+    }
+
+    fn reset_measurement_state(&mut self) {
+        self.hierarchy.reset_stats();
+        for core in &mut self.cores {
+            core.model.reset();
+            core.covered = 0;
+            core.prefetches_issued = 0;
+            if let Some(sms) = &mut core.sms {
+                sms.reset_stats();
+            }
+        }
+    }
+
+    fn step_core(&mut self, idx: usize) {
+        let record = self.cores[idx]
+            .generator
+            .next()
+            .expect("trace generators are infinite");
+        self.cores[idx].records_consumed += 1;
+        match record.op {
+            MemOp::InstructionFetch => self.step_fetch(idx, &record),
+            MemOp::Load | MemOp::Store => self.step_data(idx, &record),
+        }
+    }
+
+    fn step_fetch(&mut self, idx: usize, record: &TraceRecord) {
+        let core = &mut self.cores[idx];
+        let now = core.model.now();
+        let response = self.hierarchy.access(
+            Requester::instruction(core.id),
+            record.address,
+            CoreModel::access_kind(record.op),
+            DataClass::Application,
+            now,
+        );
+        core.model.retire_memory(record.op, response.latency);
+    }
+
+    fn step_data(&mut self, idx: usize, record: &TraceRecord) {
+        let core_id = self.cores[idx].id;
+        self.cores[idx].model.retire_non_memory(record.non_mem_instructions);
+        let now = self.cores[idx].model.now();
+        let response = self.hierarchy.access(
+            Requester::data(core_id),
+            record.address,
+            CoreModel::access_kind(record.op),
+            DataClass::Application,
+            now,
+        );
+        if record.op == MemOp::Load && response.first_use_of_prefetch {
+            self.cores[idx].covered += 1;
+        }
+        self.cores[idx].model.retire_memory(record.op, response.latency);
+
+        let Some(mut sms) = self.cores[idx].sms.take() else {
+            return;
+        };
+        // Blocks displaced by the demand fill end their spatial generations.
+        sms.on_l1_evictions(&response.l1_evictions, &mut self.hierarchy, now);
+        // Feed the access to the prefetcher and issue any predicted stream.
+        let engine = sms.on_data_access(record.pc, record.address, &mut self.hierarchy, now);
+        for prefetch in &engine.prefetches {
+            let issue_at = prefetch.issue_at.max(now);
+            let outcome = self
+                .hierarchy
+                .prefetch_into_l1d(core_id, prefetch.block, issue_at);
+            if outcome.issued {
+                self.cores[idx].prefetches_issued += 1;
+            }
+            sms.on_l1_evictions(&outcome.l1_evictions, &mut self.hierarchy, issue_at);
+        }
+        self.cores[idx].sms = Some(sms);
+    }
+
+    fn collect_metrics(&self) -> RunMetrics {
+        let elapsed_cycles = self.cores.iter().map(|c| c.model.now()).max().unwrap_or(0);
+        let total_instructions = self.cores.iter().map(|c| c.model.instructions()).sum();
+        let per_core_ipc = self.cores.iter().map(|c| c.model.ipc()).collect();
+        let hierarchy = self.hierarchy.stats();
+
+        let mut coverage = CoverageMetrics::default();
+        let mut sms_total = SmsStats::default();
+        let mut pv_total: Option<PvStats> = None;
+        let mut prefetches_issued = 0;
+        for (core_idx, core) in self.cores.iter().enumerate() {
+            coverage.covered += core.covered;
+            coverage.uncovered += hierarchy.l1d[core_idx].read_misses;
+            coverage.overpredictions += hierarchy.l1d[core_idx].prefetched_evicted_unused;
+            prefetches_issued += core.prefetches_issued;
+            if let Some(sms) = &core.sms {
+                let stats = sms.stats();
+                sms_total.accesses_observed += stats.accesses_observed;
+                sms_total.triggers += stats.triggers;
+                sms_total.pht_lookups += stats.pht_lookups;
+                sms_total.pht_hits += stats.pht_hits;
+                sms_total.pht_misses += stats.pht_misses;
+                sms_total.patterns_stored += stats.patterns_stored;
+                sms_total.prefetch_candidates += stats.prefetch_candidates;
+                if let Some(proxy) = sms.storage().as_any().downcast_ref::<PvProxy>() {
+                    let entry = pv_total.get_or_insert_with(PvStats::default);
+                    let stats = proxy.stats();
+                    entry.lookups += stats.lookups;
+                    entry.pvcache_hits += stats.pvcache_hits;
+                    entry.pvcache_misses += stats.pvcache_misses;
+                    entry.stores += stats.stores;
+                    entry.store_misses += stats.store_misses;
+                    entry.memory_requests += stats.memory_requests;
+                    entry.mshr_merges += stats.mshr_merges;
+                    entry.dirty_writebacks += stats.dirty_writebacks;
+                    entry.dropped_lookups += stats.dropped_lookups;
+                }
+            }
+        }
+
+        RunMetrics {
+            configuration: self.config.prefetcher.label(),
+            workload: self.workload_name.clone(),
+            elapsed_cycles,
+            total_instructions,
+            per_core_ipc,
+            hierarchy,
+            coverage,
+            sms: sms_total,
+            pv: pv_total,
+            prefetches_issued,
+        }
+    }
+}
+
+/// Builds a [`System`] from `config` and runs it on `workload`.
+pub fn run_workload(config: &SimConfig, workload: &WorkloadParams) -> RunMetrics {
+    System::new(config.clone(), workload).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PrefetcherKind, SimConfig};
+    use pv_workloads::workloads;
+
+    /// A very small configuration so the unit tests stay fast; the full
+    /// windows are exercised by the integration tests and experiments.
+    fn tiny(prefetcher: PrefetcherKind) -> SimConfig {
+        let mut config = SimConfig::quick(prefetcher);
+        config.warmup_records = 15_000;
+        config.measure_records = 25_000;
+        config
+    }
+
+    #[test]
+    fn baseline_run_produces_consistent_metrics() {
+        let metrics = run_workload(&tiny(PrefetcherKind::None), &workloads::qry1());
+        assert!(metrics.elapsed_cycles > 0);
+        assert!(metrics.total_instructions > 0);
+        assert!(metrics.aggregate_ipc() > 0.0);
+        assert_eq!(metrics.per_core_ipc.len(), 4);
+        assert_eq!(metrics.coverage.covered, 0, "baseline issues no prefetches");
+        assert_eq!(metrics.prefetches_issued, 0);
+        assert!(metrics.pv.is_none());
+        assert!(metrics.hierarchy.l1d_total().read_misses > 0);
+    }
+
+    #[test]
+    fn sms_covers_misses_and_improves_ipc_on_scan_workload() {
+        let workload = workloads::qry1();
+        let baseline = run_workload(&tiny(PrefetcherKind::None), &workload);
+        let sms = run_workload(&tiny(PrefetcherKind::sms_1k_11a()), &workload);
+        assert!(sms.coverage.covered > 0, "SMS must cover some misses");
+        assert!(sms.coverage.coverage() > 0.2, "scan workload should be well covered");
+        assert!(
+            sms.speedup_over(&baseline) > 0.0,
+            "prefetching must help the scan workload (speedup {:.3})",
+            sms.speedup_over(&baseline)
+        );
+        assert!(sms.prefetches_issued > 0);
+    }
+
+    #[test]
+    fn virtualized_prefetcher_reports_pv_stats_and_predictor_traffic() {
+        let workload = workloads::qry1();
+        let metrics = run_workload(&tiny(PrefetcherKind::sms_pv8()), &workload);
+        let pv = metrics.pv.expect("virtualized run must expose PV stats");
+        assert!(pv.lookups > 0);
+        assert!(pv.memory_requests > 0);
+        assert!(metrics.hierarchy.l2_requests.predictor > 0);
+        assert!(metrics.coverage.covered > 0, "virtualized SMS must still cover misses");
+    }
+
+    #[test]
+    fn dedicated_runs_have_no_predictor_traffic() {
+        let metrics = run_workload(&tiny(PrefetcherKind::sms_1k_11a()), &workloads::qry17());
+        assert_eq!(metrics.hierarchy.l2_requests.predictor, 0);
+        assert_eq!(metrics.hierarchy.l2_misses.predictor, 0);
+        assert!(metrics.pv.is_none());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let workload = workloads::qry17();
+        let a = run_workload(&tiny(PrefetcherKind::sms_pv8()), &workload);
+        let b = run_workload(&tiny(PrefetcherKind::sms_pv8()), &workload);
+        assert_eq!(a.elapsed_cycles, b.elapsed_cycles);
+        assert_eq!(a.total_instructions, b.total_instructions);
+        assert_eq!(a.hierarchy.l2_requests, b.hierarchy.l2_requests);
+        assert_eq!(a.coverage, b.coverage);
+    }
+
+    #[test]
+    fn labels_flow_into_metrics() {
+        let metrics = run_workload(&tiny(PrefetcherKind::sms_8_11a()), &workloads::qry17());
+        assert_eq!(metrics.configuration, "SMS-8-11a");
+        assert_eq!(metrics.workload, "Qry17");
+    }
+}

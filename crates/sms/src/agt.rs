@@ -1,0 +1,322 @@
+//! The Active Generation Table: the filter and accumulation tables that
+//! record spatial patterns while a region generation is active.
+//!
+//! The filter table holds regions that have seen exactly one access (their
+//! trigger); only once a second, different block is accessed does the region
+//! move to the accumulation table, where the spatial pattern is built. When
+//! a generation ends — any block accessed during the generation is evicted
+//! or invalidated from the L1 — the accumulated pattern is handed to the
+//! pattern history table.
+
+use crate::index::TriggerKey;
+use crate::pattern::SpatialPattern;
+use pv_mem::{BlockAddr, RegionAddr};
+use std::collections::VecDeque;
+
+/// A generation trigger observed by the AGT: the first access to an inactive
+/// region. The prefetcher responds by looking up the PHT with `key`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerInfo {
+    /// The PHT key for this trigger.
+    pub key: TriggerKey,
+    /// The region being activated.
+    pub region: RegionAddr,
+}
+
+/// A generation that has ended; its pattern should be stored in the PHT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedGeneration {
+    /// The PHT key of the generation's trigger.
+    pub key: TriggerKey,
+    /// The recorded spatial pattern (always contains at least two blocks).
+    pub pattern: SpatialPattern,
+}
+
+/// Everything that resulted from feeding one event to the AGT.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AgtUpdate {
+    /// A new generation started with this trigger (look up the PHT and
+    /// prefetch).
+    pub trigger: Option<TriggerInfo>,
+    /// Generations that ended and whose patterns must be stored in the PHT.
+    pub completed: Vec<CompletedGeneration>,
+}
+
+#[derive(Debug, Clone)]
+struct FilterEntry {
+    region: RegionAddr,
+    key: TriggerKey,
+}
+
+#[derive(Debug, Clone)]
+struct AccumulationEntry {
+    region: RegionAddr,
+    key: TriggerKey,
+    pattern: SpatialPattern,
+}
+
+/// The AGT: a small filter table plus an accumulation table, both fully
+/// associative with FIFO replacement (the original SMS design uses small
+/// fully-associative structures; the exact replacement policy is not
+/// performance-critical because entries normally leave through generation
+/// completion, not capacity eviction).
+#[derive(Debug, Clone)]
+pub struct ActiveGenerationTable {
+    region_blocks: u32,
+    filter_capacity: usize,
+    accumulation_capacity: usize,
+    filter: VecDeque<FilterEntry>,
+    accumulation: VecDeque<AccumulationEntry>,
+    /// Capacity evictions from the accumulation table (reported for
+    /// diagnostics; these also flush their pattern to the PHT).
+    capacity_evictions: u64,
+}
+
+impl ActiveGenerationTable {
+    /// Creates an AGT with the given capacities for regions of
+    /// `region_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is zero or `region_blocks` is not a power of
+    /// two in `1..=32`.
+    pub fn new(filter_capacity: usize, accumulation_capacity: usize, region_blocks: u32) -> Self {
+        assert!(filter_capacity > 0, "filter table needs capacity");
+        assert!(accumulation_capacity > 0, "accumulation table needs capacity");
+        assert!(
+            region_blocks.is_power_of_two() && region_blocks <= 32 && region_blocks > 0,
+            "region_blocks must be a power of two in 1..=32"
+        );
+        ActiveGenerationTable {
+            region_blocks,
+            filter_capacity,
+            accumulation_capacity,
+            filter: VecDeque::new(),
+            accumulation: VecDeque::new(),
+            capacity_evictions: 0,
+        }
+    }
+
+    /// Number of regions currently tracked (filter + accumulation).
+    pub fn active_regions(&self) -> usize {
+        self.filter.len() + self.accumulation.len()
+    }
+
+    /// Capacity evictions from the accumulation table so far.
+    pub fn capacity_evictions(&self) -> u64 {
+        self.capacity_evictions
+    }
+
+    /// Feeds one L1 data access (hit or miss) to the AGT.
+    ///
+    /// `pc` is the program counter of the access and `block` the block
+    /// touched. Returns the trigger/completion events the prefetcher must
+    /// act on.
+    pub fn on_access(&mut self, pc: u64, block: BlockAddr, update: &mut AgtUpdate) {
+        let region = block.region(self.region_blocks);
+        let offset = block.region_offset(self.region_blocks);
+
+        // Already accumulating: just record the block.
+        if let Some(entry) = self.accumulation.iter_mut().find(|e| e.region == region) {
+            entry.pattern.set(offset);
+            return;
+        }
+
+        // In the filter table: a second access promotes the region to the
+        // accumulation table (unless it is a repeat of the trigger block).
+        if let Some(pos) = self.filter.iter().position(|e| e.region == region) {
+            let trigger_offset = self.filter[pos].key.offset;
+            if trigger_offset == offset {
+                return;
+            }
+            let filter_entry = self.filter.remove(pos).expect("position was just found");
+            let mut pattern = SpatialPattern::single(trigger_offset);
+            pattern.set(offset);
+            self.insert_accumulation(
+                AccumulationEntry {
+                    region,
+                    key: filter_entry.key,
+                    pattern,
+                },
+                update,
+            );
+            return;
+        }
+
+        // Unknown region: this access is a trigger.
+        let key = TriggerKey::new(pc, offset);
+        if self.filter.len() >= self.filter_capacity {
+            // Single-access regions are simply dropped when the filter
+            // overflows; they carry no pattern worth storing.
+            self.filter.pop_front();
+        }
+        self.filter.push_back(FilterEntry { region, key });
+        update.trigger = Some(TriggerInfo { key, region });
+    }
+
+    fn insert_accumulation(&mut self, entry: AccumulationEntry, update: &mut AgtUpdate) {
+        if self.accumulation.len() >= self.accumulation_capacity {
+            if let Some(evicted) = self.accumulation.pop_front() {
+                self.capacity_evictions += 1;
+                update.completed.push(CompletedGeneration {
+                    key: evicted.key,
+                    pattern: evicted.pattern,
+                });
+            }
+        }
+        self.accumulation.push_back(entry);
+    }
+
+    /// Notifies the AGT that `block` left the L1 (eviction or invalidation).
+    /// If the block belongs to an active generation, that generation ends.
+    pub fn on_l1_eviction(&mut self, block: BlockAddr, update: &mut AgtUpdate) {
+        let region = block.region(self.region_blocks);
+        let offset = block.region_offset(self.region_blocks);
+        if let Some(pos) = self.accumulation.iter().position(|e| e.region == region) {
+            // The generation ends only if the evicted block was part of it.
+            if self.accumulation[pos].pattern.contains(offset) {
+                let entry = self.accumulation.remove(pos).expect("position was just found");
+                update.completed.push(CompletedGeneration {
+                    key: entry.key,
+                    pattern: entry.pattern,
+                });
+            }
+            return;
+        }
+        if let Some(pos) = self.filter.iter().position(|e| e.region == region) {
+            if self.filter[pos].key.offset == offset {
+                // A single-access generation ended; nothing worth storing.
+                self.filter.remove(pos);
+            }
+        }
+    }
+
+    /// Ends every active generation, returning their patterns (used when a
+    /// simulation window finishes so learned patterns are not lost).
+    pub fn flush(&mut self) -> Vec<CompletedGeneration> {
+        self.filter.clear();
+        self.accumulation
+            .drain(..)
+            .map(|entry| CompletedGeneration {
+                key: entry.key,
+                pattern: entry.pattern,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agt() -> ActiveGenerationTable {
+        ActiveGenerationTable::new(32, 64, 32)
+    }
+
+    fn block(region: u64, offset: u32) -> BlockAddr {
+        RegionAddr::new(region).block_at(offset, 32)
+    }
+
+    #[test]
+    fn first_access_is_a_trigger() {
+        let mut agt = agt();
+        let mut update = AgtUpdate::default();
+        agt.on_access(0x400, block(5, 3), &mut update);
+        let trigger = update.trigger.expect("first access must trigger");
+        assert_eq!(trigger.key, TriggerKey::new(0x400, 3));
+        assert_eq!(trigger.region, RegionAddr::new(5));
+        assert!(update.completed.is_empty());
+    }
+
+    #[test]
+    fn second_access_to_same_block_is_not_a_trigger() {
+        let mut agt = agt();
+        let mut update = AgtUpdate::default();
+        agt.on_access(0x400, block(5, 3), &mut update);
+        let mut update = AgtUpdate::default();
+        agt.on_access(0x404, block(5, 3), &mut update);
+        assert!(update.trigger.is_none());
+        assert!(update.completed.is_empty());
+    }
+
+    #[test]
+    fn eviction_of_accumulated_block_completes_generation() {
+        let mut agt = agt();
+        let mut update = AgtUpdate::default();
+        agt.on_access(0x400, block(7, 1), &mut update);
+        agt.on_access(0x404, block(7, 2), &mut update);
+        agt.on_access(0x408, block(7, 9), &mut update);
+        let mut update = AgtUpdate::default();
+        agt.on_l1_eviction(block(7, 2), &mut update);
+        assert_eq!(update.completed.len(), 1);
+        let completed = &update.completed[0];
+        assert_eq!(completed.key, TriggerKey::new(0x400, 1));
+        assert_eq!(completed.pattern, SpatialPattern::from_offsets([1, 2, 9]));
+        assert_eq!(agt.active_regions(), 0);
+    }
+
+    #[test]
+    fn eviction_of_untouched_block_does_not_end_generation() {
+        let mut agt = agt();
+        let mut update = AgtUpdate::default();
+        agt.on_access(0x400, block(7, 1), &mut update);
+        agt.on_access(0x404, block(7, 2), &mut update);
+        let mut update = AgtUpdate::default();
+        agt.on_l1_eviction(block(7, 30), &mut update);
+        assert!(update.completed.is_empty());
+        assert_eq!(agt.active_regions(), 1);
+    }
+
+    #[test]
+    fn single_access_generations_are_never_stored() {
+        let mut agt = agt();
+        let mut update = AgtUpdate::default();
+        agt.on_access(0x400, block(3, 4), &mut update);
+        let mut update = AgtUpdate::default();
+        agt.on_l1_eviction(block(3, 4), &mut update);
+        assert!(update.completed.is_empty());
+        assert_eq!(agt.active_regions(), 0);
+    }
+
+    #[test]
+    fn filter_overflow_drops_oldest_single_access_region() {
+        let mut agt = ActiveGenerationTable::new(2, 4, 32);
+        let mut update = AgtUpdate::default();
+        for region in 0..3 {
+            agt.on_access(0x400, block(region, 0), &mut update);
+        }
+        // Region 0 was dropped from the filter; a new access to it triggers
+        // again.
+        let mut update = AgtUpdate::default();
+        agt.on_access(0x500, block(0, 1), &mut update);
+        assert!(update.trigger.is_some());
+    }
+
+    #[test]
+    fn accumulation_overflow_flushes_pattern_to_pht() {
+        let mut agt = ActiveGenerationTable::new(8, 2, 32);
+        let mut update = AgtUpdate::default();
+        // Create three two-access generations; the third forces the first out.
+        for region in 0..3u64 {
+            agt.on_access(0x400, block(region, 0), &mut update);
+            agt.on_access(0x404, block(region, 1), &mut update);
+        }
+        assert_eq!(agt.capacity_evictions(), 1);
+        assert!(update
+            .completed
+            .iter()
+            .any(|c| c.pattern == SpatialPattern::from_offsets([0, 1])));
+    }
+
+    #[test]
+    fn flush_returns_all_accumulating_patterns() {
+        let mut agt = agt();
+        let mut update = AgtUpdate::default();
+        agt.on_access(0x400, block(1, 0), &mut update);
+        agt.on_access(0x404, block(1, 5), &mut update);
+        agt.on_access(0x400, block(2, 0), &mut update);
+        let flushed = agt.flush();
+        assert_eq!(flushed.len(), 1, "only multi-access generations are flushed");
+        assert_eq!(agt.active_regions(), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! SMS configuration and PHT geometries, including the storage accounting
+//! behind the paper's Table 3.
+
+use crate::index::{PhtIndex, INDEX_BITS};
+use crate::pattern::MAX_REGION_BLOCKS;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of the pattern history table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhtGeometry {
+    /// A set-associative table with `sets` sets of `ways` ways.
+    Finite {
+        /// Number of sets (power of two).
+        sets: usize,
+        /// Associativity.
+        ways: usize,
+    },
+    /// An unbounded table that never evicts (the paper's "Infinite" bar).
+    Infinite,
+}
+
+impl PhtGeometry {
+    /// A finite geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn finite(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "PHT sets must be a power of two");
+        assert!(ways > 0, "PHT ways must be positive");
+        PhtGeometry::Finite { sets, ways }
+    }
+
+    /// The unbounded geometry.
+    pub fn infinite() -> Self {
+        PhtGeometry::Infinite
+    }
+
+    /// The original SMS configuration: 1K sets, 16 ways (86 KB).
+    pub fn paper_1k_16a() -> Self {
+        Self::finite(1024, 16)
+    }
+
+    /// The virtualization-friendly configuration: 1K sets, 11 ways (59 KB),
+    /// chosen so one set packs into a 64-byte block.
+    pub fn paper_1k_11a() -> Self {
+        Self::finite(1024, 11)
+    }
+
+    /// The small dedicated table with 16 sets of 11 ways (~1.2 KB).
+    pub fn small_16_11a() -> Self {
+        Self::finite(16, 11)
+    }
+
+    /// The small dedicated table with 8 sets of 11 ways (~0.6 KB).
+    pub fn small_8_11a() -> Self {
+        Self::finite(8, 11)
+    }
+
+    /// All intermediate 11-way geometries swept by Figure 5, largest first,
+    /// plus the two 16-way reference points.
+    pub fn figure5_sweep() -> Vec<PhtGeometry> {
+        let mut configs = vec![PhtGeometry::Infinite, Self::paper_1k_16a()];
+        let mut sets = 1024;
+        while sets >= 8 {
+            configs.push(Self::finite(sets, 11));
+            sets /= 2;
+        }
+        configs
+    }
+
+    /// Number of entries (`None` for the infinite table).
+    pub fn entries(self) -> Option<usize> {
+        match self {
+            PhtGeometry::Finite { sets, ways } => Some(sets * ways),
+            PhtGeometry::Infinite => None,
+        }
+    }
+
+    /// A short label matching the paper's figure axis (e.g. `"1K-11a"`).
+    pub fn label(self) -> String {
+        match self {
+            PhtGeometry::Infinite => "Infinite".to_owned(),
+            PhtGeometry::Finite { sets, ways } => {
+                if sets >= 1024 && sets % 1024 == 0 {
+                    format!("{}K-{}a", sets / 1024, ways)
+                } else {
+                    format!("{sets}-{ways}a")
+                }
+            }
+        }
+    }
+
+    /// Tag storage in bytes for a dedicated on-chip table of this geometry.
+    pub fn tag_bytes(self) -> Option<u64> {
+        match self {
+            PhtGeometry::Infinite => None,
+            PhtGeometry::Finite { sets, ways } => {
+                let tag_bits = u64::from(PhtIndex::tag_bits(sets));
+                Some((tag_bits * (sets * ways) as u64).div_ceil(8))
+            }
+        }
+    }
+
+    /// Pattern storage in bytes for a dedicated on-chip table (32 bits per
+    /// entry for 32-block regions).
+    pub fn pattern_bytes(self) -> Option<u64> {
+        self.entries()
+            .map(|entries| (u64::from(MAX_REGION_BLOCKS) * entries as u64).div_ceil(8))
+    }
+
+    /// Total dedicated on-chip storage in bytes (tags + patterns).
+    pub fn total_bytes(self) -> Option<u64> {
+        Some(self.tag_bytes()? + self.pattern_bytes()?)
+    }
+
+    /// Bits per entry when the entry is stored in memory by the virtualized
+    /// design: the full tag for a 1K-set table (11 bits) plus the 32-bit
+    /// pattern, i.e. the 43 bits per entry of the paper's Figure 3.
+    pub fn virtualized_entry_bits(self) -> Option<u32> {
+        match self {
+            PhtGeometry::Infinite => None,
+            PhtGeometry::Finite { sets, .. } => Some(INDEX_BITS - sets.trailing_zeros() + MAX_REGION_BLOCKS),
+        }
+    }
+}
+
+/// Configuration of the SMS prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmsConfig {
+    /// Blocks per spatial region (32 in the paper).
+    pub region_blocks: u32,
+    /// Entries in the AGT filter table (32 in the paper).
+    pub filter_entries: usize,
+    /// Entries in the AGT accumulation table (64 in the paper).
+    pub accumulation_entries: usize,
+    /// Pattern-history-table geometry.
+    pub pht: PhtGeometry,
+    /// Lookup latency of a dedicated on-chip PHT in cycles.
+    pub dedicated_lookup_latency: u64,
+}
+
+impl SmsConfig {
+    /// The paper's tuned AGT with a given PHT geometry.
+    pub fn with_pht(pht: PhtGeometry) -> Self {
+        SmsConfig {
+            region_blocks: 32,
+            filter_entries: 32,
+            accumulation_entries: 64,
+            pht,
+            dedicated_lookup_latency: 1,
+        }
+    }
+
+    /// Original SMS: 1K sets x 16 ways.
+    pub fn paper_1k_16a() -> Self {
+        Self::with_pht(PhtGeometry::paper_1k_16a())
+    }
+
+    /// The configuration chosen for virtualization: 1K sets x 11 ways.
+    pub fn paper_1k_11a() -> Self {
+        Self::with_pht(PhtGeometry::paper_1k_11a())
+    }
+
+    /// Small dedicated table, 16 sets x 11 ways.
+    pub fn small_16_11a() -> Self {
+        Self::with_pht(PhtGeometry::small_16_11a())
+    }
+
+    /// Small dedicated table, 8 sets x 11 ways.
+    pub fn small_8_11a() -> Self {
+        Self::with_pht(PhtGeometry::small_8_11a())
+    }
+
+    /// Unbounded PHT.
+    pub fn infinite() -> Self {
+        Self::with_pht(PhtGeometry::infinite())
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region size exceeds the 32-block pattern representation
+    /// or any table is empty.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.region_blocks > 0 && self.region_blocks <= MAX_REGION_BLOCKS,
+            "region_blocks must be in 1..=32"
+        );
+        assert!(self.region_blocks.is_power_of_two(), "region_blocks must be a power of two");
+        assert!(self.filter_entries > 0, "filter table must have entries");
+        assert!(self.accumulation_entries > 0, "accumulation table must have entries");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_storage_matches_paper() {
+        // Table 3 of the paper: 1K-16 = 22 KB tags + 64 KB patterns = 86 KB.
+        let big = PhtGeometry::paper_1k_16a();
+        assert_eq!(big.tag_bytes(), Some(22 * 1024 + 512 - 512)); // 22528 B = 22 KB
+        assert_eq!(big.pattern_bytes(), Some(64 * 1024));
+        assert_eq!(big.total_bytes(), Some(86 * 1024 + 512 - 512));
+        // 1K-11 = 15.125 KB tags + 44 KB patterns = 59.125 KB.
+        let eleven = PhtGeometry::paper_1k_11a();
+        assert_eq!(eleven.tag_bytes(), Some(15_488));
+        assert_eq!(eleven.pattern_bytes(), Some(45_056));
+        assert_eq!(eleven.total_bytes(), Some(60_544));
+    }
+
+    #[test]
+    fn small_table_storage_is_about_a_kilobyte() {
+        let small = PhtGeometry::small_16_11a();
+        let total = small.total_bytes().unwrap();
+        assert!(total > 800 && total < 1600, "16-11a should be ~1.2 KB, got {total}");
+        let tiny = PhtGeometry::small_8_11a();
+        let total = tiny.total_bytes().unwrap();
+        assert!(total > 400 && total < 800, "8-11a should be ~0.6 KB, got {total}");
+    }
+
+    #[test]
+    fn virtualized_entry_is_43_bits_for_1k_sets() {
+        assert_eq!(PhtGeometry::paper_1k_11a().virtualized_entry_bits(), Some(43));
+    }
+
+    #[test]
+    fn labels_match_paper_axis() {
+        assert_eq!(PhtGeometry::paper_1k_16a().label(), "1K-16a");
+        assert_eq!(PhtGeometry::small_8_11a().label(), "8-11a");
+        assert_eq!(PhtGeometry::infinite().label(), "Infinite");
+        assert_eq!(PhtGeometry::finite(256, 11).label(), "256-11a");
+    }
+
+    #[test]
+    fn figure5_sweep_covers_all_intermediate_sizes() {
+        let sweep = PhtGeometry::figure5_sweep();
+        assert_eq!(sweep.len(), 2 + 8); // Infinite, 1K-16a, then 1K..8 sets at 11 ways.
+        assert_eq!(sweep[0], PhtGeometry::Infinite);
+        assert_eq!(*sweep.last().unwrap(), PhtGeometry::small_8_11a());
+    }
+
+    #[test]
+    fn entries_counts() {
+        assert_eq!(PhtGeometry::paper_1k_16a().entries(), Some(16384));
+        assert_eq!(PhtGeometry::paper_1k_11a().entries(), Some(11264));
+        assert_eq!(PhtGeometry::infinite().entries(), None);
+    }
+
+    #[test]
+    fn configs_are_valid() {
+        SmsConfig::paper_1k_16a().assert_valid();
+        SmsConfig::paper_1k_11a().assert_valid();
+        SmsConfig::small_16_11a().assert_valid();
+        SmsConfig::small_8_11a().assert_valid();
+        SmsConfig::infinite().assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        PhtGeometry::finite(12, 11);
+    }
+}

@@ -1,0 +1,155 @@
+//! PHT indexing: from a trigger access to a table index.
+//!
+//! The paper indexes the PHT with the concatenation of 16 bits of the
+//! trigger's program counter and the 5-bit block offset of the trigger
+//! within its 32-block spatial region, for a 21-bit index. The low bits of
+//! the index select the set; the remaining bits are the tag.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of PC bits used in the PHT index (paper value).
+pub const PC_INDEX_BITS: u32 = 16;
+/// Number of block-offset bits used in the PHT index (32-block regions).
+pub const OFFSET_INDEX_BITS: u32 = 5;
+/// Total index width.
+pub const INDEX_BITS: u32 = PC_INDEX_BITS + OFFSET_INDEX_BITS;
+
+/// The trigger of a spatial generation: the PC of the first access to the
+/// region and the block offset of that access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TriggerKey {
+    /// Program counter of the triggering instruction.
+    pub pc: u64,
+    /// Block offset of the trigger within its spatial region (0..32).
+    pub offset: u32,
+}
+
+impl TriggerKey {
+    /// Creates a trigger key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 32`.
+    pub fn new(pc: u64, offset: u32) -> Self {
+        assert!(offset < 32, "trigger offset {offset} out of range");
+        TriggerKey { pc, offset }
+    }
+
+    /// The 21-bit PHT index for this trigger.
+    pub fn index(self) -> PhtIndex {
+        PhtIndex::from_trigger(self)
+    }
+}
+
+/// A 21-bit index into the pattern history table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhtIndex(u32);
+
+impl PhtIndex {
+    /// Builds the index from a trigger key: 16 PC bits (the instruction-word
+    /// address) concatenated with the 5 offset bits.
+    pub fn from_trigger(key: TriggerKey) -> Self {
+        let pc_bits = ((key.pc >> 2) as u32) & ((1 << PC_INDEX_BITS) - 1);
+        PhtIndex((pc_bits << OFFSET_INDEX_BITS) | (key.offset & ((1 << OFFSET_INDEX_BITS) - 1)))
+    }
+
+    /// Builds an index from its raw 21-bit value (masked to width).
+    pub fn from_raw(raw: u32) -> Self {
+        PhtIndex(raw & ((1 << INDEX_BITS) - 1))
+    }
+
+    /// The raw 21-bit value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The set index for a table with `sets` sets (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or is zero.
+    pub fn set_index(self, sets: usize) -> usize {
+        assert!(sets > 0 && sets.is_power_of_two(), "PHT set count must be a power of two");
+        (self.0 as usize) & (sets - 1)
+    }
+
+    /// The tag for a table with `sets` sets: the index bits above the set
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or is zero.
+    pub fn tag(self, sets: usize) -> u32 {
+        assert!(sets > 0 && sets.is_power_of_two(), "PHT set count must be a power of two");
+        self.0 >> sets.trailing_zeros()
+    }
+
+    /// Number of tag bits for a table with `sets` sets.
+    pub fn tag_bits(sets: usize) -> u32 {
+        assert!(sets > 0 && sets.is_power_of_two(), "PHT set count must be a power of two");
+        INDEX_BITS - sets.trailing_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_21_bits() {
+        let key = TriggerKey::new(u64::MAX, 31);
+        assert!(key.index().raw() < (1 << INDEX_BITS));
+    }
+
+    #[test]
+    fn different_offsets_produce_different_indices() {
+        let a = TriggerKey::new(0x1000, 3).index();
+        let b = TriggerKey::new(0x1000, 4).index();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_pcs_produce_different_indices() {
+        let a = TriggerKey::new(0x1000, 3).index();
+        let b = TriggerKey::new(0x1004, 3).index();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn set_and_tag_reconstruct_index() {
+        let sets = 1024;
+        for raw in [0u32, 1, 12345, (1 << INDEX_BITS) - 1] {
+            let index = PhtIndex::from_raw(raw);
+            let reconstructed = (index.tag(sets) << sets.trailing_zeros()) | index.set_index(sets) as u32;
+            assert_eq!(reconstructed, index.raw());
+        }
+    }
+
+    #[test]
+    fn tag_bits_match_paper_geometries() {
+        // 1K sets -> 10 set bits -> 11 tag bits (paper Section 3.2.1).
+        assert_eq!(PhtIndex::tag_bits(1024), 11);
+        // 16 sets -> 4 set bits -> 17 tag bits (paper Table 3 tags).
+        assert_eq!(PhtIndex::tag_bits(16), 17);
+        assert_eq!(PhtIndex::tag_bits(8), 18);
+    }
+
+    #[test]
+    fn set_index_is_bounded() {
+        for raw in 0..4096u32 {
+            assert!(PhtIndex::from_raw(raw).set_index(16) < 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panic() {
+        PhtIndex::from_raw(0).set_index(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_offset_panics() {
+        TriggerKey::new(0, 33);
+    }
+}

@@ -1,0 +1,55 @@
+//! # pv-sms — Spatial Memory Streaming prefetcher
+//!
+//! A from-scratch model of the Spatial Memory Streaming (SMS) data
+//! prefetcher (Somogyi et al., ISCA 2006), the predictor that the Predictor
+//! Virtualization paper virtualizes.
+//!
+//! SMS splits memory into fixed-size *spatial regions* (32 cache blocks in
+//! the paper). While a region is *active* — between its first (trigger)
+//! access and the moment any block accessed during the generation leaves the
+//! L1 — the Active Generation Table (AGT) records which blocks were touched
+//! as a bit-vector *spatial pattern*. When the generation ends, the pattern
+//! is stored in the Pattern History Table (PHT), indexed by the trigger's
+//! program counter and block offset. The next time the same trigger recurs,
+//! the stored pattern predicts which blocks the program will touch, and the
+//! prefetcher streams them into the L1.
+//!
+//! The PHT is the structure Predictor Virtualization moves into the memory
+//! hierarchy, so its storage is abstracted behind the [`PatternStorage`]
+//! trait: [`DedicatedPht`] and [`InfinitePht`] live here, and the
+//! virtualized implementation lives in the `pv-core` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use pv_mem::{HierarchyConfig, MemoryHierarchy};
+//! use pv_sms::{DedicatedPht, PhtGeometry, SmsConfig, SmsPrefetcher};
+//!
+//! let config = SmsConfig::paper_1k_11a();
+//! let storage = DedicatedPht::new(PhtGeometry::finite(1024, 11), &config);
+//! let mut sms = SmsPrefetcher::new(config, Box::new(storage));
+//! let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::paper_baseline(1));
+//!
+//! // Feed an access; a cold trigger produces no prefetches yet.
+//! let actions = sms.on_data_access(0x400, 0x10_0000, &mut hierarchy, 0);
+//! assert!(actions.prefetches.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agt;
+pub mod config;
+pub mod index;
+pub mod pattern;
+pub mod pht;
+pub mod prefetcher;
+pub mod stats;
+
+pub use agt::{ActiveGenerationTable, AgtUpdate, CompletedGeneration, TriggerInfo};
+pub use config::{PhtGeometry, SmsConfig};
+pub use index::{PhtIndex, TriggerKey};
+pub use pattern::SpatialPattern;
+pub use pht::{build_storage, DedicatedPht, InfinitePht, PatternLookup, PatternStorage};
+pub use prefetcher::{EngineResponse, PrefetchAction, SmsPrefetcher};
+pub use stats::SmsStats;

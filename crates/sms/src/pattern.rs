@@ -1,0 +1,181 @@
+//! Spatial patterns: which blocks of a region a generation accessed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of blocks per spatial region supported by the bit-vector
+/// representation.
+pub const MAX_REGION_BLOCKS: u32 = 32;
+
+/// A bit-vector over the blocks of one spatial region: bit *i* is set when
+/// block *i* of the region was (or is predicted to be) accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SpatialPattern(u32);
+
+impl SpatialPattern {
+    /// The empty pattern.
+    pub fn empty() -> Self {
+        SpatialPattern(0)
+    }
+
+    /// A pattern with only `offset` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 32`.
+    pub fn single(offset: u32) -> Self {
+        assert!(offset < MAX_REGION_BLOCKS, "offset {offset} out of range");
+        SpatialPattern(1 << offset)
+    }
+
+    /// Builds a pattern from raw bits.
+    pub fn from_bits(bits: u32) -> Self {
+        SpatialPattern(bits)
+    }
+
+    /// Builds a pattern from an iterator of block offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any offset is `>= 32`.
+    pub fn from_offsets<I: IntoIterator<Item = u32>>(offsets: I) -> Self {
+        let mut pattern = SpatialPattern::empty();
+        for offset in offsets {
+            pattern.set(offset);
+        }
+        pattern
+    }
+
+    /// The raw bit representation.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Marks block `offset` as accessed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 32`.
+    pub fn set(&mut self, offset: u32) {
+        assert!(offset < MAX_REGION_BLOCKS, "offset {offset} out of range");
+        self.0 |= 1 << offset;
+    }
+
+    /// Whether block `offset` is part of the pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 32`.
+    pub fn contains(self, offset: u32) -> bool {
+        assert!(offset < MAX_REGION_BLOCKS, "offset {offset} out of range");
+        self.0 & (1 << offset) != 0
+    }
+
+    /// Number of blocks in the pattern.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the pattern is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the block offsets in the pattern, lowest first.
+    pub fn offsets(self) -> impl Iterator<Item = u32> {
+        (0..MAX_REGION_BLOCKS).filter(move |&bit| self.0 & (1 << bit) != 0)
+    }
+
+    /// Returns the pattern with `offset` removed (used to exclude the trigger
+    /// block from the prefetch stream).
+    pub fn without(self, offset: u32) -> Self {
+        assert!(offset < MAX_REGION_BLOCKS, "offset {offset} out of range");
+        SpatialPattern(self.0 & !(1 << offset))
+    }
+
+    /// Union of two patterns.
+    pub fn union(self, other: Self) -> Self {
+        SpatialPattern(self.0 | other.0)
+    }
+
+    /// Number of blocks present in both patterns (used to measure prediction
+    /// accuracy in tests and ablations).
+    pub fn overlap(self, other: Self) -> u32 {
+        (self.0 & other.0).count_ones()
+    }
+}
+
+impl fmt::Display for SpatialPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032b}", self.0)
+    }
+}
+
+impl fmt::Binary for SpatialPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pattern_has_no_blocks() {
+        let p = SpatialPattern::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.offsets().count(), 0);
+    }
+
+    #[test]
+    fn set_and_contains_round_trip() {
+        let mut p = SpatialPattern::empty();
+        p.set(0);
+        p.set(31);
+        p.set(7);
+        assert!(p.contains(0));
+        assert!(p.contains(31));
+        assert!(p.contains(7));
+        assert!(!p.contains(1));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn from_offsets_matches_manual_sets() {
+        let p = SpatialPattern::from_offsets([3, 5, 8]);
+        assert_eq!(p, SpatialPattern::from_bits((1 << 3) | (1 << 5) | (1 << 8)));
+        let collected: Vec<u32> = p.offsets().collect();
+        assert_eq!(collected, vec![3, 5, 8]);
+    }
+
+    #[test]
+    fn without_removes_only_requested_offset() {
+        let p = SpatialPattern::from_offsets([1, 2, 3]);
+        let q = p.without(2);
+        assert!(!q.contains(2));
+        assert!(q.contains(1));
+        assert!(q.contains(3));
+        assert_eq!(p.without(10), p);
+    }
+
+    #[test]
+    fn union_and_overlap() {
+        let a = SpatialPattern::from_offsets([1, 2]);
+        let b = SpatialPattern::from_offsets([2, 3]);
+        assert_eq!(a.union(b), SpatialPattern::from_offsets([1, 2, 3]));
+        assert_eq!(a.overlap(b), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", SpatialPattern::single(0)).len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_offset_panics() {
+        SpatialPattern::single(32);
+    }
+}

@@ -1,0 +1,340 @@
+//! The SMS prefetch engine: ties the AGT to a pattern-storage backend and
+//! produces prefetch requests.
+
+use crate::agt::{ActiveGenerationTable, AgtUpdate};
+use crate::config::SmsConfig;
+use crate::pattern::SpatialPattern;
+use crate::pht::PatternStorage;
+use crate::stats::SmsStats;
+use pv_mem::{Address, BlockAddr, MemoryHierarchy};
+
+/// One prefetch the engine wants performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchAction {
+    /// Block to bring into the L1 data cache.
+    pub block: BlockAddr,
+    /// Cycle at which the prediction became available (the prefetch cannot
+    /// be issued earlier; a virtualized PHT may add latency here).
+    pub issue_at: u64,
+}
+
+/// Everything the engine decided in response to one event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineResponse {
+    /// Prefetches to issue.
+    pub prefetches: Vec<PrefetchAction>,
+    /// Whether this access triggered a new spatial generation.
+    pub triggered: bool,
+    /// Whether the trigger's PHT lookup hit.
+    pub pht_hit: bool,
+}
+
+/// The Spatial Memory Streaming prefetch engine for one core.
+///
+/// The engine is generic over its PHT storage: pass a
+/// [`crate::DedicatedPht`], [`crate::InfinitePht`] or the virtualized
+/// storage from `pv-core`. The rest of the prefetcher — the AGT and the
+/// prediction logic — is identical in all configurations, exactly as the
+/// paper requires ("the optimization engine remains unchanged").
+#[derive(Debug)]
+pub struct SmsPrefetcher {
+    config: SmsConfig,
+    agt: ActiveGenerationTable,
+    storage: Box<dyn PatternStorage>,
+    stats: SmsStats,
+}
+
+impl SmsPrefetcher {
+    /// Creates an SMS engine with the given configuration and PHT backend.
+    pub fn new(config: SmsConfig, storage: Box<dyn PatternStorage>) -> Self {
+        config.assert_valid();
+        SmsPrefetcher {
+            agt: ActiveGenerationTable::new(
+                config.filter_entries,
+                config.accumulation_entries,
+                config.region_blocks,
+            ),
+            config,
+            storage,
+            stats: SmsStats::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SmsConfig {
+        &self.config
+    }
+
+    /// The PHT storage backend.
+    pub fn storage(&self) -> &dyn PatternStorage {
+        self.storage.as_ref()
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SmsStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (the learned state is preserved), including any
+    /// statistics the PHT storage backend keeps.
+    pub fn reset_stats(&mut self) {
+        self.stats = SmsStats::default();
+        self.storage.reset_stats();
+    }
+
+    /// Observes one L1 data access (hit or miss) by the core.
+    ///
+    /// Returns the prefetches to issue, if the access triggered a generation
+    /// whose pattern is known.
+    pub fn on_data_access(
+        &mut self,
+        pc: u64,
+        address: u64,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    ) -> EngineResponse {
+        self.stats.accesses_observed += 1;
+        let block = Address::new(address).block();
+        let mut update = AgtUpdate::default();
+        self.agt.on_access(pc, block, &mut update);
+        self.apply_update(update, block, mem, now)
+    }
+
+    /// Notifies the engine that blocks left the L1 data cache (evictions or
+    /// invalidations); generations covering them end and their patterns are
+    /// stored.
+    pub fn on_l1_evictions(&mut self, blocks: &[BlockAddr], mem: &mut MemoryHierarchy, now: u64) {
+        for &block in blocks {
+            let mut update = AgtUpdate::default();
+            self.agt.on_l1_eviction(block, &mut update);
+            self.store_completed(&update, mem, now);
+        }
+    }
+
+    /// Ends all active generations and stores their patterns (used at the
+    /// end of a simulation window).
+    pub fn flush(&mut self, mem: &mut MemoryHierarchy, now: u64) {
+        for completed in self.agt.flush() {
+            if completed.pattern.count() >= 2 {
+                self.stats.patterns_stored += 1;
+                self.storage.store(completed.key.index(), completed.pattern, mem, now);
+            }
+        }
+    }
+
+    fn apply_update(
+        &mut self,
+        update: AgtUpdate,
+        trigger_block: BlockAddr,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    ) -> EngineResponse {
+        self.store_completed(&update, mem, now);
+        let mut response = EngineResponse::default();
+        let Some(trigger) = update.trigger else {
+            return response;
+        };
+        response.triggered = true;
+        self.stats.triggers += 1;
+        self.stats.pht_lookups += 1;
+        let lookup = self.storage.lookup(trigger.key.index(), mem, now);
+        match lookup.pattern {
+            Some(pattern) => {
+                self.stats.pht_hits += 1;
+                response.pht_hit = true;
+                response.prefetches =
+                    self.pattern_to_prefetches(pattern, trigger_block, lookup.ready_at);
+                self.stats.prefetch_candidates += response.prefetches.len() as u64;
+            }
+            None => {
+                self.stats.pht_misses += 1;
+            }
+        }
+        response
+    }
+
+    fn store_completed(&mut self, update: &AgtUpdate, mem: &mut MemoryHierarchy, now: u64) {
+        for completed in &update.completed {
+            // Patterns reaching the PHT always have at least two blocks (the
+            // filter table absorbs single-access generations).
+            if completed.pattern.count() >= 2 {
+                self.stats.patterns_stored += 1;
+                self.storage.store(completed.key.index(), completed.pattern, mem, now);
+            }
+        }
+    }
+
+    /// Converts a predicted pattern into concrete prefetch addresses for the
+    /// trigger's region, excluding the trigger block itself (the demand
+    /// access is already fetching it).
+    fn pattern_to_prefetches(
+        &self,
+        pattern: SpatialPattern,
+        trigger_block: BlockAddr,
+        issue_at: u64,
+    ) -> Vec<PrefetchAction> {
+        let region = trigger_block.region(self.config.region_blocks);
+        let trigger_offset = trigger_block.region_offset(self.config.region_blocks);
+        pattern
+            .without(trigger_offset)
+            .offsets()
+            .filter(|&offset| offset < self.config.region_blocks)
+            .map(|offset| PrefetchAction {
+                block: region.block_at(offset, self.config.region_blocks),
+                issue_at,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SmsConfig;
+    use crate::pht::build_storage;
+    use pv_mem::{HierarchyConfig, RegionAddr};
+
+    fn engine(config: SmsConfig) -> SmsPrefetcher {
+        let storage = build_storage(&config);
+        SmsPrefetcher::new(config, storage)
+    }
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::paper_baseline(1))
+    }
+
+    fn addr(region: u64, offset: u32) -> u64 {
+        RegionAddr::new(region).block_at(offset, 32).base_address().raw()
+    }
+
+    /// Runs one full generation (accesses + eviction) and returns the engine
+    /// response of the *next* trigger for the same PC.
+    fn train_and_retrigger(engine: &mut SmsPrefetcher, mem: &mut MemoryHierarchy, pc: u64) -> EngineResponse {
+        // Generation over region 10: blocks 2, 5, 7.
+        engine.on_data_access(pc, addr(10, 2), mem, 0);
+        engine.on_data_access(pc + 8, addr(10, 5), mem, 10);
+        engine.on_data_access(pc + 16, addr(10, 7), mem, 20);
+        // Evicting block 5 ends the generation and stores the pattern.
+        engine.on_l1_evictions(&[RegionAddr::new(10).block_at(5, 32)], mem, 30);
+        // The same trigger PC and offset on a different region now predicts.
+        engine.on_data_access(pc, addr(20, 2), mem, 100)
+    }
+
+    #[test]
+    fn cold_trigger_produces_no_prefetches() {
+        let mut engine = engine(SmsConfig::paper_1k_11a());
+        let mut mem = mem();
+        let response = engine.on_data_access(0x400, addr(1, 3), &mut mem, 0);
+        assert!(response.triggered);
+        assert!(!response.pht_hit);
+        assert!(response.prefetches.is_empty());
+        assert_eq!(engine.stats().pht_misses, 1);
+    }
+
+    #[test]
+    fn learned_pattern_predicts_future_generations() {
+        let mut engine = engine(SmsConfig::paper_1k_11a());
+        let mut mem = mem();
+        let response = train_and_retrigger(&mut engine, &mut mem, 0x400);
+        assert!(response.triggered);
+        assert!(response.pht_hit, "the stored pattern must be found");
+        // The pattern was {2, 5, 7}; the trigger block (offset 2) is excluded.
+        let blocks: Vec<BlockAddr> = response.prefetches.iter().map(|p| p.block).collect();
+        assert_eq!(
+            blocks,
+            vec![
+                RegionAddr::new(20).block_at(5, 32),
+                RegionAddr::new(20).block_at(7, 32)
+            ]
+        );
+        assert_eq!(engine.stats().patterns_stored, 1);
+        assert_eq!(engine.stats().pht_hits, 1);
+    }
+
+    #[test]
+    fn prefetches_target_the_new_region_not_the_trained_one() {
+        let mut engine = engine(SmsConfig::paper_1k_11a());
+        let mut mem = mem();
+        let response = train_and_retrigger(&mut engine, &mut mem, 0x400);
+        for p in &response.prefetches {
+            assert_eq!(p.block.region(32), RegionAddr::new(20));
+        }
+    }
+
+    #[test]
+    fn prefetch_issue_time_respects_lookup_latency() {
+        let mut engine = engine(SmsConfig::paper_1k_11a());
+        let mut mem = mem();
+        let response = train_and_retrigger(&mut engine, &mut mem, 0x400);
+        let latency = engine.config().dedicated_lookup_latency;
+        for p in &response.prefetches {
+            assert_eq!(p.issue_at, 100 + latency);
+        }
+    }
+
+    #[test]
+    fn different_pc_does_not_hit_the_learned_pattern() {
+        let mut engine = engine(SmsConfig::paper_1k_11a());
+        let mut mem = mem();
+        train_and_retrigger(&mut engine, &mut mem, 0x400);
+        let response = engine.on_data_access(0x9000, addr(30, 2), &mut mem, 200);
+        assert!(response.triggered);
+        assert!(!response.pht_hit);
+    }
+
+    #[test]
+    fn tiny_pht_forgets_under_pressure() {
+        let mut engine = engine(SmsConfig::small_8_11a());
+        let mut mem = mem();
+        // Train 2000 distinct triggers; an 88-entry table cannot hold them.
+        for i in 0..2000u64 {
+            let pc = 0x1000 + i * 4;
+            let region = 100 + i;
+            engine.on_data_access(pc, addr(region, 1), &mut mem, i * 10);
+            engine.on_data_access(pc + 4, addr(region, 3), &mut mem, i * 10 + 1);
+            engine.on_l1_evictions(&[RegionAddr::new(region).block_at(1, 32)], &mut mem, i * 10 + 2);
+        }
+        // Re-trigger the earliest PC: it must have been evicted.
+        let response = engine.on_data_access(0x1000, addr(5000, 1), &mut mem, 1_000_000);
+        assert!(!response.pht_hit, "an 88-entry PHT cannot retain 2000 patterns");
+    }
+
+    #[test]
+    fn infinite_pht_retains_everything() {
+        let mut engine = engine(SmsConfig::infinite());
+        let mut mem = mem();
+        for i in 0..2000u64 {
+            let pc = 0x1000 + i * 4;
+            let region = 100 + i;
+            engine.on_data_access(pc, addr(region, 1), &mut mem, i * 10);
+            engine.on_data_access(pc + 4, addr(region, 3), &mut mem, i * 10 + 1);
+            engine.on_l1_evictions(&[RegionAddr::new(region).block_at(1, 32)], &mut mem, i * 10 + 2);
+        }
+        let response = engine.on_data_access(0x1000, addr(5000, 1), &mut mem, 1_000_000);
+        assert!(response.pht_hit, "the infinite PHT never forgets");
+    }
+
+    #[test]
+    fn flush_persists_in_flight_generations() {
+        let mut engine = engine(SmsConfig::paper_1k_11a());
+        let mut mem = mem();
+        engine.on_data_access(0x400, addr(1, 0), &mut mem, 0);
+        engine.on_data_access(0x404, addr(1, 4), &mut mem, 1);
+        engine.flush(&mut mem, 10);
+        assert_eq!(engine.stats().patterns_stored, 1);
+        // The flushed pattern is usable by a later trigger.
+        let response = engine.on_data_access(0x400, addr(9, 0), &mut mem, 100);
+        assert!(response.pht_hit);
+    }
+
+    #[test]
+    fn stats_reset_keeps_learned_state() {
+        let mut engine = engine(SmsConfig::paper_1k_11a());
+        let mut mem = mem();
+        train_and_retrigger(&mut engine, &mut mem, 0x400);
+        engine.reset_stats();
+        assert_eq!(engine.stats().pht_hits, 0);
+        let response = engine.on_data_access(0x400, addr(40, 2), &mut mem, 500);
+        assert!(response.pht_hit, "resetting stats must not clear the PHT");
+    }
+}

@@ -1,0 +1,72 @@
+//! SMS prefetcher statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by the SMS engine.
+///
+/// Coverage and over-prediction percentages (Figure 4/5) are computed from
+/// the L1 cache statistics kept by `pv-mem`; the counters here describe the
+/// predictor's own behaviour (trigger rate, PHT hit rate, prefetch volume).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmsStats {
+    /// Data accesses observed by the prefetcher.
+    pub accesses_observed: u64,
+    /// Spatial-generation triggers (first access to an inactive region).
+    pub triggers: u64,
+    /// PHT lookups performed (one per trigger).
+    pub pht_lookups: u64,
+    /// PHT lookups that found a pattern.
+    pub pht_hits: u64,
+    /// PHT lookups that missed.
+    pub pht_misses: u64,
+    /// Generations whose patterns were stored into the PHT.
+    pub patterns_stored: u64,
+    /// Prefetch candidates generated from PHT hits (before the cache filters
+    /// out already-resident blocks).
+    pub prefetch_candidates: u64,
+}
+
+impl SmsStats {
+    /// PHT hit ratio in [0, 1]; zero when no lookups were performed.
+    pub fn pht_hit_ratio(&self) -> f64 {
+        if self.pht_lookups == 0 {
+            0.0
+        } else {
+            self.pht_hits as f64 / self.pht_lookups as f64
+        }
+    }
+
+    /// Mean prefetch candidates per PHT hit.
+    pub fn candidates_per_hit(&self) -> f64 {
+        if self.pht_hits == 0 {
+            0.0
+        } else {
+            self.prefetch_candidates as f64 / self.pht_hits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let stats = SmsStats::default();
+        assert_eq!(stats.pht_hit_ratio(), 0.0);
+        assert_eq!(stats.candidates_per_hit(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let stats = SmsStats {
+            pht_lookups: 10,
+            pht_hits: 4,
+            pht_misses: 6,
+            prefetch_candidates: 20,
+            ..SmsStats::default()
+        };
+        assert!((stats.pht_hit_ratio() - 0.4).abs() < 1e-12);
+        assert!((stats.candidates_per_hit() - 5.0).abs() < 1e-12);
+    }
+}

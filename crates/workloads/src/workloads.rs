@@ -1,0 +1,333 @@
+//! The eight named workload models of the paper's Table 2.
+//!
+//! Each function returns the parameter set of one synthetic workload. The
+//! absolute values are calibrated so that the *relative* behaviour matches
+//! what the paper reports:
+//!
+//! * web servers (Apache, Zeus) and OLTP (DB2, Oracle) have large
+//!   spatial-pattern working sets with little skew, so their prefetch
+//!   coverage collapses when the pattern history table shrinks to 16 or 8
+//!   sets (Figure 4/5);
+//! * the TPC-H decision-support queries have far fewer, hotter patterns, so
+//!   they retain most of their coverage with small tables, with Query 1 (a
+//!   scan) the least sensitive;
+//! * OLTP and web servers have large instruction footprints and more
+//!   irregular (pointer-chasing) accesses, bounding the achievable coverage;
+//! * scans stream through data with little reuse, producing the large
+//!   speedups the paper reports for the DSS queries.
+
+use crate::params::WorkloadParams;
+use serde::{Deserialize, Serialize};
+
+/// Identifier for one of the paper's eight workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WorkloadId {
+    /// SPECweb99 on Apache HTTP Server (Table 2: 16K connections, FastCGI).
+    Apache,
+    /// SPECweb99 on Zeus Web Server (Table 2: 16K connections, FastCGI).
+    Zeus,
+    /// TPC-C on IBM DB2 (Table 2: 100 warehouses, 64 clients).
+    Db2,
+    /// TPC-C on Oracle (Table 2: 100 warehouses, 16 clients).
+    Oracle,
+    /// TPC-H Query 1 on DB2 (scan-dominated).
+    Qry1,
+    /// TPC-H Query 2 on DB2 (join-dominated).
+    Qry2,
+    /// TPC-H Query 16 on DB2 (join-dominated).
+    Qry16,
+    /// TPC-H Query 17 on DB2 (balanced scan-join).
+    Qry17,
+}
+
+impl WorkloadId {
+    /// All eight workloads in the order the paper's figures use.
+    pub fn all() -> [WorkloadId; 8] {
+        [
+            WorkloadId::Apache,
+            WorkloadId::Zeus,
+            WorkloadId::Db2,
+            WorkloadId::Oracle,
+            WorkloadId::Qry1,
+            WorkloadId::Qry2,
+            WorkloadId::Qry16,
+            WorkloadId::Qry17,
+        ]
+    }
+
+    /// Short display name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadId::Apache => "Apache",
+            WorkloadId::Zeus => "Zeus",
+            WorkloadId::Db2 => "DB2",
+            WorkloadId::Oracle => "Oracle",
+            WorkloadId::Qry1 => "Qry1",
+            WorkloadId::Qry2 => "Qry2",
+            WorkloadId::Qry16 => "Qry16",
+            WorkloadId::Qry17 => "Qry17",
+        }
+    }
+
+    /// The parameter set for this workload.
+    pub fn params(self) -> WorkloadParams {
+        match self {
+            WorkloadId::Apache => apache(),
+            WorkloadId::Zeus => zeus(),
+            WorkloadId::Db2 => db2(),
+            WorkloadId::Oracle => oracle(),
+            WorkloadId::Qry1 => qry1(),
+            WorkloadId::Qry2 => qry2(),
+            WorkloadId::Qry16 => qry16(),
+            WorkloadId::Qry17 => qry17(),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Returns every paper workload together with its identifier.
+pub fn paper_workloads() -> Vec<(WorkloadId, WorkloadParams)> {
+    WorkloadId::all().iter().map(|&id| (id, id.params())).collect()
+}
+
+/// SPECweb99 served by Apache: many distinct request-handling code paths
+/// (large, weakly-skewed pattern working set), sizeable irregular component
+/// from string/hash handling, large instruction footprint.
+pub fn apache() -> WorkloadParams {
+    WorkloadParams {
+        name: "Apache".to_owned(),
+        description: "SPECweb99, Apache HTTP Server, 16K connections, FastCGI, worker threading".to_owned(),
+        contexts: 7_000,
+        context_zipf: 0.55,
+        pattern_density: 0.25,
+        pattern_stability: 0.92,
+        data_regions: 100_000,
+        region_zipf: 0.95,
+        irregular_fraction: 0.15,
+        write_fraction: 0.12,
+        accesses_per_block: 3.0,
+        active_generations: 24,
+        instr_per_mem: 4.0,
+        code_blocks: 6_000,
+        branch_fraction: 0.15,
+    }
+}
+
+/// SPECweb99 served by Zeus: similar structure to Apache with a slightly
+/// smaller, slightly hotter pattern set (Zeus is a single-process,
+/// event-driven server).
+pub fn zeus() -> WorkloadParams {
+    WorkloadParams {
+        name: "Zeus".to_owned(),
+        description: "SPECweb99, Zeus Web Server, 16K connections, FastCGI".to_owned(),
+        contexts: 6_000,
+        context_zipf: 0.60,
+        pattern_density: 0.28,
+        pattern_stability: 0.93,
+        data_regions: 90_000,
+        region_zipf: 0.95,
+        irregular_fraction: 0.12,
+        write_fraction: 0.10,
+        accesses_per_block: 3.0,
+        active_generations: 24,
+        instr_per_mem: 4.0,
+        code_blocks: 5_000,
+        branch_fraction: 0.15,
+    }
+}
+
+/// TPC-C on DB2: OLTP with a large buffer pool, many distinct access paths,
+/// moderate skew and a substantial store component (record updates).
+pub fn db2() -> WorkloadParams {
+    WorkloadParams {
+        name: "DB2".to_owned(),
+        description: "TPC-C v3.0, IBM DB2 v8 ESE, 100 warehouses (10 GB), 64 clients, 450 MB buffer pool".to_owned(),
+        contexts: 3_500,
+        context_zipf: 0.70,
+        pattern_density: 0.30,
+        pattern_stability: 0.90,
+        data_regions: 150_000,
+        region_zipf: 1.00,
+        irregular_fraction: 0.18,
+        write_fraction: 0.20,
+        accesses_per_block: 3.0,
+        active_generations: 32,
+        instr_per_mem: 3.5,
+        code_blocks: 8_000,
+        branch_fraction: 0.18,
+    }
+}
+
+/// TPC-C on Oracle: like DB2 but with an even larger, flatter pattern
+/// working set — the paper's most PHT-capacity-sensitive workload (coverage
+/// drops from 44% at 1K sets to under 4% at 8 sets).
+pub fn oracle() -> WorkloadParams {
+    WorkloadParams {
+        name: "Oracle".to_owned(),
+        description: "TPC-C v3.0, Oracle 10g Enterprise, 100 warehouses (10 GB), 16 clients, 1.4 GB SGA".to_owned(),
+        contexts: 5_000,
+        context_zipf: 0.55,
+        pattern_density: 0.28,
+        pattern_stability: 0.90,
+        data_regions: 180_000,
+        region_zipf: 1.00,
+        irregular_fraction: 0.18,
+        write_fraction: 0.22,
+        accesses_per_block: 3.0,
+        active_generations: 32,
+        instr_per_mem: 3.5,
+        code_blocks: 9_000,
+        branch_fraction: 0.18,
+    }
+}
+
+/// TPC-H Query 1: a scan-dominated aggregation. Few, very hot access
+/// patterns with dense per-region footprints and almost no data reuse —
+/// little sensitivity to PHT capacity and a large prefetching upside.
+pub fn qry1() -> WorkloadParams {
+    WorkloadParams {
+        name: "Qry1".to_owned(),
+        description: "TPC-H Query 1 on DB2, scan-dominated, 450 MB buffer pool".to_owned(),
+        contexts: 400,
+        context_zipf: 0.90,
+        pattern_density: 0.60,
+        pattern_stability: 0.97,
+        data_regions: 150_000,
+        region_zipf: 0.90,
+        irregular_fraction: 0.06,
+        write_fraction: 0.05,
+        accesses_per_block: 2.5,
+        active_generations: 8,
+        instr_per_mem: 3.0,
+        code_blocks: 1_500,
+        branch_fraction: 0.10,
+    }
+}
+
+/// TPC-H Query 2: join-dominated with moderately many patterns and moderate
+/// reuse; more sensitive than Query 1 but far less than OLTP.
+pub fn qry2() -> WorkloadParams {
+    WorkloadParams {
+        name: "Qry2".to_owned(),
+        description: "TPC-H Query 2 on DB2, join-dominated, 450 MB buffer pool".to_owned(),
+        contexts: 2_500,
+        context_zipf: 0.70,
+        pattern_density: 0.45,
+        pattern_stability: 0.95,
+        data_regions: 120_000,
+        region_zipf: 0.95,
+        irregular_fraction: 0.08,
+        write_fraction: 0.05,
+        accesses_per_block: 2.5,
+        active_generations: 16,
+        instr_per_mem: 3.0,
+        code_blocks: 2_500,
+        branch_fraction: 0.12,
+    }
+}
+
+/// TPC-H Query 16: join-dominated with a somewhat larger, flatter pattern
+/// set than Query 2.
+pub fn qry16() -> WorkloadParams {
+    WorkloadParams {
+        name: "Qry16".to_owned(),
+        description: "TPC-H Query 16 on DB2, join-dominated, 450 MB buffer pool".to_owned(),
+        contexts: 3_000,
+        context_zipf: 0.60,
+        pattern_density: 0.40,
+        pattern_stability: 0.94,
+        data_regions: 120_000,
+        region_zipf: 0.95,
+        irregular_fraction: 0.10,
+        write_fraction: 0.06,
+        accesses_per_block: 2.5,
+        active_generations: 16,
+        instr_per_mem: 3.0,
+        code_blocks: 2_500,
+        branch_fraction: 0.12,
+    }
+}
+
+/// TPC-H Query 17: balanced scan-join; between Query 1 and the join queries
+/// in pattern-set size and density.
+pub fn qry17() -> WorkloadParams {
+    WorkloadParams {
+        name: "Qry17".to_owned(),
+        description: "TPC-H Query 17 on DB2, balanced scan-join, 450 MB buffer pool".to_owned(),
+        contexts: 2_000,
+        context_zipf: 0.65,
+        pattern_density: 0.45,
+        pattern_stability: 0.94,
+        data_regions: 140_000,
+        region_zipf: 0.95,
+        irregular_fraction: 0.12,
+        write_fraction: 0.08,
+        accesses_per_block: 2.5,
+        active_generations: 16,
+        instr_per_mem: 3.0,
+        code_blocks: 3_000,
+        branch_fraction: 0.12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_eight_workloads() {
+        assert_eq!(WorkloadId::all().len(), 8);
+        assert_eq!(paper_workloads().len(), 8);
+    }
+
+    #[test]
+    fn names_are_unique_and_match_ids() {
+        let mut names: Vec<&str> = WorkloadId::all().iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+        assert_eq!(WorkloadId::Oracle.params().name, "Oracle");
+        assert_eq!(format!("{}", WorkloadId::Qry16), "Qry16");
+    }
+
+    #[test]
+    fn oltp_has_larger_pattern_working_sets_than_dss() {
+        // The calibration invariant behind Figure 4: OLTP/web workloads need
+        // big PHTs, DSS queries do not.
+        let oltp_min = [apache(), zeus(), db2(), oracle()]
+            .iter()
+            .map(|w| w.contexts)
+            .min()
+            .unwrap();
+        let dss_max = [qry1(), qry2(), qry16(), qry17()]
+            .iter()
+            .map(|w| w.contexts)
+            .max()
+            .unwrap();
+        assert!(oltp_min > dss_max, "OLTP pattern sets must exceed DSS pattern sets");
+    }
+
+    #[test]
+    fn scan_query_is_least_sensitive() {
+        // Query 1 must have the smallest pattern working set and the densest
+        // patterns, making it the least sensitive to PHT capacity.
+        for other in [qry2(), qry16(), qry17(), apache(), zeus(), db2(), oracle()] {
+            assert!(qry1().contexts <= other.contexts);
+            assert!(qry1().pattern_density >= other.pattern_density);
+        }
+    }
+
+    #[test]
+    fn all_workloads_have_big_data_footprints() {
+        for (_, params) in paper_workloads() {
+            // Footprints must comfortably exceed the 8 MB L2 so that the
+            // baseline actually misses off-chip.
+            assert!(params.data_footprint_bytes() > 64 * 1024 * 1024);
+        }
+    }
+}

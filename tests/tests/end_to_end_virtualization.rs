@@ -1,0 +1,79 @@
+//! End-to-end reproduction of the paper's headline claim: the virtualized
+//! prefetcher (SMS-PV8, under 1 KB of dedicated on-chip storage) matches the
+//! performance of the dedicated 1K-set table (~59 KB), while naively
+//! shrinking the dedicated table loses most of the benefit.
+
+use pv_sim::{run_workload, PrefetcherKind, RunMetrics, SimConfig};
+use pv_workloads::WorkloadId;
+
+/// Short windows keep the suite fast in debug builds while still training
+/// the predictor enough for the qualitative claims to hold.
+fn config(prefetcher: PrefetcherKind) -> SimConfig {
+    let mut config = SimConfig::quick(prefetcher);
+    config.warmup_records = 40_000;
+    config.measure_records = 50_000;
+    config
+}
+
+fn run(workload: WorkloadId, prefetcher: PrefetcherKind) -> RunMetrics {
+    run_workload(&config(prefetcher), &workload.params())
+}
+
+#[test]
+fn virtualized_prefetcher_matches_dedicated_large_table() {
+    let workload = WorkloadId::Qry1;
+    let baseline = run(workload, PrefetcherKind::None);
+    let dedicated = run(workload, PrefetcherKind::sms_1k_11a());
+    let virtualized = run(workload, PrefetcherKind::sms_pv8());
+
+    let dedicated_speedup = dedicated.speedup_over(&baseline);
+    let virtualized_speedup = virtualized.speedup_over(&baseline);
+    assert!(dedicated_speedup > 0.05, "the dedicated prefetcher must help the scan workload");
+    assert!(
+        (dedicated_speedup - virtualized_speedup).abs() < 0.05,
+        "virtualization must preserve the speedup (dedicated {:.3}, virtualized {:.3})",
+        dedicated_speedup,
+        virtualized_speedup
+    );
+    assert!(
+        (dedicated.coverage.coverage() - virtualized.coverage.coverage()).abs() < 0.05,
+        "virtualization must preserve coverage"
+    );
+}
+
+#[test]
+fn small_dedicated_tables_lose_most_of_the_benefit() {
+    let workload = WorkloadId::Oracle;
+    let large = run(workload, PrefetcherKind::sms_1k_11a());
+    let small = run(workload, PrefetcherKind::sms_8_11a());
+    assert!(
+        small.coverage.coverage() < large.coverage.coverage() * 0.5,
+        "an 8-set PHT must lose most of the coverage on the OLTP workload ({:.3} vs {:.3})",
+        small.coverage.coverage(),
+        large.coverage.coverage()
+    );
+}
+
+#[test]
+fn on_chip_storage_is_reduced_by_two_orders_of_magnitude() {
+    use pv_core::{PvConfig, PvStorageBudget};
+    use pv_sms::PhtGeometry;
+    let dedicated = PhtGeometry::paper_1k_11a().total_bytes().unwrap();
+    let virtualized = PvStorageBudget::for_config(&PvConfig::pv8()).total_bytes();
+    assert!(virtualized < 1024, "the PVProxy must need less than one kilobyte");
+    assert!(
+        dedicated / virtualized >= 60,
+        "virtualization must reduce dedicated storage by roughly 68x (got {}x)",
+        dedicated / virtualized
+    );
+}
+
+#[test]
+fn virtualized_runs_expose_predictor_statistics() {
+    let metrics = run(WorkloadId::Qry17, PrefetcherKind::sms_pv8());
+    let pv = metrics.pv.expect("PV stats must be reported");
+    assert!(pv.lookups > 0);
+    assert!(pv.memory_requests > 0);
+    assert!(pv.memory_requests <= pv.lookups + pv.stores, "at most one fetch per operation");
+    assert!(metrics.hierarchy.l2_requests.predictor >= pv.memory_requests);
+}

@@ -1,0 +1,93 @@
+//! Shape checks for the paper's figures, run through the experiment harness
+//! at smoke scale: the orderings the paper's conclusions rest on must hold.
+
+use pv_experiments::{fig4, fig9, Runner, Scale};
+use pv_workloads::WorkloadId;
+
+fn runner() -> Runner {
+    Runner::new(Scale::Smoke, 4)
+}
+
+#[test]
+fn figure4_large_tables_beat_small_tables_on_capacity_sensitive_workloads() {
+    let runner = runner();
+    let rows = fig4::rows_for(&runner, &[WorkloadId::Oracle]);
+    let coverage = |config: &str| {
+        rows.iter()
+            .find(|r| r.config == config)
+            .unwrap_or_else(|| panic!("missing config {config}"))
+            .covered
+    };
+    let infinite = coverage("Infinite");
+    let large = coverage("1K-11a");
+    let small = coverage("8-11a");
+    assert!(
+        (infinite - large).abs() < 0.05,
+        "1K sets must be within a few per cent of the infinite table ({large:.3} vs {infinite:.3})"
+    );
+    assert!(
+        small < large * 0.5,
+        "8 sets must lose most of the coverage ({small:.3} vs {large:.3})"
+    );
+}
+
+#[test]
+fn figure4_dss_scan_degrades_more_gently_than_oltp() {
+    let runner = runner();
+    let rows = fig4::rows_for(&runner, &[WorkloadId::Oracle, WorkloadId::Qry1]);
+    let retention = |workload: &str| {
+        let large = rows
+            .iter()
+            .find(|r| r.workload == workload && r.config == "1K-11a")
+            .unwrap()
+            .covered;
+        let small = rows
+            .iter()
+            .find(|r| r.workload == workload && r.config == "8-11a")
+            .unwrap()
+            .covered;
+        if large == 0.0 {
+            0.0
+        } else {
+            small / large
+        }
+    };
+    assert!(
+        retention("Qry1") > retention("Oracle"),
+        "the scan query must retain more of its coverage with a tiny PHT than OLTP does"
+    );
+}
+
+#[test]
+fn figure9_virtualized_matches_dedicated_and_beats_small_tables() {
+    let runner = runner();
+    let rows = fig9::rows_for(&runner, &[WorkloadId::Qry2]);
+    assert_eq!(rows.len(), 1);
+    let speedups = &rows[0].speedups; // [SMS-1K, SMS-16, SMS-8, SMS-PV8]
+    assert!(speedups[0] > 0.0, "SMS-1K must provide a speedup");
+    assert!(
+        (speedups[0] - speedups[3]).abs() < 0.05,
+        "SMS-PV8 must match SMS-1K ({:.3} vs {:.3})",
+        speedups[3],
+        speedups[0]
+    );
+    assert!(
+        speedups[2] < speedups[0],
+        "the 8-set dedicated table must trail the 1K-set table"
+    );
+}
+
+#[test]
+fn experiment_runner_reuses_cached_simulations_across_figures() {
+    let runner = runner();
+    let _ = fig9::rows_for(&runner, &[WorkloadId::Qry1]);
+    let executed_after_fig9 = runner.runs_executed();
+    // Figure 4 shares the SMS-1K-11a, 16-11a and 8-11a runs with Figure 9.
+    let _ = fig4::rows_for(&runner, &[WorkloadId::Qry1]);
+    let executed_after_fig4 = runner.runs_executed();
+    assert!(
+        executed_after_fig4 - executed_after_fig9 <= 2,
+        "only the Infinite and 1K-16a configurations should require new runs, got {} new",
+        executed_after_fig4 - executed_after_fig9
+    );
+}

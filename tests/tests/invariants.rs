@@ -1,0 +1,128 @@
+//! Property-based tests of cross-crate invariants: the PVTable packing
+//! codec, PHT index arithmetic, address round-trips, and coverage
+//! accounting.
+
+use proptest::prelude::*;
+use pv_core::{decode_set, encode_set, PvConfig, PvSet};
+use pv_mem::Address;
+use pv_sms::{PhtIndex, SpatialPattern, TriggerKey};
+
+proptest! {
+    /// Any set of (tag, non-empty pattern) entries survives the 64-byte
+    /// packing round trip of Figure 3a.
+    #[test]
+    fn packed_pvtable_sets_round_trip(
+        entries in proptest::collection::vec((0u16..2048, 1u32..=u32::MAX), 0..=11)
+    ) {
+        let config = PvConfig::pv8();
+        let mut set = PvSet::new(config.ways);
+        let mut expected = std::collections::HashMap::new();
+        for (tag, bits) in entries {
+            set.insert(tag, SpatialPattern::from_bits(bits));
+            expected.insert(tag, bits);
+        }
+        let decoded = decode_set(&encode_set(&set, &config), &config);
+        prop_assert_eq!(decoded.len(), set.len());
+        for entry in set.iter() {
+            prop_assert_eq!(decoded.peek(entry.tag), Some(entry.pattern));
+        }
+    }
+
+    /// The encoded block never exceeds one cache block and always leaves the
+    /// Figure 3a trailer bits unused.
+    #[test]
+    fn packed_sets_always_fit_one_block(tags in proptest::collection::vec(0u16..2048, 0..=11)) {
+        let config = PvConfig::pv8();
+        let mut set = PvSet::new(config.ways);
+        for (i, tag) in tags.iter().enumerate() {
+            set.insert(*tag, SpatialPattern::from_bits(0x8000_0000 | i as u32 + 1));
+        }
+        let encoded = encode_set(&set, &config);
+        prop_assert_eq!(encoded.len() as u64, config.block_bytes);
+        let used_bits = config.ways * config.entry_bits as usize;
+        for bit in used_bits..(config.block_bytes * 8) as usize {
+            prop_assert_eq!(encoded[bit / 8] & (1 << (bit % 8)), 0);
+        }
+    }
+
+    /// PHT set index and tag always reconstruct the 21-bit index, for every
+    /// power-of-two table size the sweeps use.
+    #[test]
+    fn pht_index_set_tag_reconstruction(pc in any::<u64>(), offset in 0u32..32, sets_log2 in 3u32..=10) {
+        let sets = 1usize << sets_log2;
+        let index = TriggerKey::new(pc, offset).index();
+        let rebuilt = (index.tag(sets) << sets_log2) | index.set_index(sets) as u32;
+        prop_assert_eq!(rebuilt, index.raw());
+        prop_assert!(index.set_index(sets) < sets);
+        prop_assert_eq!(PhtIndex::from_raw(index.raw()), index);
+    }
+
+    /// Byte address <-> block <-> region arithmetic is consistent for the
+    /// 32-block regions SMS uses.
+    #[test]
+    fn address_block_region_round_trip(raw in any::<u64>()) {
+        let addr = Address::new(raw & 0x0000_FFFF_FFFF_FFFF);
+        let block = addr.block();
+        prop_assert_eq!(block.base_address().block(), block);
+        prop_assert!(addr.block_offset() < 64);
+        let region = block.region(32);
+        let offset = block.region_offset(32);
+        prop_assert_eq!(region.block_at(offset, 32), block);
+        prop_assert!(offset < 32);
+    }
+
+    /// Spatial patterns: building from offsets and reading offsets back are
+    /// inverse operations, and `without` removes exactly one offset.
+    #[test]
+    fn spatial_pattern_offsets_round_trip(offsets in proptest::collection::btree_set(0u32..32, 0..=32)) {
+        let pattern = SpatialPattern::from_offsets(offsets.iter().copied());
+        let back: std::collections::BTreeSet<u32> = pattern.offsets().collect();
+        prop_assert_eq!(&back, &offsets);
+        prop_assert_eq!(pattern.count() as usize, offsets.len());
+        if let Some(&first) = offsets.iter().next() {
+            let without = pattern.without(first);
+            prop_assert!(!without.contains(first));
+            prop_assert_eq!(without.count() + 1, pattern.count());
+        }
+    }
+
+    /// Coverage accounting never produces fractions outside [0, 1] and the
+    /// baseline decomposition always adds up.
+    #[test]
+    fn coverage_metrics_are_well_formed(covered in 0u64..1_000_000, uncovered in 0u64..1_000_000, over in 0u64..1_000_000) {
+        let coverage = pv_sim::CoverageMetrics { covered, uncovered, overpredictions: over };
+        prop_assert_eq!(coverage.baseline_misses(), covered + uncovered);
+        prop_assert!(coverage.coverage() >= 0.0 && coverage.coverage() <= 1.0);
+        prop_assert!(coverage.overprediction_ratio() >= 0.0);
+    }
+}
+
+#[test]
+fn pv_regions_never_overlap_workload_address_spaces() {
+    // Deterministic cross-crate invariant: the reserved PVTable regions of
+    // all cores are disjoint from every address the workload generators can
+    // emit (checked statistically in pv-workloads; here we check the layout
+    // boundaries directly).
+    let hierarchy = pv_mem::HierarchyConfig::paper_baseline(4);
+    for core in 0..4 {
+        let base = hierarchy.pv_regions.core_base(core).raw();
+        let end = base + hierarchy.pv_regions.bytes_per_core;
+        assert!(base >= 3 * 1024 * 1024 * 1024 - hierarchy.pv_regions.total_bytes());
+        assert!(end <= 3 * 1024 * 1024 * 1024);
+    }
+}
+
+#[test]
+fn proxy_storage_budget_is_monotonic_in_every_resource() {
+    use pv_core::PvStorageBudget;
+    let base = PvStorageBudget::for_config(&PvConfig::pv8()).total_bytes();
+    let mut bigger_cache = PvConfig::pv8();
+    bigger_cache.pvcache_sets *= 2;
+    let mut bigger_mshr = PvConfig::pv8();
+    bigger_mshr.mshr_entries *= 2;
+    let mut bigger_evict = PvConfig::pv8();
+    bigger_evict.evict_buffer_entries *= 2;
+    for config in [bigger_cache, bigger_mshr, bigger_evict] {
+        assert!(PvStorageBudget::for_config(&config).total_bytes() > base);
+    }
+}

@@ -1,0 +1,93 @@
+//! Traffic accounting across crates: the virtualized predictor's extra L2
+//! requests, its near-zero off-chip footprint, and the application/predictor
+//! classification of memory traffic (paper Sections 4.3 and Figures 6-8).
+
+use pv_sim::{run_workload, PrefetcherKind, RunMetrics, SimConfig};
+use pv_workloads::WorkloadId;
+
+fn run(workload: WorkloadId, prefetcher: PrefetcherKind) -> RunMetrics {
+    let mut config = SimConfig::quick(prefetcher);
+    config.warmup_records = 40_000;
+    config.measure_records = 50_000;
+    run_workload(&config, &workload.params())
+}
+
+#[test]
+fn virtualization_adds_l2_requests_but_little_offchip_traffic() {
+    let workload = WorkloadId::Zeus;
+    let dedicated = run(workload, PrefetcherKind::sms_1k_11a());
+    let virtualized = run(workload, PrefetcherKind::sms_pv8());
+
+    let request_increase = virtualized.l2_request_increase_over(&dedicated);
+    assert!(
+        request_increase > 0.05 && request_increase < 0.80,
+        "PV should add a noticeable but bounded number of L2 requests (got {:.1}%)",
+        request_increase * 100.0
+    );
+
+    let offchip_increase = virtualized.offchip_increase_over(&dedicated);
+    assert!(
+        offchip_increase < 0.15,
+        "PV's off-chip traffic increase must stay small (got {:.1}%)",
+        offchip_increase * 100.0
+    );
+}
+
+#[test]
+fn predictor_traffic_is_classified_separately_from_application_traffic() {
+    let virtualized = run(WorkloadId::Qry16, PrefetcherKind::sms_pv8());
+    assert!(virtualized.hierarchy.l2_requests.predictor > 0);
+    assert!(virtualized.hierarchy.l2_requests.application > 0);
+    assert!(
+        virtualized.hierarchy.l2_requests.application > virtualized.hierarchy.l2_requests.predictor,
+        "application traffic must dominate"
+    );
+    // Dedicated configurations never produce predictor-classified traffic.
+    let dedicated = run(WorkloadId::Qry16, PrefetcherKind::sms_1k_11a());
+    assert_eq!(dedicated.hierarchy.l2_requests.predictor, 0);
+    assert_eq!(dedicated.hierarchy.l2_writebacks.predictor, 0);
+}
+
+#[test]
+fn most_pvproxy_requests_are_filled_by_the_l2() {
+    let virtualized = run(WorkloadId::Qry2, PrefetcherKind::sms_pv8());
+    let requests = virtualized.hierarchy.l2_requests.predictor;
+    let misses = virtualized.hierarchy.l2_misses.predictor;
+    assert!(requests > 0);
+    let filled_on_chip = 1.0 - misses as f64 / requests as f64;
+    assert!(
+        filled_on_chip > 0.90,
+        "the paper reports >98% of PVProxy requests filled by the L2; got {:.1}%",
+        filled_on_chip * 100.0
+    );
+}
+
+#[test]
+fn prefetching_reduces_l1_read_misses() {
+    let workload = WorkloadId::Qry1;
+    let baseline = run(workload, PrefetcherKind::None);
+    let prefetched = run(workload, PrefetcherKind::sms_1k_11a());
+    let baseline_misses = baseline.hierarchy.l1d_total().read_misses;
+    let prefetched_misses = prefetched.hierarchy.l1d_total().read_misses;
+    assert!(
+        prefetched_misses < baseline_misses,
+        "SMS must eliminate L1 read misses ({prefetched_misses} vs {baseline_misses})"
+    );
+}
+
+#[test]
+fn offchip_bandwidth_accounting_is_consistent() {
+    let metrics = run(WorkloadId::Apache, PrefetcherKind::sms_pv8());
+    let stats = &metrics.hierarchy;
+    assert_eq!(
+        stats.offchip_bytes(),
+        (stats.l2_misses.total() + stats.l2_writebacks.total()) * 64
+    );
+    assert!(stats.offchip_predictor_bytes() <= stats.offchip_bytes());
+    // Every DRAM write corresponds to an L2 write-back; DRAM reads can be
+    // fewer than L2 misses because concurrent misses to one block merge in
+    // the L2 MSHRs.
+    assert_eq!(stats.dram_writes, stats.l2_writebacks.total());
+    assert!(stats.dram_reads <= stats.l2_misses.total());
+    assert!(stats.dram_reads > 0);
+}
