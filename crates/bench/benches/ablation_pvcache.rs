@@ -8,7 +8,10 @@ use pv_workloads::WorkloadId;
 
 fn bench(c: &mut Criterion) {
     let runner = bench_runner();
-    print_report("Ablation - PVCache capacity and packing", &pv_experiments::ablation::report(&runner));
+    print_report(
+        "Ablation - PVCache capacity and packing",
+        &pv_experiments::ablation::report(&runner),
+    );
     let mut group = figure_bench_group(c, "ablation_pvcache");
     group.bench_function("Oracle_sms_pv16_smoke_run", |b| {
         b.iter(|| smoke_run(WorkloadId::Oracle, PrefetcherKind::sms_pv16()))

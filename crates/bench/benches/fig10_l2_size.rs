@@ -8,7 +8,10 @@ use pv_workloads::WorkloadId;
 
 fn bench(c: &mut Criterion) {
     let runner = bench_runner();
-    print_report("Figure 10 - sensitivity to L2 capacity", &pv_experiments::fig10::report(&runner));
+    print_report(
+        "Figure 10 - sensitivity to L2 capacity",
+        &pv_experiments::fig10::report(&runner),
+    );
     let mut group = figure_bench_group(c, "fig10_l2_size");
     group.bench_function("Qry17_sms_pv8_smoke_run", |b| {
         b.iter(|| smoke_run(WorkloadId::Qry17, PrefetcherKind::sms_pv8()))

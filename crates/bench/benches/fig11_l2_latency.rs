@@ -8,7 +8,10 @@ use pv_workloads::WorkloadId;
 
 fn bench(c: &mut Criterion) {
     let runner = bench_runner();
-    print_report("Figure 11 - sensitivity to L2 latency", &pv_experiments::fig11::report(&runner));
+    print_report(
+        "Figure 11 - sensitivity to L2 latency",
+        &pv_experiments::fig11::report(&runner),
+    );
     let mut group = figure_bench_group(c, "fig11_l2_latency");
     group.bench_function("Qry2_sms_pv8_smoke_run", |b| {
         b.iter(|| smoke_run(WorkloadId::Qry2, PrefetcherKind::sms_pv8()))

@@ -8,7 +8,10 @@ use pv_workloads::WorkloadId;
 
 fn bench(c: &mut Criterion) {
     let runner = bench_runner();
-    print_report("Figure 4 - SMS performance potential", &pv_experiments::fig4::report(&runner));
+    print_report(
+        "Figure 4 - SMS performance potential",
+        &pv_experiments::fig4::report(&runner),
+    );
     let mut group = figure_bench_group(c, "fig4_potential");
     group.bench_function("Oracle_sms_1k_11a_smoke_run", |b| {
         b.iter(|| smoke_run(WorkloadId::Oracle, PrefetcherKind::sms_1k_11a()))

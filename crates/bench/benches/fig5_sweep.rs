@@ -8,7 +8,10 @@ use pv_workloads::WorkloadId;
 
 fn bench(c: &mut Criterion) {
     let runner = bench_runner();
-    print_report("Figure 5 - coverage across PHT sizes", &pv_experiments::fig5::report(&runner));
+    print_report(
+        "Figure 5 - coverage across PHT sizes",
+        &pv_experiments::fig5::report(&runner),
+    );
     let mut group = figure_bench_group(c, "fig5_sweep");
     group.bench_function("Apache_sms_1k_11a_smoke_run", |b| {
         b.iter(|| smoke_run(WorkloadId::Apache, PrefetcherKind::sms_1k_11a()))

@@ -8,7 +8,10 @@ use pv_workloads::WorkloadId;
 
 fn bench(c: &mut Criterion) {
     let runner = bench_runner();
-    print_report("Figure 6 - L2 request increase", &pv_experiments::fig6::report(&runner));
+    print_report(
+        "Figure 6 - L2 request increase",
+        &pv_experiments::fig6::report(&runner),
+    );
     let mut group = figure_bench_group(c, "fig6_l2_requests");
     group.bench_function("Oracle_sms_pv8_smoke_run", |b| {
         b.iter(|| smoke_run(WorkloadId::Oracle, PrefetcherKind::sms_pv8()))

@@ -8,7 +8,10 @@ use pv_workloads::WorkloadId;
 
 fn bench(c: &mut Criterion) {
     let runner = bench_runner();
-    print_report("Figure 7 - off-chip bandwidth increase", &pv_experiments::fig7::report(&runner));
+    print_report(
+        "Figure 7 - off-chip bandwidth increase",
+        &pv_experiments::fig7::report(&runner),
+    );
     let mut group = figure_bench_group(c, "fig7_offchip");
     group.bench_function("Zeus_sms_pv8_smoke_run", |b| {
         b.iter(|| smoke_run(WorkloadId::Zeus, PrefetcherKind::sms_pv8()))

@@ -8,7 +8,10 @@ use pv_workloads::WorkloadId;
 
 fn bench(c: &mut Criterion) {
     let runner = bench_runner();
-    print_report("Figure 8 - application vs PV data off-chip", &pv_experiments::fig8::report(&runner));
+    print_report(
+        "Figure 8 - application vs PV data off-chip",
+        &pv_experiments::fig8::report(&runner),
+    );
     let mut group = figure_bench_group(c, "fig8_split");
     group.bench_function("Db2_sms_pv8_smoke_run", |b| {
         b.iter(|| smoke_run(WorkloadId::Db2, PrefetcherKind::sms_pv8()))

@@ -8,7 +8,10 @@ use pv_workloads::WorkloadId;
 
 fn bench(c: &mut Criterion) {
     let runner = bench_runner();
-    print_report("Figure 9 - speedup of the virtualized predictor", &pv_experiments::fig9::report(&runner));
+    print_report(
+        "Figure 9 - speedup of the virtualized predictor",
+        &pv_experiments::fig9::report(&runner),
+    );
     let mut group = figure_bench_group(c, "fig9_speedup");
     group.bench_function("Qry1_sms_pv8_smoke_run", |b| {
         b.iter(|| smoke_run(WorkloadId::Qry1, PrefetcherKind::sms_pv8()))

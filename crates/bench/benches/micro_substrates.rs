@@ -4,11 +4,11 @@
 //! performance (the experiments run hundreds of millions of such operations).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pv_core::{PvConfig, PvProxy};
-use pv_mem::{
-    AccessKind, CacheConfig, DataClass, HierarchyConfig, MemoryHierarchy, Requester,
+use pv_core::PvConfig;
+use pv_mem::{AccessKind, CacheConfig, DataClass, HierarchyConfig, MemoryHierarchy, Requester};
+use pv_sms::{
+    build_storage, PatternStorage, SmsConfig, SpatialPattern, TriggerKey, VirtualizedPht,
 };
-use pv_sms::{build_storage, PatternStorage, SmsConfig, SpatialPattern, TriggerKey};
 use pv_workloads::{workloads, TraceGenerator};
 
 fn bench_cache(c: &mut Criterion) {
@@ -16,13 +16,22 @@ fn bench_cache(c: &mut Criterion) {
     // Pre-fill with a footprint larger than the cache so the benchmark sees
     // a hit/miss mix.
     for block in 0..4096u64 {
-        cache.fill(pv_mem::BlockAddr::new(block), false, 0, pv_mem::FillOrigin::Demand);
+        cache.fill(
+            pv_mem::BlockAddr::new(block),
+            false,
+            0,
+            pv_mem::FillOrigin::Demand,
+        );
     }
     let mut block = 0u64;
     c.bench_function("micro_l1_cache_access", |b| {
         b.iter(|| {
             block = (block + 17) % 8192;
-            cache.access(pv_mem::BlockAddr::new(black_box(block)), AccessKind::Read, block)
+            cache.access(
+                pv_mem::BlockAddr::new(black_box(block)),
+                AccessKind::Read,
+                block,
+            )
         })
     });
 }
@@ -60,18 +69,27 @@ fn bench_pht(c: &mut Criterion) {
     c.bench_function("micro_dedicated_pht_lookup", |b| {
         b.iter(|| {
             i += 1;
-            dedicated.lookup(TriggerKey::new((i % 8192) * 4, (i % 32) as u32).index(), &mut mem, i)
+            dedicated.lookup(
+                TriggerKey::new((i % 8192) * 4, (i % 32) as u32).index(),
+                &mut mem,
+                i,
+            )
         })
     });
 
     let hierarchy_config = HierarchyConfig::paper_baseline(1);
-    let mut proxy = PvProxy::new(0, PvConfig::pv8(), hierarchy_config.pv_regions.core_base(0));
+    let mut virtualized =
+        VirtualizedPht::new(0, PvConfig::pv8(), hierarchy_config.pv_regions.core_base(0));
     let mut mem = MemoryHierarchy::new(hierarchy_config);
     let mut i = 0u64;
     c.bench_function("micro_pvproxy_lookup", |b| {
         b.iter(|| {
             i += 1;
-            proxy.lookup(TriggerKey::new((i % 8192) * 4, (i % 32) as u32).index(), &mut mem, i * 10)
+            virtualized.lookup(
+                TriggerKey::new((i % 8192) * 4, (i % 32) as u32).index(),
+                &mut mem,
+                i * 10,
+            )
         })
     });
 }

@@ -6,7 +6,10 @@ use pv_bench::print_report;
 use pv_mem::{HierarchyConfig, MemoryHierarchy};
 
 fn bench(c: &mut Criterion) {
-    print_report("Table 1 - system configuration", &pv_experiments::table1::report());
+    print_report(
+        "Table 1 - system configuration",
+        &pv_experiments::table1::report(),
+    );
     print_report("Table 2 - workloads", &pv_experiments::table2::report());
     c.bench_function("table1_build_paper_hierarchy", |b| {
         b.iter(|| MemoryHierarchy::new(HierarchyConfig::paper_baseline(4)))

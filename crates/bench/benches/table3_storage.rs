@@ -3,24 +3,31 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pv_bench::print_report;
-use pv_core::{decode_set, encode_set, PvConfig, PvSet};
-use pv_sms::SpatialPattern;
+use pv_core::{decode_set, encode_set, PvConfig, PvLayout, PvSet};
+use pv_sms::{SmsEntry, SpatialPattern};
 
 fn bench(c: &mut Criterion) {
     print_report("Table 3 - PHT storage", &pv_experiments::table3::report());
-    print_report("Section 4.6 - PVProxy storage", &pv_experiments::sec46::report());
+    print_report(
+        "Section 4.6 - PVProxy storage",
+        &pv_experiments::sec46::report(),
+    );
 
     let config = PvConfig::pv8();
-    let mut set = PvSet::new(config.ways);
-    for i in 0..config.ways as u16 {
-        set.insert(i * 37 % 2048, SpatialPattern::from_bits(0x8421_1248 ^ u32::from(i)));
+    let layout = PvLayout::of::<SmsEntry>(config.block_bytes);
+    let mut set = PvSet::new(layout.entries_per_block());
+    for i in 0..layout.entries_per_block() as u16 {
+        set.insert(SmsEntry::new(
+            i * 37 % 2048,
+            SpatialPattern::from_bits(0x8421_1248 ^ u32::from(i)),
+        ));
     }
     c.bench_function("table3_encode_pvtable_set", |b| {
-        b.iter(|| encode_set(black_box(&set), &config))
+        b.iter(|| encode_set(black_box(&set), &layout))
     });
-    let encoded = encode_set(&set, &config);
+    let encoded = encode_set(&set, &layout);
     c.bench_function("table3_decode_pvtable_set", |b| {
-        b.iter(|| decode_set(black_box(&encoded), &config))
+        b.iter(|| decode_set::<SmsEntry>(black_box(&encoded), &layout))
     });
 }
 

@@ -33,7 +33,10 @@ pub fn smoke_run(workload: WorkloadId, prefetcher: PrefetcherKind) -> RunMetrics
 
 /// Standard Criterion settings for the figure benches: few samples because
 /// each iteration is a full (smoke-scale) simulation.
-pub fn figure_bench_group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+pub fn figure_bench_group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut group = c.benchmark_group(name.to_owned());
     group.sample_size(10);
     group

@@ -1,0 +1,57 @@
+//! The predictor-facing storage interface of the virtualization substrate.
+//!
+//! An optimization engine (SMS, a Markov prefetcher, a branch predictor, …)
+//! talks to its virtualized table through [`VirtualizedBackend`]: retrieve
+//! the entry stored for an index, or store an entry for an index — the same
+//! two operations a dedicated table supports, which is exactly why the
+//! engine itself can stay unchanged when its table is virtualized (the
+//! paper's central requirement).
+
+use crate::entry::PvEntry;
+use crate::stats::PvStats;
+use pv_mem::MemoryHierarchy;
+
+/// Result of a backend lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PvLookup<E> {
+    /// The stored entry, or `None` on a predictor miss.
+    pub entry: Option<E>,
+    /// Cycle at which the result is available to the engine (a virtualized
+    /// lookup may have to fetch its table set from the L2 or from memory).
+    pub ready_at: u64,
+}
+
+/// A virtualized predictor-table backend storing entries of type `E`.
+///
+/// The canonical implementation is [`crate::PvProxy`]; the trait exists so
+/// engines and tests can also run over mocks or alternative substrates
+/// without depending on the proxy's internals.
+pub trait VirtualizedBackend<E: PvEntry>: std::fmt::Debug {
+    /// Looks up the entry stored for `index`.
+    fn lookup(&mut self, index: u64, mem: &mut MemoryHierarchy, now: u64) -> PvLookup<E>;
+
+    /// Stores `entry` for `index`, replacing any previous entry.
+    ///
+    /// `entry.tag()` must equal the tag bits of `index` for this backend's
+    /// table geometry.
+    fn store(&mut self, index: u64, entry: E, mem: &mut MemoryHierarchy, now: u64);
+
+    /// Writes all dirty cached state back to the memory hierarchy (end of a
+    /// simulation window).
+    fn drain(&mut self, mem: &mut MemoryHierarchy, now: u64);
+
+    /// Statistics collected so far.
+    fn stats(&self) -> &PvStats;
+
+    /// Resets statistics; learned state is preserved.
+    fn reset_stats(&mut self);
+
+    /// Human-readable label for reports (e.g. `"PV-8"`).
+    fn label(&self) -> String;
+
+    /// Dedicated on-chip storage this backend needs, in bytes.
+    fn dedicated_storage_bytes(&self) -> u64;
+
+    /// Number of entries currently retained (diagnostic).
+    fn resident_entries(&self) -> usize;
+}

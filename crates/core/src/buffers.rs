@@ -73,12 +73,12 @@ impl PatternBuffer {
         }
     }
 
-    /// Tries to reserve a slot for the lookup of PHT index `index`, which
+    /// Tries to reserve a slot for the lookup of table index `index`, which
     /// completes at `done_at`. Returns `false` (and counts an overflow) when
     /// the buffer is full — the prediction is dropped, not queued, mirroring
     /// the advisory nature of the predictor.
-    pub fn try_reserve(&mut self, index: u32, now: u64, done_at: u64) -> bool {
-        self.inner.try_push(u64::from(index), now, done_at)
+    pub fn try_reserve(&mut self, index: u64, now: u64, done_at: u64) -> bool {
+        self.inner.try_push(index, now, done_at)
     }
 
     /// Lookups dropped because the buffer was full.

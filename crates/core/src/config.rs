@@ -1,20 +1,18 @@
-//! Configuration of the virtualized predictor.
+//! Configuration of the virtualization substrate.
 
-use serde::{Deserialize, Serialize};
-
-/// Configuration of one virtualized PHT (PVTable layout plus PVProxy
-/// resources).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Configuration of one virtualized predictor table (PVTable geometry plus
+/// PVProxy resources).
+///
+/// The configuration is *predictor-agnostic*: entry bit-widths — and with
+/// them the per-block associativity of the table — are not part of it. They
+/// come from the predictor's [`crate::PvEntry`] implementation, from which
+/// the packed layout is derived (see [`crate::PvLayout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PvConfig {
     /// Number of sets of the virtualized predictor table (1K in the paper).
     pub table_sets: usize,
-    /// Entries per set, chosen so a whole set packs into one memory block
-    /// (11 in the paper: 11 × 43 bits fit in 64 bytes).
-    pub ways: usize,
-    /// Bits per packed entry (43 = 11-bit tag + 32-bit pattern).
-    pub entry_bits: u32,
-    /// Memory-block size the PVTable is packed into (64 bytes, the L1 block
-    /// size).
+    /// Memory-block size each PVTable set is packed into (64 bytes, the L1
+    /// block size).
     pub block_bytes: u64,
     /// Number of PVTable sets the PVCache holds (8 in the final design; 16
     /// and 32 are evaluated in Figures 6 and 7).
@@ -23,7 +21,8 @@ pub struct PvConfig {
     pub mshr_entries: usize,
     /// Evict-buffer entries (dirty sets waiting to be written to the L2).
     pub evict_buffer_entries: usize,
-    /// Pattern-buffer entries (triggers waiting for their set to arrive).
+    /// Pattern-buffer entries (engine requests waiting for their set to
+    /// arrive).
     pub pattern_buffer_entries: usize,
     /// Lookup latency of the PVCache itself in cycles (it is tiny, so the
     /// paper argues it is faster than a large dedicated table).
@@ -35,13 +34,11 @@ pub struct PvConfig {
 }
 
 impl PvConfig {
-    /// The paper's final design: an 8-set PVCache in front of a 1K-set,
-    /// 11-way PVTable.
+    /// The paper's final design: an 8-set PVCache in front of a 1K-set
+    /// PVTable.
     pub fn pv8() -> Self {
         PvConfig {
             table_sets: 1024,
-            ways: 11,
-            entry_bits: 43,
             block_bytes: 64,
             pvcache_sets: 8,
             mshr_entries: 4,
@@ -85,21 +82,24 @@ impl PvConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is inconsistent (zero sizes, sets not a power
-    /// of two, or a packed set that does not fit in one block).
+    /// Panics if the geometry is inconsistent (zero sizes or sets not a
+    /// power of two). Entry-width validity is checked when a layout is
+    /// derived (see [`crate::PvLayout::new`]).
     pub fn assert_valid(&self) {
-        assert!(self.table_sets > 0 && self.table_sets.is_power_of_two(), "table_sets must be a power of two");
-        assert!(self.ways > 0, "ways must be positive");
+        assert!(
+            self.table_sets > 0 && self.table_sets.is_power_of_two(),
+            "table_sets must be a power of two"
+        );
+        assert!(self.block_bytes > 0, "block_bytes must be positive");
         assert!(self.pvcache_sets > 0, "pvcache_sets must be positive");
         assert!(self.mshr_entries > 0, "mshr_entries must be positive");
-        assert!(self.evict_buffer_entries > 0, "evict_buffer_entries must be positive");
-        assert!(self.pattern_buffer_entries > 0, "pattern_buffer_entries must be positive");
         assert!(
-            u64::from(self.entry_bits) * self.ways as u64 <= self.block_bytes * 8,
-            "{} entries of {} bits do not fit in a {}-byte block",
-            self.ways,
-            self.entry_bits,
-            self.block_bytes
+            self.evict_buffer_entries > 0,
+            "evict_buffer_entries must be positive"
+        );
+        assert!(
+            self.pattern_buffer_entries > 0,
+            "pattern_buffer_entries must be positive"
         );
     }
 
@@ -131,19 +131,9 @@ mod tests {
     fn pv8_matches_paper_geometry() {
         let config = PvConfig::pv8();
         assert_eq!(config.table_sets, 1024);
-        assert_eq!(config.ways, 11);
-        assert_eq!(config.entry_bits, 43);
+        assert_eq!(config.block_bytes, 64);
         assert_eq!(config.table_bytes(), 64 * 1024);
         assert_eq!(config.pvcache_tag_bits(), 10);
-    }
-
-    #[test]
-    fn packed_set_fits_in_a_block() {
-        let config = PvConfig::pv8();
-        assert!(u64::from(config.entry_bits) * config.ways as u64 <= config.block_bytes * 8);
-        // 11 x 43 = 473 bits, leaving 39 unused bits out of 512 (Figure 3a's
-        // "unused" trailer).
-        assert_eq!(config.block_bytes * 8 - u64::from(config.entry_bits) * config.ways as u64, 39);
     }
 
     #[test]
@@ -154,10 +144,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "do not fit")]
-    fn oversized_entries_panic() {
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panic() {
         let mut config = PvConfig::pv8();
-        config.entry_bits = 64;
+        config.table_sets = 1000;
         config.assert_valid();
     }
 }

@@ -1,52 +1,87 @@
-//! # pv-core — Predictor Virtualization
+//! # pv-core — the Predictor Virtualization substrate
 //!
 //! This crate implements the paper's contribution: *Predictor
 //! Virtualization* (PV), a technique that emulates large predictor tables by
 //! storing them in the ordinary memory hierarchy instead of in dedicated
 //! on-chip SRAM.
 //!
+//! The crate is a **predictor-agnostic substrate**: it has no knowledge of
+//! any particular predictor. A predictor plugs in by implementing
+//! [`PvEntry`] for its table-entry type (tag/payload bit-widths plus a
+//! packed encoding); everything else — the in-memory [`PvTable`], the
+//! bit-level [`packing`] codec, the on-chip [`PvProxy`] with its
+//! [`PvCache`], and the Section 4.6 [`PvStorageBudget`] — is generic over
+//! that entry type, with the per-block associativity and storage figures
+//! *derived* from the entry's widths ([`PvLayout`]). The SMS prefetcher of
+//! the paper's case study lives in `pv-sms` and depends on this crate, not
+//! the other way around; a second backend (a PC-indexed next-address
+//! prefetcher) lives in `pv-markov`.
+//!
 //! The architecture follows Section 2 of the paper:
 //!
 //! * the [`PvTable`] is the full predictor table, laid out in a reserved
 //!   region of physical memory whose base lives in the per-core
-//!   [`PvStartRegister`]; one predictor set (11 entries of 43 bits) is packed
-//!   into each 64-byte memory block ([`packing`], Figure 3a);
+//!   [`PvStartRegister`]; one predictor set is packed into each memory block
+//!   ([`packing`], Figure 3a) — eleven 43-bit entries per 64-byte block for
+//!   the paper's SMS instance;
 //! * the [`PvProxy`] is the small on-chip agent between the optimization
 //!   engine and the PVTable: it holds a fully-associative [`PvCache`] of a
 //!   handful of PVTable sets, an MSHR, an evict buffer and a pattern buffer;
 //!   lookups that miss in the PVCache become ordinary memory requests
 //!   injected at the L2 (Figure 3b shows the address computation);
 //! * [`PvStorageBudget`] reproduces the Section 4.6 accounting of the
-//!   on-chip storage the proxy needs (889 bytes for the paper's
+//!   on-chip storage the proxy needs (889 bytes for the paper's SMS
 //!   configuration, versus ~59 KB for the dedicated table it replaces).
 //!
-//! The proxy implements [`pv_sms::PatternStorage`], so the unmodified SMS
-//! engine from `pv-sms` runs on top of it — exactly the property the paper
-//! relies on ("the optimization engine remains unchanged").
+//! Engines talk to the proxy through the [`VirtualizedBackend`] trait — the
+//! same retrieve/store interface a dedicated table offers, which is why "the
+//! optimization engine remains unchanged" when its table is virtualized.
 //!
 //! # Example
 //!
+//! A minimal predictor entry (a 12-bit tag with a 20-bit confidence-weighted
+//! target) virtualized through the proxy:
+//!
 //! ```
-//! use pv_core::{PvConfig, PvProxy};
+//! use pv_core::{PvConfig, PvEntry, PvProxy, VirtualizedBackend};
 //! use pv_mem::{HierarchyConfig, MemoryHierarchy};
-//! use pv_sms::{PatternStorage, SmsConfig, SmsPrefetcher};
+//!
+//! #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+//! struct TargetEntry { tag: u16, target: u32 }
+//!
+//! impl PvEntry for TargetEntry {
+//!     const TAG_BITS: u32 = 12;
+//!     const PAYLOAD_BITS: u32 = 20;
+//!     fn tag(&self) -> u64 { u64::from(self.tag) }
+//!     // Bias by one so a valid payload is never the all-zero marker.
+//!     fn payload(&self) -> u64 { u64::from(self.target) + 1 }
+//!     fn from_parts(tag: u64, payload: u64) -> Option<Self> {
+//!         (payload != 0).then(|| TargetEntry { tag: tag as u16, target: (payload - 1) as u32 })
+//!     }
+//! }
 //!
 //! let hierarchy_config = HierarchyConfig::paper_baseline(4);
 //! let mut hierarchy = MemoryHierarchy::new(hierarchy_config);
+//! let mut proxy: PvProxy<TargetEntry> =
+//!     PvProxy::new(0, PvConfig::pv8(), hierarchy_config.pv_regions.core_base(0));
 //!
-//! // Build the virtualized PHT for core 0 and run SMS over it.
-//! let proxy = PvProxy::new(0, PvConfig::pv8(), hierarchy_config.pv_regions.core_base(0));
-//! let sms_config = SmsConfig::paper_1k_11a();
-//! let mut sms = SmsPrefetcher::new(sms_config, Box::new(proxy));
-//! let response = sms.on_data_access(0x400, 0x10_0000, &mut hierarchy, 0);
-//! assert!(response.prefetches.is_empty()); // nothing learned yet
+//! // 32-bit entries pack 16 to a 64-byte block — derived, not hard-coded.
+//! assert_eq!(proxy.layout().entries_per_block(), 16);
+//!
+//! let index = 0x2A7;
+//! let entry = TargetEntry { tag: proxy.tag_of(index) as u16, target: 0xBEEF };
+//! proxy.store(index, entry, &mut hierarchy, 0);
+//! let lookup = proxy.lookup(index, &mut hierarchy, 100);
+//! assert_eq!(lookup.entry, Some(entry));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod buffers;
 pub mod config;
+pub mod entry;
 pub mod packing;
 pub mod proxy;
 pub mod pvcache;
@@ -55,11 +90,13 @@ pub mod stats;
 pub mod storage;
 pub mod table;
 
+pub use backend::{PvLookup, VirtualizedBackend};
 pub use buffers::{EvictBuffer, PatternBuffer};
 pub use config::PvConfig;
+pub use entry::{PvEntry, PvLayout, RawEntry};
 pub use packing::{decode_set, encode_set};
 pub use proxy::PvProxy;
-pub use pvcache::PvCache;
+pub use pvcache::{PvCache, PvCacheEntry, PvCacheEviction};
 pub use register::PvStartRegister;
 pub use stats::PvStats;
 pub use storage::PvStorageBudget;

@@ -1,21 +1,19 @@
-//! Bit-level packing of PVTable sets into memory blocks (Figure 3a).
+//! Bit-level packing of PVTable sets into memory blocks (Figure 3a,
+//! generalised to arbitrary entry widths).
 //!
-//! Eleven entries of 43 bits each (an 11-bit tag followed by a 32-bit
-//! spatial pattern) are packed back to back into a 64-byte block, leaving 39
-//! trailing bits unused (the paper suggests using them for LRU state or
-//! future extensions). The simulator keeps table contents in structured form
-//! for speed, but this codec is what defines the in-memory layout, and the
+//! Entries are packed back to back — tag bits first, then payload bits —
+//! into one memory block per set, with any remaining bits left unused (the
+//! paper suggests using the trailer for LRU state or future extensions).
+//! For the paper's SMS instance (11-bit tag + 32-bit pattern, 64-byte
+//! blocks) this yields eleven 43-bit entries and a 39-bit trailer; other
+//! [`PvEntry`] implementations get whatever geometry their widths imply via
+//! [`PvLayout`]. The simulator keeps table contents in structured form for
+//! speed, but this codec is what defines the in-memory layout, and the
 //! proxy's footprint and tests are checked against it.
 
-use crate::config::PvConfig;
-use crate::table::{PvEntry, PvSet};
+use crate::entry::{ones, PvEntry, PvLayout};
+use crate::table::PvSet;
 use bytes::{Bytes, BytesMut};
-use pv_sms::SpatialPattern;
-
-/// Number of tag bits stored per packed entry for a 1K-set table.
-pub const PACKED_TAG_BITS: u32 = 11;
-/// Number of pattern bits stored per packed entry.
-pub const PACKED_PATTERN_BITS: u32 = 32;
 
 fn write_bits(buffer: &mut [u8], bit_offset: usize, value: u64, bits: u32) {
     for i in 0..bits as usize {
@@ -42,59 +40,83 @@ fn read_bits(buffer: &[u8], bit_offset: usize, bits: u32) -> u64 {
     value
 }
 
-/// Encodes a PVTable set into the packed 64-byte representation.
+/// Encodes a PVTable set into its packed one-block representation.
 ///
 /// Entries are written in recency order; empty ways are encoded as all-zero
-/// entries with an empty pattern (an empty pattern is never stored by the
-/// prefetcher, so "pattern == 0" doubles as the invalid marker).
+/// entries (the all-zero payload is the invalid marker per the [`PvEntry`]
+/// contract).
 ///
 /// # Panics
 ///
-/// Panics if the set holds more entries than `config.ways`.
-pub fn encode_set(set: &PvSet, config: &PvConfig) -> Bytes {
-    assert!(set.len() <= config.ways, "set has more entries than the configured associativity");
-    let mut buffer = BytesMut::zeroed(config.block_bytes as usize);
+/// Panics if the set holds more entries than fit in one block under
+/// `layout`, or if an entry's tag or payload exceeds the layout's widths.
+pub fn encode_set<E: PvEntry>(set: &PvSet<E>, layout: &PvLayout) -> Bytes {
+    assert!(
+        set.len() <= layout.entries_per_block(),
+        "set holds {} entries but only {} fit in a {}-byte block",
+        set.len(),
+        layout.entries_per_block(),
+        layout.block_bytes
+    );
+    let mut buffer = BytesMut::zeroed(layout.block_bytes as usize);
     for (slot, entry) in set.iter().enumerate() {
-        let bit_offset = slot * config.entry_bits as usize;
-        write_bits(&mut buffer, bit_offset, u64::from(entry.tag), PACKED_TAG_BITS);
+        let (tag, payload) = (entry.tag(), entry.payload());
+        assert!(
+            tag <= ones(layout.tag_bits),
+            "tag {tag:#x} exceeds {} tag bits",
+            layout.tag_bits
+        );
+        assert!(
+            payload <= ones(layout.payload_bits),
+            "payload {payload:#x} exceeds {} payload bits",
+            layout.payload_bits
+        );
+        assert!(
+            payload != 0,
+            "a valid entry must not encode the all-zero invalid marker"
+        );
+        let bit_offset = slot * layout.entry_bits() as usize;
+        write_bits(&mut buffer, bit_offset, tag, layout.tag_bits);
         write_bits(
             &mut buffer,
-            bit_offset + PACKED_TAG_BITS as usize,
-            u64::from(entry.pattern.bits()),
-            PACKED_PATTERN_BITS,
+            bit_offset + layout.tag_bits as usize,
+            payload,
+            layout.payload_bits,
         );
     }
     buffer.freeze()
 }
 
-/// Decodes a packed 64-byte block back into a PVTable set.
+/// Decodes a packed block back into a PVTable set.
 ///
 /// # Panics
 ///
-/// Panics if `block` is shorter than the configured block size.
-pub fn decode_set(block: &[u8], config: &PvConfig) -> PvSet {
+/// Panics if `block` is shorter than the layout's block size.
+pub fn decode_set<E: PvEntry>(block: &[u8], layout: &PvLayout) -> PvSet<E> {
     assert!(
-        block.len() >= config.block_bytes as usize,
+        block.len() >= layout.block_bytes as usize,
         "packed block must be at least {} bytes",
-        config.block_bytes
+        layout.block_bytes
     );
-    let mut set = PvSet::new(config.ways);
+    let ways = layout.entries_per_block();
+    let mut set = PvSet::new(ways);
     // Rebuild in reverse so that the first packed entry ends up
     // most-recently-used, matching the encoding order.
     let mut entries = Vec::new();
-    for slot in 0..config.ways {
-        let bit_offset = slot * config.entry_bits as usize;
-        let tag = read_bits(block, bit_offset, PACKED_TAG_BITS) as u16;
-        let pattern_bits = read_bits(block, bit_offset + PACKED_TAG_BITS as usize, PACKED_PATTERN_BITS) as u32;
-        if pattern_bits != 0 {
-            entries.push(PvEntry {
-                tag,
-                pattern: SpatialPattern::from_bits(pattern_bits),
-            });
+    for slot in 0..ways {
+        let bit_offset = slot * layout.entry_bits() as usize;
+        let tag = read_bits(block, bit_offset, layout.tag_bits);
+        let payload = read_bits(
+            block,
+            bit_offset + layout.tag_bits as usize,
+            layout.payload_bits,
+        );
+        if let Some(entry) = E::from_parts(tag, payload) {
+            entries.push(entry);
         }
     }
     for entry in entries.into_iter().rev() {
-        set.insert(entry.tag, entry.pattern);
+        set.insert(entry);
     }
     set
 }
@@ -102,72 +124,85 @@ pub fn decode_set(block: &[u8], config: &PvConfig) -> PvSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::entry::RawEntry;
 
-    fn config() -> PvConfig {
-        PvConfig::pv8()
+    /// The paper's SMS instance of the layout.
+    fn sms_layout() -> PvLayout {
+        PvLayout::new(11, 32, 64)
+    }
+
+    fn raw(tag: u64, payload: u64) -> RawEntry {
+        RawEntry::new(tag, payload)
     }
 
     #[test]
     fn encoded_block_is_one_cache_block() {
-        let set = PvSet::new(11);
-        let block = encode_set(&set, &config());
+        let set: PvSet<RawEntry> = PvSet::new(11);
+        let block = encode_set(&set, &sms_layout());
         assert_eq!(block.len(), 64);
-        assert!(block.iter().all(|&b| b == 0), "an empty set encodes to zeroes");
+        assert!(
+            block.iter().all(|&b| b == 0),
+            "an empty set encodes to zeroes"
+        );
     }
 
     #[test]
     fn round_trip_preserves_entries() {
-        let config = config();
-        let mut set = PvSet::new(config.ways);
-        set.insert(0x2aa, SpatialPattern::from_offsets([0, 3, 31]));
-        set.insert(0x155, SpatialPattern::from_offsets([7]));
-        set.insert(0x001, SpatialPattern::from_bits(0xdead_beef));
-        let decoded = decode_set(&encode_set(&set, &config), &config);
+        let layout = sms_layout();
+        let mut set = PvSet::new(layout.entries_per_block());
+        set.insert(raw(0x2aa, 0x8000_0009));
+        set.insert(raw(0x155, 1 << 7));
+        set.insert(raw(0x001, 0xdead_beef));
+        let decoded: PvSet<RawEntry> = decode_set(&encode_set(&set, &layout), &layout);
         assert_eq!(decoded.len(), set.len());
         for entry in set.iter() {
-            assert_eq!(decoded.peek(entry.tag), Some(entry.pattern), "tag {:#x}", entry.tag);
+            assert_eq!(decoded.peek(entry.tag), Some(entry), "tag {:#x}", entry.tag);
         }
     }
 
     #[test]
     fn full_set_round_trips() {
-        let config = config();
-        let mut set = PvSet::new(config.ways);
-        for i in 0..config.ways as u16 {
-            set.insert(i, SpatialPattern::from_bits(0x8000_0001 | (u32::from(i) << 8)));
+        let layout = sms_layout();
+        let mut set = PvSet::new(layout.entries_per_block());
+        for i in 0..layout.entries_per_block() as u64 {
+            set.insert(raw(i, 0x8000_0001 | (i << 8)));
         }
-        let decoded = decode_set(&encode_set(&set, &config), &config);
-        assert_eq!(decoded.len(), config.ways);
-        for i in 0..config.ways as u16 {
+        let decoded: PvSet<RawEntry> = decode_set(&encode_set(&set, &layout), &layout);
+        assert_eq!(decoded.len(), layout.entries_per_block());
+        for i in 0..layout.entries_per_block() as u64 {
             assert!(decoded.peek(i).is_some());
         }
     }
 
     #[test]
     fn recency_order_is_preserved() {
-        let config = config();
-        let mut set = PvSet::new(config.ways);
-        for i in 0..config.ways as u16 {
-            set.insert(i, SpatialPattern::single(u32::from(i) % 32));
+        let layout = sms_layout();
+        let mut set = PvSet::new(layout.entries_per_block());
+        for i in 0..layout.entries_per_block() as u64 {
+            set.insert(raw(i, i + 1));
         }
         // Touch tag 0 so it is most recently used.
         set.lookup(0);
-        let decoded = decode_set(&encode_set(&set, &config), &config);
+        let decoded: PvSet<RawEntry> = decode_set(&encode_set(&set, &layout), &layout);
         let first = decoded.iter().next().expect("set is not empty");
-        assert_eq!(first.tag, 0, "MRU entry must survive the round trip in first position");
+        assert_eq!(
+            first.tag, 0,
+            "MRU entry must survive the round trip in first position"
+        );
     }
 
     #[test]
     fn trailing_bits_are_unused() {
         // 11 entries x 43 bits = 473 bits; bits 473..512 must stay zero even
         // for a full set (Figure 3a's unused trailer).
-        let config = config();
-        let mut set = PvSet::new(config.ways);
-        for i in 0..config.ways as u16 {
-            set.insert(i | 0x7ff, SpatialPattern::from_bits(u32::MAX));
+        let layout = sms_layout();
+        let mut set = PvSet::new(layout.entries_per_block());
+        for i in 0..layout.entries_per_block() as u64 {
+            set.insert(raw(i | 0x7f0, u64::from(u32::MAX)));
         }
-        let block = encode_set(&set, &config);
-        let full_bits = config.ways * config.entry_bits as usize;
+        let block = encode_set(&set, &layout);
+        let full_bits = layout.entries_per_block() * layout.entry_bits() as usize;
+        assert_eq!(full_bits, 473);
         for bit in full_bits..512 {
             let byte = bit / 8;
             let shift = bit % 8;
@@ -176,11 +211,36 @@ mod tests {
     }
 
     #[test]
-    fn max_tag_and_pattern_round_trip() {
-        let config = config();
-        let mut set = PvSet::new(config.ways);
-        set.insert(0x7ff, SpatialPattern::from_bits(u32::MAX));
-        let decoded = decode_set(&encode_set(&set, &config), &config);
-        assert_eq!(decoded.peek(0x7ff), Some(SpatialPattern::from_bits(u32::MAX)));
+    fn max_tag_and_payload_round_trip() {
+        let layout = sms_layout();
+        let mut set = PvSet::new(layout.entries_per_block());
+        set.insert(raw(0x7ff, u64::from(u32::MAX)));
+        let decoded: PvSet<RawEntry> = decode_set(&encode_set(&set, &layout), &layout);
+        assert_eq!(
+            decoded.peek(0x7ff).map(|e| e.payload),
+            Some(u64::from(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn wide_layouts_pack_fewer_entries_per_block() {
+        // 16-bit tag + 48-bit payload = 64-bit entries: 8 per block.
+        let layout = PvLayout::new(16, 48, 64);
+        let mut set = PvSet::new(layout.entries_per_block());
+        for i in 0..8u64 {
+            set.insert(raw(0xFF00 | i, (1 << 47) | i));
+        }
+        let decoded: PvSet<RawEntry> = decode_set(&encode_set(&set, &layout), &layout);
+        assert_eq!(decoded.len(), 8);
+        assert_eq!(decoded.peek(0xFF07).map(|e| e.payload), Some((1 << 47) | 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn overwide_tag_panics() {
+        let layout = sms_layout();
+        let mut set = PvSet::new(layout.entries_per_block());
+        set.insert(raw(0x800, 1)); // 12 bits: one past the 11-bit tag limit.
+        encode_set(&set, &layout);
     }
 }

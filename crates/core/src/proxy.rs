@@ -1,38 +1,40 @@
-//! The PVProxy: the on-chip mediator between the optimization engine and the
+//! The PVProxy: the on-chip mediator between an optimization engine and its
 //! in-memory PVTable (paper Section 2.2 and 3.2.2).
 
+use crate::backend::{PvLookup, VirtualizedBackend};
 use crate::buffers::{EvictBuffer, PatternBuffer};
 use crate::config::PvConfig;
+use crate::entry::{PvEntry, PvLayout};
 use crate::pvcache::{PvCache, PvCacheEviction};
 use crate::register::PvStartRegister;
 use crate::stats::PvStats;
 use crate::storage::PvStorageBudget;
 use crate::table::PvTable;
 use pv_mem::{AccessKind, Address, DataClass, MemoryHierarchy, MshrFile, Requester};
-use pv_sms::{PatternLookup, PatternStorage, PhtIndex, SpatialPattern};
 
-/// The virtualized PHT backend for one core's SMS prefetcher.
+/// The virtualized table backend for one core's optimization engine.
 ///
-/// The proxy receives the same two operations the dedicated table supports —
-/// retrieve an entry and store an entry — keyed by the same index. Requests
-/// that hit in the [`PvCache`] complete immediately; misses compute the
-/// PVTable set's memory address from the `PVStart` register (Figure 3b) and
-/// issue an ordinary read to the L2, through which the set is installed in
-/// the PVCache. Dirty victims are written back towards the L2 like any other
-/// modified block.
+/// The proxy receives the same two operations a dedicated table supports —
+/// retrieve an entry and store an entry — keyed by the same index, for *any*
+/// predictor whose entries implement [`PvEntry`]. Requests that hit in the
+/// [`PvCache`] complete immediately; misses compute the PVTable set's memory
+/// address from the `PVStart` register (Figure 3b) and issue an ordinary
+/// read to the L2, through which the set is installed in the PVCache. Dirty
+/// victims are written back towards the L2 like any other modified block.
 #[derive(Debug)]
-pub struct PvProxy {
+pub struct PvProxy<E: PvEntry> {
     core: usize,
     config: PvConfig,
-    table: PvTable,
-    cache: PvCache,
+    layout: PvLayout,
+    table: PvTable<E>,
+    cache: PvCache<E>,
     mshr: MshrFile,
     pattern_buffer: PatternBuffer,
     evict_buffer: EvictBuffer,
     stats: PvStats,
 }
 
-impl PvProxy {
+impl<E: PvEntry> PvProxy<E> {
     /// Creates the proxy for `core`, with its PVTable based at `pv_start`
     /// (normally `HierarchyConfig::pv_regions.core_base(core)`).
     pub fn new(core: usize, config: PvConfig, pv_start: Address) -> Self {
@@ -40,6 +42,7 @@ impl PvProxy {
         let register = PvStartRegister::new(pv_start);
         PvProxy {
             core,
+            layout: PvLayout::of::<E>(config.block_bytes),
             table: PvTable::new(&config, register),
             cache: PvCache::new(config.pvcache_sets),
             mshr: MshrFile::new(config.mshr_entries),
@@ -55,24 +58,24 @@ impl PvProxy {
         &self.config
     }
 
-    /// Statistics collected so far.
-    pub fn stats(&self) -> &PvStats {
-        &self.stats
+    /// The packed layout derived from `E`'s bit-widths.
+    pub fn layout(&self) -> &PvLayout {
+        &self.layout
     }
 
     /// The in-memory table backing this proxy.
-    pub fn table(&self) -> &PvTable {
+    pub fn table(&self) -> &PvTable<E> {
         &self.table
     }
 
     /// The on-chip PVCache.
-    pub fn pvcache(&self) -> &PvCache {
+    pub fn pvcache(&self) -> &PvCache<E> {
         &self.cache
     }
 
     /// The Section 4.6 storage budget of this proxy.
     pub fn storage_budget(&self) -> PvStorageBudget {
-        PvStorageBudget::for_config(&self.config)
+        PvStorageBudget::new(&self.config, &self.layout)
     }
 
     /// Which core this proxy serves.
@@ -80,16 +83,28 @@ impl PvProxy {
         self.core
     }
 
-    fn split_index(&self, index: PhtIndex) -> (usize, u16) {
+    /// Splits a raw table index into (set index, tag): the low bits select
+    /// the set, the remaining bits are the tag stored in the entry.
+    pub fn split_index(&self, index: u64) -> (usize, u64) {
         (
-            index.set_index(self.config.table_sets),
-            index.tag(self.config.table_sets) as u16,
+            (index as usize) & (self.config.table_sets - 1),
+            index >> self.config.table_sets.trailing_zeros(),
         )
+    }
+
+    /// The tag bits of `index` for this proxy's table geometry.
+    pub fn tag_of(&self, index: u64) -> u64 {
+        self.split_index(index).1
     }
 
     /// Fetches PVTable set `set_index` through the memory hierarchy and
     /// installs it in the PVCache. Returns the cycle at which the set's data
     /// is available.
+    ///
+    /// The contents are installed at request time so that later requests for
+    /// the same set merge instead of duplicating memory traffic, but the
+    /// PVCache entry remembers the fill's completion time: hits arriving
+    /// before it report the fill's `ready_at`, not their own cycle.
     fn fetch_set(&mut self, set_index: usize, mem: &mut MemoryHierarchy, now: u64) -> u64 {
         let address = self.table.set_address(set_index);
         self.mshr.retire(now);
@@ -112,13 +127,18 @@ impl PvProxy {
             ready
         };
         let contents = self.table.read_set(set_index).clone();
-        if let Some(evicted) = self.cache.insert(set_index, contents, false) {
+        if let Some(evicted) = self.cache.insert(set_index, contents, false, ready_at) {
             self.handle_eviction(evicted, mem, now);
         }
         ready_at
     }
 
-    fn handle_eviction(&mut self, evicted: PvCacheEviction, mem: &mut MemoryHierarchy, now: u64) {
+    fn handle_eviction(
+        &mut self,
+        evicted: PvCacheEviction<E>,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    ) {
         if !evicted.dirty {
             // Non-modified entries are discarded (paper Section 2.2).
             return;
@@ -132,62 +152,95 @@ impl PvProxy {
             .push(evicted.set_index, now, now + mem.config().l2.data_latency);
         mem.writeback(Requester::pv_proxy(self.core), address.raw(), now);
     }
-
-    /// Writes every dirty PVCache entry back to the memory hierarchy (used
-    /// at the end of a simulation window so no learned state is lost).
-    pub fn drain(&mut self, mem: &mut MemoryHierarchy, now: u64) {
-        for evicted in self.cache.drain_dirty() {
-            self.handle_eviction(evicted, mem, now);
-        }
-    }
 }
 
-impl PatternStorage for PvProxy {
-    fn lookup(&mut self, index: PhtIndex, mem: &mut MemoryHierarchy, now: u64) -> PatternLookup {
+impl<E: PvEntry> VirtualizedBackend<E> for PvProxy<E> {
+    fn lookup(&mut self, index: u64, mem: &mut MemoryHierarchy, now: u64) -> PvLookup<E> {
         self.stats.lookups += 1;
         let (set_index, tag) = self.split_index(index);
+        let pvcache_latency = self.config.pvcache_latency;
         if let Some(entry) = self.cache.lookup(set_index) {
             self.stats.pvcache_hits += 1;
-            return PatternLookup {
-                pattern: entry.contents.lookup(tag),
-                ready_at: now + self.config.pvcache_latency,
+            // A hit on a set whose fill is still in flight cannot return
+            // data earlier than the fill completes.
+            let ready_at = (now + pvcache_latency).max(entry.ready_at);
+            if entry.ready_at > now {
+                self.stats.pending_hits += 1;
+            }
+            return PvLookup {
+                entry: entry.contents.lookup(tag).cloned(),
+                ready_at,
             };
         }
         self.stats.pvcache_misses += 1;
-        // A miss needs a pattern-buffer slot to hold the pending trigger; if
+        // A miss needs a pattern-buffer slot to hold the pending request; if
         // none is free the prediction is simply dropped (the predictor is
         // advisory, so correctness is unaffected).
         let provisional_done = now + mem.config().l2.tag_latency + mem.config().l2.data_latency;
-        if !self.pattern_buffer.try_reserve(index.raw(), now, provisional_done) {
+        if !self.pattern_buffer.try_reserve(index, now, provisional_done) {
             self.stats.dropped_lookups += 1;
-            return PatternLookup {
-                pattern: None,
+            return PvLookup {
+                entry: None,
                 ready_at: now,
             };
         }
         let ready_at = self.fetch_set(set_index, mem, now);
-        let pattern = self
-            .cache
-            .lookup(set_index)
-            .and_then(|entry| entry.contents.lookup(tag));
-        PatternLookup { pattern, ready_at }
-    }
-
-    fn store(&mut self, index: PhtIndex, pattern: SpatialPattern, mem: &mut MemoryHierarchy, now: u64) {
-        self.stats.stores += 1;
-        let (set_index, tag) = self.split_index(index);
-        if self.cache.lookup(set_index).is_none() {
-            // Write-allocate: bring the set in before updating it, so the
-            // other ten entries of the set are preserved.
-            self.stats.store_misses += 1;
-            let _ = self.fetch_set(set_index, mem, now);
-        }
         let entry = self
             .cache
             .lookup(set_index)
-            .expect("the set was just installed in the PVCache");
-        entry.contents.insert(tag, pattern);
-        entry.dirty = true;
+            .and_then(|entry| entry.contents.lookup(tag))
+            .cloned();
+        PvLookup { entry, ready_at }
+    }
+
+    fn store(&mut self, index: u64, entry: E, mem: &mut MemoryHierarchy, now: u64) {
+        self.stats.stores += 1;
+        let (set_index, tag) = self.split_index(index);
+        // Geometry guards: an entry that disagrees with the index's tag bits
+        // or that cannot pack into the derived layout would leave the
+        // structured-form table modelling hardware that cannot exist, so
+        // reject it at the source (mirrors encode_set's width checks).
+        assert_eq!(
+            entry.tag(),
+            tag,
+            "stored entry's tag must match the index's tag bits"
+        );
+        assert!(
+            entry.tag() <= self.layout.max_tag(),
+            "tag {:#x} exceeds the layout's {} tag bits",
+            entry.tag(),
+            self.layout.tag_bits
+        );
+        assert!(
+            entry.payload() != 0 && entry.payload() <= self.layout.max_payload(),
+            "payload {:#x} must be non-zero (the invalid marker) and fit the layout's {} payload bits",
+            entry.payload(),
+            self.layout.payload_bits
+        );
+        if !self.cache.contains(set_index) {
+            // Write-allocate: bring the set in before updating it, so the
+            // other entries of the set are preserved.
+            self.stats.store_misses += 1;
+            let _ = self.fetch_set(set_index, mem, now);
+        }
+        let cached =
+            self.cache.lookup(set_index).expect("the set was just installed in the PVCache");
+        cached.contents.insert(entry);
+        cached.dirty = true;
+    }
+
+    fn drain(&mut self, mem: &mut MemoryHierarchy, now: u64) {
+        for evicted in self.cache.drain_dirty() {
+            self.handle_eviction(evicted, mem, now);
+        }
+    }
+
+    fn stats(&self) -> &PvStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PvStats::default();
     }
 
     fn label(&self) -> String {
@@ -198,43 +251,44 @@ impl PatternStorage for PvProxy {
         self.storage_budget().total_bytes()
     }
 
-    fn resident_patterns(&self) -> usize {
-        // Patterns visible on chip (PVCache) plus the in-memory table.
-        self.table.resident_patterns().max(self.cache.resident_patterns())
-    }
-
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn reset_stats(&mut self) {
-        self.stats = PvStats::default();
+    fn resident_entries(&self) -> usize {
+        // Entries visible on chip (PVCache) plus the in-memory table.
+        self.table.resident_entries().max(self.cache.resident_entries())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::entry::RawEntry;
     use pv_mem::{HierarchyConfig, HitLevel};
-    use pv_sms::TriggerKey;
 
-    fn setup() -> (MemoryHierarchy, PvProxy) {
+    /// An SMS-shaped index: low 10 bits select the set of a 1K-set table,
+    /// the remaining 11 bits are the tag.
+    fn index_for(set: u64, tag: u64) -> u64 {
+        (tag << 10) | (set & 0x3FF)
+    }
+
+    fn entry_for(proxy: &PvProxy<RawEntry>, index: u64, payload: u64) -> RawEntry {
+        RawEntry::new(proxy.tag_of(index), payload)
+    }
+
+    fn setup() -> (MemoryHierarchy, PvProxy<RawEntry>) {
         let config = HierarchyConfig::paper_baseline(4);
         let mem = MemoryHierarchy::new(config);
         let proxy = PvProxy::new(0, PvConfig::pv8(), config.pv_regions.core_base(0));
         (mem, proxy)
     }
 
-    fn index_for(pc: u64, offset: u32) -> PhtIndex {
-        TriggerKey::new(pc, offset).index()
-    }
-
     #[test]
     fn cold_lookup_misses_and_costs_memory_latency() {
         let (mut mem, mut proxy) = setup();
-        let lookup = proxy.lookup(index_for(0x4000, 3), &mut mem, 0);
-        assert!(lookup.pattern.is_none());
-        assert!(lookup.ready_at >= 400, "cold PVTable set must come from DRAM");
+        let lookup = proxy.lookup(index_for(3, 0x20), &mut mem, 0);
+        assert!(lookup.entry.is_none());
+        assert!(
+            lookup.ready_at >= 400,
+            "cold PVTable set must come from DRAM"
+        );
         assert_eq!(proxy.stats().pvcache_misses, 1);
         assert_eq!(proxy.stats().memory_requests, 1);
     }
@@ -242,19 +296,19 @@ mod tests {
     #[test]
     fn store_then_lookup_hits_in_pvcache() {
         let (mut mem, mut proxy) = setup();
-        let index = index_for(0x4000, 3);
-        let pattern = SpatialPattern::from_offsets([3, 4, 9]);
-        proxy.store(index, pattern, &mut mem, 0);
-        let lookup = proxy.lookup(index, &mut mem, 100);
-        assert_eq!(lookup.pattern, Some(pattern));
-        assert_eq!(lookup.ready_at, 100 + proxy.config().pvcache_latency);
+        let index = index_for(3, 0x20);
+        let entry = entry_for(&proxy, index, 0x1234);
+        proxy.store(index, entry, &mut mem, 0);
+        let lookup = proxy.lookup(index, &mut mem, 1_000);
+        assert_eq!(lookup.entry, Some(entry));
+        assert_eq!(lookup.ready_at, 1_000 + proxy.config().pvcache_latency);
         assert_eq!(proxy.stats().pvcache_hits, 1);
     }
 
     #[test]
     fn pvcache_misses_generate_predictor_classified_l2_requests() {
         let (mut mem, mut proxy) = setup();
-        proxy.lookup(index_for(0x4000, 3), &mut mem, 0);
+        proxy.lookup(index_for(3, 0x20), &mut mem, 0);
         let stats = mem.stats();
         assert_eq!(stats.l2_requests.predictor, 1);
         assert_eq!(stats.l2_requests.application, 0);
@@ -263,63 +317,81 @@ mod tests {
     #[test]
     fn evicted_dirty_sets_survive_in_memory() {
         let (mut mem, mut proxy) = setup();
-        let pattern = SpatialPattern::from_offsets([1, 2]);
-        // Store patterns into more distinct sets than the PVCache holds so
+        // Store entries into more distinct sets than the PVCache holds so
         // the first one is evicted (dirty) and written back.
         let capacity = proxy.config().pvcache_sets;
         for i in 0..(capacity + 4) as u64 {
-            // Consecutive instruction words map to different PVTable sets
-            // (the set index is the low bits of PC-bits concatenated with
-            // the offset, so a PC step of 4 moves the set by 32).
-            let index = index_for(0x4000 + i * 4, 1);
-            proxy.store(index, pattern, &mut mem, i * 1000);
+            let index = index_for(i, 5);
+            let entry = entry_for(&proxy, index, 0xBEEF);
+            proxy.store(index, entry, &mut mem, i * 1000);
         }
         assert!(proxy.stats().dirty_writebacks >= 1);
-        // The first index's pattern must still be retrievable: its set comes
+        // The first index's entry must still be retrievable: its set comes
         // back from the memory hierarchy.
-        let lookup = proxy.lookup(index_for(0x4000, 1), &mut mem, 1_000_000);
-        assert_eq!(lookup.pattern, Some(pattern), "dirty write-back must preserve the pattern");
+        let index = index_for(0, 5);
+        let lookup = proxy.lookup(index, &mut mem, 1_000_000);
+        assert_eq!(
+            lookup.entry,
+            Some(entry_for(&proxy, index, 0xBEEF)),
+            "dirty write-back must preserve the entry"
+        );
     }
 
     #[test]
     fn hot_sets_are_served_from_l2_after_first_touch() {
         let (mut mem, mut proxy) = setup();
-        let index = index_for(0x8000, 5);
+        let index = index_for(100, 7);
         // First touch goes to DRAM.
         proxy.lookup(index, &mut mem, 0);
         // Push the set out of the PVCache by touching many other sets.
         for i in 1..=proxy.config().pvcache_sets as u64 {
-            proxy.lookup(index_for(0x8000 + i * 4, 5), &mut mem, i * 1000);
+            proxy.lookup(index_for(100 + i, 7), &mut mem, i * 1000);
         }
         // The set is gone from the PVCache but still resident in the L2, so
         // re-fetching it is cheap (no DRAM access).
         let dram_before = mem.stats().dram_reads;
         let lookup = proxy.lookup(index, &mut mem, 1_000_000);
-        assert!(lookup.ready_at - 1_000_000 < 100, "refetch should be an L2 hit");
+        assert!(
+            lookup.ready_at - 1_000_000 < 100,
+            "refetch should be an L2 hit"
+        );
         assert_eq!(mem.stats().dram_reads, dram_before);
     }
 
     #[test]
-    fn merged_requests_do_not_duplicate_memory_traffic() {
+    fn merged_requests_share_the_fill_and_its_completion_time() {
         let (mut mem, mut proxy) = setup();
-        let index_a = index_for(0x4000, 1);
-        let index_b = index_for(0x4000, 1);
-        proxy.lookup(index_a, &mut mem, 0);
+        let index = index_for(3, 0x11);
+        let first = proxy.lookup(index, &mut mem, 0);
+        assert!(first.ready_at >= 400, "cold fetch comes from DRAM");
         // Same set requested again before the first fetch completes: the
-        // PVCache already has the (stale-free) set installed, so this is a
-        // PVCache hit rather than a second memory request.
-        proxy.lookup(index_b, &mut mem, 1);
+        // PVCache already has the set installed, so no second memory request
+        // is issued — but the data is not available before the in-flight
+        // fill completes, so the early hit reports the fill's ready time.
+        let second = proxy.lookup(index, &mut mem, 1);
         assert_eq!(proxy.stats().memory_requests, 1);
+        assert_eq!(
+            second.ready_at, first.ready_at,
+            "an early hit must wait for the in-flight fill"
+        );
+        assert_eq!(proxy.stats().pending_hits, 1);
+        // Once the fill has completed, hits are PVCache-fast again.
+        let later = proxy.lookup(index, &mut mem, first.ready_at + 10);
+        assert_eq!(
+            later.ready_at,
+            first.ready_at + 10 + proxy.config().pvcache_latency
+        );
     }
 
     #[test]
     fn lookup_after_l2_residency_is_l2_hit_level() {
         let (mut mem, mut proxy) = setup();
-        let index = index_for(0xbeef0, 7);
-        proxy.store(index, SpatialPattern::from_offsets([7, 9]), &mut mem, 0);
+        let index = index_for(700, 0x15);
+        let entry = entry_for(&proxy, index, 0x77);
+        proxy.store(index, entry, &mut mem, 0);
         proxy.drain(&mut mem, 10);
         // After draining, the set's block lives in the L2.
-        let set_index = index.set_index(proxy.config().table_sets);
+        let (set_index, _) = proxy.split_index(index);
         let address = proxy.table().set_address(set_index);
         assert!(mem.l2_contains(address.block()));
         let response = mem.access(
@@ -333,17 +405,21 @@ mod tests {
     }
 
     #[test]
-    fn storage_budget_matches_paper_total() {
+    fn label_names_the_pvcache_size() {
         let (_, proxy) = setup();
-        assert_eq!(proxy.dedicated_storage_bytes(), 889);
         assert_eq!(proxy.label(), "PV-8");
+        // RawEntry is wide (128 bits), so the budget differs from the SMS
+        // instance's 889 bytes; the exact SMS figure is pinned in pv-sms.
+        assert!(proxy.dedicated_storage_bytes() > 0);
     }
 
     #[test]
     fn per_core_tables_use_disjoint_address_ranges() {
         let config = HierarchyConfig::paper_baseline(4);
-        let proxy0 = PvProxy::new(0, PvConfig::pv8(), config.pv_regions.core_base(0));
-        let proxy1 = PvProxy::new(1, PvConfig::pv8(), config.pv_regions.core_base(1));
+        let proxy0: PvProxy<RawEntry> =
+            PvProxy::new(0, PvConfig::pv8(), config.pv_regions.core_base(0));
+        let proxy1: PvProxy<RawEntry> =
+            PvProxy::new(1, PvConfig::pv8(), config.pv_regions.core_base(1));
         let last0 = proxy0.table().set_address(1023).raw() + 63;
         let first1 = proxy1.table().set_address(0).raw();
         assert!(last0 < first1);

@@ -1,26 +1,33 @@
 //! The PVCache: the small, fully-associative cache of PVTable sets inside
 //! the PVProxy.
 
+use crate::entry::PvEntry;
 use crate::table::PvSet;
 
 /// A PVTable set resident in the PVCache.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PvCacheEntry {
+pub struct PvCacheEntry<E> {
     /// Which PVTable set this entry caches.
     pub set_index: usize,
     /// The cached contents.
-    pub contents: PvSet,
+    pub contents: PvSet<E>,
     /// Whether the contents were modified since they were fetched.
     pub dirty: bool,
+    /// Cycle at which the fill that installed this entry completes. The
+    /// entry is installed at request time (so later requests merge instead
+    /// of duplicating memory traffic), but its data is not usable before
+    /// `ready_at` — lookups hitting earlier must report this time, not their
+    /// own cycle.
+    pub ready_at: u64,
 }
 
 /// An entry evicted from the PVCache.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PvCacheEviction {
+pub struct PvCacheEviction<E> {
     /// Which PVTable set was evicted.
     pub set_index: usize,
     /// Its contents at eviction time.
-    pub contents: PvSet,
+    pub contents: PvSet<E>,
     /// Whether it must be written back (dirty).
     pub dirty: bool,
 }
@@ -28,16 +35,16 @@ pub struct PvCacheEviction {
 /// The fully-associative PVCache with LRU replacement.
 ///
 /// The paper's final design uses eight entries; each entry caches one whole
-/// PVTable set (one 64-byte block worth of predictor entries), with a dirty
+/// PVTable set (one memory block worth of predictor entries), with a dirty
 /// bit per entry.
-#[derive(Debug, Clone, Default)]
-pub struct PvCache {
+#[derive(Debug, Clone)]
+pub struct PvCache<E> {
     capacity: usize,
     /// Most recently used first.
-    entries: Vec<PvCacheEntry>,
+    entries: Vec<PvCacheEntry<E>>,
 }
 
-impl PvCache {
+impl<E: PvEntry> PvCache<E> {
     /// Creates a PVCache with room for `capacity` PVTable sets.
     ///
     /// # Panics
@@ -78,20 +85,28 @@ impl PvCache {
 
     /// Looks up `set_index`, promoting it to most-recently-used and returning
     /// a mutable reference to the entry.
-    pub fn lookup(&mut self, set_index: usize) -> Option<&mut PvCacheEntry> {
+    pub fn lookup(&mut self, set_index: usize) -> Option<&mut PvCacheEntry<E>> {
         let pos = self.entries.iter().position(|e| e.set_index == set_index)?;
         let entry = self.entries.remove(pos);
         self.entries.insert(0, entry);
         Some(&mut self.entries[0])
     }
 
-    /// Installs `set_index` with `contents`, evicting the LRU entry when the
-    /// cache is full. If the set is already present its contents are
-    /// replaced (and the dirty flag ORed).
-    pub fn insert(&mut self, set_index: usize, contents: PvSet, dirty: bool) -> Option<PvCacheEviction> {
+    /// Installs `set_index` with `contents` and a fill completing at
+    /// `ready_at`, evicting the LRU entry when the cache is full. If the set
+    /// is already present its contents are replaced (the dirty flag is ORed
+    /// and the earlier of the two ready times kept).
+    pub fn insert(
+        &mut self,
+        set_index: usize,
+        contents: PvSet<E>,
+        dirty: bool,
+        ready_at: u64,
+    ) -> Option<PvCacheEviction<E>> {
         if let Some(entry) = self.lookup(set_index) {
             entry.contents = contents;
             entry.dirty |= dirty;
+            entry.ready_at = entry.ready_at.min(ready_at);
             return None;
         }
         let evicted = if self.entries.len() >= self.capacity {
@@ -109,6 +124,7 @@ impl PvCache {
                 set_index,
                 contents,
                 dirty,
+                ready_at,
             },
         );
         evicted
@@ -116,8 +132,8 @@ impl PvCache {
 
     /// Removes every entry, returning the dirty ones (used when draining the
     /// proxy at the end of a run).
-    pub fn drain_dirty(&mut self) -> Vec<PvCacheEviction> {
-        let drained: Vec<PvCacheEviction> = self
+    pub fn drain_dirty(&mut self) -> Vec<PvCacheEviction<E>> {
+        let drained: Vec<PvCacheEviction<E>> = self
             .entries
             .drain(..)
             .filter(|e| e.dirty)
@@ -131,7 +147,7 @@ impl PvCache {
     }
 
     /// Total number of predictor entries cached across all resident sets.
-    pub fn resident_patterns(&self) -> usize {
+    pub fn resident_entries(&self) -> usize {
         self.entries.iter().map(|e| e.contents.len()).sum()
     }
 }
@@ -139,18 +155,18 @@ impl PvCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pv_sms::SpatialPattern;
+    use crate::entry::RawEntry;
 
-    fn set_with(tag: u16) -> PvSet {
+    fn set_with(tag: u64) -> PvSet<RawEntry> {
         let mut set = PvSet::new(11);
-        set.insert(tag, SpatialPattern::single(1));
+        set.insert(RawEntry::new(tag, 1));
         set
     }
 
     #[test]
     fn insert_then_lookup_round_trips() {
         let mut cache = PvCache::new(8);
-        assert!(cache.insert(5, set_with(1), false).is_none());
+        assert!(cache.insert(5, set_with(1), false, 0).is_none());
         assert!(cache.contains(5));
         let entry = cache.lookup(5).expect("set 5 was just inserted");
         assert_eq!(entry.set_index, 5);
@@ -161,10 +177,10 @@ mod tests {
     #[test]
     fn lru_eviction_picks_least_recently_used() {
         let mut cache = PvCache::new(2);
-        cache.insert(1, set_with(1), false);
-        cache.insert(2, set_with(2), true);
+        cache.insert(1, set_with(1), false, 0);
+        cache.insert(2, set_with(2), true, 0);
         cache.lookup(1);
-        let evicted = cache.insert(3, set_with(3), false).expect("cache was full");
+        let evicted = cache.insert(3, set_with(3), false, 0).expect("cache was full");
         assert_eq!(evicted.set_index, 2);
         assert!(evicted.dirty);
         assert!(cache.contains(1));
@@ -174,41 +190,50 @@ mod tests {
     #[test]
     fn reinsert_merges_dirty_flag() {
         let mut cache = PvCache::new(4);
-        cache.insert(9, set_with(1), false);
-        cache.insert(9, set_with(2), true);
+        cache.insert(9, set_with(1), false, 0);
+        cache.insert(9, set_with(2), true, 0);
         assert_eq!(cache.len(), 1);
         assert!(cache.lookup(9).unwrap().dirty);
         // Re-inserting clean must not clear the dirty bit.
-        cache.insert(9, set_with(3), false);
+        cache.insert(9, set_with(3), false, 0);
         assert!(cache.lookup(9).unwrap().dirty);
+    }
+
+    #[test]
+    fn reinsert_keeps_earliest_ready_time() {
+        let mut cache = PvCache::new(4);
+        cache.insert(9, set_with(1), false, 400);
+        // A merged re-install must not push the ready time later.
+        cache.insert(9, set_with(1), false, 900);
+        assert_eq!(cache.lookup(9).unwrap().ready_at, 400);
     }
 
     #[test]
     fn drain_dirty_returns_only_dirty_entries() {
         let mut cache = PvCache::new(4);
-        cache.insert(1, set_with(1), false);
-        cache.insert(2, set_with(2), true);
-        cache.insert(3, set_with(3), true);
+        cache.insert(1, set_with(1), false, 0);
+        cache.insert(2, set_with(2), true, 0);
+        cache.insert(3, set_with(3), true, 0);
         let drained = cache.drain_dirty();
         assert_eq!(drained.len(), 2);
         assert!(cache.is_empty());
     }
 
     #[test]
-    fn dirty_count_and_resident_patterns() {
+    fn dirty_count_and_resident_entries() {
         let mut cache = PvCache::new(4);
-        cache.insert(1, set_with(1), true);
+        cache.insert(1, set_with(1), true, 0);
         let mut multi = PvSet::new(11);
-        multi.insert(1, SpatialPattern::single(1));
-        multi.insert(2, SpatialPattern::single(2));
-        cache.insert(2, multi, false);
+        multi.insert(RawEntry::new(1, 1));
+        multi.insert(RawEntry::new(2, 2));
+        cache.insert(2, multi, false, 0);
         assert_eq!(cache.dirty_count(), 1);
-        assert_eq!(cache.resident_patterns(), 3);
+        assert_eq!(cache.resident_entries(), 3);
     }
 
     #[test]
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
-        PvCache::new(0);
+        PvCache::<RawEntry>::new(0);
     }
 }

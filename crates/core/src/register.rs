@@ -1,7 +1,6 @@
 //! The `PVStart` control register.
 
 use pv_mem::Address;
-use serde::{Deserialize, Serialize};
 
 /// The per-core control register holding the base physical address of the
 /// core's in-memory PVTable.
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// give each process its own predictor table; [`PvStartRegister::swap`]
 /// models that operation for the process-private-table extension discussed
 /// in Section 2.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PvStartRegister {
     base: Address,
 }

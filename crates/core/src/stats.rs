@@ -1,9 +1,7 @@
 //! PVProxy statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters maintained by one PVProxy.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PvStats {
     /// Predictor lookups received from the optimization engine.
     pub lookups: u64,
@@ -24,9 +22,38 @@ pub struct PvStats {
     pub dirty_writebacks: u64,
     /// Predictions dropped because the pattern buffer was full.
     pub dropped_lookups: u64,
+    /// PVCache hits on sets whose fill was still in flight (the lookup had
+    /// to wait for the fill's completion time).
+    pub pending_hits: u64,
 }
 
 impl PvStats {
+    /// Adds `other`'s counters into `self` (aggregation across cores).
+    pub fn merge(&mut self, other: &PvStats) {
+        let PvStats {
+            lookups,
+            pvcache_hits,
+            pvcache_misses,
+            stores,
+            store_misses,
+            memory_requests,
+            mshr_merges,
+            dirty_writebacks,
+            dropped_lookups,
+            pending_hits,
+        } = *other;
+        self.lookups += lookups;
+        self.pvcache_hits += pvcache_hits;
+        self.pvcache_misses += pvcache_misses;
+        self.stores += stores;
+        self.store_misses += store_misses;
+        self.memory_requests += memory_requests;
+        self.mshr_merges += mshr_merges;
+        self.dirty_writebacks += dirty_writebacks;
+        self.dropped_lookups += dropped_lookups;
+        self.pending_hits += pending_hits;
+    }
+
     /// PVCache hit ratio over lookups in [0, 1].
     pub fn pvcache_hit_ratio(&self) -> f64 {
         let total = self.pvcache_hits + self.pvcache_misses;

@@ -1,16 +1,19 @@
 //! On-chip storage accounting for the PVProxy (paper Section 4.6).
 //!
-//! The paper breaks the proxy's dedicated storage down as: PVCache data
-//! (473 bytes), PVCache tags (11 bytes), dirty bits (1 byte), MSHRs
-//! (84 bytes), a 4-entry evict buffer (256 bytes) and a 16-entry pattern
-//! buffer (64 bytes), for a total of 889 bytes per core — a 68× reduction
-//! over the 59.125 KB dedicated PHT it replaces.
+//! The paper breaks the proxy's dedicated storage down — for the SMS
+//! instance — as: PVCache data (473 bytes), PVCache tags (11 bytes), dirty
+//! bits (1 byte), MSHRs (84 bytes), a 4-entry evict buffer (256 bytes) and a
+//! 16-entry pattern buffer (64 bytes), for a total of 889 bytes per core —
+//! a 68× reduction over the 59.125 KB dedicated PHT it replaces. The
+//! accounting here is generic: the PVCache data term is computed from the
+//! plugged-in entry type's [`PvLayout`], so a different backend (different
+//! entry widths) gets its own budget from the same formulas.
 
 use crate::config::PvConfig;
-use serde::{Deserialize, Serialize};
+use crate::entry::{PvEntry, PvLayout};
 
 /// Per-component on-chip storage of one PVProxy, in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PvStorageBudget {
     /// PVCache data array (cached PVTable sets).
     pub pvcache_data_bytes: u64,
@@ -22,21 +25,24 @@ pub struct PvStorageBudget {
     pub mshr_bytes: u64,
     /// Evict buffer (one block per entry).
     pub evict_buffer_bytes: u64,
-    /// Pattern buffer (one pending prediction per entry).
+    /// Pattern buffer (one pending request per entry).
     pub pattern_buffer_bytes: u64,
 }
 
-/// Bytes per MSHR entry: a 32-bit set address, the 21-bit requesting index,
-/// a few state bits and the merged-request list, rounded to the paper's
-/// per-proxy total (84 bytes for 4 entries).
+/// Bytes per MSHR entry: a 32-bit set address, the requesting index, a few
+/// state bits and the merged-request list, rounded to the paper's per-proxy
+/// total (84 bytes for 4 entries).
 const MSHR_ENTRY_BYTES: u64 = 21;
-/// Bytes per pattern-buffer entry (a 32-bit pattern/trigger descriptor).
+/// Bytes per pattern-buffer entry (a 32-bit request descriptor).
 const PATTERN_BUFFER_ENTRY_BYTES: u64 = 4;
 
 impl PvStorageBudget {
-    /// Computes the storage budget of a proxy built with `config`.
-    pub fn for_config(config: &PvConfig) -> Self {
-        let pvcache_bits = config.pvcache_sets as u64 * config.ways as u64 * u64::from(config.entry_bits);
+    /// Computes the storage budget of a proxy with resources `config`
+    /// caching sets packed per `layout`.
+    pub fn new(config: &PvConfig, layout: &PvLayout) -> Self {
+        let entries_per_set = layout.entries_per_block() as u64;
+        let pvcache_bits =
+            config.pvcache_sets as u64 * entries_per_set * u64::from(layout.entry_bits());
         let tag_bits = config.pvcache_sets as u64 * (u64::from(config.pvcache_tag_bits()) + 1);
         PvStorageBudget {
             pvcache_data_bytes: pvcache_bits.div_ceil(8),
@@ -46,6 +52,11 @@ impl PvStorageBudget {
             evict_buffer_bytes: config.evict_buffer_entries as u64 * config.block_bytes,
             pattern_buffer_bytes: config.pattern_buffer_entries as u64 * PATTERN_BUFFER_ENTRY_BYTES,
         }
+    }
+
+    /// The budget of a proxy virtualizing entries of type `E`.
+    pub fn for_entry<E: PvEntry>(config: &PvConfig) -> Self {
+        Self::new(config, &PvLayout::of::<E>(config.block_bytes))
     }
 
     /// Total dedicated on-chip bytes per core.
@@ -80,11 +91,15 @@ impl PvStorageBudget {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pv_sms::PhtGeometry;
+
+    /// The SMS instance's widths (11-bit tag + 32-bit pattern).
+    fn sms_layout() -> PvLayout {
+        PvLayout::new(11, 32, 64)
+    }
 
     #[test]
-    fn pv8_matches_paper_section_4_6() {
-        let budget = PvStorageBudget::for_config(&PvConfig::pv8());
+    fn sms_instance_matches_paper_section_4_6() {
+        let budget = PvStorageBudget::new(&PvConfig::pv8(), &sms_layout());
         assert_eq!(budget.pvcache_data_bytes, 473);
         assert_eq!(budget.tag_bytes, 11);
         assert_eq!(budget.dirty_bytes, 1);
@@ -95,25 +110,32 @@ mod tests {
     }
 
     #[test]
-    fn reduction_factor_is_about_68x() {
-        let budget = PvStorageBudget::for_config(&PvConfig::pv8());
-        let dedicated = PhtGeometry::paper_1k_11a().total_bytes().unwrap();
-        let factor = budget.reduction_factor(dedicated);
-        assert!(factor > 60.0 && factor < 75.0, "expected ~68x, got {factor:.1}x");
+    fn larger_pvcache_costs_more_storage() {
+        let pv8 = PvStorageBudget::new(&PvConfig::pv8(), &sms_layout()).total_bytes();
+        let pv16 = PvStorageBudget::new(&PvConfig::pv16(), &sms_layout()).total_bytes();
+        let pv32 = PvStorageBudget::new(&PvConfig::pv32(), &sms_layout()).total_bytes();
+        assert!(pv8 < pv16 && pv16 < pv32);
+        assert!(
+            pv32 < 4 * 1024,
+            "even PV-32 stays well under the dedicated table size"
+        );
     }
 
     #[test]
-    fn larger_pvcache_costs_more_storage() {
-        let pv8 = PvStorageBudget::for_config(&PvConfig::pv8()).total_bytes();
-        let pv16 = PvStorageBudget::for_config(&PvConfig::pv16()).total_bytes();
-        let pv32 = PvStorageBudget::for_config(&PvConfig::pv32()).total_bytes();
-        assert!(pv8 < pv16 && pv16 < pv32);
-        assert!(pv32 < 4 * 1024, "even PV-32 stays well under the dedicated table size");
+    fn budget_scales_with_entry_widths() {
+        // A 12+28-bit entry packs 12 per block: 8 sets x 12 x 40 bits = 480B
+        // of PVCache data, versus the SMS instance's 473B.
+        let narrow = PvStorageBudget::new(&PvConfig::pv8(), &PvLayout::new(12, 28, 64));
+        assert_eq!(narrow.pvcache_data_bytes, 480);
+        // Only the data term depends on the widths.
+        let sms = PvStorageBudget::new(&PvConfig::pv8(), &sms_layout());
+        assert_eq!(narrow.tag_bytes, sms.tag_bytes);
+        assert_eq!(narrow.mshr_bytes, sms.mshr_bytes);
     }
 
     #[test]
     fn rows_cover_every_component() {
-        let budget = PvStorageBudget::for_config(&PvConfig::pv8());
+        let budget = PvStorageBudget::new(&PvConfig::pv8(), &sms_layout());
         let sum: u64 = budget.rows().iter().map(|(_, bytes)| bytes).sum();
         assert_eq!(sum, budget.total_bytes());
         assert_eq!(budget.rows().len(), 6);

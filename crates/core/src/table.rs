@@ -1,37 +1,30 @@
 //! The PVTable: the virtualized predictor table living in main memory.
 //!
 //! The simulator tracks the table's *contents* functionally (the actual
-//! pattern values) while the *movement* of those contents through the memory
+//! entry values) while the *movement* of those contents through the memory
 //! hierarchy is modelled by issuing real block requests for the table's
 //! addresses. This mirrors how an RTL implementation would behave: the
 //! values live in DRAM/caches, and what the architecture controls is which
 //! blocks move when.
+//!
+//! The table is generic over the predictor's [`PvEntry`] type: its
+//! associativity is however many packed entries fit in one memory block
+//! under the entry's [`PvLayout`].
 
 use crate::config::PvConfig;
+use crate::entry::{PvEntry, PvLayout};
 use crate::register::PvStartRegister;
 use pv_mem::Address;
-use pv_sms::SpatialPattern;
-use serde::{Deserialize, Serialize};
-
-/// One entry of a PVTable set: the tag that disambiguates indices mapping to
-/// the same set, and the stored spatial pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PvEntry {
-    /// Tag bits of the PHT index (11 bits for a 1K-set table).
-    pub tag: u16,
-    /// The stored spatial pattern.
-    pub pattern: SpatialPattern,
-}
 
 /// One set of the PVTable: up to `ways` entries, kept in recency order
 /// (most recently used first) so that within-set replacement is LRU.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PvSet {
-    entries: Vec<PvEntry>,
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PvSet<E> {
+    entries: Vec<E>,
     ways: usize,
 }
 
-impl PvSet {
+impl<E: PvEntry> PvSet<E> {
     /// Creates an empty set with the given associativity.
     pub fn new(ways: usize) -> Self {
         PvSet {
@@ -55,26 +48,27 @@ impl PvSet {
         self.ways
     }
 
-    /// Looks up `tag`, promoting it to most-recently-used on a hit.
-    pub fn lookup(&mut self, tag: u16) -> Option<SpatialPattern> {
-        let pos = self.entries.iter().position(|e| e.tag == tag)?;
+    /// Looks up the entry tagged `tag`, promoting it to most-recently-used
+    /// on a hit.
+    pub fn lookup(&mut self, tag: u64) -> Option<&E> {
+        let pos = self.entries.iter().position(|e| e.tag() == tag)?;
         let entry = self.entries.remove(pos);
-        let pattern = entry.pattern;
         self.entries.insert(0, entry);
-        Some(pattern)
+        Some(&self.entries[0])
     }
 
     /// Looks up `tag` without modifying recency.
-    pub fn peek(&self, tag: u16) -> Option<SpatialPattern> {
-        self.entries.iter().find(|e| e.tag == tag).map(|e| e.pattern)
+    pub fn peek(&self, tag: u64) -> Option<&E> {
+        self.entries.iter().find(|e| e.tag() == tag)
     }
 
-    /// Inserts or updates `tag`, evicting the least-recently-used entry when
-    /// the set is full. Returns the evicted entry if one was pushed out.
-    pub fn insert(&mut self, tag: u16, pattern: SpatialPattern) -> Option<PvEntry> {
-        if let Some(pos) = self.entries.iter().position(|e| e.tag == tag) {
+    /// Inserts or updates `entry` (keyed by its tag), evicting the
+    /// least-recently-used entry when the set is full. Returns the evicted
+    /// entry if one was pushed out.
+    pub fn insert(&mut self, entry: E) -> Option<E> {
+        if let Some(pos) = self.entries.iter().position(|e| e.tag() == entry.tag()) {
             self.entries.remove(pos);
-            self.entries.insert(0, PvEntry { tag, pattern });
+            self.entries.insert(0, entry);
             return None;
         }
         let evicted = if self.entries.len() >= self.ways {
@@ -82,39 +76,45 @@ impl PvSet {
         } else {
             None
         };
-        self.entries.insert(0, PvEntry { tag, pattern });
+        self.entries.insert(0, entry);
         evicted
     }
 
     /// Iterates over the entries, most recently used first.
-    pub fn iter(&self) -> impl Iterator<Item = &PvEntry> {
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
         self.entries.iter()
     }
 }
 
 /// The in-memory predictor table of one core.
 #[derive(Debug, Clone)]
-pub struct PvTable {
+pub struct PvTable<E> {
     start: PvStartRegister,
-    block_bytes: u64,
-    sets: Vec<PvSet>,
+    layout: PvLayout,
+    sets: Vec<PvSet<E>>,
 }
 
-impl PvTable {
-    /// Creates an empty PVTable for the layout in `config`, based at
-    /// `start`.
+impl<E: PvEntry> PvTable<E> {
+    /// Creates an empty PVTable for the geometry in `config`, packed per
+    /// `E`'s layout, based at `start`.
     pub fn new(config: &PvConfig, start: PvStartRegister) -> Self {
         config.assert_valid();
+        let layout = PvLayout::of::<E>(config.block_bytes);
         PvTable {
             start,
-            block_bytes: config.block_bytes,
-            sets: (0..config.table_sets).map(|_| PvSet::new(config.ways)).collect(),
+            layout,
+            sets: (0..config.table_sets).map(|_| PvSet::new(layout.entries_per_block())).collect(),
         }
     }
 
     /// Number of sets.
     pub fn sets(&self) -> usize {
         self.sets.len()
+    }
+
+    /// The packed layout of this table's entries.
+    pub fn layout(&self) -> &PvLayout {
+        &self.layout
     }
 
     /// The `PVStart` register value this table is based at.
@@ -124,7 +124,7 @@ impl PvTable {
 
     /// Main-memory footprint in bytes.
     pub fn footprint_bytes(&self) -> u64 {
-        self.sets.len() as u64 * self.block_bytes
+        self.sets.len() as u64 * self.layout.block_bytes
     }
 
     /// The physical address of set `set_index` (Figure 3b).
@@ -133,8 +133,11 @@ impl PvTable {
     ///
     /// Panics if `set_index` is out of range.
     pub fn set_address(&self, set_index: usize) -> Address {
-        assert!(set_index < self.sets.len(), "set index {set_index} out of range");
-        self.start.set_address(set_index, self.block_bytes)
+        assert!(
+            set_index < self.sets.len(),
+            "set index {set_index} out of range"
+        );
+        self.start.set_address(set_index, self.layout.block_bytes)
     }
 
     /// Reads the contents of set `set_index`.
@@ -142,7 +145,7 @@ impl PvTable {
     /// # Panics
     ///
     /// Panics if `set_index` is out of range.
-    pub fn read_set(&self, set_index: usize) -> &PvSet {
+    pub fn read_set(&self, set_index: usize) -> &PvSet<E> {
         &self.sets[set_index]
     }
 
@@ -152,12 +155,12 @@ impl PvTable {
     /// # Panics
     ///
     /// Panics if `set_index` is out of range.
-    pub fn write_set(&mut self, set_index: usize, contents: PvSet) {
+    pub fn write_set(&mut self, set_index: usize, contents: PvSet<E>) {
         self.sets[set_index] = contents;
     }
 
-    /// Total number of patterns stored across all sets.
-    pub fn resident_patterns(&self) -> usize {
+    /// Total number of entries stored across all sets.
+    pub fn resident_entries(&self) -> usize {
         self.sets.iter().map(|s| s.len()).sum()
     }
 }
@@ -165,10 +168,41 @@ impl PvTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::entry::RawEntry;
     use pv_mem::Address;
 
-    fn table() -> PvTable {
-        PvTable::new(&PvConfig::pv8(), PvStartRegister::new(Address::new(0x10_0000)))
+    /// An SMS-shaped test entry: 11-bit tag, 32-bit payload.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct NarrowEntry {
+        tag: u16,
+        payload: u32,
+    }
+
+    impl PvEntry for NarrowEntry {
+        const TAG_BITS: u32 = 11;
+        const PAYLOAD_BITS: u32 = 32;
+
+        fn tag(&self) -> u64 {
+            u64::from(self.tag)
+        }
+
+        fn payload(&self) -> u64 {
+            u64::from(self.payload)
+        }
+
+        fn from_parts(tag: u64, payload: u64) -> Option<Self> {
+            (payload != 0).then_some(NarrowEntry {
+                tag: tag as u16,
+                payload: payload as u32,
+            })
+        }
+    }
+
+    fn table() -> PvTable<NarrowEntry> {
+        PvTable::new(
+            &PvConfig::pv8(),
+            PvStartRegister::new(Address::new(0x10_0000)),
+        )
     }
 
     #[test]
@@ -178,16 +212,26 @@ mod tests {
         assert_eq!(table.set_address(2), Address::new(0x10_0080));
         assert_eq!(table.footprint_bytes(), 64 * 1024);
         assert_eq!(table.sets(), 1024);
+        assert_eq!(table.layout().entries_per_block(), 11);
+    }
+
+    #[test]
+    fn associativity_derives_from_entry_widths() {
+        // RawEntry is 128 bits wide, so only 4 fit in a 64-byte block.
+        let table: PvTable<RawEntry> =
+            PvTable::new(&PvConfig::pv8(), PvStartRegister::new(Address::new(0)));
+        assert_eq!(table.layout().entries_per_block(), 4);
+        assert_eq!(table.read_set(0).ways(), 4);
     }
 
     #[test]
     fn pv_set_lru_eviction() {
-        let mut set = PvSet::new(2);
-        assert!(set.insert(1, SpatialPattern::single(1)).is_none());
-        assert!(set.insert(2, SpatialPattern::single(2)).is_none());
+        let mut set: PvSet<NarrowEntry> = PvSet::new(2);
+        assert!(set.insert(NarrowEntry { tag: 1, payload: 1 }).is_none());
+        assert!(set.insert(NarrowEntry { tag: 2, payload: 2 }).is_none());
         // Touch tag 1; tag 2 becomes LRU.
         assert!(set.lookup(1).is_some());
-        let evicted = set.insert(3, SpatialPattern::single(3)).expect("full set must evict");
+        let evicted = set.insert(NarrowEntry { tag: 3, payload: 3 }).expect("full set must evict");
         assert_eq!(evicted.tag, 2);
         assert_eq!(set.len(), 2);
         assert!(set.peek(1).is_some());
@@ -196,21 +240,24 @@ mod tests {
 
     #[test]
     fn pv_set_update_replaces_in_place() {
-        let mut set = PvSet::new(4);
-        set.insert(7, SpatialPattern::single(1));
-        set.insert(7, SpatialPattern::single(2));
+        let mut set: PvSet<NarrowEntry> = PvSet::new(4);
+        set.insert(NarrowEntry { tag: 7, payload: 1 });
+        set.insert(NarrowEntry { tag: 7, payload: 2 });
         assert_eq!(set.len(), 1);
-        assert_eq!(set.peek(7), Some(SpatialPattern::single(2)));
+        assert_eq!(set.peek(7).map(|e| e.payload), Some(2));
     }
 
     #[test]
     fn write_and_read_set_round_trip() {
         let mut table = table();
         let mut contents = PvSet::new(11);
-        contents.insert(5, SpatialPattern::from_offsets([1, 2, 3]));
+        contents.insert(NarrowEntry {
+            tag: 5,
+            payload: 0xE,
+        });
         table.write_set(100, contents.clone());
         assert_eq!(table.read_set(100), &contents);
-        assert_eq!(table.resident_patterns(), 1);
+        assert_eq!(table.resident_entries(), 1);
     }
 
     #[test]

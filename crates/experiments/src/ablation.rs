@@ -7,10 +7,9 @@ use crate::runner::{RunSpec, Runner};
 use pv_core::PvConfig;
 use pv_sim::PrefetcherKind;
 use pv_workloads::WorkloadId;
-use serde::Serialize;
 
 /// One PVCache-capacity ablation point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PvCacheAblationRow {
     /// Workload name.
     pub workload: String,
@@ -65,7 +64,7 @@ pub fn pvcache_rows(runner: &Runner) -> Vec<PvCacheAblationRow> {
                 coverage: metrics.coverage.coverage(),
                 pvcache_hit_ratio: metrics.pv.map(|pv| pv.pvcache_hit_ratio()).unwrap_or(0.0),
                 l2_request_increase: metrics.l2_request_increase_over(&dedicated),
-                storage_bytes: pv_core::PvStorageBudget::for_config(&pv_config).total_bytes(),
+                storage_bytes: pv_sms::VirtualizedPht::storage_budget(&pv_config).total_bytes(),
             });
         }
     }
@@ -75,7 +74,8 @@ pub fn pvcache_rows(runner: &Runner) -> Vec<PvCacheAblationRow> {
 /// Renders the ablation report.
 pub fn report(runner: &Runner) -> String {
     let mut out = String::new();
-    let mut table = Table::new("Ablation — PVCache capacity (supports the paper's choice of 8 sets)");
+    let mut table =
+        Table::new("Ablation — PVCache capacity (supports the paper's choice of 8 sets)");
     table.header([
         "Workload",
         "PVCache sets",
@@ -101,19 +101,25 @@ pub fn report(runner: &Runner) -> String {
     out.push_str(&table.render());
 
     let mut packing = Table::new("Ablation — set packing (Figure 3a layout)");
-    packing.header(["Layout", "Entries per 64B block", "PVTable footprint", "Requests per PHT-set fetch"]);
+    packing.header([
+        "Layout",
+        "Entries per 64B block",
+        "PVTable footprint",
+        "Requests per PHT-set fetch",
+    ]);
     let packed = PvConfig::pv8();
+    let ways = pv_core::PvLayout::of::<pv_sms::SmsEntry>(packed.block_bytes).entries_per_block();
     packing.row([
         "Packed (paper)".to_owned(),
-        packed.ways.to_string(),
+        ways.to_string(),
         format!("{}KB", packed.table_bytes() / 1024),
         "1".to_owned(),
     ]);
     packing.row([
         "Unpacked (one entry per block)".to_owned(),
         "1".to_owned(),
-        format!("{}KB", packed.ways as u64 * packed.table_bytes() / 1024),
-        packed.ways.to_string(),
+        format!("{}KB", ways as u64 * packed.table_bytes() / 1024),
+        ways.to_string(),
     ]);
     packing.note(
         "Packing a whole 11-way set into one block is what lets a single L2 request deliver every candidate \
@@ -135,8 +141,10 @@ mod tests {
 
     #[test]
     fn storage_grows_with_pvcache_size() {
-        let small = pv_core::PvStorageBudget::for_config(&PvConfig::pv8().with_pvcache_sets(4)).total_bytes();
-        let large = pv_core::PvStorageBudget::for_config(&PvConfig::pv8().with_pvcache_sets(32)).total_bytes();
+        let small = pv_sms::VirtualizedPht::storage_budget(&PvConfig::pv8().with_pvcache_sets(4))
+            .total_bytes();
+        let large = pv_sms::VirtualizedPht::storage_budget(&PvConfig::pv8().with_pvcache_sets(32))
+            .total_bytes();
         assert!(small < large);
     }
 }

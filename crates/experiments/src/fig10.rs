@@ -5,10 +5,9 @@ use crate::report::{pct, Table};
 use crate::runner::{HierarchyVariant, RunSpec, Runner};
 use pv_sim::PrefetcherKind;
 use pv_workloads::WorkloadId;
-use serde::Serialize;
 
 /// One (workload, L2 size) point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Row {
     /// Workload name.
     pub workload: String,
@@ -85,8 +84,16 @@ pub fn rows(runner: &Runner) -> Vec<Fig10Row> {
 /// Renders the Figure 10 report.
 pub fn report(runner: &Runner) -> String {
     let rows = rows(runner);
-    let mut table = Table::new("Figure 10 — off-chip bandwidth increase vs L2 capacity (PV-8 over dedicated SMS)");
-    table.header(["Workload", "L2 size", "L2 miss increase", "Writeback increase", "Total"]);
+    let mut table = Table::new(
+        "Figure 10 — off-chip bandwidth increase vs L2 capacity (PV-8 over dedicated SMS)",
+    );
+    table.header([
+        "Workload",
+        "L2 size",
+        "L2 miss increase",
+        "Writeback increase",
+        "Total",
+    ]);
     for row in &rows {
         table.row([
             row.workload.clone(),
@@ -97,7 +104,8 @@ pub fn report(runner: &Runner) -> String {
         ]);
     }
     // Average per size for the trend note.
-    let mut by_size: Vec<(u64, f64, usize)> = l2_sizes().iter().map(|&s| (s / (1024 * 1024), 0.0, 0)).collect();
+    let mut by_size: Vec<(u64, f64, usize)> =
+        l2_sizes().iter().map(|&s| (s / (1024 * 1024), 0.0, 0)).collect();
     for row in &rows {
         if let Some(entry) = by_size.iter_mut().find(|(mb, _, _)| *mb == row.l2_mb) {
             entry.1 += row.total_increase();

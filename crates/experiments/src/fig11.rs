@@ -5,10 +5,9 @@ use crate::report::{pct, Table};
 use crate::runner::{HierarchyVariant, RunSpec, Runner};
 use pv_sim::PrefetcherKind;
 use pv_workloads::WorkloadId;
-use serde::Serialize;
 
 /// One workload's Figure 11 bars.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Row {
     /// Workload name.
     pub workload: String,
@@ -61,7 +60,8 @@ pub fn rows(runner: &Runner) -> Vec<Fig11Row> {
 /// Renders the Figure 11 report.
 pub fn report(runner: &Runner) -> String {
     let rows = rows(runner);
-    let mut table = Table::new("Figure 11 — speedup with increased L2 latency (8/16-cycle tag/data)");
+    let mut table =
+        Table::new("Figure 11 — speedup with increased L2 latency (8/16-cycle tag/data)");
     table.header(["Workload", "SMS-1K", "SMS-PV8", "Difference"]);
     let mut diff_sum = 0.0;
     for row in &rows {

@@ -10,10 +10,9 @@ use crate::report::{pct, Table};
 use crate::runner::{RunSpec, Runner};
 use pv_sim::PrefetcherKind;
 use pv_workloads::WorkloadId;
-use serde::Serialize;
 
 /// One bar of Figure 4.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Row {
     /// Workload name.
     pub workload: String,
@@ -72,7 +71,13 @@ pub fn rows_for(runner: &Runner, workloads: &[WorkloadId]) -> Vec<Fig4Row> {
 /// Renders the Figure 4 report.
 pub fn report(runner: &Runner) -> String {
     let mut table = Table::new("Figure 4 — SMS performance potential (fraction of L1 read misses)");
-    table.header(["Workload", "PHT config", "Covered", "Uncovered", "Overpredictions"]);
+    table.header([
+        "Workload",
+        "PHT config",
+        "Covered",
+        "Uncovered",
+        "Overpredictions",
+    ]);
     for row in rows(runner) {
         table.row([
             row.workload,
@@ -98,7 +103,13 @@ mod tests {
         let labels: Vec<String> = configurations().iter().map(|c| c.label()).collect();
         assert_eq!(
             labels,
-            vec!["SMS-Infinite", "SMS-1K-16a", "SMS-1K-11a", "SMS-16-11a", "SMS-8-11a"]
+            vec![
+                "SMS-Infinite",
+                "SMS-1K-16a",
+                "SMS-1K-11a",
+                "SMS-16-11a",
+                "SMS-8-11a"
+            ]
         );
     }
 

@@ -6,10 +6,9 @@ use crate::runner::{RunSpec, Runner};
 use pv_sim::PrefetcherKind;
 use pv_sms::{PhtGeometry, SmsConfig};
 use pv_workloads::WorkloadId;
-use serde::Serialize;
 
 /// One point of the Figure 5 sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Row {
     /// Workload name.
     pub workload: String,
@@ -57,7 +56,12 @@ pub fn report(runner: &Runner) -> String {
     let mut table = Table::new("Figure 5 — SMS potential across all intermediate PHT sizes");
     table.header(["Workload", "PHT config", "Covered", "Overpredictions"]);
     for row in rows(runner) {
-        table.row([row.workload, row.config, pct(row.covered), pct(row.overpredictions)]);
+        table.row([
+            row.workload,
+            row.config,
+            pct(row.covered),
+            pct(row.overpredictions),
+        ]);
     }
     table.note(
         "Paper shape: coverage decreases monotonically (modulo noise) as the table shrinks from 1K to 8 sets, \

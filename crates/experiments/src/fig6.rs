@@ -5,10 +5,9 @@ use crate::report::{pct, Table};
 use crate::runner::{RunSpec, Runner};
 use pv_sim::PrefetcherKind;
 use pv_workloads::WorkloadId;
-use serde::Serialize;
 
 /// One bar of Figure 6.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Row {
     /// Workload name.
     pub workload: String,
@@ -57,7 +56,12 @@ pub fn rows(runner: &Runner) -> Vec<Fig6Row> {
 pub fn report(runner: &Runner) -> String {
     let rows = rows(runner);
     let mut table = Table::new("Figure 6 — increase of L2 requests due to virtualization");
-    table.header(["Workload", "PVCache", "L2 request increase", "PVCache hit ratio"]);
+    table.header([
+        "Workload",
+        "PVCache",
+        "L2 request increase",
+        "PVCache hit ratio",
+    ]);
     let mut pv8_total = 0.0;
     let mut pv8_count = 0;
     for row in &rows {
@@ -72,7 +76,11 @@ pub fn report(runner: &Runner) -> String {
             pct(row.pvcache_hit_ratio),
         ]);
     }
-    let average = if pv8_count > 0 { pv8_total / pv8_count as f64 } else { 0.0 };
+    let average = if pv8_count > 0 {
+        pv8_total / pv8_count as f64
+    } else {
+        0.0
+    };
     table.note(format!(
         "Measured PV-8 average increase: {} (paper: 25%-44% per workload, 33% on average; growing the PVCache \
          to 16 sets changes little).",

@@ -5,10 +5,9 @@ use crate::report::{pct, Table};
 use crate::runner::{RunSpec, Runner};
 use pv_sim::PrefetcherKind;
 use pv_workloads::WorkloadId;
-use serde::Serialize;
 
 /// One bar group of Figure 7.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Row {
     /// Workload name.
     pub workload: String,
@@ -64,7 +63,13 @@ pub fn rows(runner: &Runner) -> Vec<Fig7Row> {
 pub fn report(runner: &Runner) -> String {
     let rows = rows(runner);
     let mut table = Table::new("Figure 7 — off-chip bandwidth increase due to virtualization");
-    table.header(["Workload", "PVCache", "L2 miss increase", "L2 writeback increase", "Total"]);
+    table.header([
+        "Workload",
+        "PVCache",
+        "L2 miss increase",
+        "L2 writeback increase",
+        "Total",
+    ]);
     let mut total = 0.0;
     let mut count = 0;
     for row in &rows {

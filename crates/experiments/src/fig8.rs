@@ -10,10 +10,9 @@ use crate::report::{pct, Table};
 use crate::runner::{RunSpec, Runner};
 use pv_sim::PrefetcherKind;
 use pv_workloads::WorkloadId;
-use serde::Serialize;
 
 /// One workload's Figure 8 decomposition.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Row {
     /// Workload name.
     pub workload: String,
@@ -53,7 +52,8 @@ pub fn rows(runner: &Runner) -> Vec<Fig8Row> {
             let filled_on_chip = if pv.hierarchy.l2_requests.predictor == 0 {
                 0.0
             } else {
-                1.0 - pv.hierarchy.l2_misses.predictor as f64 / pv.hierarchy.l2_requests.predictor as f64
+                1.0 - pv.hierarchy.l2_misses.predictor as f64
+                    / pv.hierarchy.l2_requests.predictor as f64
             };
             Fig8Row {
                 workload: workload.name().to_owned(),
@@ -70,7 +70,8 @@ pub fn rows(runner: &Runner) -> Vec<Fig8Row> {
 /// Renders the Figure 8 report.
 pub fn report(runner: &Runner) -> String {
     let rows = rows(runner);
-    let mut table = Table::new("Figure 8 — PV-8 off-chip traffic increase split into application and PV data");
+    let mut table =
+        Table::new("Figure 8 — PV-8 off-chip traffic increase split into application and PV data");
     table.header([
         "Workload",
         "L2 misses (app)",
@@ -108,7 +109,10 @@ mod tests {
     fn smoke_run_shows_pv_data_served_from_l2() {
         let runner = Runner::new(Scale::Smoke, 4);
         let rows = rows_for_one(&runner, WorkloadId::Qry1);
-        assert!(rows.pv_requests_filled_by_l2 > 0.5, "most PV requests should be L2 hits");
+        assert!(
+            rows.pv_requests_filled_by_l2 > 0.5,
+            "most PV requests should be L2 hits"
+        );
     }
 
     /// Helper used by the smoke test: single-workload version of [`rows`].
@@ -125,7 +129,8 @@ mod tests {
             pv_requests_filled_by_l2: if pv.hierarchy.l2_requests.predictor == 0 {
                 0.0
             } else {
-                1.0 - pv.hierarchy.l2_misses.predictor as f64 / pv.hierarchy.l2_requests.predictor as f64
+                1.0 - pv.hierarchy.l2_misses.predictor as f64
+                    / pv.hierarchy.l2_requests.predictor as f64
             },
         }
     }

@@ -9,10 +9,9 @@ use crate::report::{pct, Table};
 use crate::runner::{RunSpec, Runner};
 use pv_sim::PrefetcherKind;
 use pv_workloads::WorkloadId;
-use serde::Serialize;
 
 /// One workload's Figure 9 bars.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Row {
     /// Workload name.
     pub workload: String,
@@ -53,9 +52,7 @@ pub fn rows_for(runner: &Runner, workloads: &[WorkloadId]) -> Vec<Fig9Row> {
             let speedups = configurations()
                 .into_iter()
                 .map(|config| {
-                    runner
-                        .metrics(&RunSpec::base(workload, config))
-                        .speedup_over(&baseline)
+                    runner.metrics(&RunSpec::base(workload, config)).speedup_over(&baseline)
                 })
                 .collect();
             Fig9Row {
@@ -71,7 +68,7 @@ pub fn report(runner: &Runner) -> String {
     let rows = rows(runner);
     let mut table = Table::new("Figure 9 — speedup over the no-prefetch baseline");
     table.header(["Workload", "SMS-1K", "SMS-16", "SMS-8", "SMS-PV8"]);
-    let mut sums = vec![0.0; 4];
+    let mut sums = [0.0; 4];
     for row in &rows {
         for (i, s) in row.speedups.iter().enumerate() {
             sums[i] += s;
@@ -107,6 +104,9 @@ mod tests {
     #[test]
     fn four_configurations_in_paper_order() {
         let labels: Vec<String> = configurations().iter().map(|c| c.label()).collect();
-        assert_eq!(labels, vec!["SMS-1K-11a", "SMS-16-11a", "SMS-8-11a", "SMS-PV8"]);
+        assert_eq!(
+            labels,
+            vec!["SMS-1K-11a", "SMS-16-11a", "SMS-8-11a", "SMS-PV8"]
+        );
     }
 }

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod backends;
 pub mod fig10;
 pub mod fig11;
 pub mod fig4;
@@ -66,6 +67,8 @@ pub enum Experiment {
     Sec46,
     /// Ablation studies beyond the paper's figures.
     Ablation,
+    /// Backend generality: SMS and Markov on the same substrate.
+    Backends,
 }
 
 impl Experiment {
@@ -73,7 +76,8 @@ impl Experiment {
     pub fn all() -> Vec<Experiment> {
         use Experiment::*;
         vec![
-            Table1, Table2, Table3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Sec46, Ablation,
+            Table1, Table2, Table3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Sec46,
+            Ablation, Backends,
         ]
     }
 
@@ -93,6 +97,7 @@ impl Experiment {
             Experiment::Fig11 => "fig11",
             Experiment::Sec46 => "sec46",
             Experiment::Ablation => "ablation",
+            Experiment::Backends => "backends",
         }
     }
 
@@ -117,6 +122,7 @@ impl Experiment {
             Experiment::Fig11 => fig11::report(runner),
             Experiment::Sec46 => sec46::report(),
             Experiment::Ablation => ablation::report(runner),
+            Experiment::Backends => backends::report(runner),
         }
     }
 }

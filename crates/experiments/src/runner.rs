@@ -193,11 +193,13 @@ impl Runner {
         }
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(pending.len());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = pending.get(index) else { break };
+                    let Some(spec) = pending.get(index) else {
+                        break;
+                    };
                     // Re-check under the lock in case another worker (or a
                     // duplicate entry in `pending`) beat us to it.
                     if self.cache.lock().contains_key(&spec.key()) {
@@ -207,8 +209,7 @@ impl Runner {
                     self.cache.lock().insert(spec.key(), metrics);
                 });
             }
-        })
-        .expect("experiment worker threads must not panic");
+        });
     }
 }
 
@@ -226,7 +227,10 @@ mod tests {
 
     #[test]
     fn hierarchy_variant_builds_expected_configs() {
-        assert_eq!(HierarchyVariant::Base.build(4).l2.size_bytes, 8 * 1024 * 1024);
+        assert_eq!(
+            HierarchyVariant::Base.build(4).l2.size_bytes,
+            8 * 1024 * 1024
+        );
         assert_eq!(
             HierarchyVariant::L2Size(2 * 1024 * 1024).build(4).l2.size_bytes,
             2 * 1024 * 1024

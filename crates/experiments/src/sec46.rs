@@ -1,13 +1,13 @@
 //! Section 4.6: PVProxy on-chip storage requirements.
 
 use crate::report::{bytes, Table};
-use pv_core::{PvConfig, PvStorageBudget};
-use pv_sms::PhtGeometry;
+use pv_core::PvConfig;
+use pv_sms::{PhtGeometry, VirtualizedPht};
 
 /// Renders the storage breakdown of the PV-8 proxy and the reduction factor
 /// over the dedicated 1K-set, 11-way PHT.
 pub fn report() -> String {
-    let budget = PvStorageBudget::for_config(&PvConfig::pv8());
+    let budget = VirtualizedPht::storage_budget(&PvConfig::pv8());
     let mut table = Table::new("Section 4.6 — PVProxy on-chip storage breakdown (per core)");
     table.header(["Component", "Measured", "Paper"]);
     let paper = [
@@ -19,7 +19,11 @@ pub fn report() -> String {
         ("Pattern buffer", "64B"),
     ];
     for ((component, measured), (_, paper_value)) in budget.rows().into_iter().zip(paper) {
-        table.row([component.to_owned(), bytes(measured), paper_value.to_owned()]);
+        table.row([
+            component.to_owned(),
+            bytes(measured),
+            paper_value.to_owned(),
+        ]);
     }
     let dedicated = PhtGeometry::paper_1k_11a().total_bytes().unwrap();
     table.row([

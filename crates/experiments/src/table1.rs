@@ -77,7 +77,14 @@ mod tests {
     #[test]
     fn table1_mentions_every_level() {
         let report = super::report();
-        for needle in ["L1 I/D", "Unified L2", "Main memory", "8MB", "400 cycles", "64-entry"] {
+        for needle in [
+            "L1 I/D",
+            "Unified L2",
+            "Main memory",
+            "8MB",
+            "400 cycles",
+            "64-entry",
+        ] {
             assert!(report.contains(needle), "missing {needle}");
         }
     }

@@ -6,7 +6,8 @@ use pv_workloads::paper_workloads;
 /// Renders the eight synthetic workload models together with the headline
 /// parameters that govern their behaviour.
 pub fn report() -> String {
-    let mut table = Table::new("Table 2 — workloads (synthetic models of the paper's commercial workloads)");
+    let mut table =
+        Table::new("Table 2 — workloads (synthetic models of the paper's commercial workloads)");
     table.header([
         "Workload",
         "Models",
@@ -37,7 +38,9 @@ mod tests {
     #[test]
     fn table2_lists_all_eight_workloads() {
         let report = super::report();
-        for name in ["Apache", "Zeus", "DB2", "Oracle", "Qry1", "Qry2", "Qry16", "Qry17"] {
+        for name in [
+            "Apache", "Zeus", "DB2", "Oracle", "Qry1", "Qry2", "Qry16", "Qry17",
+        ] {
             assert!(report.contains(name), "missing workload {name}");
         }
     }

@@ -4,7 +4,6 @@
 //! PVTable layout goes through the newtypes in this module so that byte
 //! addresses, block addresses and region addresses cannot be mixed up.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of bytes in a cache block (64 B throughout the paper).
@@ -14,16 +13,16 @@ pub const BLOCK_BYTES: u64 = 64;
 pub const BLOCK_OFFSET_BITS: u32 = 6;
 
 /// A byte-granularity physical address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Address(pub u64);
 
 /// A cache-block-granularity address (byte address divided by 64).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockAddr(pub u64);
 
 /// A spatial-region-granularity address (block address divided by the number
 /// of blocks per region).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RegionAddr(pub u64);
 
 impl Address {

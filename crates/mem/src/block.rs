@@ -1,25 +1,19 @@
 //! Cache-line metadata.
 
 use crate::address::BlockAddr;
-use serde::{Deserialize, Serialize};
 
 /// Coherence-less line state: the reproduction models a shared L2 with
 /// private L1s and tracks only validity and dirtiness, which is all the
 /// paper's traffic metrics require.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LineState {
     /// The line holds no valid block.
+    #[default]
     Invalid,
     /// The line holds a clean copy of the block.
     Clean,
     /// The line holds a modified copy that must be written back on eviction.
     Dirty,
-}
-
-impl Default for LineState {
-    fn default() -> Self {
-        LineState::Invalid
-    }
 }
 
 impl LineState {
@@ -39,7 +33,7 @@ impl LineState {
 /// `ready_at` records the cycle at which the fill that installed this line
 /// completes; an access arriving earlier pays the residual latency. This is
 /// how prefetch timeliness is modelled without a full event-driven engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheLine {
     /// Block held by this line (meaningful only when `state` is valid).
     pub block: BlockAddr,
@@ -68,7 +62,11 @@ impl CacheLine {
     pub fn filled(block: BlockAddr, dirty: bool, ready_at: u64, prefetched: bool) -> Self {
         CacheLine {
             block,
-            state: if dirty { LineState::Dirty } else { LineState::Clean },
+            state: if dirty {
+                LineState::Dirty
+            } else {
+                LineState::Clean
+            },
             ready_at,
             prefetched_unused: prefetched,
         }

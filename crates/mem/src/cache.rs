@@ -14,7 +14,7 @@ use crate::stats::CacheStats;
 use std::fmt;
 
 /// Demand access type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// Load or instruction fetch.
     Read,
@@ -32,7 +32,7 @@ pub enum FillOrigin {
 }
 
 /// Which level of the hierarchy serviced an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HitLevel {
     /// Serviced by the private L1.
     L1,
@@ -206,7 +206,11 @@ impl Cache {
             return None;
         }
         let meta = LineMeta {
-            state: if dirty { LineState::Dirty } else { LineState::Clean },
+            state: if dirty {
+                LineState::Dirty
+            } else {
+                LineState::Clean
+            },
             ready_at,
             prefetched_unused: origin == FillOrigin::Prefetch,
         };

@@ -7,10 +7,9 @@
 
 use crate::address::{Address, BLOCK_BYTES};
 use crate::replacement::ReplacementKind;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and timing of a single cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -37,7 +36,7 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         let blocks = self.size_bytes / self.block_bytes;
         assert!(
-            blocks % self.ways as u64 == 0,
+            blocks.is_multiple_of(self.ways as u64),
             "cache of {} blocks cannot be {}-way set-associative",
             blocks,
             self.ways
@@ -92,7 +91,7 @@ impl CacheConfig {
 }
 
 /// Main-memory timing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Access latency in cycles (400 in Table 1).
     pub latency: u64,
@@ -116,7 +115,7 @@ impl DramConfig {
 /// The paper reserves a chunk of the physical address space per core, fixed
 /// at boot and invisible to the OS; the base is exposed to the PVProxy
 /// through the `PVStart` register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PvRegionConfig {
     /// Base physical address of core 0's PVTable region.
     pub base: Address,
@@ -145,7 +144,11 @@ impl PvRegionConfig {
     ///
     /// Panics if `core` is out of range.
     pub fn core_base(&self, core: usize) -> Address {
-        assert!(core < self.cores, "core {core} out of range ({} cores)", self.cores);
+        assert!(
+            core < self.cores,
+            "core {core} out of range ({} cores)",
+            self.cores
+        );
         Address::new(self.base.raw() + core as u64 * self.bytes_per_core)
     }
 
@@ -163,7 +166,7 @@ impl PvRegionConfig {
 }
 
 /// Full memory-system configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// Number of cores (private L1s each).
     pub cores: usize,
@@ -253,10 +256,7 @@ mod tests {
             assert!(pv.contains(base));
             assert!(pv.contains(Address::new(base.raw() + pv.bytes_per_core - 1)));
             if core > 0 {
-                assert_eq!(
-                    base.raw(),
-                    pv.core_base(core - 1).raw() + pv.bytes_per_core
-                );
+                assert_eq!(base.raw(), pv.core_base(core - 1).raw() + pv.bytes_per_core);
             }
         }
         assert_eq!(pv.total_bytes(), 4 * 64 * 1024);

@@ -14,10 +14,9 @@ use crate::memory::MainMemory;
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::prefetch::NextLinePrefetcher;
 use crate::stats::HierarchyStats;
-use serde::{Deserialize, Serialize};
 
 /// What kind of agent issued a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequesterKind {
     /// A core's load/store stream through its L1 data cache.
     Data,
@@ -30,7 +29,7 @@ pub enum RequesterKind {
 }
 
 /// A request source: which core and which agent on that core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Requester {
     /// Core index.
     pub core: usize,
@@ -41,27 +40,39 @@ pub struct Requester {
 impl Requester {
     /// A core's data-access stream.
     pub fn data(core: usize) -> Self {
-        Requester { core, kind: RequesterKind::Data }
+        Requester {
+            core,
+            kind: RequesterKind::Data,
+        }
     }
 
     /// A core's instruction-fetch stream.
     pub fn instruction(core: usize) -> Self {
-        Requester { core, kind: RequesterKind::Instruction }
+        Requester {
+            core,
+            kind: RequesterKind::Instruction,
+        }
     }
 
     /// A core's PVProxy.
     pub fn pv_proxy(core: usize) -> Self {
-        Requester { core, kind: RequesterKind::PvProxy }
+        Requester {
+            core,
+            kind: RequesterKind::PvProxy,
+        }
     }
 
     /// A data prefetch issued on behalf of a core.
     pub fn prefetch(core: usize) -> Self {
-        Requester { core, kind: RequesterKind::DataPrefetch }
+        Requester {
+            core,
+            kind: RequesterKind::DataPrefetch,
+        }
     }
 }
 
 /// Classification of the data moved by a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataClass {
     /// Ordinary application data.
     Application,
@@ -122,12 +133,8 @@ impl MemoryHierarchy {
     /// Builds the hierarchy described by `config`.
     pub fn new(config: HierarchyConfig) -> Self {
         let cores = config.cores;
-        let l1d = (0..cores)
-            .map(|c| Cache::new(format!("L1D.{c}"), config.l1d))
-            .collect();
-        let l1i = (0..cores)
-            .map(|c| Cache::new(format!("L1I.{c}"), config.l1i))
-            .collect();
+        let l1d = (0..cores).map(|c| Cache::new(format!("L1D.{c}"), config.l1d)).collect();
+        let l1i = (0..cores).map(|c| Cache::new(format!("L1I.{c}"), config.l1i)).collect();
         let l1d_mshr = (0..cores).map(|_| MshrFile::new(config.l1d.mshr_entries)).collect();
         let l1i_mshr = (0..cores).map(|_| MshrFile::new(config.l1i.mshr_entries)).collect();
         let l2 = Cache::new("L2", config.l2);
@@ -208,7 +215,9 @@ impl MemoryHierarchy {
         let block = Address::new(addr).block();
         match requester.kind {
             RequesterKind::Data => self.l1_path(requester.core, block, kind, class, now, false),
-            RequesterKind::Instruction => self.l1_path(requester.core, block, kind, class, now, true),
+            RequesterKind::Instruction => {
+                self.l1_path(requester.core, block, kind, class, now, true)
+            }
             RequesterKind::PvProxy | RequesterKind::DataPrefetch => {
                 let (latency, level) = self.l2_path(block, kind, class, now);
                 AccessResponse {
@@ -328,7 +337,13 @@ impl MemoryHierarchy {
 
     /// Shared-L2 access path (used by L1 misses, prefetches and the PVProxy).
     /// Returns `(latency, serviced_level)`.
-    fn l2_path(&mut self, block: BlockAddr, kind: AccessKind, class: DataClass, now: u64) -> (u64, HitLevel) {
+    fn l2_path(
+        &mut self,
+        block: BlockAddr,
+        kind: AccessKind,
+        class: DataClass,
+        now: u64,
+    ) -> (u64, HitLevel) {
         let predictor = class.is_predictor() || self.classify(block).is_predictor();
         self.stats.l2_requests.record(predictor);
         let outcome = self.l2.access(block, kind, now);
@@ -375,7 +390,12 @@ impl MemoryHierarchy {
             return;
         }
         let _ = self.l2.access(block, AccessKind::Write, now);
-        let evicted = self.l2.fill(block, true, now + self.config.l2.data_latency, FillOrigin::Demand);
+        let evicted = self.l2.fill(
+            block,
+            true,
+            now + self.config.l2.data_latency,
+            FillOrigin::Demand,
+        );
         if let Some(ev) = evicted {
             if ev.dirty {
                 let victim_predictor = self.classify(ev.block).is_predictor();
@@ -398,7 +418,12 @@ impl MemoryHierarchy {
     /// The prefetch travels through the L2 like a demand fill would, but the
     /// core does not wait for it; the returned `ready_at` is when the data
     /// becomes usable.
-    pub fn prefetch_into_l1d(&mut self, core: usize, block: BlockAddr, now: u64) -> PrefetchResponse {
+    pub fn prefetch_into_l1d(
+        &mut self,
+        core: usize,
+        block: BlockAddr,
+        now: u64,
+    ) -> PrefetchResponse {
         self.assert_core(core);
         if self.l1d[core].contains(block) {
             return PrefetchResponse {
@@ -491,10 +516,26 @@ mod tests {
     #[test]
     fn cold_read_goes_to_memory_then_hits_in_l1() {
         let mut h = hierarchy();
-        let r = h.access(Requester::data(0), 0x10_0000, AccessKind::Read, DataClass::Application, 0);
+        let r = h.access(
+            Requester::data(0),
+            0x10_0000,
+            AccessKind::Read,
+            DataClass::Application,
+            0,
+        );
         assert_eq!(r.level, HitLevel::Memory);
-        assert!(r.latency >= 400, "cold miss must pay DRAM latency, got {}", r.latency);
-        let r2 = h.access(Requester::data(0), 0x10_0000, AccessKind::Read, DataClass::Application, 1000);
+        assert!(
+            r.latency >= 400,
+            "cold miss must pay DRAM latency, got {}",
+            r.latency
+        );
+        let r2 = h.access(
+            Requester::data(0),
+            0x10_0000,
+            AccessKind::Read,
+            DataClass::Application,
+            1000,
+        );
         assert_eq!(r2.level, HitLevel::L1);
         assert_eq!(r2.latency, 2);
     }
@@ -502,8 +543,20 @@ mod tests {
     #[test]
     fn second_core_miss_hits_in_shared_l2() {
         let mut h = hierarchy();
-        h.access(Requester::data(0), 0x20_0000, AccessKind::Read, DataClass::Application, 0);
-        let r = h.access(Requester::data(1), 0x20_0000, AccessKind::Read, DataClass::Application, 1000);
+        h.access(
+            Requester::data(0),
+            0x20_0000,
+            AccessKind::Read,
+            DataClass::Application,
+            0,
+        );
+        let r = h.access(
+            Requester::data(1),
+            0x20_0000,
+            AccessKind::Read,
+            DataClass::Application,
+            1000,
+        );
         assert_eq!(r.level, HitLevel::L2);
         assert!(r.latency < 100, "L2 hit should be cheap, got {}", r.latency);
     }
@@ -512,14 +565,26 @@ mod tests {
     fn pv_proxy_requests_bypass_l1_and_are_classified_predictor() {
         let mut h = hierarchy();
         let pv_addr = h.dram().pv_regions().core_base(0).raw();
-        let r = h.access(Requester::pv_proxy(0), pv_addr, AccessKind::Read, DataClass::Predictor, 0);
+        let r = h.access(
+            Requester::pv_proxy(0),
+            pv_addr,
+            AccessKind::Read,
+            DataClass::Predictor,
+            0,
+        );
         assert_eq!(r.level, HitLevel::Memory);
         let stats = h.stats();
         assert_eq!(stats.l2_requests.predictor, 1);
         assert_eq!(stats.l2_misses.predictor, 1);
         assert_eq!(stats.l1d_total().reads, 0, "PVProxy must not touch the L1");
         // Second access: the PHT block now lives in the L2.
-        let r2 = h.access(Requester::pv_proxy(0), pv_addr, AccessKind::Read, DataClass::Predictor, 1000);
+        let r2 = h.access(
+            Requester::pv_proxy(0),
+            pv_addr,
+            AccessKind::Read,
+            DataClass::Predictor,
+            1000,
+        );
         assert_eq!(r2.level, HitLevel::L2);
     }
 
@@ -531,7 +596,13 @@ mod tests {
         assert!(pf.issued);
         assert!(pf.ready_at >= 400);
         // Demand access long after the prefetch completed: full L1 hit.
-        let r = h.access(Requester::data(0), block.base_address().raw(), AccessKind::Read, DataClass::Application, 10_000);
+        let r = h.access(
+            Requester::data(0),
+            block.base_address().raw(),
+            AccessKind::Read,
+            DataClass::Application,
+            10_000,
+        );
         assert_eq!(r.level, HitLevel::L1);
         assert!(r.first_use_of_prefetch);
         assert!(!r.late_prefetch);
@@ -544,10 +615,22 @@ mod tests {
         let pf = h.prefetch_into_l1d(0, block, 0);
         assert!(pf.issued);
         // Demand access 10 cycles later: prefetch still in flight.
-        let r = h.access(Requester::data(0), block.base_address().raw(), AccessKind::Read, DataClass::Application, 10);
+        let r = h.access(
+            Requester::data(0),
+            block.base_address().raw(),
+            AccessKind::Read,
+            DataClass::Application,
+            10,
+        );
         assert!(r.late_prefetch);
-        assert!(r.latency < pf.ready_at, "late prefetch should still save time");
-        assert!(r.latency >= pf.ready_at - 10 - 1, "residual latency should be close to remaining time");
+        assert!(
+            r.latency < pf.ready_at,
+            "late prefetch should still save time"
+        );
+        assert!(
+            r.latency >= pf.ready_at - 10 - 1,
+            "residual latency should be close to remaining time"
+        );
     }
 
     #[test]
@@ -567,37 +650,76 @@ mod tests {
         // same L1 set to force the dirty line out.
         let l1_sets = h.config().l1d.sets() as u64;
         let base_block = 7u64;
-        h.access(Requester::data(0), BlockAddr::new(base_block).base_address().raw(), AccessKind::Write, DataClass::Application, 0);
+        h.access(
+            Requester::data(0),
+            BlockAddr::new(base_block).base_address().raw(),
+            AccessKind::Write,
+            DataClass::Application,
+            0,
+        );
         for i in 1..=4u64 {
             let conflicting = BlockAddr::new(base_block + i * l1_sets);
-            h.access(Requester::data(0), conflicting.base_address().raw(), AccessKind::Read, DataClass::Application, i * 1000);
+            h.access(
+                Requester::data(0),
+                conflicting.base_address().raw(),
+                AccessKind::Read,
+                DataClass::Application,
+                i * 1000,
+            );
         }
         let stats = h.stats();
-        assert!(stats.l1d[0].writebacks >= 1, "dirty line should have been written back");
+        assert!(
+            stats.l1d[0].writebacks >= 1,
+            "dirty line should have been written back"
+        );
         assert!(stats.l2.writes >= 1, "write-back must arrive at the L2");
     }
 
     #[test]
     fn instruction_misses_trigger_next_line_prefetch() {
         let mut h = hierarchy();
-        h.access(Requester::instruction(0), 0x100_0000, AccessKind::Read, DataClass::Application, 0);
+        h.access(
+            Requester::instruction(0),
+            0x100_0000,
+            AccessKind::Read,
+            DataClass::Application,
+            0,
+        );
         let stats = h.stats();
         assert_eq!(stats.l1i_prefetches[0], 1);
         // The next sequential block should now be resident (L2 or L1I); a
         // fetch of it must not go to memory.
-        let r = h.access(Requester::instruction(0), 0x100_0000 + 64, AccessKind::Read, DataClass::Application, 10_000);
+        let r = h.access(
+            Requester::instruction(0),
+            0x100_0000 + 64,
+            AccessKind::Read,
+            DataClass::Application,
+            10_000,
+        );
         assert_ne!(r.level, HitLevel::Memory);
     }
 
     #[test]
     fn stats_reset_preserves_contents() {
         let mut h = hierarchy();
-        h.access(Requester::data(0), 0x9000, AccessKind::Read, DataClass::Application, 0);
+        h.access(
+            Requester::data(0),
+            0x9000,
+            AccessKind::Read,
+            DataClass::Application,
+            0,
+        );
         h.reset_stats();
         let stats = h.stats();
         assert_eq!(stats.l1d_total().reads, 0);
         // Contents preserved: the block still hits in L1.
-        let r = h.access(Requester::data(0), 0x9000, AccessKind::Read, DataClass::Application, 10_000);
+        let r = h.access(
+            Requester::data(0),
+            0x9000,
+            AccessKind::Read,
+            DataClass::Application,
+            10_000,
+        );
         assert_eq!(r.level, HitLevel::L1);
     }
 
@@ -610,7 +732,13 @@ mod tests {
         let mut evictions_seen = 0;
         for i in 0..=ways {
             let block = BlockAddr::new(3 + i * l1_sets);
-            let r = h.access(Requester::data(0), block.base_address().raw(), AccessKind::Read, DataClass::Application, i * 1000);
+            let r = h.access(
+                Requester::data(0),
+                block.base_address().raw(),
+                AccessKind::Read,
+                DataClass::Application,
+                i * 1000,
+            );
             evictions_seen += r.l1_evictions.len();
         }
         assert!(evictions_seen >= 1, "overflowing an L1 set must evict");
@@ -620,6 +748,12 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_core_panics() {
         let mut h = hierarchy();
-        h.access(Requester::data(5), 0, AccessKind::Read, DataClass::Application, 0);
+        h.access(
+            Requester::data(5),
+            0,
+            AccessKind::Read,
+            DataClass::Application,
+            0,
+        );
     }
 }

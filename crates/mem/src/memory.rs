@@ -3,7 +3,6 @@
 use crate::address::Address;
 use crate::config::{DramConfig, PvRegionConfig};
 use crate::stats::TrafficBreakdown;
-use serde::{Deserialize, Serialize};
 
 /// The main-memory backing store.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// configured latency and is counted as a block read or block write,
 /// classified as application or predictor data according to the reserved PV
 /// regions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MainMemory {
     config: DramConfig,
     pv_regions: PvRegionConfig,

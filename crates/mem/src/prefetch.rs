@@ -6,10 +6,9 @@
 //! instruction cache.
 
 use crate::address::BlockAddr;
-use serde::{Deserialize, Serialize};
 
 /// A simple next-line (sequential, degree-1) instruction prefetcher.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NextLinePrefetcher {
     issued: u64,
     suppressed: u64,
@@ -58,7 +57,10 @@ mod tests {
     #[test]
     fn prefetches_next_sequential_block() {
         let mut pf = NextLinePrefetcher::new();
-        assert_eq!(pf.on_instruction_miss(BlockAddr::new(10)), Some(BlockAddr::new(11)));
+        assert_eq!(
+            pf.on_instruction_miss(BlockAddr::new(10)),
+            Some(BlockAddr::new(11))
+        );
         assert_eq!(pf.issued(), 1);
     }
 
@@ -68,7 +70,10 @@ mod tests {
         pf.on_instruction_miss(BlockAddr::new(10));
         assert_eq!(pf.on_instruction_miss(BlockAddr::new(10)), None);
         assert_eq!(pf.suppressed(), 1);
-        assert_eq!(pf.on_instruction_miss(BlockAddr::new(11)), Some(BlockAddr::new(12)));
+        assert_eq!(
+            pf.on_instruction_miss(BlockAddr::new(11)),
+            Some(BlockAddr::new(12))
+        );
     }
 
     #[test]
@@ -77,6 +82,9 @@ mod tests {
         pf.on_instruction_miss(BlockAddr::new(10));
         pf.reset();
         assert_eq!(pf.issued(), 0);
-        assert_eq!(pf.on_instruction_miss(BlockAddr::new(10)), Some(BlockAddr::new(11)));
+        assert_eq!(
+            pf.on_instruction_miss(BlockAddr::new(10)),
+            Some(BlockAddr::new(11))
+        );
     }
 }

@@ -102,7 +102,10 @@ impl TreePlru {
     /// Panics if `ways` is zero or not a power of two.
     pub fn new(ways: usize) -> Self {
         assert!(ways > 0, "a set must have at least one way");
-        assert!(ways.is_power_of_two(), "tree-PLRU requires a power-of-two way count");
+        assert!(
+            ways.is_power_of_two(),
+            "tree-PLRU requires a power-of-two way count"
+        );
         TreePlru {
             ways,
             bits: vec![false; ways.saturating_sub(1)],
@@ -222,7 +225,7 @@ impl ReplacementPolicy for RandomEvict {
 }
 
 /// Which replacement policy a cache should instantiate per set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplacementKind {
     /// True LRU (paper default).
     Lru,
@@ -238,7 +241,9 @@ impl ReplacementKind {
         match self {
             ReplacementKind::Lru => Box::new(Lru::new(ways)),
             ReplacementKind::TreePlru => Box::new(TreePlru::new(ways)),
-            ReplacementKind::Random => Box::new(RandomEvict::new(ways, set_index.wrapping_add(0x9E37_79B9))),
+            ReplacementKind::Random => {
+                Box::new(RandomEvict::new(ways, set_index.wrapping_add(0x9E37_79B9)))
+            }
         }
     }
 }
@@ -278,7 +283,10 @@ mod tests {
     #[test]
     fn plru_prefers_invalid_way() {
         let mut plru = TreePlru::new(8);
-        assert_eq!(plru.victim(&[true, true, true, false, true, true, true, true]), 3);
+        assert_eq!(
+            plru.victim(&[true, true, true, false, true, true, true, true]),
+            3
+        );
     }
 
     #[test]

@@ -48,12 +48,8 @@ impl<T> SetAssociative<T> {
     pub fn new(sets: usize, ways: usize, replacement: ReplacementKind) -> Self {
         assert!(sets > 0, "a set-associative array needs at least one set");
         assert!(ways > 0, "a set-associative array needs at least one way");
-        let entries = (0..sets)
-            .map(|_| (0..ways).map(|_| None).collect())
-            .collect();
-        let policies = (0..sets)
-            .map(|set| replacement.build(ways, set as u64))
-            .collect();
+        let entries = (0..sets).map(|_| (0..ways).map(|_| None).collect()).collect();
+        let policies = (0..sets).map(|set| replacement.build(ways, set as u64)).collect();
         SetAssociative {
             sets,
             ways,
@@ -146,7 +142,10 @@ impl<T> SetAssociative<T> {
         }
         let valid: Vec<bool> = self.entries[set].iter().map(|w| w.is_some()).collect();
         let way = self.policies[set].victim(&valid);
-        assert!(way < self.ways, "replacement policy returned way out of range");
+        assert!(
+            way < self.ways,
+            "replacement policy returned way out of range"
+        );
         let evicted = self.entries[set][way].take();
         self.entries[set][way] = Some(Occupied { tag, value });
         self.policies[set].on_fill(way);
@@ -168,10 +167,9 @@ impl<T> SetAssociative<T> {
 
     /// Iterates over every occupied entry as `(set, &Occupied)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Occupied<T>)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .flat_map(|(set, ways)| ways.iter().filter_map(move |w| w.as_ref().map(|occ| (set, occ))))
+        self.entries.iter().enumerate().flat_map(|(set, ways)| {
+            ways.iter().filter_map(move |w| w.as_ref().map(|occ| (set, occ)))
+        })
     }
 
     /// Clears every set.

@@ -6,10 +6,9 @@
 //! Figures 6-8 and 10 lives here.
 
 use crate::address::BLOCK_BYTES;
-use serde::{Deserialize, Serialize};
 
 /// Per-cache counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand read accesses (loads / instruction fetches).
     pub reads: u64,
@@ -71,7 +70,7 @@ impl CacheStats {
 }
 
 /// A counter split into application and predictor (PV) data.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficBreakdown {
     /// Events attributable to ordinary application data.
     pub application: u64,
@@ -96,7 +95,7 @@ impl TrafficBreakdown {
 }
 
 /// System-wide memory statistics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HierarchyStats {
     /// Per-core L1 data-cache stats.
     pub l1d: Vec<CacheStats>,

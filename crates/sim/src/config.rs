@@ -2,9 +2,9 @@
 //! and run lengths.
 
 use pv_core::PvConfig;
+use pv_markov::MarkovConfig;
 use pv_mem::HierarchyConfig;
 use pv_sms::SmsConfig;
-use serde::{Deserialize, Serialize};
 
 /// Timing parameters of the trace-driven core model.
 ///
@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// effective retire width and per-access *exposure factors*: the fraction of
 /// a memory access's latency that actually stalls retirement (out-of-order
 /// execution, store buffering and fetch-ahead hide the rest).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreConfig {
     /// Instructions retired per cycle when nothing stalls.
     pub retire_width: f64,
@@ -56,13 +56,16 @@ impl CoreConfig {
             ("store_exposure", self.store_exposure),
             ("fetch_exposure", self.fetch_exposure),
         ] {
-            assert!((0.0..=1.0).contains(&value), "{name} must be in [0, 1], got {value}");
+            assert!(
+                (0.0..=1.0).contains(&value),
+                "{name} must be in [0, 1], got {value}"
+            );
         }
     }
 }
 
 /// Which data prefetcher each core runs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PrefetcherKind {
     /// No data prefetching (the paper's baseline).
     None,
@@ -73,6 +76,18 @@ pub enum PrefetcherKind {
     VirtualizedSms {
         /// SMS engine configuration (AGT sizes, region geometry).
         sms: SmsConfig,
+        /// Virtualization configuration (PVCache size, table layout).
+        pv: PvConfig,
+    },
+    /// The PC-indexed next-address (Markov) prefetcher with a dedicated
+    /// on-chip table — the second optimization engine, proving the
+    /// substrate's generality.
+    Markov(MarkovConfig),
+    /// The Markov prefetcher with its table virtualized through the same
+    /// generic PVProxy the SMS backend uses (at a different entry width).
+    VirtualizedMarkov {
+        /// Markov engine configuration.
+        markov: MarkovConfig,
         /// Virtualization configuration (PVCache size, table layout).
         pv: PvConfig,
     },
@@ -128,23 +143,43 @@ impl PrefetcherKind {
         }
     }
 
+    /// The Markov prefetcher with its dedicated 1K-set table.
+    pub fn markov_1k() -> Self {
+        PrefetcherKind::Markov(MarkovConfig::paper_1k())
+    }
+
+    /// The virtualized Markov prefetcher over the PV-8 proxy.
+    pub fn markov_pv8() -> Self {
+        PrefetcherKind::VirtualizedMarkov {
+            markov: MarkovConfig::paper_1k(),
+            pv: PvConfig::pv8(),
+        }
+    }
+
     /// A short label for reports (e.g. `"SMS-1K"`, `"SMS-PV8"`).
     pub fn label(&self) -> String {
         match self {
             PrefetcherKind::None => "NoPrefetch".to_owned(),
             PrefetcherKind::Sms(config) => format!("SMS-{}", config.pht.label()),
             PrefetcherKind::VirtualizedSms { pv, .. } => format!("SMS-PV{}", pv.pvcache_sets),
+            PrefetcherKind::Markov(config) => format!("Markov-{}K", config.table_sets / 1024),
+            PrefetcherKind::VirtualizedMarkov { pv, .. } => {
+                format!("Markov-PV{}", pv.pvcache_sets)
+            }
         }
     }
 
-    /// Whether this configuration virtualizes the PHT.
+    /// Whether this configuration virtualizes the predictor table.
     pub fn is_virtualized(&self) -> bool {
-        matches!(self, PrefetcherKind::VirtualizedSms { .. })
+        matches!(
+            self,
+            PrefetcherKind::VirtualizedSms { .. } | PrefetcherKind::VirtualizedMarkov { .. }
+        )
     }
 }
 
 /// A complete simulation configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Number of cores (the paper simulates four).
     pub cores: usize,
@@ -211,7 +246,10 @@ impl SimConfig {
             self.cores, self.hierarchy.cores,
             "hierarchy core count must match the simulated core count"
         );
-        assert!(self.measure_records > 0, "measurement window must be non-empty");
+        assert!(
+            self.measure_records > 0,
+            "measurement window must be non-empty"
+        );
         self.core.assert_valid();
     }
 }
@@ -236,6 +274,10 @@ mod tests {
         assert_eq!(PrefetcherKind::sms_pv8().label(), "SMS-PV8");
         assert_eq!(PrefetcherKind::sms_pv16().label(), "SMS-PV16");
         assert_eq!(PrefetcherKind::sms_infinite().label(), "SMS-Infinite");
+        assert_eq!(PrefetcherKind::markov_1k().label(), "Markov-1K");
+        assert_eq!(PrefetcherKind::markov_pv8().label(), "Markov-PV8");
+        assert!(PrefetcherKind::markov_pv8().is_virtualized());
+        assert!(!PrefetcherKind::markov_1k().is_virtualized());
     }
 
     #[test]

@@ -10,10 +10,9 @@
 use crate::config::CoreConfig;
 use pv_mem::AccessKind;
 use pv_workloads::MemOp;
-use serde::{Deserialize, Serialize};
 
 /// Per-core cycle and instruction accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreModel {
     config: CoreConfig,
     /// Current local time in cycles (fractional cycles accumulate so narrow
@@ -118,7 +117,10 @@ mod tests {
         let mut core = core();
         core.retire_non_memory(20);
         assert_eq!(core.instructions(), 20);
-        assert!((core.now() as f64 - 10.0).abs() <= 1.0, "2-wide core retires 20 instructions in ~10 cycles");
+        assert!(
+            (core.now() as f64 - 10.0).abs() <= 1.0,
+            "2-wide core retires 20 instructions in ~10 cycles"
+        );
     }
 
     #[test]
@@ -164,7 +166,10 @@ mod tests {
             fast.retire_non_memory(3);
             fast.retire_memory(MemOp::Load, 20);
         }
-        assert!(fast.ipc() > slow.ipc() * 2.0, "removing DRAM latency must pay off");
+        assert!(
+            fast.ipc() > slow.ipc() * 2.0,
+            "removing DRAM latency must pay off"
+        );
     }
 
     #[test]
@@ -182,6 +187,9 @@ mod tests {
     fn access_kind_maps_stores_to_writes() {
         assert_eq!(CoreModel::access_kind(MemOp::Store), AccessKind::Write);
         assert_eq!(CoreModel::access_kind(MemOp::Load), AccessKind::Read);
-        assert_eq!(CoreModel::access_kind(MemOp::InstructionFetch), AccessKind::Read);
+        assert_eq!(
+            CoreModel::access_kind(MemOp::InstructionFetch),
+            AccessKind::Read
+        );
     }
 }

@@ -1,12 +1,12 @@
 //! Metrics collected from one simulation run.
 
 use pv_core::PvStats;
+use pv_markov::MarkovStats;
 use pv_mem::HierarchyStats;
 use pv_sms::SmsStats;
-use serde::{Deserialize, Serialize};
 
 /// Prefetch-coverage accounting in the form Figure 4/5 report it.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoverageMetrics {
     /// L1 read misses eliminated by prefetching (demand reads whose block
     /// had been prefetched).
@@ -47,7 +47,7 @@ impl CoverageMetrics {
 }
 
 /// Everything measured during one run's measurement window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Label of the prefetcher configuration that produced these metrics.
     pub configuration: String,
@@ -63,8 +63,12 @@ pub struct RunMetrics {
     pub hierarchy: HierarchyStats,
     /// Prefetch coverage (zeroed for the no-prefetch baseline).
     pub coverage: CoverageMetrics,
-    /// SMS engine statistics summed over cores (zeroed for the baseline).
-    pub sms: SmsStats,
+    /// SMS engine statistics summed over cores (`None` unless an SMS
+    /// prefetcher ran).
+    pub sms: Option<SmsStats>,
+    /// Markov engine statistics summed over cores (`None` unless a Markov
+    /// prefetcher ran).
+    pub markov: Option<MarkovStats>,
     /// PVProxy statistics summed over cores (`None` for non-virtualized
     /// configurations).
     pub pv: Option<PvStats>,
@@ -150,7 +154,8 @@ mod tests {
             per_core_ipc: vec![],
             hierarchy: HierarchyStats::new(1),
             coverage: CoverageMetrics::default(),
-            sms: SmsStats::default(),
+            sms: None,
+            markov: None,
             pv: None,
             prefetches_issued: 0,
         }

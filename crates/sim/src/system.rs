@@ -4,17 +4,25 @@
 use crate::config::{PrefetcherKind, SimConfig};
 use crate::core_model::CoreModel;
 use crate::metrics::{CoverageMetrics, RunMetrics};
-use pv_core::{PvProxy, PvStats};
+use pv_core::{PvStats, VirtualizedBackend};
+use pv_markov::{MarkovPrefetcher, MarkovStats, VirtualizedMarkov};
 use pv_mem::{DataClass, MemoryHierarchy, Requester};
-use pv_sms::{build_storage, SmsPrefetcher, SmsStats};
+use pv_sms::{build_storage, SmsPrefetcher, SmsStats, VirtualizedPht};
 use pv_workloads::{MemOp, TraceGenerator, TraceRecord, WorkloadParams};
+
+/// One core's data-prefetch engine: any of the optimization engines that can
+/// sit on top of a dedicated or virtualized table.
+enum Engine {
+    Sms(SmsPrefetcher),
+    Markov(MarkovPrefetcher),
+}
 
 /// Per-core simulation state.
 struct CoreState {
     id: usize,
     generator: TraceGenerator,
     model: CoreModel,
-    sms: Option<SmsPrefetcher>,
+    engine: Option<Engine>,
     covered: u64,
     prefetches_issued: u64,
     records_consumed: u64,
@@ -41,12 +49,12 @@ impl System {
         let hierarchy = MemoryHierarchy::new(config.hierarchy);
         let cores = (0..config.cores)
             .map(|core| {
-                let sms = Self::build_prefetcher(&config, core);
+                let engine = Self::build_prefetcher(&config, core);
                 CoreState {
                     id: core,
                     generator: TraceGenerator::new(workload, config.seed, core),
                     model: CoreModel::new(config.core, config.hierarchy.l1d.data_latency),
-                    sms,
+                    engine,
                     covered: 0,
                     prefetches_issued: 0,
                     records_consumed: 0,
@@ -61,15 +69,30 @@ impl System {
         }
     }
 
-    fn build_prefetcher(config: &SimConfig, core: usize) -> Option<SmsPrefetcher> {
+    fn build_prefetcher(config: &SimConfig, core: usize) -> Option<Engine> {
         match &config.prefetcher {
             PrefetcherKind::None => None,
-            PrefetcherKind::Sms(sms_config) => {
-                Some(SmsPrefetcher::new(*sms_config, build_storage(sms_config)))
-            }
+            PrefetcherKind::Sms(sms_config) => Some(Engine::Sms(SmsPrefetcher::new(
+                *sms_config,
+                build_storage(sms_config),
+            ))),
             PrefetcherKind::VirtualizedSms { sms, pv } => {
                 let base = config.hierarchy.pv_regions.core_base(core);
-                Some(SmsPrefetcher::new(*sms, Box::new(PvProxy::new(core, *pv, base))))
+                Some(Engine::Sms(SmsPrefetcher::new(
+                    *sms,
+                    Box::new(VirtualizedPht::new(core, *pv, base)),
+                )))
+            }
+            PrefetcherKind::Markov(markov) => Some(Engine::Markov(MarkovPrefetcher::new(
+                *markov,
+                Box::new(pv_markov::DedicatedMarkov::new(*markov)),
+            ))),
+            PrefetcherKind::VirtualizedMarkov { markov, pv } => {
+                let base = config.hierarchy.pv_regions.core_base(core);
+                Some(Engine::Markov(MarkovPrefetcher::new(
+                    *markov,
+                    Box::new(VirtualizedMarkov::new(core, *pv, base)),
+                )))
             }
         }
     }
@@ -97,11 +120,8 @@ impl System {
     /// always advancing the core whose local clock is furthest behind so the
     /// shared L2 sees a fair interleaving.
     fn run_phase(&mut self, records_per_core: u64) {
-        let targets: Vec<u64> = self
-            .cores
-            .iter()
-            .map(|c| c.records_consumed + records_per_core)
-            .collect();
+        let targets: Vec<u64> =
+            self.cores.iter().map(|c| c.records_consumed + records_per_core).collect();
         loop {
             let next = self
                 .cores
@@ -121,17 +141,16 @@ impl System {
             core.model.reset();
             core.covered = 0;
             core.prefetches_issued = 0;
-            if let Some(sms) = &mut core.sms {
-                sms.reset_stats();
+            match &mut core.engine {
+                Some(Engine::Sms(sms)) => sms.reset_stats(),
+                Some(Engine::Markov(markov)) => markov.reset_stats(),
+                None => {}
             }
         }
     }
 
     fn step_core(&mut self, idx: usize) {
-        let record = self.cores[idx]
-            .generator
-            .next()
-            .expect("trace generators are infinite");
+        let record = self.cores[idx].generator.next().expect("trace generators are infinite");
         self.cores[idx].records_consumed += 1;
         match record.op {
             MemOp::InstructionFetch => self.step_fetch(idx, &record),
@@ -168,24 +187,43 @@ impl System {
         }
         self.cores[idx].model.retire_memory(record.op, response.latency);
 
-        let Some(mut sms) = self.cores[idx].sms.take() else {
+        let Some(engine) = self.cores[idx].engine.take() else {
             return;
         };
-        // Blocks displaced by the demand fill end their spatial generations.
-        sms.on_l1_evictions(&response.l1_evictions, &mut self.hierarchy, now);
-        // Feed the access to the prefetcher and issue any predicted stream.
-        let engine = sms.on_data_access(record.pc, record.address, &mut self.hierarchy, now);
-        for prefetch in &engine.prefetches {
-            let issue_at = prefetch.issue_at.max(now);
-            let outcome = self
-                .hierarchy
-                .prefetch_into_l1d(core_id, prefetch.block, issue_at);
-            if outcome.issued {
-                self.cores[idx].prefetches_issued += 1;
+        let engine = match engine {
+            Engine::Sms(mut sms) => {
+                // Blocks displaced by the demand fill end their spatial
+                // generations.
+                sms.on_l1_evictions(&response.l1_evictions, &mut self.hierarchy, now);
+                // Feed the access to the prefetcher and issue any predicted
+                // stream.
+                let response =
+                    sms.on_data_access(record.pc, record.address, &mut self.hierarchy, now);
+                for prefetch in &response.prefetches {
+                    let issue_at = prefetch.issue_at.max(now);
+                    let outcome =
+                        self.hierarchy.prefetch_into_l1d(core_id, prefetch.block, issue_at);
+                    if outcome.issued {
+                        self.cores[idx].prefetches_issued += 1;
+                    }
+                    sms.on_l1_evictions(&outcome.l1_evictions, &mut self.hierarchy, issue_at);
+                }
+                Engine::Sms(sms)
             }
-            sms.on_l1_evictions(&outcome.l1_evictions, &mut self.hierarchy, issue_at);
-        }
-        self.cores[idx].sms = Some(sms);
+            Engine::Markov(mut markov) => {
+                let response =
+                    markov.on_data_access(record.pc, record.address, &mut self.hierarchy, now);
+                if let Some(block) = response.prefetch {
+                    let issue_at = response.issue_at.max(now);
+                    let outcome = self.hierarchy.prefetch_into_l1d(core_id, block, issue_at);
+                    if outcome.issued {
+                        self.cores[idx].prefetches_issued += 1;
+                    }
+                }
+                Engine::Markov(markov)
+            }
+        };
+        self.cores[idx].engine = Some(engine);
     }
 
     fn collect_metrics(&self) -> RunMetrics {
@@ -195,7 +233,8 @@ impl System {
         let hierarchy = self.hierarchy.stats();
 
         let mut coverage = CoverageMetrics::default();
-        let mut sms_total = SmsStats::default();
+        let mut sms_total: Option<SmsStats> = None;
+        let mut markov_total: Option<MarkovStats> = None;
         let mut pv_total: Option<PvStats> = None;
         let mut prefetches_issued = 0;
         for (core_idx, core) in self.cores.iter().enumerate() {
@@ -203,28 +242,22 @@ impl System {
             coverage.uncovered += hierarchy.l1d[core_idx].read_misses;
             coverage.overpredictions += hierarchy.l1d[core_idx].prefetched_evicted_unused;
             prefetches_issued += core.prefetches_issued;
-            if let Some(sms) = &core.sms {
-                let stats = sms.stats();
-                sms_total.accesses_observed += stats.accesses_observed;
-                sms_total.triggers += stats.triggers;
-                sms_total.pht_lookups += stats.pht_lookups;
-                sms_total.pht_hits += stats.pht_hits;
-                sms_total.pht_misses += stats.pht_misses;
-                sms_total.patterns_stored += stats.patterns_stored;
-                sms_total.prefetch_candidates += stats.prefetch_candidates;
-                if let Some(proxy) = sms.storage().as_any().downcast_ref::<PvProxy>() {
-                    let entry = pv_total.get_or_insert_with(PvStats::default);
-                    let stats = proxy.stats();
-                    entry.lookups += stats.lookups;
-                    entry.pvcache_hits += stats.pvcache_hits;
-                    entry.pvcache_misses += stats.pvcache_misses;
-                    entry.stores += stats.stores;
-                    entry.store_misses += stats.store_misses;
-                    entry.memory_requests += stats.memory_requests;
-                    entry.mshr_merges += stats.mshr_merges;
-                    entry.dirty_writebacks += stats.dirty_writebacks;
-                    entry.dropped_lookups += stats.dropped_lookups;
+            match &core.engine {
+                Some(Engine::Sms(sms)) => {
+                    sms_total.get_or_insert_with(SmsStats::default).merge(sms.stats());
+                    if let Some(pht) = sms.storage().as_any().downcast_ref::<VirtualizedPht>() {
+                        pv_total.get_or_insert_with(PvStats::default).merge(pht.proxy().stats());
+                    }
                 }
+                Some(Engine::Markov(markov)) => {
+                    markov_total.get_or_insert_with(MarkovStats::default).merge(markov.stats());
+                    if let Some(table) =
+                        markov.storage().as_any().downcast_ref::<VirtualizedMarkov>()
+                    {
+                        pv_total.get_or_insert_with(PvStats::default).merge(table.proxy().stats());
+                    }
+                }
+                None => {}
             }
         }
 
@@ -237,6 +270,7 @@ impl System {
             hierarchy,
             coverage,
             sms: sms_total,
+            markov: markov_total,
             pv: pv_total,
             prefetches_issued,
         }
@@ -282,7 +316,10 @@ mod tests {
         let baseline = run_workload(&tiny(PrefetcherKind::None), &workload);
         let sms = run_workload(&tiny(PrefetcherKind::sms_1k_11a()), &workload);
         assert!(sms.coverage.covered > 0, "SMS must cover some misses");
-        assert!(sms.coverage.coverage() > 0.2, "scan workload should be well covered");
+        assert!(
+            sms.coverage.coverage() > 0.2,
+            "scan workload should be well covered"
+        );
         assert!(
             sms.speedup_over(&baseline) > 0.0,
             "prefetching must help the scan workload (speedup {:.3})",
@@ -299,7 +336,10 @@ mod tests {
         assert!(pv.lookups > 0);
         assert!(pv.memory_requests > 0);
         assert!(metrics.hierarchy.l2_requests.predictor > 0);
-        assert!(metrics.coverage.covered > 0, "virtualized SMS must still cover misses");
+        assert!(
+            metrics.coverage.covered > 0,
+            "virtualized SMS must still cover misses"
+        );
     }
 
     #[test]
@@ -319,6 +359,26 @@ mod tests {
         assert_eq!(a.total_instructions, b.total_instructions);
         assert_eq!(a.hierarchy.l2_requests, b.hierarchy.l2_requests);
         assert_eq!(a.coverage, b.coverage);
+    }
+
+    #[test]
+    fn markov_backends_run_and_report_stats() {
+        let workload = workloads::qry1();
+        let dedicated = run_workload(&tiny(PrefetcherKind::markov_1k()), &workload);
+        let stats = dedicated.markov.expect("markov runs must expose engine stats");
+        assert!(stats.lookups > 0);
+        assert!(
+            dedicated.pv.is_none(),
+            "the dedicated table issues no PV traffic"
+        );
+        assert_eq!(dedicated.hierarchy.l2_requests.predictor, 0);
+
+        let virtualized = run_workload(&tiny(PrefetcherKind::markov_pv8()), &workload);
+        let pv = virtualized.pv.expect("virtualized Markov must expose PV stats");
+        assert!(pv.lookups > 0);
+        assert!(pv.memory_requests > 0);
+        assert!(virtualized.hierarchy.l2_requests.predictor > 0);
+        assert_eq!(virtualized.configuration, "Markov-PV8");
     }
 
     #[test]

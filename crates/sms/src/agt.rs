@@ -82,7 +82,10 @@ impl ActiveGenerationTable {
     /// two in `1..=32`.
     pub fn new(filter_capacity: usize, accumulation_capacity: usize, region_blocks: u32) -> Self {
         assert!(filter_capacity > 0, "filter table needs capacity");
-        assert!(accumulation_capacity > 0, "accumulation table needs capacity");
+        assert!(
+            accumulation_capacity > 0,
+            "accumulation table needs capacity"
+        );
         assert!(
             region_blocks.is_power_of_two() && region_blocks <= 32 && region_blocks > 0,
             "region_blocks must be a power of two in 1..=32"
@@ -316,7 +319,11 @@ mod tests {
         agt.on_access(0x404, block(1, 5), &mut update);
         agt.on_access(0x400, block(2, 0), &mut update);
         let flushed = agt.flush();
-        assert_eq!(flushed.len(), 1, "only multi-access generations are flushed");
+        assert_eq!(
+            flushed.len(),
+            1,
+            "only multi-access generations are flushed"
+        );
         assert_eq!(agt.active_regions(), 0);
     }
 }

@@ -3,10 +3,9 @@
 
 use crate::index::{PhtIndex, INDEX_BITS};
 use crate::pattern::MAX_REGION_BLOCKS;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of the pattern history table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PhtGeometry {
     /// A set-associative table with `sets` sets of `ways` ways.
     Finite {
@@ -26,7 +25,10 @@ impl PhtGeometry {
     ///
     /// Panics if `sets` is not a power of two or `ways` is zero.
     pub fn finite(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "PHT sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "PHT sets must be a power of two"
+        );
         assert!(ways > 0, "PHT ways must be positive");
         PhtGeometry::Finite { sets, ways }
     }
@@ -120,13 +122,15 @@ impl PhtGeometry {
     pub fn virtualized_entry_bits(self) -> Option<u32> {
         match self {
             PhtGeometry::Infinite => None,
-            PhtGeometry::Finite { sets, .. } => Some(INDEX_BITS - sets.trailing_zeros() + MAX_REGION_BLOCKS),
+            PhtGeometry::Finite { sets, .. } => {
+                Some(INDEX_BITS - sets.trailing_zeros() + MAX_REGION_BLOCKS)
+            }
         }
     }
 }
 
 /// Configuration of the SMS prefetcher.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmsConfig {
     /// Blocks per spatial region (32 in the paper).
     pub region_blocks: u32,
@@ -188,9 +192,15 @@ impl SmsConfig {
             self.region_blocks > 0 && self.region_blocks <= MAX_REGION_BLOCKS,
             "region_blocks must be in 1..=32"
         );
-        assert!(self.region_blocks.is_power_of_two(), "region_blocks must be a power of two");
+        assert!(
+            self.region_blocks.is_power_of_two(),
+            "region_blocks must be a power of two"
+        );
         assert!(self.filter_entries > 0, "filter table must have entries");
-        assert!(self.accumulation_entries > 0, "accumulation table must have entries");
+        assert!(
+            self.accumulation_entries > 0,
+            "accumulation table must have entries"
+        );
     }
 }
 
@@ -216,15 +226,24 @@ mod tests {
     fn small_table_storage_is_about_a_kilobyte() {
         let small = PhtGeometry::small_16_11a();
         let total = small.total_bytes().unwrap();
-        assert!(total > 800 && total < 1600, "16-11a should be ~1.2 KB, got {total}");
+        assert!(
+            total > 800 && total < 1600,
+            "16-11a should be ~1.2 KB, got {total}"
+        );
         let tiny = PhtGeometry::small_8_11a();
         let total = tiny.total_bytes().unwrap();
-        assert!(total > 400 && total < 800, "8-11a should be ~0.6 KB, got {total}");
+        assert!(
+            total > 400 && total < 800,
+            "8-11a should be ~0.6 KB, got {total}"
+        );
     }
 
     #[test]
     fn virtualized_entry_is_43_bits_for_1k_sets() {
-        assert_eq!(PhtGeometry::paper_1k_11a().virtualized_entry_bits(), Some(43));
+        assert_eq!(
+            PhtGeometry::paper_1k_11a().virtualized_entry_bits(),
+            Some(43)
+        );
     }
 
     #[test]

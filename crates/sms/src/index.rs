@@ -5,8 +5,6 @@
 //! within its 32-block spatial region, for a 21-bit index. The low bits of
 //! the index select the set; the remaining bits are the tag.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of PC bits used in the PHT index (paper value).
 pub const PC_INDEX_BITS: u32 = 16;
 /// Number of block-offset bits used in the PHT index (32-block regions).
@@ -16,7 +14,7 @@ pub const INDEX_BITS: u32 = PC_INDEX_BITS + OFFSET_INDEX_BITS;
 
 /// The trigger of a spatial generation: the PC of the first access to the
 /// region and the block offset of that access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TriggerKey {
     /// Program counter of the triggering instruction.
     pub pc: u64,
@@ -42,7 +40,7 @@ impl TriggerKey {
 }
 
 /// A 21-bit index into the pattern history table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PhtIndex(u32);
 
 impl PhtIndex {
@@ -69,7 +67,10 @@ impl PhtIndex {
     ///
     /// Panics if `sets` is not a power of two or is zero.
     pub fn set_index(self, sets: usize) -> usize {
-        assert!(sets > 0 && sets.is_power_of_two(), "PHT set count must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "PHT set count must be a power of two"
+        );
         (self.0 as usize) & (sets - 1)
     }
 
@@ -80,13 +81,19 @@ impl PhtIndex {
     ///
     /// Panics if `sets` is not a power of two or is zero.
     pub fn tag(self, sets: usize) -> u32 {
-        assert!(sets > 0 && sets.is_power_of_two(), "PHT set count must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "PHT set count must be a power of two"
+        );
         self.0 >> sets.trailing_zeros()
     }
 
     /// Number of tag bits for a table with `sets` sets.
     pub fn tag_bits(sets: usize) -> u32 {
-        assert!(sets > 0 && sets.is_power_of_two(), "PHT set count must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "PHT set count must be a power of two"
+        );
         INDEX_BITS - sets.trailing_zeros()
     }
 }
@@ -120,7 +127,8 @@ mod tests {
         let sets = 1024;
         for raw in [0u32, 1, 12345, (1 << INDEX_BITS) - 1] {
             let index = PhtIndex::from_raw(raw);
-            let reconstructed = (index.tag(sets) << sets.trailing_zeros()) | index.set_index(sets) as u32;
+            let reconstructed =
+                (index.tag(sets) << sets.trailing_zeros()) | index.set_index(sets) as u32;
             assert_eq!(reconstructed, index.raw());
         }
     }

@@ -1,8 +1,8 @@
 //! # pv-sms — Spatial Memory Streaming prefetcher
 //!
 //! A from-scratch model of the Spatial Memory Streaming (SMS) data
-//! prefetcher (Somogyi et al., ISCA 2006), the predictor that the Predictor
-//! Virtualization paper virtualizes.
+//! prefetcher (Somogyi et al., ISCA 2006), the predictor the Predictor
+//! Virtualization paper virtualizes as its case study.
 //!
 //! SMS splits memory into fixed-size *spatial regions* (32 cache blocks in
 //! the paper). While a region is *active* — between its first (trigger)
@@ -16,8 +16,11 @@
 //!
 //! The PHT is the structure Predictor Virtualization moves into the memory
 //! hierarchy, so its storage is abstracted behind the [`PatternStorage`]
-//! trait: [`DedicatedPht`] and [`InfinitePht`] live here, and the
-//! virtualized implementation lives in the `pv-core` crate.
+//! trait: [`DedicatedPht`] and [`InfinitePht`] are conventional on-chip
+//! tables, and [`VirtualizedPht`] plugs SMS into the generic `pv-core`
+//! substrate by implementing `pv_core::PvEntry` for [`SmsEntry`] (the
+//! 43-bit packed entry of Figure 3a) and adapting `PvProxy<SmsEntry>` to
+//! `PatternStorage`. The engine is identical in all three configurations.
 //!
 //! # Example
 //!
@@ -34,6 +37,22 @@
 //! let actions = sms.on_data_access(0x400, 0x10_0000, &mut hierarchy, 0);
 //! assert!(actions.prefetches.is_empty());
 //! ```
+//!
+//! Running the same engine over the virtualized PHT only changes the
+//! storage that is passed in:
+//!
+//! ```
+//! use pv_core::PvConfig;
+//! use pv_mem::{HierarchyConfig, MemoryHierarchy};
+//! use pv_sms::{SmsConfig, SmsPrefetcher, VirtualizedPht};
+//!
+//! let hierarchy_config = HierarchyConfig::paper_baseline(4);
+//! let mut hierarchy = MemoryHierarchy::new(hierarchy_config);
+//! let pht = VirtualizedPht::new(0, PvConfig::pv8(), hierarchy_config.pv_regions.core_base(0));
+//! let mut sms = SmsPrefetcher::new(SmsConfig::paper_1k_11a(), Box::new(pht));
+//! let response = sms.on_data_access(0x400, 0x10_0000, &mut hierarchy, 0);
+//! assert!(response.prefetches.is_empty()); // nothing learned yet
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +64,7 @@ pub mod pattern;
 pub mod pht;
 pub mod prefetcher;
 pub mod stats;
+pub mod virtualized;
 
 pub use agt::{ActiveGenerationTable, AgtUpdate, CompletedGeneration, TriggerInfo};
 pub use config::{PhtGeometry, SmsConfig};
@@ -53,3 +73,4 @@ pub use pattern::SpatialPattern;
 pub use pht::{build_storage, DedicatedPht, InfinitePht, PatternLookup, PatternStorage};
 pub use prefetcher::{EngineResponse, PrefetchAction, SmsPrefetcher};
 pub use stats::SmsStats;
+pub use virtualized::{SmsEntry, VirtualizedPht};

@@ -1,6 +1,5 @@
 //! Spatial patterns: which blocks of a region a generation accessed.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum number of blocks per spatial region supported by the bit-vector
@@ -9,7 +8,7 @@ pub const MAX_REGION_BLOCKS: u32 = 32;
 
 /// A bit-vector over the blocks of one spatial region: bit *i* is set when
 /// block *i* of the region was (or is predicted to be) accessed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SpatialPattern(u32);
 
 impl SpatialPattern {

@@ -38,7 +38,13 @@ pub trait PatternStorage: std::fmt::Debug {
     fn lookup(&mut self, index: PhtIndex, mem: &mut MemoryHierarchy, now: u64) -> PatternLookup;
 
     /// Stores `pattern` for `index`, replacing any previous pattern.
-    fn store(&mut self, index: PhtIndex, pattern: SpatialPattern, mem: &mut MemoryHierarchy, now: u64);
+    fn store(
+        &mut self,
+        index: PhtIndex,
+        pattern: SpatialPattern,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    );
 
     /// Human-readable label used in experiment reports (e.g. `"1K-11a"`).
     fn label(&self) -> String;
@@ -106,7 +112,13 @@ impl PatternStorage for DedicatedPht {
         }
     }
 
-    fn store(&mut self, index: PhtIndex, pattern: SpatialPattern, _mem: &mut MemoryHierarchy, _now: u64) {
+    fn store(
+        &mut self,
+        index: PhtIndex,
+        pattern: SpatialPattern,
+        _mem: &mut MemoryHierarchy,
+        _now: u64,
+    ) {
         let set = index.set_index(self.sets);
         let tag = u64::from(index.tag(self.sets));
         let _ = self.table.insert(set, tag, pattern);
@@ -155,7 +167,13 @@ impl PatternStorage for InfinitePht {
         }
     }
 
-    fn store(&mut self, index: PhtIndex, pattern: SpatialPattern, _mem: &mut MemoryHierarchy, _now: u64) {
+    fn store(
+        &mut self,
+        index: PhtIndex,
+        pattern: SpatialPattern,
+        _mem: &mut MemoryHierarchy,
+        _now: u64,
+    ) {
         self.table.insert(index.raw(), pattern);
     }
 
@@ -225,7 +243,10 @@ mod tests {
         let b = PhtIndex::from_raw(0x10); // set 0, tag 2
         pht.store(a, SpatialPattern::single(1), &mut mem, 0);
         pht.store(b, SpatialPattern::single(2), &mut mem, 0);
-        assert!(pht.lookup(a, &mut mem, 0).pattern.is_none(), "a must have been evicted");
+        assert!(
+            pht.lookup(a, &mut mem, 0).pattern.is_none(),
+            "a must have been evicted"
+        );
         assert!(pht.lookup(b, &mut mem, 0).pattern.is_some());
     }
 
@@ -235,7 +256,12 @@ mod tests {
         let mut pht = InfinitePht::new(&config);
         let mut mem = mem();
         for i in 0..10_000u32 {
-            pht.store(PhtIndex::from_raw(i), SpatialPattern::single(i % 32), &mut mem, 0);
+            pht.store(
+                PhtIndex::from_raw(i),
+                SpatialPattern::single(i % 32),
+                &mut mem,
+                0,
+            );
         }
         assert_eq!(pht.resident_patterns(), 10_000);
         for i in (0..10_000u32).step_by(997) {

@@ -209,7 +209,11 @@ mod tests {
 
     /// Runs one full generation (accesses + eviction) and returns the engine
     /// response of the *next* trigger for the same PC.
-    fn train_and_retrigger(engine: &mut SmsPrefetcher, mem: &mut MemoryHierarchy, pc: u64) -> EngineResponse {
+    fn train_and_retrigger(
+        engine: &mut SmsPrefetcher,
+        mem: &mut MemoryHierarchy,
+        pc: u64,
+    ) -> EngineResponse {
         // Generation over region 10: blocks 2, 5, 7.
         engine.on_data_access(pc, addr(10, 2), mem, 0);
         engine.on_data_access(pc + 8, addr(10, 5), mem, 10);
@@ -292,11 +296,18 @@ mod tests {
             let region = 100 + i;
             engine.on_data_access(pc, addr(region, 1), &mut mem, i * 10);
             engine.on_data_access(pc + 4, addr(region, 3), &mut mem, i * 10 + 1);
-            engine.on_l1_evictions(&[RegionAddr::new(region).block_at(1, 32)], &mut mem, i * 10 + 2);
+            engine.on_l1_evictions(
+                &[RegionAddr::new(region).block_at(1, 32)],
+                &mut mem,
+                i * 10 + 2,
+            );
         }
         // Re-trigger the earliest PC: it must have been evicted.
         let response = engine.on_data_access(0x1000, addr(5000, 1), &mut mem, 1_000_000);
-        assert!(!response.pht_hit, "an 88-entry PHT cannot retain 2000 patterns");
+        assert!(
+            !response.pht_hit,
+            "an 88-entry PHT cannot retain 2000 patterns"
+        );
     }
 
     #[test]
@@ -308,7 +319,11 @@ mod tests {
             let region = 100 + i;
             engine.on_data_access(pc, addr(region, 1), &mut mem, i * 10);
             engine.on_data_access(pc + 4, addr(region, 3), &mut mem, i * 10 + 1);
-            engine.on_l1_evictions(&[RegionAddr::new(region).block_at(1, 32)], &mut mem, i * 10 + 2);
+            engine.on_l1_evictions(
+                &[RegionAddr::new(region).block_at(1, 32)],
+                &mut mem,
+                i * 10 + 2,
+            );
         }
         let response = engine.on_data_access(0x1000, addr(5000, 1), &mut mem, 1_000_000);
         assert!(response.pht_hit, "the infinite PHT never forgets");

@@ -1,13 +1,11 @@
 //! SMS prefetcher statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters maintained by the SMS engine.
 ///
 /// Coverage and over-prediction percentages (Figure 4/5) are computed from
 /// the L1 cache statistics kept by `pv-mem`; the counters here describe the
 /// predictor's own behaviour (trigger rate, PHT hit rate, prefetch volume).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SmsStats {
     /// Data accesses observed by the prefetcher.
     pub accesses_observed: u64,
@@ -27,6 +25,26 @@ pub struct SmsStats {
 }
 
 impl SmsStats {
+    /// Adds `other`'s counters into `self` (aggregation across cores).
+    pub fn merge(&mut self, other: &SmsStats) {
+        let SmsStats {
+            accesses_observed,
+            triggers,
+            pht_lookups,
+            pht_hits,
+            pht_misses,
+            patterns_stored,
+            prefetch_candidates,
+        } = *other;
+        self.accesses_observed += accesses_observed;
+        self.triggers += triggers;
+        self.pht_lookups += pht_lookups;
+        self.pht_hits += pht_hits;
+        self.pht_misses += pht_misses;
+        self.patterns_stored += patterns_stored;
+        self.prefetch_candidates += prefetch_candidates;
+    }
+
     /// PHT hit ratio in [0, 1]; zero when no lookups were performed.
     pub fn pht_hit_ratio(&self) -> f64 {
         if self.pht_lookups == 0 {

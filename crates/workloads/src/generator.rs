@@ -102,7 +102,8 @@ impl TraceGenerator {
     /// Panics if `params` fails validation.
     pub fn new(params: &WorkloadParams, seed: u64, core: usize) -> Self {
         params.validate().expect("workload parameters must be valid");
-        let mut rng = StdRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let core_base = CORE0_BASE + core as u64 * CORE_STRIDE;
         let code_base = core_base;
         let data_base = core_base + DATA_OFFSET;
@@ -114,7 +115,11 @@ impl TraceGenerator {
                 Context {
                     pc: code_base + (i as u64) * 4,
                     trigger_offset,
-                    canonical_pattern: Self::random_pattern(&mut rng, params.pattern_density, trigger_offset),
+                    canonical_pattern: Self::random_pattern(
+                        &mut rng,
+                        params.pattern_density,
+                        trigger_offset,
+                    ),
                 }
             })
             .collect();
@@ -244,7 +249,11 @@ impl TraceGenerator {
             let block = self.rng.gen_range(0..IRREGULAR_BLOCKS);
             let offset = u64::from(self.rng.gen_range(0..8u32)) * 8;
             let pc_idx = self.rng.gen_range(0..self.irregular_pcs.len());
-            return (self.irregular_base + block * BLOCK_BYTES + offset, self.irregular_pcs[pc_idx], op);
+            return (
+                self.irregular_base + block * BLOCK_BYTES + offset,
+                self.irregular_pcs[pc_idx],
+                op,
+            );
         }
         let slot = self.rng.gen_range(0..self.active.len());
         let (address, pc) = {
@@ -268,7 +277,10 @@ impl TraceGenerator {
     fn advance_instruction_stream(&mut self, instructions: u64) {
         let mut remaining_bytes = instructions * 4;
         while remaining_bytes > 0 {
-            if self.rng.gen_bool(self.params.branch_fraction / (1.0 + self.params.instr_per_mem)) {
+            if self
+                .rng
+                .gen_bool(self.params.branch_fraction / (1.0 + self.params.instr_per_mem))
+            {
                 // Branch to a new code block.
                 self.current_code_block = self.code_sampler.sample(&mut self.rng) as u64;
                 self.bytes_into_block = 0;
@@ -283,7 +295,8 @@ impl TraceGenerator {
             self.bytes_into_block += step;
             remaining_bytes -= step;
             if self.bytes_into_block >= BLOCK_BYTES {
-                self.current_code_block = (self.current_code_block + 1) % self.params.code_blocks as u64;
+                self.current_code_block =
+                    (self.current_code_block + 1) % self.params.code_blocks as u64;
                 self.bytes_into_block = 0;
             }
         }
@@ -293,7 +306,11 @@ impl TraceGenerator {
     fn refill(&mut self) {
         let mean = self.params.instr_per_mem;
         let base = mean.floor() as u32;
-        let extra = if self.rng.gen_bool(mean - f64::from(base).min(mean)) { 1 } else { 0 };
+        let extra = if self.rng.gen_bool(mean - f64::from(base).min(mean)) {
+            1
+        } else {
+            0
+        };
         let non_mem = base + extra;
         self.advance_instruction_stream(u64::from(non_mem) + 1);
         let (address, pc, op) = self.next_data_access();
@@ -378,7 +395,10 @@ mod tests {
             *pc_counts.entry(r.pc).or_insert(0u32) += 1;
         }
         let max_count = pc_counts.values().copied().max().unwrap();
-        assert!(max_count > 100, "hot trigger PCs must recur (max count {max_count})");
+        assert!(
+            max_count > 100,
+            "hot trigger PCs must recur (max count {max_count})"
+        );
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Workload-generator parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of cache blocks per spatial region (32 in the paper, i.e. 2 KB
 /// regions of 64 B blocks).
 pub const BLOCKS_PER_REGION: u32 = 32;
@@ -12,7 +10,7 @@ pub const BLOCKS_PER_REGION: u32 = 32;
 /// workloads that the Predictor Virtualization results depend on; the
 /// per-workload values live in [`crate::workloads`] together with the
 /// rationale for each choice.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadParams {
     /// Human-readable name (e.g. `"Oracle"`).
     pub name: String,
@@ -131,7 +129,10 @@ impl WorkloadParams {
         }
         if self.instr_per_mem < 0.0 || !self.instr_per_mem.is_finite() {
             return Err(InvalidWorkload {
-                message: format!("instr_per_mem must be non-negative, got {}", self.instr_per_mem),
+                message: format!(
+                    "instr_per_mem must be non-negative, got {}",
+                    self.instr_per_mem
+                ),
             });
         }
         if self.accesses_per_block < 1.0 || !self.accesses_per_block.is_finite() {
@@ -189,6 +190,9 @@ mod tests {
             params.data_footprint_bytes(),
             params.data_regions as u64 * 32 * 64
         );
-        assert_eq!(params.code_footprint_bytes(), params.code_blocks as u64 * 64);
+        assert_eq!(
+            params.code_footprint_bytes(),
+            params.code_blocks as u64 * 64
+        );
     }
 }

@@ -1,9 +1,7 @@
 //! Trace records emitted by the workload generators.
 
-use serde::{Deserialize, Serialize};
-
 /// The kind of memory operation a record describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemOp {
     /// A data load.
     Load,
@@ -32,7 +30,7 @@ impl MemOp {
 /// model retires at the core's base rate. This is the standard trace format
 /// for memory-system studies and captures everything the paper's metrics
 /// need (miss rates, traffic, and instruction throughput).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Program counter of the instruction performing the access. SMS indexes
     /// its pattern history table with bits of this value.

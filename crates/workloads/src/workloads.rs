@@ -17,10 +17,9 @@
 //!   speedups the paper reports for the DSS queries.
 
 use crate::params::WorkloadParams;
-use serde::{Deserialize, Serialize};
 
 /// Identifier for one of the paper's eight workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WorkloadId {
     /// SPECweb99 on Apache HTTP Server (Table 2: 16K connections, FastCGI).
     Apache,
@@ -101,7 +100,8 @@ pub fn paper_workloads() -> Vec<(WorkloadId, WorkloadParams)> {
 pub fn apache() -> WorkloadParams {
     WorkloadParams {
         name: "Apache".to_owned(),
-        description: "SPECweb99, Apache HTTP Server, 16K connections, FastCGI, worker threading".to_owned(),
+        description: "SPECweb99, Apache HTTP Server, 16K connections, FastCGI, worker threading"
+            .to_owned(),
         contexts: 7_000,
         context_zipf: 0.55,
         pattern_density: 0.25,
@@ -146,7 +146,9 @@ pub fn zeus() -> WorkloadParams {
 pub fn db2() -> WorkloadParams {
     WorkloadParams {
         name: "DB2".to_owned(),
-        description: "TPC-C v3.0, IBM DB2 v8 ESE, 100 warehouses (10 GB), 64 clients, 450 MB buffer pool".to_owned(),
+        description:
+            "TPC-C v3.0, IBM DB2 v8 ESE, 100 warehouses (10 GB), 64 clients, 450 MB buffer pool"
+                .to_owned(),
         contexts: 3_500,
         context_zipf: 0.70,
         pattern_density: 0.30,
@@ -169,7 +171,9 @@ pub fn db2() -> WorkloadParams {
 pub fn oracle() -> WorkloadParams {
     WorkloadParams {
         name: "Oracle".to_owned(),
-        description: "TPC-C v3.0, Oracle 10g Enterprise, 100 warehouses (10 GB), 16 clients, 1.4 GB SGA".to_owned(),
+        description:
+            "TPC-C v3.0, Oracle 10g Enterprise, 100 warehouses (10 GB), 16 clients, 1.4 GB SGA"
+                .to_owned(),
         contexts: 5_000,
         context_zipf: 0.55,
         pattern_density: 0.28,
@@ -299,17 +303,13 @@ mod tests {
     fn oltp_has_larger_pattern_working_sets_than_dss() {
         // The calibration invariant behind Figure 4: OLTP/web workloads need
         // big PHTs, DSS queries do not.
-        let oltp_min = [apache(), zeus(), db2(), oracle()]
-            .iter()
-            .map(|w| w.contexts)
-            .min()
-            .unwrap();
-        let dss_max = [qry1(), qry2(), qry16(), qry17()]
-            .iter()
-            .map(|w| w.contexts)
-            .max()
-            .unwrap();
-        assert!(oltp_min > dss_max, "OLTP pattern sets must exceed DSS pattern sets");
+        let oltp_min =
+            [apache(), zeus(), db2(), oracle()].iter().map(|w| w.contexts).min().unwrap();
+        let dss_max = [qry1(), qry2(), qry16(), qry17()].iter().map(|w| w.contexts).max().unwrap();
+        assert!(
+            oltp_min > dss_max,
+            "OLTP pattern sets must exceed DSS pattern sets"
+        );
     }
 
     #[test]

@@ -12,19 +12,24 @@
 //! cargo run --release -p pv-examples --bin capacity_pressure [workload]
 //! ```
 
-use pv_core::{PvConfig, PvStorageBudget};
+use pv_core::PvConfig;
 use pv_sim::{run_workload, PrefetcherKind, SimConfig};
-use pv_sms::{PhtGeometry, SmsConfig};
+use pv_sms::{PhtGeometry, SmsConfig, VirtualizedPht};
 use pv_workloads::WorkloadId;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let workload = args
         .get(1)
-        .and_then(|name| WorkloadId::all().into_iter().find(|w| w.name().eq_ignore_ascii_case(name)))
+        .and_then(|name| {
+            WorkloadId::all().into_iter().find(|w| w.name().eq_ignore_ascii_case(name))
+        })
         .unwrap_or(WorkloadId::Apache);
     let params = workload.params();
-    println!("Capacity pressure on {}: {}\n", params.name, params.description);
+    println!(
+        "Capacity pressure on {}: {}\n",
+        params.name, params.description
+    );
     println!(
         "{:<12} {:>14} {:>12} {:>12} {:>14}",
         "PHT", "on-chip bytes", "coverage", "PHT hits", "cores x 4 cost"
@@ -42,7 +47,7 @@ fn main() {
             geometry.label(),
             bytes,
             metrics.coverage.coverage() * 100.0,
-            metrics.sms.pht_hit_ratio() * 100.0,
+            metrics.sms.map_or(0.0, |s| s.pht_hit_ratio()) * 100.0,
             bytes as f64 * 4.0 / 1024.0
         );
         let _ = metrics.speedup_over(&baseline);
@@ -50,19 +55,21 @@ fn main() {
     }
 
     let pv = run_workload(&SimConfig::quick(PrefetcherKind::sms_pv8()), &params);
-    let pv_bytes = PvStorageBudget::for_config(&PvConfig::pv8()).total_bytes();
+    let pv_bytes = VirtualizedPht::storage_budget(&PvConfig::pv8()).total_bytes();
     println!(
         "{:<12} {:>14} {:>11.1}% {:>11.1}% {:>13.1}K   <- virtualized (PV-8)",
         "PV-8",
         pv_bytes,
         pv.coverage.coverage() * 100.0,
-        pv.sms.pht_hit_ratio() * 100.0,
+        pv.sms.map_or(0.0, |s| s.pht_hit_ratio()) * 100.0,
         pv_bytes as f64 * 4.0 / 1024.0
     );
     println!(
         "\nSpeedup over no prefetching: PV-8 {:+.1}% vs largest dedicated table {:+.1}%.",
         pv.speedup_over(&baseline) * 100.0,
-        run_workload(&SimConfig::quick(PrefetcherKind::sms_1k_11a()), &params).speedup_over(&baseline) * 100.0
+        run_workload(&SimConfig::quick(PrefetcherKind::sms_1k_11a()), &params)
+            .speedup_over(&baseline)
+            * 100.0
     );
     println!("Naively shrinking the dedicated table loses the coverage; virtualizing it does not.");
 }

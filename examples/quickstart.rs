@@ -11,9 +11,9 @@
 //! cargo run --release -p pv-examples --bin quickstart
 //! ```
 
-use pv_core::{PvConfig, PvStorageBudget};
+use pv_core::PvConfig;
 use pv_sim::{run_workload, PrefetcherKind, SimConfig};
-use pv_sms::PhtGeometry;
+use pv_sms::{PhtGeometry, VirtualizedPht};
 use pv_workloads::WorkloadId;
 
 fn main() {
@@ -41,7 +41,7 @@ fn main() {
     // 3. SMS with the virtualized PHT: same engine, PHT stored in the memory
     //    hierarchy behind an 8-set PVCache.
     let virtualized = run_workload(&SimConfig::quick(PrefetcherKind::sms_pv8()), &workload);
-    let pv_bytes = PvStorageBudget::for_config(&PvConfig::pv8()).total_bytes();
+    let pv_bytes = VirtualizedPht::storage_budget(&PvConfig::pv8()).total_bytes();
     println!(
         "SMS, virtualized PHT (PV-8): IPC {:.3}  (+{:.1}%)  coverage {:.1}%  on-chip {} B",
         virtualized.aggregate_ipc(),

@@ -1,57 +1,98 @@
-//! Virtualized-prefetcher anatomy: drives the PVProxy directly, showing the
-//! mechanics the paper describes in Sections 2 and 3.2 — the PVStart-based
-//! address computation, PVCache hits and misses, predictor data migrating
-//! into the L2, dirty write-backs, and the Section 4.6 storage budget.
+//! Virtualized-prefetcher anatomy: drives the generic PVProxy directly,
+//! showing the mechanics the paper describes in Sections 2 and 3.2 — the
+//! PVStart-based address computation, PVCache hits and misses, predictor
+//! data migrating into the L2, dirty write-backs, and the Section 4.6
+//! storage budget. The proxy is instantiated at the SMS entry type
+//! (`PvProxy<SmsEntry>`), the same instantiation `pv_sms::VirtualizedPht`
+//! wraps for the engine.
 //!
 //! ```text
 //! cargo run --release -p pv-examples --bin virtualized_prefetcher
 //! ```
 
-use pv_core::{PvConfig, PvProxy};
+use pv_core::{PvConfig, PvProxy, VirtualizedBackend};
 use pv_mem::{HierarchyConfig, MemoryHierarchy};
-use pv_sms::{PatternStorage, SpatialPattern, TriggerKey};
+use pv_sms::{SmsEntry, SpatialPattern, TriggerKey};
 
 fn main() {
     let hierarchy_config = HierarchyConfig::paper_baseline(4);
     let mut memory = MemoryHierarchy::new(hierarchy_config);
     let pv_start = hierarchy_config.pv_regions.core_base(0);
-    let mut proxy = PvProxy::new(0, PvConfig::pv8(), pv_start);
+    let mut proxy: PvProxy<SmsEntry> = PvProxy::new(0, PvConfig::pv8(), pv_start);
 
-    println!("PVTable for core 0 reserved at {pv_start} ({} KB of physical memory)", proxy.table().footprint_bytes() / 1024);
+    println!(
+        "PVTable for core 0 reserved at {pv_start} ({} KB of physical memory)",
+        proxy.table().footprint_bytes() / 1024
+    );
+    let layout = *proxy.layout();
+    println!(
+        "Packed layout derived from SmsEntry: {} entries x {} bits per 64B block, {} trailer bits",
+        layout.entries_per_block(),
+        layout.entry_bits(),
+        layout.unused_trailing_bits()
+    );
     println!("PVProxy on-chip budget:");
     for (component, bytes) in proxy.storage_budget().rows() {
         println!("  {component:<15} {bytes:>4} B");
     }
-    println!("  {:<15} {:>4} B\n", "total", proxy.storage_budget().total_bytes());
+    println!(
+        "  {:<15} {:>4} B\n",
+        "total",
+        proxy.storage_budget().total_bytes()
+    );
 
     // A trigger the SMS engine would produce: PC 0x4a10, block offset 3.
     let trigger = TriggerKey::new(0x4a10, 3);
-    let index = trigger.index();
-    let set = index.set_index(1024);
-    println!("Trigger PC {:#x}, offset {} -> PHT index {:#07x}, PVTable set {}, memory address {}",
-        trigger.pc, trigger.offset, index.raw(), set, proxy.table().set_address(set));
+    let index = u64::from(trigger.index().raw());
+    let (set, tag) = proxy.split_index(index);
+    println!(
+        "Trigger PC {:#x}, offset {} -> PHT index {:#07x}, PVTable set {}, memory address {}",
+        trigger.pc,
+        trigger.offset,
+        index,
+        set,
+        proxy.table().set_address(set)
+    );
 
     // 1. Cold lookup: the set has never been touched; it is fetched from DRAM.
     let lookup = proxy.lookup(index, &mut memory, 0);
-    println!("\n[cycle 0]      cold lookup  -> pattern {:?}, ready at cycle {}", lookup.pattern, lookup.ready_at);
+    println!(
+        "\n[cycle 0]      cold lookup  -> entry {:?}, ready at cycle {}",
+        lookup.entry, lookup.ready_at
+    );
 
     // 2. The prefetcher learns a pattern and stores it; the PVCache copy
     //    becomes dirty.
     let pattern = SpatialPattern::from_offsets([3, 4, 7, 12]);
-    proxy.store(index, pattern, &mut memory, 1_000);
-    println!("[cycle 1000]   store        -> pattern {pattern} cached, dirty entries: {}", proxy.pvcache().dirty_count());
+    proxy.store(
+        index,
+        SmsEntry::new(tag as u16, pattern),
+        &mut memory,
+        1_000,
+    );
+    println!(
+        "[cycle 1000]   store        -> pattern {pattern} cached, dirty entries: {}",
+        proxy.pvcache().dirty_count()
+    );
 
     // 3. A later lookup for the same trigger hits in the PVCache.
     let lookup = proxy.lookup(index, &mut memory, 2_000);
-    println!("[cycle 2000]   warm lookup  -> pattern {:?}, ready at cycle {} (PVCache hit)", lookup.pattern.map(|p| p.to_string()), lookup.ready_at);
+    println!(
+        "[cycle 2000]   warm lookup  -> pattern {:?}, ready at cycle {} (PVCache hit)",
+        lookup.entry.map(|e| e.pattern.to_string()),
+        lookup.ready_at
+    );
 
     // 4. Touch more PVTable sets than the PVCache holds: the dirty set is
     //    written back towards the L2 and naturally stays cached there.
     for i in 1..=8u64 {
-        let other = TriggerKey::new(0x4a10 + i * 4, 3).index();
+        let other = u64::from(TriggerKey::new(0x4a10 + i * 4, 3).index().raw());
         proxy.lookup(other, &mut memory, 2_000 + i * 100);
     }
-    println!("[cycle ~3000]  capacity     -> dirty write-backs so far: {}", proxy.stats().dirty_writebacks);
+    println!(
+        "[cycle ~3000]  capacity     -> dirty write-backs so far: {}",
+        proxy.stats().dirty_writebacks
+    );
 
     // 5. Re-fetch the original set: it now comes from the L2, not DRAM.
     let before = memory.stats().dram_reads;
@@ -59,15 +100,19 @@ fn main() {
     let after = memory.stats().dram_reads;
     println!(
         "[cycle 10000]  refetch      -> pattern {:?}, latency {} cycles, extra DRAM reads {}",
-        lookup.pattern.map(|p| p.to_string()),
+        lookup.entry.map(|e| e.pattern.to_string()),
         lookup.ready_at - 10_000,
         after - before
     );
 
     let stats = proxy.stats();
-    println!("\nPVProxy statistics: {} lookups, {} PVCache hits, {} memory requests, {} dirty write-backs",
-        stats.lookups, stats.pvcache_hits, stats.memory_requests, stats.dirty_writebacks);
+    println!(
+        "\nPVProxy statistics: {} lookups, {} PVCache hits, {} memory requests, {} dirty write-backs",
+        stats.lookups, stats.pvcache_hits, stats.memory_requests, stats.dirty_writebacks
+    );
     let mem_stats = memory.stats();
-    println!("Memory-system view: {} L2 requests for predictor data, {} of them missed to DRAM",
-        mem_stats.l2_requests.predictor, mem_stats.l2_misses.predictor);
+    println!(
+        "Memory-system view: {} L2 requests for predictor data, {} of them missed to DRAM",
+        mem_stats.l2_requests.predictor, mem_stats.l2_misses.predictor
+    );
 }

@@ -15,17 +15,12 @@ use pv_sim::{run_workload, PrefetcherKind, SimConfig};
 use pv_workloads::WorkloadId;
 
 fn parse_workload(name: &str) -> Option<WorkloadId> {
-    WorkloadId::all()
-        .into_iter()
-        .find(|w| w.name().eq_ignore_ascii_case(name))
+    WorkloadId::all().into_iter().find(|w| w.name().eq_ignore_ascii_case(name))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let workload = args
-        .get(1)
-        .and_then(|name| parse_workload(name))
-        .unwrap_or(WorkloadId::Oracle);
+    let workload = args.get(1).and_then(|name| parse_workload(name)).unwrap_or(WorkloadId::Oracle);
     let full = args.get(2).map(|s| s == "full").unwrap_or(false);
     let params = workload.params();
 
@@ -64,7 +59,7 @@ fn main() {
             metrics.configuration,
             metrics.coverage.coverage() * 100.0,
             metrics.coverage.overprediction_ratio() * 100.0,
-            metrics.sms.pht_hit_ratio() * 100.0,
+            metrics.sms.map_or(0.0, |s| s.pht_hit_ratio()) * 100.0,
             metrics.aggregate_ipc(),
             speedup,
             l2_increase,

@@ -28,7 +28,10 @@ fn virtualized_prefetcher_matches_dedicated_large_table() {
 
     let dedicated_speedup = dedicated.speedup_over(&baseline);
     let virtualized_speedup = virtualized.speedup_over(&baseline);
-    assert!(dedicated_speedup > 0.05, "the dedicated prefetcher must help the scan workload");
+    assert!(
+        dedicated_speedup > 0.05,
+        "the dedicated prefetcher must help the scan workload"
+    );
     assert!(
         (dedicated_speedup - virtualized_speedup).abs() < 0.05,
         "virtualization must preserve the speedup (dedicated {:.3}, virtualized {:.3})",
@@ -56,11 +59,14 @@ fn small_dedicated_tables_lose_most_of_the_benefit() {
 
 #[test]
 fn on_chip_storage_is_reduced_by_two_orders_of_magnitude() {
-    use pv_core::{PvConfig, PvStorageBudget};
-    use pv_sms::PhtGeometry;
+    use pv_core::PvConfig;
+    use pv_sms::{PhtGeometry, VirtualizedPht};
     let dedicated = PhtGeometry::paper_1k_11a().total_bytes().unwrap();
-    let virtualized = PvStorageBudget::for_config(&PvConfig::pv8()).total_bytes();
-    assert!(virtualized < 1024, "the PVProxy must need less than one kilobyte");
+    let virtualized = VirtualizedPht::storage_budget(&PvConfig::pv8()).total_bytes();
+    assert!(
+        virtualized < 1024,
+        "the PVProxy must need less than one kilobyte"
+    );
     assert!(
         dedicated / virtualized >= 60,
         "virtualization must reduce dedicated storage by roughly 68x (got {}x)",
@@ -74,6 +80,9 @@ fn virtualized_runs_expose_predictor_statistics() {
     let pv = metrics.pv.expect("PV stats must be reported");
     assert!(pv.lookups > 0);
     assert!(pv.memory_requests > 0);
-    assert!(pv.memory_requests <= pv.lookups + pv.stores, "at most one fetch per operation");
+    assert!(
+        pv.memory_requests <= pv.lookups + pv.stores,
+        "at most one fetch per operation"
+    );
     assert!(metrics.hierarchy.l2_requests.predictor >= pv.memory_requests);
 }

@@ -1,99 +1,200 @@
-//! Property-based tests of cross-crate invariants: the PVTable packing
-//! codec, PHT index arithmetic, address round-trips, and coverage
-//! accounting.
+//! Property-based tests of cross-crate invariants: the generic PVTable
+//! packing codec (randomized entry widths and occupancy), PHT index
+//! arithmetic, address round-trips, and coverage accounting.
+//!
+//! The properties are exercised with a seeded deterministic RNG: hundreds of
+//! random cases per property, fully reproducible.
 
-use proptest::prelude::*;
-use pv_core::{decode_set, encode_set, PvConfig, PvSet};
+use pv_core::{decode_set, encode_set, PvConfig, PvEntry, PvLayout, PvSet, RawEntry};
 use pv_mem::Address;
-use pv_sms::{PhtIndex, SpatialPattern, TriggerKey};
+use pv_sms::{PhtIndex, SmsEntry, SpatialPattern, TriggerKey, VirtualizedPht};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// Any set of (tag, non-empty pattern) entries survives the 64-byte
-    /// packing round trip of Figure 3a.
-    #[test]
-    fn packed_pvtable_sets_round_trip(
-        entries in proptest::collection::vec((0u16..2048, 1u32..=u32::MAX), 0..=11)
-    ) {
-        let config = PvConfig::pv8();
-        let mut set = PvSet::new(config.ways);
-        let mut expected = std::collections::HashMap::new();
-        for (tag, bits) in entries {
-            set.insert(tag, SpatialPattern::from_bits(bits));
-            expected.insert(tag, bits);
-        }
-        let decoded = decode_set(&encode_set(&set, &config), &config);
-        prop_assert_eq!(decoded.len(), set.len());
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x0001_AB4D_5EED)
+}
+
+/// A random layout that fits 64-byte blocks: 4..=20 tag bits, 4..=44
+/// payload bits.
+fn random_layout(rng: &mut StdRng) -> PvLayout {
+    let tag_bits = rng.gen_range(4u32..=20);
+    let payload_bits = rng.gen_range(4u32..=44);
+    PvLayout::new(tag_bits, payload_bits, 64)
+}
+
+/// A random set for `layout` with the given occupancy, with in-range tags
+/// and valid (non-zero) in-range payloads.
+fn random_set(rng: &mut StdRng, layout: &PvLayout, occupancy: usize) -> PvSet<RawEntry> {
+    let mut set = PvSet::new(layout.entries_per_block());
+    for _ in 0..occupancy {
+        let tag = rng.gen_range(0u64..=layout.max_tag());
+        let payload = rng.gen_range(1u64..=layout.max_payload());
+        set.insert(RawEntry::new(tag, payload));
+    }
+    set
+}
+
+/// Any set of valid entries survives the packed round trip of Figure 3a,
+/// for randomized entry widths and occupancies — the codec is generic, not
+/// specialised to the paper's 11 × 43-bit instance.
+#[test]
+fn packed_pvtable_sets_round_trip_across_random_layouts() {
+    let mut rng = rng();
+    for _ in 0..300 {
+        let layout = random_layout(&mut rng);
+        let occupancy = rng.gen_range(0usize..=layout.entries_per_block());
+        let set = random_set(&mut rng, &layout, occupancy);
+        let decoded: PvSet<RawEntry> = decode_set(&encode_set(&set, &layout), &layout);
+        assert_eq!(decoded.len(), set.len(), "layout {layout:?}");
         for entry in set.iter() {
-            prop_assert_eq!(decoded.peek(entry.tag), Some(entry.pattern));
+            assert_eq!(
+                decoded.peek(entry.tag),
+                Some(entry),
+                "tag {:#x} under layout {layout:?}",
+                entry.tag
+            );
+        }
+        // Recency order survives too.
+        let original: Vec<u64> = set.iter().map(|e| e.tag).collect();
+        let rebuilt: Vec<u64> = decoded.iter().map(|e| e.tag).collect();
+        assert_eq!(original, rebuilt, "recency order under layout {layout:?}");
+    }
+}
+
+/// The encoded block never exceeds one cache block and always leaves the
+/// Figure 3a trailer bits unused, whatever the entry widths.
+#[test]
+fn packed_sets_always_fit_one_block() {
+    let mut rng = rng();
+    for _ in 0..300 {
+        let layout = random_layout(&mut rng);
+        let set = random_set(&mut rng, &layout, layout.entries_per_block());
+        let encoded = encode_set(&set, &layout);
+        assert_eq!(encoded.len() as u64, layout.block_bytes);
+        let used_bits = layout.entries_per_block() * layout.entry_bits() as usize;
+        for bit in used_bits..(layout.block_bytes * 8) as usize {
+            assert_eq!(
+                encoded[bit / 8] & (1 << (bit % 8)),
+                0,
+                "trailer bit {bit} dirty under layout {layout:?}"
+            );
         }
     }
+}
 
-    /// The encoded block never exceeds one cache block and always leaves the
-    /// Figure 3a trailer bits unused.
-    #[test]
-    fn packed_sets_always_fit_one_block(tags in proptest::collection::vec(0u16..2048, 0..=11)) {
-        let config = PvConfig::pv8();
-        let mut set = PvSet::new(config.ways);
-        for (i, tag) in tags.iter().enumerate() {
-            set.insert(*tag, SpatialPattern::from_bits(0x8000_0000 | i as u32 + 1));
+/// Regression pin: the paper's SMS instance of the generic machinery is
+/// exactly the Figure 3a layout — 11 entries of 43 bits — and the Section
+/// 4.6 PV-8 budget is exactly 889 bytes.
+#[test]
+fn paper_sms_instance_is_pinned() {
+    let layout = PvLayout::of::<SmsEntry>(64);
+    assert_eq!(layout.entry_bits(), 43);
+    assert_eq!(layout.entries_per_block(), 11);
+    assert_eq!(layout.unused_trailing_bits(), 39);
+    assert_eq!(
+        VirtualizedPht::storage_budget(&PvConfig::pv8()).total_bytes(),
+        889
+    );
+}
+
+/// SMS entries round-trip through the packed encoding with their pattern
+/// payloads intact.
+#[test]
+fn sms_entries_round_trip_through_the_generic_codec() {
+    let mut rng = rng();
+    let layout = PvLayout::of::<SmsEntry>(64);
+    for _ in 0..200 {
+        let occupancy = rng.gen_range(0usize..=11);
+        let mut set = PvSet::new(layout.entries_per_block());
+        for _ in 0..occupancy {
+            let tag = rng.gen_range(0u64..2048) as u16;
+            let bits = rng.gen_range(1u64..=u64::from(u32::MAX)) as u32;
+            set.insert(SmsEntry::new(tag, SpatialPattern::from_bits(bits)));
         }
-        let encoded = encode_set(&set, &config);
-        prop_assert_eq!(encoded.len() as u64, config.block_bytes);
-        let used_bits = config.ways * config.entry_bits as usize;
-        for bit in used_bits..(config.block_bytes * 8) as usize {
-            prop_assert_eq!(encoded[bit / 8] & (1 << (bit % 8)), 0);
+        let decoded: PvSet<SmsEntry> = decode_set(&encode_set(&set, &layout), &layout);
+        assert_eq!(decoded.len(), set.len());
+        for entry in set.iter() {
+            assert_eq!(decoded.peek(entry.tag()), Some(entry));
         }
     }
+}
 
-    /// PHT set index and tag always reconstruct the 21-bit index, for every
-    /// power-of-two table size the sweeps use.
-    #[test]
-    fn pht_index_set_tag_reconstruction(pc in any::<u64>(), offset in 0u32..32, sets_log2 in 3u32..=10) {
+/// PHT set index and tag always reconstruct the 21-bit index, for every
+/// power-of-two table size the sweeps use.
+#[test]
+fn pht_index_set_tag_reconstruction() {
+    let mut rng = rng();
+    for _ in 0..300 {
+        let pc: u64 = rng.gen();
+        let offset = rng.gen_range(0u32..32);
+        let sets_log2 = rng.gen_range(3u32..=10);
         let sets = 1usize << sets_log2;
         let index = TriggerKey::new(pc, offset).index();
         let rebuilt = (index.tag(sets) << sets_log2) | index.set_index(sets) as u32;
-        prop_assert_eq!(rebuilt, index.raw());
-        prop_assert!(index.set_index(sets) < sets);
-        prop_assert_eq!(PhtIndex::from_raw(index.raw()), index);
+        assert_eq!(rebuilt, index.raw());
+        assert!(index.set_index(sets) < sets);
+        assert_eq!(PhtIndex::from_raw(index.raw()), index);
     }
+}
 
-    /// Byte address <-> block <-> region arithmetic is consistent for the
-    /// 32-block regions SMS uses.
-    #[test]
-    fn address_block_region_round_trip(raw in any::<u64>()) {
+/// Byte address <-> block <-> region arithmetic is consistent for the
+/// 32-block regions SMS uses.
+#[test]
+fn address_block_region_round_trip() {
+    let mut rng = rng();
+    for _ in 0..300 {
+        let raw: u64 = rng.gen();
         let addr = Address::new(raw & 0x0000_FFFF_FFFF_FFFF);
         let block = addr.block();
-        prop_assert_eq!(block.base_address().block(), block);
-        prop_assert!(addr.block_offset() < 64);
+        assert_eq!(block.base_address().block(), block);
+        assert!(addr.block_offset() < 64);
         let region = block.region(32);
         let offset = block.region_offset(32);
-        prop_assert_eq!(region.block_at(offset, 32), block);
-        prop_assert!(offset < 32);
+        assert_eq!(region.block_at(offset, 32), block);
+        assert!(offset < 32);
     }
+}
 
-    /// Spatial patterns: building from offsets and reading offsets back are
-    /// inverse operations, and `without` removes exactly one offset.
-    #[test]
-    fn spatial_pattern_offsets_round_trip(offsets in proptest::collection::btree_set(0u32..32, 0..=32)) {
+/// Spatial patterns: building from offsets and reading offsets back are
+/// inverse operations, and `without` removes exactly one offset.
+#[test]
+fn spatial_pattern_offsets_round_trip() {
+    let mut rng = rng();
+    for _ in 0..300 {
+        let mut offsets = std::collections::BTreeSet::new();
+        for _ in 0..rng.gen_range(0usize..=32) {
+            offsets.insert(rng.gen_range(0u32..32));
+        }
         let pattern = SpatialPattern::from_offsets(offsets.iter().copied());
         let back: std::collections::BTreeSet<u32> = pattern.offsets().collect();
-        prop_assert_eq!(&back, &offsets);
-        prop_assert_eq!(pattern.count() as usize, offsets.len());
+        assert_eq!(back, offsets);
+        assert_eq!(pattern.count() as usize, offsets.len());
         if let Some(&first) = offsets.iter().next() {
             let without = pattern.without(first);
-            prop_assert!(!without.contains(first));
-            prop_assert_eq!(without.count() + 1, pattern.count());
+            assert!(!without.contains(first));
+            assert_eq!(without.count() + 1, pattern.count());
         }
     }
+}
 
-    /// Coverage accounting never produces fractions outside [0, 1] and the
-    /// baseline decomposition always adds up.
-    #[test]
-    fn coverage_metrics_are_well_formed(covered in 0u64..1_000_000, uncovered in 0u64..1_000_000, over in 0u64..1_000_000) {
-        let coverage = pv_sim::CoverageMetrics { covered, uncovered, overpredictions: over };
-        prop_assert_eq!(coverage.baseline_misses(), covered + uncovered);
-        prop_assert!(coverage.coverage() >= 0.0 && coverage.coverage() <= 1.0);
-        prop_assert!(coverage.overprediction_ratio() >= 0.0);
+/// Coverage accounting never produces fractions outside [0, 1] and the
+/// baseline decomposition always adds up.
+#[test]
+fn coverage_metrics_are_well_formed() {
+    let mut rng = rng();
+    for _ in 0..300 {
+        let covered = rng.gen_range(0u64..1_000_000);
+        let uncovered = rng.gen_range(0u64..1_000_000);
+        let over = rng.gen_range(0u64..1_000_000);
+        let coverage = pv_sim::CoverageMetrics {
+            covered,
+            uncovered,
+            overpredictions: over,
+        };
+        assert_eq!(coverage.baseline_misses(), covered + uncovered);
+        assert!(coverage.coverage() >= 0.0 && coverage.coverage() <= 1.0);
+        assert!(coverage.overprediction_ratio() >= 0.0);
     }
 }
 
@@ -114,8 +215,7 @@ fn pv_regions_never_overlap_workload_address_spaces() {
 
 #[test]
 fn proxy_storage_budget_is_monotonic_in_every_resource() {
-    use pv_core::PvStorageBudget;
-    let base = PvStorageBudget::for_config(&PvConfig::pv8()).total_bytes();
+    let base = VirtualizedPht::storage_budget(&PvConfig::pv8()).total_bytes();
     let mut bigger_cache = PvConfig::pv8();
     bigger_cache.pvcache_sets *= 2;
     let mut bigger_mshr = PvConfig::pv8();
@@ -123,6 +223,6 @@ fn proxy_storage_budget_is_monotonic_in_every_resource() {
     let mut bigger_evict = PvConfig::pv8();
     bigger_evict.evict_buffer_entries *= 2;
     for config in [bigger_cache, bigger_mshr, bigger_evict] {
-        assert!(PvStorageBudget::for_config(&config).total_bytes() > base);
+        assert!(VirtualizedPht::storage_budget(&config).total_bytes() > base);
     }
 }

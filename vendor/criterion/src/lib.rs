@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the `pv-bench` targets use — `Criterion`,
+//! `bench_function`, `benchmark_group`/`sample_size`/`finish`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with a
+//! simple wall-clock measurement loop instead of criterion's statistical
+//! machinery. Each benchmark is timed over a handful of iterations and the
+//! mean time per iteration is printed, which is enough to eyeball
+//! regressions and to keep `cargo bench` compiling and runnable offline.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Measurement markers, mirroring `criterion::measurement`.
+pub mod measurement {
+    /// Wall-clock time measurement (the only one supported here).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Runs one benchmark body repeatedly and accumulates elapsed time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters_done += 1;
+    }
+}
+
+fn run_bench(name: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    // One untimed warm-up call, then `samples` measured calls.
+    f(&mut bencher);
+    bencher = Bencher::default();
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let per_iter = if bencher.iters_done == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iters_done as u32
+    };
+    eprintln!(
+        "bench: {name:<50} {per_iter:>12.2?}/iter ({} iters)",
+        bencher.iters_done
+    );
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 5 }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 5,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = (samples as u64).max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Group sample sizes in this workspace label whole-simulation
+        // benches; cap the stub's measured iterations so `cargo bench`
+        // stays fast while still producing a stable mean.
+        let samples = self.sample_size.min(5);
+        run_bench(&format!("{}/{name}", self.name), samples, &mut f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench target (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_body() {
+        let mut counter = 0u32;
+        Criterion::default().bench_function("stub", |b| b.iter(|| counter += 1));
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        let mut runs = 0u32;
+        group.sample_size(10).bench_function("inner", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs >= 2, "warm-up plus measured samples must run");
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset of the `rand 0.8` API the workload generators use:
+//! the [`Rng`] extension trait (`gen_range`, `gen_bool`, `gen`), the
+//! [`SeedableRng`] constructor `seed_from_u64`, and [`rngs::StdRng`].
+//!
+//! `StdRng` here is xoshiro256** seeded through SplitMix64 — a small, fast,
+//! high-quality generator. It is *not* the real `rand` StdRng (ChaCha12),
+//! so streams differ from upstream `rand`, but every consumer in this
+//! workspace only relies on determinism-per-seed and reasonable uniformity,
+//! both of which hold.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, matching `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, bound)` by widening multiply (Lemire's method:
+/// negligible bias without a rejection loop's unbounded work).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + bounded_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing extension trait, matching the `rand 0.8` method names.
+pub trait Rng: RngCore {
+    /// Uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability must be in [0, 1], got {p}"
+        );
+        f64::sample(self) < p
+    }
+
+    /// A uniformly distributed value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed;
+            StdRng {
+                state: [
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut n2 = s2 ^ s0;
+            let mut n3 = s3 ^ s1;
+            let n1 = s1 ^ n2;
+            let n0 = s0 ^ n3;
+            n2 ^= t;
+            n3 = n3.rotate_left(45);
+            self.state = [n0, n1, n2, n3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0usize..=3);
+            assert!(w <= 3);
+            let f = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let ratio = hits as f64 / 100_000.0;
+        assert!((ratio - 0.25).abs() < 0.01, "got {ratio}");
+    }
+
+    #[test]
+    fn integer_sampling_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+}
