@@ -7,7 +7,7 @@
 /// them the per-block associativity of the table — are not part of it. They
 /// come from the predictor's [`crate::PvEntry`] implementation, from which
 /// the packed layout is derived (see [`crate::PvLayout`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PvConfig {
     /// Number of sets of the virtualized predictor table (1K in the paper).
     pub table_sets: usize,

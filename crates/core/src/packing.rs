@@ -15,29 +15,40 @@ use crate::entry::{ones, PvEntry, PvLayout};
 use crate::table::PvSet;
 use bytes::{Bytes, BytesMut};
 
-fn write_bits(buffer: &mut [u8], bit_offset: usize, value: u64, bits: u32) {
-    for i in 0..bits as usize {
-        let bit = (value >> i) & 1;
-        let position = bit_offset + i;
-        let byte = position / 8;
-        let shift = position % 8;
-        if bit == 1 {
-            buffer[byte] |= 1 << shift;
-        }
-    }
+/// Mask of the low `bits` bits of a 128-bit window (`bits <= 64`).
+fn low_mask(bits: u32) -> u128 {
+    (1u128 << bits) - 1
 }
 
-fn read_bits(buffer: &[u8], bit_offset: usize, bits: u32) -> u64 {
-    let mut value = 0u64;
-    for i in 0..bits as usize {
-        let position = bit_offset + i;
-        let byte = position / 8;
-        let shift = position % 8;
-        if buffer[byte] & (1 << shift) != 0 {
-            value |= 1 << i;
-        }
-    }
-    value
+/// ORs the low `bits` bits of `value` into `buffer` starting at `bit_offset`,
+/// little-endian within and across bytes.
+///
+/// A field of up to 64 bits at an arbitrary bit offset spans at most 9 bytes,
+/// so the whole operation is one 128-bit shift/mask over that byte window
+/// instead of a per-bit loop. The OR semantics (set bits are never cleared)
+/// match the bit-at-a-time original; `encode_set` always writes into a zeroed
+/// buffer.
+pub fn write_bits(buffer: &mut [u8], bit_offset: usize, value: u64, bits: u32) {
+    debug_assert!(bits <= 64);
+    let first = bit_offset / 8;
+    let shift = bit_offset % 8;
+    let span = (shift + bits as usize).div_ceil(8);
+    let mut window = [0u8; 16];
+    window[..span].copy_from_slice(&buffer[first..first + span]);
+    let word = u128::from_le_bytes(window) | ((u128::from(value) & low_mask(bits)) << shift);
+    buffer[first..first + span].copy_from_slice(&word.to_le_bytes()[..span]);
+}
+
+/// Reads `bits` bits starting at `bit_offset` as one 128-bit window
+/// shift/mask; the exact inverse of [`write_bits`].
+pub fn read_bits(buffer: &[u8], bit_offset: usize, bits: u32) -> u64 {
+    debug_assert!(bits <= 64);
+    let first = bit_offset / 8;
+    let shift = bit_offset % 8;
+    let span = (shift + bits as usize).div_ceil(8);
+    let mut window = [0u8; 16];
+    window[..span].copy_from_slice(&buffer[first..first + span]);
+    ((u128::from_le_bytes(window) >> shift) & low_mask(bits)) as u64
 }
 
 /// Encodes a PVTable set into its packed one-block representation.
@@ -100,9 +111,11 @@ pub fn decode_set<E: PvEntry>(block: &[u8], layout: &PvLayout) -> PvSet<E> {
     );
     let ways = layout.entries_per_block();
     let mut set = PvSet::new(ways);
-    // Rebuild in reverse so that the first packed entry ends up
-    // most-recently-used, matching the encoding order.
-    let mut entries = Vec::new();
+    // Entries were packed most-recently-used first, so appending each slot at
+    // the LRU end rebuilds the recency order directly. Keeping the first
+    // occurrence of a duplicated tag matches the historical reverse-insertion
+    // rebuild (promote-on-reinsert left the earliest slot's payload in
+    // front), which the reference codec still implements literally.
     for slot in 0..ways {
         let bit_offset = slot * layout.entry_bits() as usize;
         let tag = read_bits(block, bit_offset, layout.tag_bits);
@@ -112,13 +125,97 @@ pub fn decode_set<E: PvEntry>(block: &[u8], layout: &PvLayout) -> PvSet<E> {
             layout.payload_bits,
         );
         if let Some(entry) = E::from_parts(tag, payload) {
-            entries.push(entry);
+            set.push_lru(entry);
         }
     }
-    for entry in entries.into_iter().rev() {
-        set.insert(entry);
-    }
     set
+}
+
+/// The bit-at-a-time codec retained from the pre-word-level implementation.
+///
+/// Kept byte-for-byte faithful so differential tests and `perfbench` can pin
+/// the word-level codec's layout and measure its speedup against the
+/// original. Must not be used on any simulation path.
+pub mod reference {
+    use super::*;
+
+    /// Bit-at-a-time equivalent of [`super::write_bits`] (original code).
+    pub fn write_bits(buffer: &mut [u8], bit_offset: usize, value: u64, bits: u32) {
+        for i in 0..bits as usize {
+            let bit = (value >> i) & 1;
+            let position = bit_offset + i;
+            let byte = position / 8;
+            let shift = position % 8;
+            if bit == 1 {
+                buffer[byte] |= 1 << shift;
+            }
+        }
+    }
+
+    /// Bit-at-a-time equivalent of [`super::read_bits`] (original code).
+    pub fn read_bits(buffer: &[u8], bit_offset: usize, bits: u32) -> u64 {
+        let mut value = 0u64;
+        for i in 0..bits as usize {
+            let position = bit_offset + i;
+            let byte = position / 8;
+            let shift = position % 8;
+            if buffer[byte] & (1 << shift) != 0 {
+                value |= 1 << i;
+            }
+        }
+        value
+    }
+
+    /// [`super::encode_set`] over the bit-at-a-time primitives.
+    pub fn encode_set<E: PvEntry>(set: &PvSet<E>, layout: &PvLayout) -> Bytes {
+        assert!(
+            set.len() <= layout.entries_per_block(),
+            "set holds {} entries but only {} fit in a {}-byte block",
+            set.len(),
+            layout.entries_per_block(),
+            layout.block_bytes
+        );
+        let mut buffer = BytesMut::zeroed(layout.block_bytes as usize);
+        for (slot, entry) in set.iter().enumerate() {
+            let bit_offset = slot * layout.entry_bits() as usize;
+            write_bits(&mut buffer, bit_offset, entry.tag(), layout.tag_bits);
+            write_bits(
+                &mut buffer,
+                bit_offset + layout.tag_bits as usize,
+                entry.payload(),
+                layout.payload_bits,
+            );
+        }
+        buffer.freeze()
+    }
+
+    /// [`super::decode_set`] over the bit-at-a-time primitives.
+    pub fn decode_set<E: PvEntry>(block: &[u8], layout: &PvLayout) -> PvSet<E> {
+        assert!(
+            block.len() >= layout.block_bytes as usize,
+            "packed block must be at least {} bytes",
+            layout.block_bytes
+        );
+        let ways = layout.entries_per_block();
+        let mut set = PvSet::new(ways);
+        let mut entries = Vec::new();
+        for slot in 0..ways {
+            let bit_offset = slot * layout.entry_bits() as usize;
+            let tag = read_bits(block, bit_offset, layout.tag_bits);
+            let payload = read_bits(
+                block,
+                bit_offset + layout.tag_bits as usize,
+                layout.payload_bits,
+            );
+            if let Some(entry) = E::from_parts(tag, payload) {
+                entries.push(entry);
+            }
+        }
+        for entry in entries.into_iter().rev() {
+            set.insert(entry);
+        }
+        set
+    }
 }
 
 #[cfg(test)]

@@ -87,8 +87,7 @@ impl<E: PvEntry> PvCache<E> {
     /// a mutable reference to the entry.
     pub fn lookup(&mut self, set_index: usize) -> Option<&mut PvCacheEntry<E>> {
         let pos = self.entries.iter().position(|e| e.set_index == set_index)?;
-        let entry = self.entries.remove(pos);
-        self.entries.insert(0, entry);
+        self.entries[..=pos].rotate_right(1);
         Some(&mut self.entries[0])
     }
 
@@ -109,25 +108,24 @@ impl<E: PvEntry> PvCache<E> {
             entry.ready_at = entry.ready_at.min(ready_at);
             return None;
         }
-        let evicted = if self.entries.len() >= self.capacity {
-            self.entries.pop().map(|e| PvCacheEviction {
-                set_index: e.set_index,
-                contents: e.contents,
-                dirty: e.dirty,
-            })
-        } else {
-            None
+        let fresh = PvCacheEntry {
+            set_index,
+            contents,
+            dirty,
+            ready_at,
         };
-        self.entries.insert(
-            0,
-            PvCacheEntry {
-                set_index,
-                contents,
-                dirty,
-                ready_at,
-            },
-        );
-        evicted
+        if self.entries.len() >= self.capacity {
+            self.entries.rotate_right(1);
+            let lru = std::mem::replace(&mut self.entries[0], fresh);
+            return Some(PvCacheEviction {
+                set_index: lru.set_index,
+                contents: lru.contents,
+                dirty: lru.dirty,
+            });
+        }
+        self.entries.push(fresh);
+        self.entries.rotate_right(1);
+        None
     }
 
     /// Removes every entry, returning the dirty ones (used when draining the

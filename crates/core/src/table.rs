@@ -25,10 +25,11 @@ pub struct PvSet<E> {
 }
 
 impl<E: PvEntry> PvSet<E> {
-    /// Creates an empty set with the given associativity.
+    /// Creates an empty set with the given associativity. Storage for all
+    /// `ways` entries is reserved up front so inserts never reallocate.
     pub fn new(ways: usize) -> Self {
         PvSet {
-            entries: Vec::new(),
+            entries: Vec::with_capacity(ways),
             ways,
         }
     }
@@ -52,8 +53,7 @@ impl<E: PvEntry> PvSet<E> {
     /// on a hit.
     pub fn lookup(&mut self, tag: u64) -> Option<&E> {
         let pos = self.entries.iter().position(|e| e.tag() == tag)?;
-        let entry = self.entries.remove(pos);
-        self.entries.insert(0, entry);
+        self.entries[..=pos].rotate_right(1);
         Some(&self.entries[0])
     }
 
@@ -67,22 +67,39 @@ impl<E: PvEntry> PvSet<E> {
     /// entry if one was pushed out.
     pub fn insert(&mut self, entry: E) -> Option<E> {
         if let Some(pos) = self.entries.iter().position(|e| e.tag() == entry.tag()) {
-            self.entries.remove(pos);
-            self.entries.insert(0, entry);
+            self.entries[pos] = entry;
+            self.entries[..=pos].rotate_right(1);
             return None;
         }
-        let evicted = if self.entries.len() >= self.ways {
-            self.entries.pop()
-        } else {
-            None
-        };
-        self.entries.insert(0, entry);
-        evicted
+        if self.entries.len() >= self.ways {
+            self.entries.rotate_right(1);
+            return Some(std::mem::replace(&mut self.entries[0], entry));
+        }
+        self.entries.push(entry);
+        self.entries.rotate_right(1);
+        None
     }
 
     /// Iterates over the entries, most recently used first.
     pub fn iter(&self) -> impl Iterator<Item = &E> {
         self.entries.iter()
+    }
+
+    /// Appends `entry` at the least-recently-used position if its tag is not
+    /// already present, returning whether it was appended. Used by the
+    /// packing codec to rebuild a set in recency order without the
+    /// promote-on-insert shuffling (and without temporary buffers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is already full.
+    pub(crate) fn push_lru(&mut self, entry: E) -> bool {
+        if self.entries.iter().any(|e| e.tag() == entry.tag()) {
+            return false;
+        }
+        assert!(self.entries.len() < self.ways, "set is full");
+        self.entries.push(entry);
+        true
     }
 }
 

@@ -76,7 +76,7 @@ impl HierarchyVariant {
         }
     }
 
-    /// Cache-key label.
+    /// Human-readable label for reports.
     pub fn label(self) -> String {
         match self {
             HierarchyVariant::Base => "base".to_owned(),
@@ -84,6 +84,18 @@ impl HierarchyVariant {
             HierarchyVariant::SlowL2 => "l2-slow".to_owned(),
         }
     }
+}
+
+/// Cache key of one simulation: the full configuration, hashed structurally.
+///
+/// Deriving `Hash`/`Eq` over the actual configuration replaces the old
+/// `format!`-built string keys — no allocation per lookup, and no risk of two
+/// distinct configurations aliasing because their labels collide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RunKey {
+    workload: WorkloadId,
+    prefetcher: PrefetcherKind,
+    hierarchy: HierarchyVariant,
 }
 
 /// One simulation to run.
@@ -107,13 +119,12 @@ impl RunSpec {
         }
     }
 
-    fn key(&self) -> String {
-        format!(
-            "{}/{}/{}",
-            self.workload.name(),
-            self.prefetcher.label(),
-            self.hierarchy.label()
-        )
+    fn key(&self) -> RunKey {
+        RunKey {
+            workload: self.workload,
+            prefetcher: self.prefetcher.clone(),
+            hierarchy: self.hierarchy,
+        }
     }
 }
 
@@ -123,7 +134,7 @@ impl RunSpec {
 pub struct Runner {
     scale: Scale,
     threads: usize,
-    cache: Mutex<HashMap<String, Arc<RunMetrics>>>,
+    cache: Mutex<HashMap<RunKey, Arc<RunMetrics>>>,
     runs_executed: AtomicUsize,
 }
 

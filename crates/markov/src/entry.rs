@@ -119,7 +119,7 @@ impl PvEntry for MarkovEntry {
 }
 
 /// Configuration of the Markov prefetcher.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MarkovConfig {
     /// Number of table sets (1K, matching the virtualized layout).
     pub table_sets: usize,

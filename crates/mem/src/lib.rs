@@ -49,6 +49,7 @@ pub mod mshr;
 pub mod prefetch;
 pub mod replacement;
 pub mod set_assoc;
+pub mod set_assoc_ref;
 pub mod stats;
 
 pub use address::{Address, BlockAddr, RegionAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
@@ -61,6 +62,9 @@ pub use hierarchy::{
 pub use memory::MainMemory;
 pub use mshr::{MshrEntry, MshrFile, MshrOutcome};
 pub use prefetch::NextLinePrefetcher;
-pub use replacement::{Lru, RandomEvict, ReplacementKind, ReplacementPolicy, TreePlru};
+pub use replacement::{
+    Lru, RandomEvict, ReplacementKind, ReplacementPolicy, ReplacementState, TreePlru,
+};
 pub use set_assoc::{Occupied, SetAssociative};
+pub use set_assoc_ref::ReferenceSetAssociative;
 pub use stats::{CacheStats, HierarchyStats, TrafficBreakdown};

@@ -3,8 +3,18 @@
 //! The same container backs the L1/L2 cache tag arrays, the SMS pattern
 //! history table and the PVCache inside the PVProxy, which keeps the
 //! replacement and eviction behaviour identical everywhere it matters.
+//!
+//! This is the hottest structure in the simulator — every simulated access
+//! walks it several times — so it is laid out for speed: entries live in one
+//! flat `Vec` indexed by `set * ways + way`, replacement state is the
+//! bit-packed [`ReplacementState`] (one enum for the whole array instead of
+//! one boxed [`ReplacementPolicy`](crate::ReplacementPolicy) per set), and
+//! occupancy is counted incrementally. After construction no operation
+//! allocates. The boxed-policy formulation is retained as
+//! [`ReferenceSetAssociative`](crate::set_assoc_ref::ReferenceSetAssociative)
+//! and differential tests pin the two to identical behaviour.
 
-use crate::replacement::{ReplacementKind, ReplacementPolicy};
+use crate::replacement::{ReplacementKind, ReplacementState};
 use std::fmt;
 
 /// One occupied way: the tag stored there and the payload.
@@ -19,12 +29,14 @@ pub struct Occupied<T> {
 /// A set-associative array of `sets` sets with `ways` ways each.
 ///
 /// Entries are addressed by `(set_index, tag)`. Replacement decisions within
-/// a set are delegated to a [`ReplacementPolicy`] instance per set.
+/// a set are made by the array's inline [`ReplacementState`].
 pub struct SetAssociative<T> {
     sets: usize,
     ways: usize,
-    entries: Vec<Vec<Option<Occupied<T>>>>,
-    policies: Vec<Box<dyn ReplacementPolicy>>,
+    occupied: usize,
+    /// Flat storage, way `w` of set `s` at index `s * ways + w`.
+    entries: Vec<Option<Occupied<T>>>,
+    replacement: ReplacementState,
     kind: ReplacementKind,
 }
 
@@ -48,13 +60,14 @@ impl<T> SetAssociative<T> {
     pub fn new(sets: usize, ways: usize, replacement: ReplacementKind) -> Self {
         assert!(sets > 0, "a set-associative array needs at least one set");
         assert!(ways > 0, "a set-associative array needs at least one way");
-        let entries = (0..sets).map(|_| (0..ways).map(|_| None).collect()).collect();
-        let policies = (0..sets).map(|set| replacement.build(ways, set as u64)).collect();
+        let mut entries = Vec::new();
+        entries.resize_with(sets * ways, || None);
         SetAssociative {
             sets,
             ways,
+            occupied: 0,
             entries,
-            policies,
+            replacement: ReplacementState::new(replacement, sets, ways),
             kind: replacement,
         }
     }
@@ -74,17 +87,15 @@ impl<T> SetAssociative<T> {
         self.sets * self.ways
     }
 
-    /// Number of occupied entries across all sets.
+    /// Number of occupied entries across all sets (tracked incrementally,
+    /// O(1)).
     pub fn len(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|set| set.iter().filter(|way| way.is_some()).count())
-            .sum()
+        self.occupied
     }
 
     /// Whether no entry is occupied.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.occupied == 0
     }
 
     fn assert_set(&self, set: usize) {
@@ -95,8 +106,12 @@ impl<T> SetAssociative<T> {
         );
     }
 
+    fn set_slice(&self, set: usize) -> &[Option<Occupied<T>>] {
+        &self.entries[set * self.ways..(set + 1) * self.ways]
+    }
+
     fn way_of(&self, set: usize, tag: u64) -> Option<usize> {
-        self.entries[set]
+        self.set_slice(set)
             .iter()
             .position(|way| way.as_ref().is_some_and(|occ| occ.tag == tag))
     }
@@ -105,7 +120,7 @@ impl<T> SetAssociative<T> {
     pub fn peek(&self, set: usize, tag: u64) -> Option<&T> {
         self.assert_set(set);
         self.way_of(set, tag)
-            .and_then(|way| self.entries[set][way].as_ref())
+            .and_then(|way| self.entries[set * self.ways + way].as_ref())
             .map(|occ| &occ.value)
     }
 
@@ -113,16 +128,16 @@ impl<T> SetAssociative<T> {
     pub fn get(&mut self, set: usize, tag: u64) -> Option<&T> {
         self.assert_set(set);
         let way = self.way_of(set, tag)?;
-        self.policies[set].on_access(way);
-        self.entries[set][way].as_ref().map(|occ| &occ.value)
+        self.replacement.on_access(set, way);
+        self.entries[set * self.ways + way].as_ref().map(|occ| &occ.value)
     }
 
     /// Mutable lookup, updating recency on a hit.
     pub fn get_mut(&mut self, set: usize, tag: u64) -> Option<&mut T> {
         self.assert_set(set);
         let way = self.way_of(set, tag)?;
-        self.policies[set].on_access(way);
-        self.entries[set][way].as_mut().map(|occ| &mut occ.value)
+        self.replacement.on_access(set, way);
+        self.entries[set * self.ways + way].as_mut().map(|occ| &mut occ.value)
     }
 
     /// Whether `(set, tag)` is present (no recency update).
@@ -135,50 +150,61 @@ impl<T> SetAssociative<T> {
     /// tag was already present.
     pub fn insert(&mut self, set: usize, tag: u64, value: T) -> Option<Occupied<T>> {
         self.assert_set(set);
+        let base = set * self.ways;
         if let Some(way) = self.way_of(set, tag) {
-            self.policies[set].on_access(way);
-            let previous = self.entries[set][way].replace(Occupied { tag, value });
-            return previous;
+            self.replacement.on_access(set, way);
+            return self.entries[base + way].replace(Occupied { tag, value });
         }
-        let valid: Vec<bool> = self.entries[set].iter().map(|w| w.is_some()).collect();
-        let way = self.policies[set].victim(&valid);
+        let entries = &self.entries;
+        let way = self.replacement.victim(set, |w| entries[base + w].is_some());
         assert!(
             way < self.ways,
-            "replacement policy returned way out of range"
+            "replacement state returned way out of range"
         );
-        let evicted = self.entries[set][way].take();
-        self.entries[set][way] = Some(Occupied { tag, value });
-        self.policies[set].on_fill(way);
+        let evicted = self.entries[base + way].replace(Occupied { tag, value });
+        if evicted.is_none() {
+            self.occupied += 1;
+        }
+        self.replacement.on_fill(set, way);
         evicted
     }
 
-    /// Removes `(set, tag)` and returns its payload.
+    /// Removes `(set, tag)` and returns its payload. The replacement state
+    /// observes the invalidation, so the vacated way's stale recency cannot
+    /// outlive the entry.
     pub fn invalidate(&mut self, set: usize, tag: u64) -> Option<T> {
         self.assert_set(set);
         let way = self.way_of(set, tag)?;
-        self.entries[set][way].take().map(|occ| occ.value)
+        let removed = self.entries[set * self.ways + way].take().map(|occ| occ.value);
+        if removed.is_some() {
+            self.occupied -= 1;
+            self.replacement.on_invalidate(set, way);
+        }
+        removed
     }
 
     /// Iterates over all occupied entries of one set.
     pub fn set_entries(&self, set: usize) -> impl Iterator<Item = &Occupied<T>> {
         self.assert_set(set);
-        self.entries[set].iter().filter_map(|way| way.as_ref())
+        self.set_slice(set).iter().filter_map(|way| way.as_ref())
     }
 
     /// Iterates over every occupied entry as `(set, &Occupied)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Occupied<T>)> {
-        self.entries.iter().enumerate().flat_map(|(set, ways)| {
-            ways.iter().filter_map(move |w| w.as_ref().map(|occ| (set, occ)))
-        })
+        let ways = self.ways;
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(move |(index, way)| way.as_ref().map(|occ| (index / ways, occ)))
     }
 
-    /// Clears every set.
+    /// Clears every set (replacement state is left as-is, matching the
+    /// reference implementation).
     pub fn clear(&mut self) {
-        for set in 0..self.sets {
-            for way in 0..self.ways {
-                self.entries[set][way] = None;
-            }
+        for way in &mut self.entries {
+            *way = None;
         }
+        self.occupied = 0;
     }
 }
 
@@ -243,6 +269,33 @@ mod tests {
         assert_eq!(arr.len(), 3);
         arr.clear();
         assert!(arr.is_empty());
+    }
+
+    #[test]
+    fn len_stays_exact_under_churn() {
+        let mut arr = SetAssociative::new(2, 2, ReplacementKind::Lru);
+        arr.insert(0, 1, 1);
+        arr.insert(0, 2, 2);
+        arr.insert(0, 3, 3); // evicts, occupancy stays 2
+        assert_eq!(arr.len(), 2);
+        arr.insert(0, 3, 4); // in-place update, occupancy stays 2
+        assert_eq!(arr.len(), 2);
+        arr.invalidate(0, 3);
+        assert_eq!(arr.len(), 1);
+        arr.invalidate(0, 3);
+        assert_eq!(arr.len(), 1);
+    }
+
+    #[test]
+    fn invalidated_way_is_refilled_first() {
+        let mut arr = SetAssociative::new(1, 4, ReplacementKind::Lru);
+        for tag in 0..4 {
+            arr.insert(0, tag, tag as u32);
+        }
+        arr.invalidate(0, 1);
+        // The vacated way must be refilled before any valid entry is evicted.
+        assert!(arr.insert(0, 9, 9).is_none());
+        assert_eq!(arr.len(), 4);
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl CoreConfig {
 }
 
 /// Which data prefetcher each core runs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PrefetcherKind {
     /// No data prefetching (the paper's baseline).
     None,

@@ -130,7 +130,7 @@ impl PhtGeometry {
 }
 
 /// Configuration of the SMS prefetcher.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SmsConfig {
     /// Blocks per spatial region (32 in the paper).
     pub region_blocks: u32,

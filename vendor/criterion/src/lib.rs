@@ -3,10 +3,16 @@
 //! Provides the API subset the `pv-bench` targets use — `Criterion`,
 //! `bench_function`, `benchmark_group`/`sample_size`/`finish`,
 //! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with a
-//! simple wall-clock measurement loop instead of criterion's statistical
-//! machinery. Each benchmark is timed over a handful of iterations and the
-//! mean time per iteration is printed, which is enough to eyeball
-//! regressions and to keep `cargo bench` compiling and runnable offline.
+//! wall-clock measurement loop instead of criterion's statistical machinery.
+//!
+//! Measurement is calibrated: a probe pass estimates the routine's cost and
+//! picks an inner batch size so every timed sample covers at least ~2 ms of
+//! work. Nanosecond-scale routines (the packing codec, a single array
+//! lookup) are therefore batched thousands of times per timer read instead
+//! of paying `Instant::now()` overhead per call, while whole-simulation
+//! benches keep a batch of one. Mean and minimum wall-clock time per
+//! iteration are printed, which is enough to eyeball regressions and to
+//! keep `cargo bench` meaningful and runnable offline.
 
 #![forbid(unsafe_code)]
 
@@ -26,38 +32,74 @@ pub mod measurement {
 }
 
 /// Runs one benchmark body repeatedly and accumulates elapsed time.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Bencher {
+    /// Calls of the routine per timed sample (chosen by calibration).
+    batch: u64,
     iters_done: u64,
     elapsed: Duration,
+    /// Fastest observed per-iteration time across samples.
+    min_per_iter: Duration,
 }
 
 impl Bencher {
-    /// Times `routine` over the harness-chosen number of iterations.
+    fn with_batch(batch: u64) -> Self {
+        Bencher {
+            batch: batch.max(1),
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            min_per_iter: Duration::MAX,
+        }
+    }
+
+    /// Times `routine` over the harness-chosen number of iterations: the
+    /// whole batch shares one timer read, so per-call timer overhead does
+    /// not drown nanosecond-scale routines.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         let start = Instant::now();
-        black_box(routine());
-        self.elapsed += start.elapsed();
-        self.iters_done += 1;
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.elapsed += elapsed;
+        self.iters_done += self.batch;
+        let per_iter = elapsed / self.batch as u32;
+        if per_iter < self.min_per_iter {
+            self.min_per_iter = per_iter;
+        }
     }
 }
 
+/// Lower bound of work per timed sample; batches are sized to reach it.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(2);
+
 fn run_bench(name: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut bencher = Bencher::default();
-    // One untimed warm-up call, then `samples` measured calls.
-    f(&mut bencher);
-    bencher = Bencher::default();
+    // Calibration probe: one unbatched pass warms the routine up and
+    // estimates its cost so cheap routines get a large inner batch.
+    let mut probe = Bencher::with_batch(1);
+    f(&mut probe);
+    let probe_per_iter = if probe.iters_done == 0 {
+        Duration::ZERO
+    } else {
+        probe.elapsed / probe.iters_done as u32
+    };
+    let batch = if probe_per_iter >= TARGET_SAMPLE_TIME {
+        1
+    } else {
+        (TARGET_SAMPLE_TIME.as_nanos() / probe_per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+    };
+    let mut bencher = Bencher::with_batch(batch);
     for _ in 0..samples {
         f(&mut bencher);
     }
-    let per_iter = if bencher.iters_done == 0 {
-        Duration::ZERO
-    } else {
-        bencher.elapsed / bencher.iters_done as u32
-    };
+    if bencher.iters_done == 0 {
+        eprintln!("bench: {name:<50} (no iterations run)");
+        return;
+    }
+    let mean = bencher.elapsed / bencher.iters_done as u32;
     eprintln!(
-        "bench: {name:<50} {per_iter:>12.2?}/iter ({} iters)",
-        bencher.iters_done
+        "bench: {name:<50} mean {mean:>10.2?}/iter  min {:>10.2?}/iter ({} iters)",
+        bencher.min_per_iter, bencher.iters_done
     );
 }
 
