@@ -3,19 +3,35 @@
 //!
 //! Times smoke-scale end-to-end runs for every [`PrefetcherKind`], plus
 //! micro-benchmarks of the packing codec and the set-associative array
-//! against the retained pre-flattening reference implementations, and writes
-//! the results as `BENCH_PR2.json` (schema documented in the README's
-//! Performance section).
+//! against the retained pre-flattening reference implementations and of the
+//! memory-hierarchy access path under both contention models, and writes
+//! the results as `BENCH_PR3.json` (schema `pv-perfbench/2`, documented in
+//! the README's Performance section).
 //!
 //! Each end-to-end row also carries a digest of the run's `RunMetrics`
 //! (cycles, misses, traffic, coverage): optimisation PRs must keep those
 //! digests unchanged — speed may move, simulated outcomes may not.
 //!
-//! Usage: `cargo run --release -p pv-experiments --bin perfbench [out.json]`
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pv-experiments --bin perfbench [out.json] \
+//!     [--check-against BASELINE.json]
+//! ```
+//!
+//! With `--check-against`, the end-to-end rows are compared against the
+//! matching rows of a previously-recorded JSON (e.g. the committed
+//! `BENCH_PR2.json`): the process exits non-zero when the geometric-mean
+//! records/sec ratio regresses by more than 25%, and digest mismatches are
+//! reported as warnings (behaviour-changing PRs are expected to move them;
+//! perf-only PRs are not).
 
 use pv_core::{decode_set, encode_set, packing, PvLayout, PvSet, RawEntry};
-use pv_mem::{ReferenceSetAssociative, ReplacementKind, SetAssociative};
-use pv_sim::{run_workload, PrefetcherKind, RunMetrics, SimConfig};
+use pv_mem::{
+    AccessKind, ContentionModel, DataClass, HierarchyConfig, MemoryHierarchy,
+    ReferenceSetAssociative, ReplacementKind, Requester, SetAssociative,
+};
+use pv_sim::{run_workload, PrefetcherKind, SimConfig};
 use pv_workloads::WorkloadId;
 use std::time::Instant;
 
@@ -68,28 +84,6 @@ fn smoke_config(prefetcher: PrefetcherKind) -> SimConfig {
     config
 }
 
-/// A stable one-line digest of the simulated outcome; must not move across
-/// perf-only PRs.
-fn digest(metrics: &RunMetrics) -> String {
-    format!(
-        "cycles={}|instr={}|l2req={}+{}|l2miss={}+{}|l2wb={}+{}|dram={}r{}w|cov={}c{}u{}o|pf={}",
-        metrics.elapsed_cycles,
-        metrics.total_instructions,
-        metrics.hierarchy.l2_requests.application,
-        metrics.hierarchy.l2_requests.predictor,
-        metrics.hierarchy.l2_misses.application,
-        metrics.hierarchy.l2_misses.predictor,
-        metrics.hierarchy.l2_writebacks.application,
-        metrics.hierarchy.l2_writebacks.predictor,
-        metrics.hierarchy.dram_reads,
-        metrics.hierarchy.dram_writes,
-        metrics.coverage.covered,
-        metrics.coverage.uncovered,
-        metrics.coverage.overpredictions,
-        metrics.prefetches_issued,
-    )
-}
-
 struct EndToEnd {
     prefetcher: String,
     workload: String,
@@ -103,12 +97,13 @@ struct EndToEnd {
 struct Micro {
     name: String,
     ns_per_op: f64,
-    reference_ns_per_op: f64,
+    /// `ns_per_op` of a retained reference implementation, when one exists.
+    reference_ns_per_op: Option<f64>,
 }
 
 impl Micro {
-    fn speedup(&self) -> f64 {
-        self.reference_ns_per_op / self.ns_per_op
+    fn speedup(&self) -> Option<f64> {
+        self.reference_ns_per_op.map(|reference| reference / self.ns_per_op)
     }
 }
 
@@ -178,12 +173,164 @@ macro_rules! bench_set_assoc_impl {
 bench_set_assoc_impl!(bench_set_assoc, SetAssociative);
 bench_set_assoc_impl!(bench_set_assoc_reference, ReferenceSetAssociative);
 
+/// Full-hierarchy access path: a deterministic four-core read/write stream
+/// over a footprint larger than the L2, timed end to end (L1 + L2 + MSHRs +
+/// DRAM). Run once per contention model so the shared-resource bookkeeping
+/// cost is tracked explicitly.
+fn bench_hierarchy(contention: ContentionModel, iters: u64) -> f64 {
+    let config = HierarchyConfig::paper_baseline(4).with_contention(contention);
+    let mut hierarchy = MemoryHierarchy::new(config);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut now = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let r = next();
+        let core = (r % 4) as usize;
+        // 16M blocks = 1 GB footprint: far beyond the 8 MB L2.
+        let addr = ((r >> 2) % (16 * 1024 * 1024)) * 64;
+        let kind = if r & 16 == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let response = hierarchy.access(
+            Requester::data(core),
+            addr,
+            kind,
+            DataClass::Application,
+            now,
+        );
+        std::hint::black_box(response.latency);
+        now += 3;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_hierarchy_ideal(iters: u64) -> f64 {
+    bench_hierarchy(ContentionModel::Ideal, iters)
+}
+
+fn bench_hierarchy_queued(iters: u64) -> f64 {
+    bench_hierarchy(ContentionModel::Queued, iters)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// One `(prefetcher, workload, records_per_sec, digest)` row parsed out of
+/// a previously-recorded benchmark JSON.
+struct BaselineRow {
+    prefetcher: String,
+    workload: String,
+    records_per_sec: f64,
+    digest: Option<String>,
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the `end_to_end` rows of a benchmark JSON. The emitter writes one
+/// row per line, so a line-oriented scan is sufficient and keeps the binary
+/// free of a JSON dependency (the build environment has no crates.io).
+fn parse_baseline(text: &str) -> Vec<BaselineRow> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BaselineRow {
+                prefetcher: extract_str(line, "\"prefetcher\": \"")?,
+                workload: extract_str(line, "\"workload\": \"")?,
+                records_per_sec: extract_num(line, "\"records_per_sec\": ")?,
+                digest: extract_str(line, "\"digest\": \""),
+            })
+        })
+        .collect()
+}
+
+/// Geometric mean of `values`; 1.0 for an empty slice. A non-positive or
+/// non-finite input (e.g. a corrupt baseline row) poisons the result to NaN
+/// through `ln()`, which callers must treat as failure, never success.
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Compares the fresh end-to-end rows against a recorded baseline. Returns
+/// the geometric-mean records/sec ratio over matching rows, or `None` when
+/// nothing matches.
+fn check_against(runs: &[EndToEnd], baseline: &[BaselineRow]) -> Option<f64> {
+    let mut ratios = Vec::new();
+    for run in runs {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.prefetcher == run.prefetcher && b.workload == run.workload)
+        else {
+            continue;
+        };
+        ratios.push(run.records_per_sec / base.records_per_sec);
+        if let Some(expected) = &base.digest {
+            if *expected != run.digest {
+                eprintln!(
+                    "digest moved for {} {}: baseline {} vs current {} \
+                     (expected for behaviour-changing PRs, forbidden for perf-only PRs)",
+                    run.prefetcher, run.workload, expected, run.digest
+                );
+            }
+        }
+    }
+    if ratios.is_empty() {
+        return None;
+    }
+    Some(geomean(&ratios))
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check-against" => match args.next() {
+                Some(path) => baseline_path = Some(path),
+                None => {
+                    eprintln!("--check-against requires a path");
+                    std::process::exit(2);
+                }
+            },
+            // A mistyped flag must not silently become the output path:
+            // that would both disable the regression gate and overwrite
+            // whatever file the typo names.
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag '{flag}' (expected [out.json] [--check-against FILE])");
+                std::process::exit(2);
+            }
+            path if out_path.is_none() => out_path = Some(path.to_owned()),
+            path => {
+                eprintln!("unexpected extra argument '{path}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR3.json".to_owned());
 
     let mut runs = Vec::new();
     for kind in all_kinds() {
@@ -211,7 +358,7 @@ fn main() {
                     .iter()
                     .find(|(p, w, _)| *p == kind.label() && *w == workload.name())
                     .map(|(_, _, v)| *v),
-                digest: digest(&metrics),
+                digest: metrics.digest(),
             };
             eprintln!(
                 "end_to_end {:<14} {:<8} {:>10.0} records/sec ({})",
@@ -234,42 +381,56 @@ fn main() {
     };
     let (codec, codec_ref) = interleaved(bench_codec, bench_codec_reference, 200_000);
     let (sa, sa_ref) = interleaved(bench_set_assoc, bench_set_assoc_reference, 1_000_000);
+    let (hier_ideal, hier_queued) =
+        interleaved(bench_hierarchy_ideal, bench_hierarchy_queued, 2_000_000);
     let micros = vec![
         Micro {
             name: "packing/round_trip".to_owned(),
             ns_per_op: codec,
-            reference_ns_per_op: codec_ref,
+            reference_ns_per_op: Some(codec_ref),
         },
         Micro {
             name: "set_assoc/get_insert".to_owned(),
             ns_per_op: sa,
-            reference_ns_per_op: sa_ref,
+            reference_ns_per_op: Some(sa_ref),
+        },
+        Micro {
+            name: "hierarchy/access_ideal".to_owned(),
+            ns_per_op: hier_ideal,
+            reference_ns_per_op: None,
+        },
+        Micro {
+            name: "hierarchy/access_queued".to_owned(),
+            ns_per_op: hier_queued,
+            reference_ns_per_op: None,
         },
     ];
     for micro in &micros {
-        eprintln!(
-            "micro {:<22} {:>8.1} ns/op vs {:>8.1} ns/op reference ({:.2}x)",
-            micro.name,
-            micro.ns_per_op,
-            micro.reference_ns_per_op,
-            micro.speedup()
-        );
+        match micro.reference_ns_per_op {
+            Some(reference) => eprintln!(
+                "micro {:<24} {:>8.1} ns/op vs {:>8.1} ns/op reference ({:.2}x)",
+                micro.name,
+                micro.ns_per_op,
+                reference,
+                micro.speedup().expect("reference present")
+            ),
+            None => eprintln!("micro {:<24} {:>8.1} ns/op", micro.name, micro.ns_per_op),
+        }
     }
 
     let end_to_end_speedups: Vec<f64> = runs
         .iter()
         .filter_map(|r| r.pre_refactor_records_per_sec.map(|b| r.records_per_sec / b))
         .collect();
-    let geomean = if end_to_end_speedups.is_empty() {
-        1.0
-    } else {
-        (end_to_end_speedups.iter().map(|s| s.ln()).sum::<f64>() / end_to_end_speedups.len() as f64)
-            .exp()
-    };
+    let speedup_geomean = geomean(&end_to_end_speedups);
+    let micro_by_name =
+        |name: &str| micros.iter().find(|m| m.name == name).expect("known micro name");
+    let queued_overhead = micro_by_name("hierarchy/access_queued").ns_per_op
+        / micro_by_name("hierarchy/access_ideal").ns_per_op;
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"pv-perfbench/1\",\n");
+    json.push_str("  \"schema\": \"pv-perfbench/2\",\n");
     json.push_str("  \"scale\": \"smoke\",\n");
     json.push_str("  \"baseline_commit\": \"3b12054 (pre allocation-free refactor)\",\n");
     json.push_str(
@@ -303,31 +464,60 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str("  \"micro\": [\n");
     for (i, m) in micros.iter().enumerate() {
+        let reference = match (m.reference_ns_per_op, m.speedup()) {
+            (Some(reference), Some(speedup)) => {
+                format!(", \"reference_ns_per_op\": {reference:.1}, \"speedup\": {speedup:.3}")
+            }
+            _ => String::new(),
+        };
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ns_per_op\": {:.1}, \"reference_ns_per_op\": {:.1}, \
-             \"speedup\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.1}{}}}{}\n",
             json_escape(&m.name),
             m.ns_per_op,
-            m.reference_ns_per_op,
-            m.speedup(),
+            reference,
             if i + 1 < micros.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"summary\": {{\"end_to_end_speedup_geomean\": {:.3}, \"packing_speedup\": {:.3}, \
-         \"set_assoc_speedup\": {:.3}}}\n",
-        geomean,
-        micros[0].speedup(),
-        micros[1].speedup()
+         \"set_assoc_speedup\": {:.3}, \"hierarchy_queued_overhead\": {:.3}}}\n",
+        speedup_geomean,
+        micro_by_name("packing/round_trip").speedup().expect("has reference"),
+        micro_by_name("set_assoc/get_insert").speedup().expect("has reference"),
+        queued_overhead,
     ));
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
     eprintln!(
-        "wrote {out_path}: end-to-end geomean {:.2}x, packing {:.2}x, set-assoc {:.2}x",
-        geomean,
-        micros[0].speedup(),
-        micros[1].speedup()
+        "wrote {out_path}: end-to-end geomean {:.2}x vs pre-refactor, queued-contention \
+         hierarchy overhead {:.2}x",
+        speedup_geomean, queued_overhead,
     );
+
+    // Regression gate: compare against a committed baseline JSON.
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("failed to read baseline {path}: {e}"));
+        let baseline = parse_baseline(&text);
+        match check_against(&runs, &baseline) {
+            Some(ratio) => {
+                eprintln!(
+                    "check-against {path}: end-to-end records/sec geomean ratio {ratio:.3} \
+                     (fail threshold 0.75)"
+                );
+                // A NaN ratio (corrupt baseline) must fail the gate,
+                // not slip through a `<` comparison.
+                if ratio.is_nan() || ratio < 0.75 {
+                    eprintln!("FAIL: end-to-end throughput regressed more than 25% vs {path}");
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!("FAIL: no matching end_to_end rows found in {path}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

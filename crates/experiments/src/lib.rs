@@ -20,6 +20,7 @@
 
 pub mod ablation;
 pub mod backends;
+pub mod bandwidth;
 pub mod fig10;
 pub mod fig11;
 pub mod fig4;
@@ -28,6 +29,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod mixes;
 pub mod report;
 pub mod runner;
 pub mod sec46;
@@ -36,7 +38,7 @@ pub mod table2;
 pub mod table3;
 
 pub use report::Table;
-pub use runner::{HierarchyVariant, RunSpec, Runner, Scale};
+pub use runner::{HierarchyVariant, MixSpec, RunSpec, Runner, Scale};
 
 /// Identifier of one reproducible experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,6 +71,10 @@ pub enum Experiment {
     Ablation,
     /// Backend generality: SMS and Markov on the same substrate.
     Backends,
+    /// Bandwidth sensitivity under queued DRAM contention.
+    Bandwidth,
+    /// Heterogeneous multi-programmed workload mixes.
+    Mixes,
 }
 
 impl Experiment {
@@ -77,7 +83,7 @@ impl Experiment {
         use Experiment::*;
         vec![
             Table1, Table2, Table3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Sec46,
-            Ablation, Backends,
+            Ablation, Backends, Bandwidth, Mixes,
         ]
     }
 
@@ -98,6 +104,8 @@ impl Experiment {
             Experiment::Sec46 => "sec46",
             Experiment::Ablation => "ablation",
             Experiment::Backends => "backends",
+            Experiment::Bandwidth => "bandwidth",
+            Experiment::Mixes => "mixes",
         }
     }
 
@@ -123,6 +131,8 @@ impl Experiment {
             Experiment::Sec46 => sec46::report(),
             Experiment::Ablation => ablation::report(runner),
             Experiment::Backends => backends::report(runner),
+            Experiment::Bandwidth => bandwidth::report(runner),
+            Experiment::Mixes => mixes::report(runner),
         }
     }
 }

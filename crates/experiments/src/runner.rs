@@ -1,8 +1,8 @@
 //! Shared simulation runner with caching and parallel execution.
 
 use parking_lot::Mutex;
-use pv_mem::HierarchyConfig;
-use pv_sim::{run_workload, PrefetcherKind, RunMetrics, SimConfig};
+use pv_mem::{ContentionModel, HierarchyConfig};
+use pv_sim::{run_workload, run_workload_mix, PrefetcherKind, RunMetrics, SimConfig};
 use pv_workloads::WorkloadId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -13,7 +13,8 @@ use std::sync::Arc;
 pub enum Scale {
     /// Short warm-up/measure windows: minutes for the whole reproduction.
     Quick,
-    /// The full windows used for the numbers recorded in EXPERIMENTS.md.
+    /// The full windows used for the numbers recorded in `EXPERIMENTS.md`
+    /// (see that file at the repository root for how each scale is used).
     Paper,
     /// Very short windows for unit/integration tests and Criterion benches.
     Smoke,
@@ -40,7 +41,8 @@ impl Scale {
         }
     }
 
-    fn base_config(self, prefetcher: PrefetcherKind) -> SimConfig {
+    /// The simulation configuration this scale runs (baseline hierarchy).
+    pub fn config(self, prefetcher: PrefetcherKind) -> SimConfig {
         match self {
             Scale::Quick => SimConfig::quick(prefetcher),
             Scale::Paper => SimConfig::paper(prefetcher),
@@ -63,6 +65,13 @@ pub enum HierarchyVariant {
     L2Size(u64),
     /// The slower 8/16-cycle L2 of Figure 11.
     SlowL2,
+    /// The baseline under `ContentionModel::Queued` with the given DRAM
+    /// data-bus transfer cost in cycles per 64-byte block (the bandwidth
+    /// sweep knob; larger is slower).
+    QueuedDram {
+        /// Cycles one block occupies a channel's data bus.
+        cycles_per_transfer: u64,
+    },
 }
 
 impl HierarchyVariant {
@@ -73,6 +82,11 @@ impl HierarchyVariant {
             HierarchyVariant::Base => base,
             HierarchyVariant::L2Size(bytes) => base.with_l2_size(bytes),
             HierarchyVariant::SlowL2 => base.with_slow_l2(),
+            HierarchyVariant::QueuedDram {
+                cycles_per_transfer,
+            } => base
+                .with_contention(ContentionModel::Queued)
+                .with_dram_cycles_per_transfer(cycles_per_transfer),
         }
     }
 
@@ -82,8 +96,22 @@ impl HierarchyVariant {
             HierarchyVariant::Base => "base".to_owned(),
             HierarchyVariant::L2Size(bytes) => format!("l2-{}MB", bytes / (1024 * 1024)),
             HierarchyVariant::SlowL2 => "l2-slow".to_owned(),
+            HierarchyVariant::QueuedDram {
+                cycles_per_transfer,
+            } => {
+                format!("queued-cpt{cycles_per_transfer}")
+            }
         }
     }
+}
+
+/// Which workload(s) the cores run: the same workload on every core (the
+/// paper's methodology) or a heterogeneous four-way mix (core `i` runs the
+/// `i`-th entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum WorkloadSel {
+    Homogeneous(WorkloadId),
+    PerCore([WorkloadId; 4]),
 }
 
 /// Cache key of one simulation: the full configuration, hashed structurally.
@@ -93,7 +121,7 @@ impl HierarchyVariant {
 /// distinct configurations aliasing because their labels collide.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct RunKey {
-    workload: WorkloadId,
+    workload: WorkloadSel,
     prefetcher: PrefetcherKind,
     hierarchy: HierarchyVariant,
 }
@@ -121,7 +149,43 @@ impl RunSpec {
 
     fn key(&self) -> RunKey {
         RunKey {
-            workload: self.workload,
+            workload: WorkloadSel::Homogeneous(self.workload),
+            prefetcher: self.prefetcher.clone(),
+            hierarchy: self.hierarchy,
+        }
+    }
+}
+
+/// One heterogeneous multi-programmed simulation to run: core `i` runs
+/// `workloads[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixSpec {
+    /// Per-core workloads.
+    pub workloads: [WorkloadId; 4],
+    /// Which prefetcher each core uses.
+    pub prefetcher: PrefetcherKind,
+    /// Which memory hierarchy variant is simulated.
+    pub hierarchy: HierarchyVariant,
+}
+
+impl MixSpec {
+    /// A mixed run on the baseline hierarchy.
+    pub fn base(workloads: [WorkloadId; 4], prefetcher: PrefetcherKind) -> Self {
+        MixSpec {
+            workloads,
+            prefetcher,
+            hierarchy: HierarchyVariant::Base,
+        }
+    }
+
+    /// Display label of the mix (e.g. `"Apache+DB2+Qry1+Qry17"`).
+    pub fn label(&self) -> String {
+        self.workloads.iter().map(|w| w.name()).collect::<Vec<_>>().join("+")
+    }
+
+    fn key(&self) -> RunKey {
+        RunKey {
+            workload: WorkloadSel::PerCore(self.workloads),
             prefetcher: self.prefetcher.clone(),
             hierarchy: self.hierarchy,
         }
@@ -166,37 +230,48 @@ impl Runner {
         self.runs_executed.load(Ordering::Relaxed)
     }
 
-    fn execute(&self, spec: &RunSpec) -> Arc<RunMetrics> {
-        let config = self
-            .scale
-            .base_config(spec.prefetcher.clone())
-            .with_hierarchy(spec.hierarchy.build(4));
-        let metrics = run_workload(&config, &spec.workload.params());
+    fn execute(&self, key: &RunKey) -> Arc<RunMetrics> {
+        let config =
+            self.scale.config(key.prefetcher.clone()).with_hierarchy(key.hierarchy.build(4));
+        let metrics = match key.workload {
+            WorkloadSel::Homogeneous(workload) => run_workload(&config, &workload.params()),
+            WorkloadSel::PerCore(workloads) => {
+                let params: Vec<_> = workloads.iter().map(|w| w.params()).collect();
+                run_workload_mix(&config, &params)
+            }
+        };
         self.runs_executed.fetch_add(1, Ordering::Relaxed);
         Arc::new(metrics)
+    }
+
+    fn metrics_for_key(&self, key: RunKey) -> Arc<RunMetrics> {
+        if let Some(found) = self.cache.lock().get(&key) {
+            return Arc::clone(found);
+        }
+        let metrics = self.execute(&key);
+        self.cache.lock().insert(key, Arc::clone(&metrics));
+        metrics
     }
 
     /// Returns the metrics for `spec`, running the simulation if it has not
     /// been run yet.
     pub fn metrics(&self, spec: &RunSpec) -> Arc<RunMetrics> {
-        let key = spec.key();
-        if let Some(found) = self.cache.lock().get(&key) {
-            return Arc::clone(found);
-        }
-        let metrics = self.execute(spec);
-        self.cache.lock().insert(key, Arc::clone(&metrics));
-        metrics
+        self.metrics_for_key(spec.key())
     }
 
-    /// Runs every spec in `specs` that is not cached yet, in parallel.
-    pub fn prefetch(&self, specs: &[RunSpec]) {
-        let pending: Vec<RunSpec> = {
+    /// Returns the metrics for a heterogeneous mix, running the simulation
+    /// if it has not been run yet (mixes share the same cache as
+    /// homogeneous runs).
+    pub fn metrics_mixed(&self, spec: &MixSpec) -> Arc<RunMetrics> {
+        self.metrics_for_key(spec.key())
+    }
+
+    fn prefetch_keys(&self, keys: Vec<RunKey>) {
+        let pending: Vec<RunKey> = {
             let cache = self.cache.lock();
             let mut seen = std::collections::HashSet::new();
-            specs
-                .iter()
-                .filter(|spec| !cache.contains_key(&spec.key()) && seen.insert(spec.key()))
-                .cloned()
+            keys.into_iter()
+                .filter(|key| !cache.contains_key(key) && seen.insert(key.clone()))
                 .collect()
         };
         if pending.is_empty() {
@@ -208,19 +283,29 @@ impl Runner {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = pending.get(index) else {
+                    let Some(key) = pending.get(index) else {
                         break;
                     };
-                    // Re-check under the lock in case another worker (or a
-                    // duplicate entry in `pending`) beat us to it.
-                    if self.cache.lock().contains_key(&spec.key()) {
+                    // Re-check under the lock in case another worker beat us
+                    // to it.
+                    if self.cache.lock().contains_key(key) {
                         continue;
                     }
-                    let metrics = self.execute(spec);
-                    self.cache.lock().insert(spec.key(), metrics);
+                    let metrics = self.execute(key);
+                    self.cache.lock().insert(key.clone(), metrics);
                 });
             }
         });
+    }
+
+    /// Runs every spec in `specs` that is not cached yet, in parallel.
+    pub fn prefetch(&self, specs: &[RunSpec]) {
+        self.prefetch_keys(specs.iter().map(RunSpec::key).collect());
+    }
+
+    /// Runs every mixed spec in `specs` that is not cached yet, in parallel.
+    pub fn prefetch_mixed(&self, specs: &[MixSpec]) {
+        self.prefetch_keys(specs.iter().map(MixSpec::key).collect());
     }
 }
 
@@ -258,8 +343,61 @@ mod tests {
             hierarchy: HierarchyVariant::SlowL2,
             ..a.clone()
         };
+        let d = RunSpec {
+            hierarchy: HierarchyVariant::QueuedDram {
+                cycles_per_transfer: 64,
+            },
+            ..a.clone()
+        };
         assert_ne!(a.key(), b.key());
         assert_ne!(a.key(), c.key());
+        assert_ne!(a.key(), d.key());
+        assert_ne!(c.key(), d.key());
+    }
+
+    #[test]
+    fn mixed_keys_do_not_alias_homogeneous_keys() {
+        let homogeneous = RunSpec::base(WorkloadId::Apache, PrefetcherKind::None);
+        let mix = MixSpec::base([WorkloadId::Apache; 4], PrefetcherKind::None);
+        // Even a mix of four identical workloads keys separately from the
+        // homogeneous run (same simulated behaviour, different spec space).
+        assert_ne!(homogeneous.key(), mix.key());
+        assert_eq!(mix.label(), "Apache+Apache+Apache+Apache");
+    }
+
+    #[test]
+    fn queued_variant_builds_contended_hierarchy() {
+        use pv_mem::ContentionModel;
+        let variant = HierarchyVariant::QueuedDram {
+            cycles_per_transfer: 64,
+        };
+        let config = variant.build(4);
+        assert_eq!(config.contention, ContentionModel::Queued);
+        assert_eq!(config.dram.cycles_per_transfer, 64);
+        assert_eq!(variant.label(), "queued-cpt64");
+        assert_eq!(
+            HierarchyVariant::Base.build(4).contention,
+            ContentionModel::Ideal
+        );
+    }
+
+    #[test]
+    fn mixed_metrics_are_cached() {
+        let runner = Runner::new(Scale::Smoke, 2);
+        let spec = MixSpec::base(
+            [
+                WorkloadId::Qry1,
+                WorkloadId::Qry1,
+                WorkloadId::Qry17,
+                WorkloadId::Qry17,
+            ],
+            PrefetcherKind::None,
+        );
+        let first = runner.metrics_mixed(&spec);
+        let second = runner.metrics_mixed(&spec);
+        assert_eq!(runner.runs_executed(), 1);
+        assert_eq!(first.elapsed_cycles, second.elapsed_cycles);
+        assert_eq!(first.workload, "Qry1+Qry1+Qry17+Qry17");
     }
 
     #[test]

@@ -290,6 +290,8 @@ mod tests {
             data_latency: 2,
             replacement: ReplacementKind::Lru,
             mshr_entries: 4,
+            banks: 1,
+            port_occupancy: 1,
         };
         Cache::new("test", config)
     }

@@ -8,6 +8,27 @@
 use crate::address::{Address, BLOCK_BYTES};
 use crate::replacement::ReplacementKind;
 
+/// How shared memory-system resources are timed.
+///
+/// * `Ideal` reproduces the pre-contention semantics: every access observes
+///   the configured latencies regardless of load. L2 ports, MSHR capacity
+///   and DRAM bandwidth are all free; an `Ideal` run is bit-identical to the
+///   fixed-latency model the original figure/table reproductions were
+///   recorded with.
+/// * `Queued` makes predictor and application traffic actually compete:
+///   L2 tag-pipeline banks have a per-bank occupancy, a full MSHR file
+///   stalls the requester until an entry drains (instead of being a free
+///   counter), and DRAM is a channel/bank model with finite request queues
+///   and a per-block data-bus transfer cost, so latency grows under load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ContentionModel {
+    /// Fixed latencies; shared resources are uncontended.
+    #[default]
+    Ideal,
+    /// Shared-resource model with port/queue occupancy and backpressure.
+    Queued,
+}
+
 /// Geometry and timing of a single cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -25,6 +46,14 @@ pub struct CacheConfig {
     pub replacement: ReplacementKind,
     /// Number of outstanding-miss registers.
     pub mshr_entries: usize,
+    /// Number of independently-ported tag-pipeline banks. Only the shared L2
+    /// is contended (and only under [`ContentionModel::Queued`]); requests to
+    /// the same bank serialize behind each other.
+    pub banks: usize,
+    /// Cycles one request occupies its bank's tag pipeline before the next
+    /// request to that bank may start (ignored under
+    /// [`ContentionModel::Ideal`]).
+    pub port_occupancy: u64,
 }
 
 impl CacheConfig {
@@ -55,6 +84,8 @@ impl CacheConfig {
             data_latency: 2,
             replacement: ReplacementKind::Lru,
             mshr_entries: 16,
+            banks: 1,
+            port_occupancy: 1,
         }
     }
 
@@ -69,6 +100,8 @@ impl CacheConfig {
             data_latency: 12,
             replacement: ReplacementKind::Lru,
             mshr_entries: 64,
+            banks: 8,
+            port_occupancy: 2,
         }
     }
 
@@ -91,22 +124,58 @@ impl CacheConfig {
 }
 
 /// Main-memory timing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Under [`ContentionModel::Ideal`] only `latency` matters; the channel,
+/// bank, queue and bandwidth parameters describe the shared-resource model
+/// used under [`ContentionModel::Queued`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramConfig {
-    /// Access latency in cycles (400 in Table 1).
+    /// Unloaded access latency in cycles (400 in Table 1).
     pub latency: u64,
     /// Modelled capacity in bytes (3 GB in Table 1); only used for
     /// PV-region reservation checks.
     pub capacity_bytes: u64,
+    /// Number of independent memory channels.
+    pub channels: usize,
+    /// Banks per channel; a bank is busy for [`Self::bank_occupancy`] cycles
+    /// per request it services.
+    pub banks_per_channel: usize,
+    /// Cycles a bank stays busy servicing one request (row activate +
+    /// column access + precharge), limiting per-bank request throughput.
+    pub bank_occupancy: u64,
+    /// Cycles one 64-byte block occupies a channel's data bus. This is the
+    /// bandwidth knob: at a 4-byte-per-cycle bus a block costs 16 cycles;
+    /// larger values model narrower/slower memory.
+    pub cycles_per_transfer: u64,
+    /// Per-channel request-queue depth. When a channel already has this many
+    /// requests in flight, a new request waits at the L2 until a slot
+    /// drains — finite buffering, not an infinite free queue.
+    pub queue_depth: usize,
 }
 
 impl DramConfig {
-    /// Paper Table 1 main memory: 3 GB, 400 cycles.
+    /// Paper Table 1 main memory: 3 GB, 400 cycles unloaded. The contention
+    /// parameters model a two-channel memory system with eight banks per
+    /// channel, 16-deep per-channel queues and a 16-cycle block transfer
+    /// (4 bytes per cycle), roughly DDR2-class bandwidth for the paper's
+    /// 4-core CMP.
     pub fn paper() -> Self {
         DramConfig {
             latency: 400,
             capacity_bytes: 3 * 1024 * 1024 * 1024,
+            channels: 2,
+            banks_per_channel: 8,
+            bank_occupancy: 40,
+            cycles_per_transfer: 16,
+            queue_depth: 16,
         }
+    }
+
+    /// The same memory with a different data-bus transfer cost (bandwidth
+    /// sweep knob; larger is slower).
+    pub fn with_cycles_per_transfer(mut self, cycles: u64) -> Self {
+        self.cycles_per_transfer = cycles;
+        self
     }
 }
 
@@ -183,6 +252,8 @@ pub struct HierarchyConfig {
     /// Whether each core runs the next-line instruction prefetcher of the
     /// baseline configuration.
     pub next_line_iprefetch: bool,
+    /// How shared resources (L2 ports, MSHRs, DRAM queues) are timed.
+    pub contention: ContentionModel,
 }
 
 impl HierarchyConfig {
@@ -196,6 +267,7 @@ impl HierarchyConfig {
             dram: DramConfig::paper(),
             pv_regions: PvRegionConfig::paper_default(cores),
             next_line_iprefetch: true,
+            contention: ContentionModel::Ideal,
         }
     }
 
@@ -208,6 +280,19 @@ impl HierarchyConfig {
     /// Baseline with the slower L2 of Figure 11.
     pub fn with_slow_l2(mut self) -> Self {
         self.l2 = CacheConfig::l2_slow();
+        self
+    }
+
+    /// Baseline with a different contention model.
+    pub fn with_contention(mut self, contention: ContentionModel) -> Self {
+        self.contention = contention;
+        self
+    }
+
+    /// Baseline with a different DRAM data-bus transfer cost (bandwidth
+    /// sweep knob).
+    pub fn with_dram_cycles_per_transfer(mut self, cycles: u64) -> Self {
+        self.dram = self.dram.with_cycles_per_transfer(cycles);
         self
     }
 }
@@ -246,6 +331,36 @@ mod tests {
     #[test]
     fn dram_matches_table1() {
         assert_eq!(DramConfig::paper().latency, 400);
+    }
+
+    #[test]
+    fn contention_defaults_to_ideal() {
+        assert_eq!(ContentionModel::default(), ContentionModel::Ideal);
+        let base = HierarchyConfig::paper_baseline(4);
+        assert_eq!(base.contention, ContentionModel::Ideal);
+        let queued = base.with_contention(ContentionModel::Queued);
+        assert_eq!(queued.contention, ContentionModel::Queued);
+        // The contention switch must not disturb the rest of the baseline.
+        assert_eq!(queued.l2, base.l2);
+        assert_eq!(queued.dram, base.dram);
+    }
+
+    #[test]
+    fn dram_bandwidth_knob_only_moves_transfer_cost() {
+        let base = DramConfig::paper();
+        let slow = base.with_cycles_per_transfer(128);
+        assert_eq!(slow.cycles_per_transfer, 128);
+        assert_eq!(slow.latency, base.latency);
+        assert_eq!(slow.queue_depth, base.queue_depth);
+        let hier = HierarchyConfig::paper_baseline(4).with_dram_cycles_per_transfer(64);
+        assert_eq!(hier.dram.cycles_per_transfer, 64);
+    }
+
+    #[test]
+    fn l2_is_banked_and_l1_is_not() {
+        assert_eq!(CacheConfig::l2_paper().banks, 8);
+        assert!(CacheConfig::l2_paper().port_occupancy >= 1);
+        assert_eq!(CacheConfig::l1_paper().banks, 1);
     }
 
     #[test]

@@ -6,10 +6,20 @@
 //! so it owns the traffic accounting the paper's evaluation reports:
 //! L2 requests, L2 misses, L2 write-backs and off-chip traffic, each split
 //! into application and predictor data.
+//!
+//! Under [`ContentionModel::Queued`] the shared resources are also *timed*:
+//! L2 tag-pipeline banks have a per-bank occupancy (requests to the same
+//! bank serialize), a full MSHR file stalls the requester until an entry
+//! drains instead of being a free counter, and the DRAM model queues
+//! requests behind finite channel buffers, banks and the data bus. Every
+//! wait is reported in the response's `queue_delay` and accumulated into
+//! per-class delay statistics, so predictor traffic visibly competes with
+//! demand traffic. Under [`ContentionModel::Ideal`] all of this is off and
+//! the hierarchy reproduces the original fixed-latency timing bit for bit.
 
 use crate::address::{Address, BlockAddr};
 use crate::cache::{AccessKind, AccessOutcome, Cache, FillOrigin, HitLevel};
-use crate::config::HierarchyConfig;
+use crate::config::{ContentionModel, HierarchyConfig};
 use crate::memory::MainMemory;
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::prefetch::NextLinePrefetcher;
@@ -101,6 +111,10 @@ pub struct AccessResponse {
     pub first_use_of_prefetch: bool,
     /// The access hit a prefetched line whose fill was still in flight.
     pub late_prefetch: bool,
+    /// Cycles of `latency` spent waiting for contended shared resources
+    /// (L2 ports, MSHR slots, DRAM queues). Always zero under
+    /// [`ContentionModel::Ideal`].
+    pub queue_delay: u64,
 }
 
 /// Result of a prefetch request into an L1 data cache.
@@ -114,6 +128,14 @@ pub struct PrefetchResponse {
     pub l1_evictions: Vec<BlockAddr>,
 }
 
+/// Result of one shared-L2 path traversal (internal).
+#[derive(Debug, Clone, Copy)]
+struct L2Path {
+    latency: u64,
+    level: HitLevel,
+    queue_delay: u64,
+}
+
 /// The simulated memory system.
 #[derive(Debug)]
 pub struct MemoryHierarchy {
@@ -124,6 +146,8 @@ pub struct MemoryHierarchy {
     l1i_mshr: Vec<MshrFile>,
     l2: Cache,
     l2_mshr: MshrFile,
+    /// Cycle each L2 tag-pipeline bank becomes free (Queued mode only).
+    l2_ports: Vec<u64>,
     dram: MainMemory,
     iprefetch: Vec<NextLinePrefetcher>,
     stats: HierarchyStats,
@@ -139,7 +163,8 @@ impl MemoryHierarchy {
         let l1i_mshr = (0..cores).map(|_| MshrFile::new(config.l1i.mshr_entries)).collect();
         let l2 = Cache::new("L2", config.l2);
         let l2_mshr = MshrFile::new(config.l2.mshr_entries);
-        let dram = MainMemory::new(config.dram, config.pv_regions);
+        let l2_ports = vec![0; config.l2.banks.max(1)];
+        let dram = MainMemory::new(config.dram, config.pv_regions, config.contention);
         MemoryHierarchy {
             config,
             l1d,
@@ -148,6 +173,7 @@ impl MemoryHierarchy {
             l1i_mshr,
             l2,
             l2_mshr,
+            l2_ports,
             dram,
             iprefetch: (0..cores).map(|_| NextLinePrefetcher::new()).collect(),
             stats: HierarchyStats::new(cores),
@@ -219,13 +245,14 @@ impl MemoryHierarchy {
                 self.l1_path(requester.core, block, kind, class, now, true)
             }
             RequesterKind::PvProxy | RequesterKind::DataPrefetch => {
-                let (latency, level) = self.l2_path(block, kind, class, now);
+                let below = self.l2_path(block, kind, class, now);
                 AccessResponse {
-                    latency,
-                    level,
+                    latency: below.latency,
+                    level: below.level,
                     l1_evictions: Vec::new(),
                     first_use_of_prefetch: false,
                     late_prefetch: false,
+                    queue_delay: below.queue_delay,
                 }
             }
         }
@@ -253,6 +280,7 @@ impl MemoryHierarchy {
                 l1_evictions: Vec::new(),
                 first_use_of_prefetch: outcome.first_use_of_prefetch,
                 late_prefetch: outcome.late_prefetch,
+                queue_delay: 0,
             };
         }
         self.miss_path(core, block, kind, class, now, instruction, outcome)
@@ -281,27 +309,47 @@ impl MemoryHierarchy {
             mshr.retire(now);
             mshr.lookup(block).map(|entry| entry.ready_at)
         };
-        let (below_latency, level) = if let Some(ready) = outstanding_ready {
+        let (below_latency, level, queue_delay) = if let Some(ready) = outstanding_ready {
             let mshr = if instruction {
                 &mut self.l1i_mshr[core]
             } else {
                 &mut self.l1d_mshr[core]
             };
             let _ = mshr.register(block, now, ready);
-            (ready.saturating_sub(below_start), HitLevel::L2)
+            (ready.saturating_sub(below_start), HitLevel::L2, 0)
         } else {
-            let (lat, level) = self.l2_path(block, AccessKind::Read, class, below_start);
-            let ready = below_start + lat;
+            // Under queued contention a full L1 MSHR file exerts real
+            // backpressure: the miss waits (it is never dropped) until the
+            // earliest outstanding fill drains a slot, then issues below.
+            let mshr_stall = if self.config.contention == ContentionModel::Queued {
+                let mshr = if instruction {
+                    &mut self.l1i_mshr[core]
+                } else {
+                    &mut self.l1d_mshr[core]
+                };
+                mshr.wait_for_slot(below_start)
+            } else {
+                0
+            };
+            let issue_at = below_start + mshr_stall;
+            self.stats.mshr_stall_delay.record(class.is_predictor(), mshr_stall);
+            let below = self.l2_path(block, AccessKind::Read, class, issue_at);
+            let ready = issue_at + below.latency;
             let mshr = if instruction {
                 &mut self.l1i_mshr[core]
             } else {
                 &mut self.l1d_mshr[core]
             };
             if let MshrOutcome::Full = mshr.register(block, now, ready) {
-                // Structural stall: with the paper's 16-entry MSHRs this is
-                // rare; the access simply pays the computed latency.
+                // Ideal mode only: the structural stall is not timed; with
+                // the paper's 16-entry MSHRs this is rare and the access
+                // simply pays the computed latency.
             }
-            (lat, level)
+            (
+                mshr_stall + below.latency,
+                below.level,
+                mshr_stall + below.queue_delay,
+            )
         };
         let total_latency = outcome.latency + below_latency;
         let ready_at = now + total_latency;
@@ -332,50 +380,85 @@ impl MemoryHierarchy {
             l1_evictions: evictions,
             first_use_of_prefetch: false,
             late_prefetch: false,
+            queue_delay,
         }
     }
 
     /// Shared-L2 access path (used by L1 misses, prefetches and the PVProxy).
-    /// Returns `(latency, serviced_level)`.
     fn l2_path(
         &mut self,
         block: BlockAddr,
         kind: AccessKind,
         class: DataClass,
         now: u64,
-    ) -> (u64, HitLevel) {
+    ) -> L2Path {
         let predictor = class.is_predictor() || self.classify(block).is_predictor();
         self.stats.l2_requests.record(predictor);
-        let outcome = self.l2.access(block, kind, now);
+        let queued = self.config.contention == ContentionModel::Queued;
+        let mut queue_delay = 0u64;
+        // L2 tag-pipeline port: requests to the same bank serialize behind
+        // earlier ones (Queued mode only).
+        let start = if queued {
+            let bank = (block.raw() % self.l2_ports.len() as u64) as usize;
+            let port_free = self.l2_ports[bank].max(now);
+            self.l2_ports[bank] = port_free + self.config.l2.port_occupancy;
+            let wait = port_free - now;
+            self.stats.l2_port_delay.record(predictor, wait);
+            queue_delay += wait;
+            port_free
+        } else {
+            now
+        };
+        let outcome = self.l2.access(block, kind, start);
         if outcome.hit {
-            return (self.config.l2.tag_latency + outcome.latency, HitLevel::L2);
+            return L2Path {
+                latency: (start - now) + self.config.l2.tag_latency + outcome.latency,
+                level: HitLevel::L2,
+                queue_delay,
+            };
         }
         // L2 miss.
         self.stats.l2_misses.record(predictor);
-        self.l2_mshr.retire(now);
-        let below_start = now + outcome.latency;
+        self.l2_mshr.retire(start);
+        let below_start = start + outcome.latency;
         let dram_latency = if let Some(entry) = self.l2_mshr.lookup(block) {
             let ready = entry.ready_at;
-            self.l2_mshr.register(block, now, ready);
+            self.l2_mshr.register(block, start, ready);
             ready.saturating_sub(below_start)
         } else {
+            // Under queued contention a full L2 MSHR file delays the fill
+            // until an entry drains; the request is never dropped.
+            let mshr_stall = if queued {
+                self.l2_mshr.wait_for_slot(below_start)
+            } else {
+                0
+            };
+            self.stats.mshr_stall_delay.record(predictor, mshr_stall);
+            queue_delay += mshr_stall;
+            let issue_at = below_start + mshr_stall;
             self.stats.dram_reads += 1;
-            let lat = self.dram.read(block.base_address());
-            let _ = self.l2_mshr.register(block, now, below_start + lat);
-            lat
+            let response = self.dram.read(block.base_address(), issue_at);
+            queue_delay += response.queue_delay;
+            let ready = issue_at + response.latency;
+            let _ = self.l2_mshr.register(block, start, ready);
+            (issue_at - below_start) + response.latency
         };
         let total = outcome.latency + dram_latency;
         let dirty = kind == AccessKind::Write;
-        let evicted = self.l2.fill(block, dirty, now + total, FillOrigin::Demand);
+        let evicted = self.l2.fill(block, dirty, start + total, FillOrigin::Demand);
         if let Some(ev) = evicted {
             if ev.dirty {
                 let victim_predictor = self.classify(ev.block).is_predictor();
                 self.stats.l2_writebacks.record(victim_predictor);
                 self.stats.dram_writes += 1;
-                self.dram.write(ev.block.base_address());
+                self.dram.write(ev.block.base_address(), start + total);
             }
         }
-        (total, HitLevel::Memory)
+        L2Path {
+            latency: (start - now) + total,
+            level: HitLevel::Memory,
+            queue_delay,
+        }
     }
 
     /// A dirty line leaving an L1 (or the PVCache) is written back into the
@@ -401,7 +484,7 @@ impl MemoryHierarchy {
                 let victim_predictor = self.classify(ev.block).is_predictor();
                 self.stats.l2_writebacks.record(victim_predictor);
                 self.stats.dram_writes += 1;
-                self.dram.write(ev.block.base_address());
+                self.dram.write(ev.block.base_address(), now + self.config.l2.data_latency);
             }
         }
     }
@@ -441,8 +524,8 @@ impl MemoryHierarchy {
                 l1_evictions: Vec::new(),
             };
         }
-        let (latency, _level) = self.l2_path(block, AccessKind::Read, DataClass::Application, now);
-        let ready_at = now + latency;
+        let below = self.l2_path(block, AccessKind::Read, DataClass::Application, now);
+        let ready_at = now + below.latency;
         let _ = self.l1d_mshr[core].register(block, now, ready_at);
         self.stats.l1d_prefetches[core] += 1;
         let evicted = self.l1d[core].fill(block, false, ready_at, FillOrigin::Prefetch);
@@ -466,9 +549,9 @@ impl MemoryHierarchy {
         if self.l1i[core].contains(block) {
             return;
         }
-        let (latency, _level) = self.l2_path(block, AccessKind::Read, DataClass::Application, now);
+        let below = self.l2_path(block, AccessKind::Read, DataClass::Application, now);
         self.stats.l1i_prefetches[core] += 1;
-        let evicted = self.l1i[core].fill(block, false, now + latency, FillOrigin::Prefetch);
+        let evicted = self.l1i[core].fill(block, false, now + below.latency, FillOrigin::Prefetch);
         if let Some(ev) = evicted {
             if ev.dirty {
                 self.writeback_to_l2(ev.block, now);
@@ -482,11 +565,24 @@ impl MemoryHierarchy {
         stats.l1d = self.l1d.iter().map(|c| *c.stats()).collect();
         stats.l1i = self.l1i.iter().map(|c| *c.stats()).collect();
         stats.l2 = *self.l2.stats();
+        stats.dram_queue_delay = self.dram.queue_delay();
+        stats.dram_read_traffic = self.dram.reads();
+        stats.dram_busy_cycles = self.dram.busy_cycles();
         stats
     }
 
     /// Resets all statistics (contents are preserved), e.g. at the end of the
     /// warm-up window.
+    ///
+    /// A stats reset marks a measurement-window boundary, where requester
+    /// clocks restart from zero (`CoreModel::reset`). The queued-contention
+    /// timing state (L2 port `busy_until`s, DRAM channel queues, MSHR
+    /// files) is clocked by those requester timestamps, so it is rebased to
+    /// zero too — otherwise the new window's first accesses would wait out
+    /// absolute warm-up-era busy times as enormous phantom queue delays.
+    /// Under `Ideal` contention none of this state is consulted and the
+    /// MSHR files are left untouched, preserving the original semantics
+    /// bit for bit.
     pub fn reset_stats(&mut self) {
         for c in &mut self.l1d {
             c.reset_stats();
@@ -496,6 +592,16 @@ impl MemoryHierarchy {
         }
         self.l2.reset_stats();
         self.dram.reset_stats();
+        if self.config.contention == ContentionModel::Queued {
+            for port in &mut self.l2_ports {
+                *port = 0;
+            }
+            self.dram.reset_timing();
+            for mshr in self.l1d_mshr.iter_mut().chain(self.l1i_mshr.iter_mut()) {
+                mshr.clear();
+            }
+            self.l2_mshr.clear();
+        }
         self.stats = HierarchyStats::new(self.config.cores);
     }
 
@@ -742,6 +848,172 @@ mod tests {
             evictions_seen += r.l1_evictions.len();
         }
         assert!(evictions_seen >= 1, "overflowing an L1 set must evict");
+    }
+
+    fn queued_hierarchy(l2_mshr_entries: usize) -> MemoryHierarchy {
+        let mut config =
+            HierarchyConfig::paper_baseline(2).with_contention(ContentionModel::Queued);
+        config.l2.mshr_entries = l2_mshr_entries;
+        MemoryHierarchy::new(config)
+    }
+
+    #[test]
+    fn ideal_accesses_report_zero_queue_delay() {
+        let mut h = hierarchy();
+        for i in 0..32u64 {
+            let r = h.access(
+                Requester::data(0),
+                i * 64,
+                AccessKind::Read,
+                DataClass::Application,
+                0,
+            );
+            assert_eq!(r.queue_delay, 0);
+        }
+        let stats = h.stats();
+        assert_eq!(stats.total_queue_delay().total_cycles(), 0);
+        assert_eq!(stats.dram_busy_cycles, 0);
+    }
+
+    #[test]
+    fn queued_l2_ports_serialize_same_bank_requests() {
+        let mut h = queued_hierarchy(64);
+        let banks = h.config().l2.banks as u64;
+        // Two PVProxy reads mapping to the same L2 bank at the same cycle:
+        // the second must wait for the first's port occupancy.
+        h.access(
+            Requester::pv_proxy(0),
+            0x10_0000,
+            AccessKind::Read,
+            DataClass::Application,
+            0,
+        );
+        let r = h.access(
+            Requester::pv_proxy(0),
+            0x10_0000 + banks * 64,
+            AccessKind::Read,
+            DataClass::Application,
+            0,
+        );
+        assert!(
+            r.queue_delay >= h.config().l2.port_occupancy,
+            "same-bank request must wait for the port, got {}",
+            r.queue_delay
+        );
+        assert!(h.stats().l2_port_delay.total_cycles() > 0);
+    }
+
+    #[test]
+    fn queued_full_l2_mshr_delays_but_never_drops() {
+        let mut h = queued_hierarchy(2);
+        // Three distinct-block misses at cycle 0 against a 2-entry L2 MSHR
+        // file: the third must wait for a drain, and all three must still
+        // reach DRAM exactly once each.
+        let mut latencies = Vec::new();
+        for i in 0..3u64 {
+            let r = h.access(
+                Requester::pv_proxy(0),
+                0x40_0000 + i * 64,
+                AccessKind::Read,
+                DataClass::Application,
+                0,
+            );
+            assert_eq!(r.level, HitLevel::Memory, "request {i} must be serviced");
+            latencies.push(r.latency);
+        }
+        let stats = h.stats();
+        assert_eq!(stats.dram_reads, 3, "delayed requests must not be dropped");
+        assert!(
+            stats.mshr_stall_delay.total_cycles() > 0,
+            "the third miss must have waited for an MSHR slot"
+        );
+        assert!(
+            latencies[2] > latencies[0],
+            "the stalled miss must observe a longer latency ({} vs {})",
+            latencies[2],
+            latencies[0]
+        );
+    }
+
+    #[test]
+    fn queued_mshr_merges_do_not_double_count_dram_traffic() {
+        let mut h = queued_hierarchy(64);
+        // Two cores miss on the same block while the first fill is still in
+        // flight: the second merges and no second DRAM read is issued.
+        h.access(
+            Requester::data(0),
+            0x80_0000,
+            AccessKind::Read,
+            DataClass::Application,
+            0,
+        );
+        let r = h.access(
+            Requester::data(1),
+            0x80_0000,
+            AccessKind::Read,
+            DataClass::Application,
+            5,
+        );
+        assert_eq!(r.level, HitLevel::L2, "second miss merges into the fill");
+        let stats = h.stats();
+        assert_eq!(stats.dram_reads, 1, "a merged miss must not re-read DRAM");
+        assert_eq!(stats.l2_misses.total(), 1);
+    }
+
+    #[test]
+    fn stats_reset_rebases_queued_timing_to_the_new_window() {
+        let mut h = queued_hierarchy(64);
+        // Drive the shared resources deep into the warm-up timeline.
+        for i in 0..256u64 {
+            h.access(
+                Requester::data(0),
+                0x100_0000 + i * 64,
+                AccessKind::Read,
+                DataClass::Application,
+                i * 400,
+            );
+        }
+        h.reset_stats();
+        // Measurement window: requester clocks restart at zero. A cold miss
+        // must pay a normal unloaded latency, not wait out absolute
+        // warm-up-era busy times.
+        let r = h.access(
+            Requester::data(0),
+            0x900_0000,
+            AccessKind::Read,
+            DataClass::Application,
+            0,
+        );
+        assert_eq!(r.level, HitLevel::Memory);
+        assert!(
+            r.latency < 1_000,
+            "first post-reset miss must not inherit warm-up queue state, got {}",
+            r.latency
+        );
+        assert_eq!(r.queue_delay, 0);
+    }
+
+    #[test]
+    fn queued_dram_queueing_is_observable_under_burst() {
+        let mut h = queued_hierarchy(64);
+        let mut total_delay = 0;
+        for i in 0..128u64 {
+            let r = h.access(
+                Requester::pv_proxy(0),
+                0x200_0000 + i * 64,
+                AccessKind::Read,
+                DataClass::Application,
+                0,
+            );
+            total_delay += r.queue_delay;
+        }
+        assert!(
+            total_delay > 0,
+            "a 128-block burst must queue somewhere in the shared hierarchy"
+        );
+        let stats = h.stats();
+        assert!(stats.dram_queue_delay.total_cycles() > 0);
+        assert!(stats.dram_busy_cycles > 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! Virtualization (PV) reproduction: physical addresses and cache-block
 //! arithmetic, generic set-associative arrays with pluggable replacement
 //! policies, L1/L2 cache models with write-back/write-allocate semantics,
-//! MSHR files, a fixed-latency DRAM model with reserved PV regions, and a
+//! MSHR files, a DRAM model with reserved PV regions, and a
 //! multi-core [`MemoryHierarchy`] that ties the pieces together and keeps the
 //! per-requester traffic statistics the paper's evaluation reports
 //! (L1 read misses, L2 requests, L2 misses, L2 write-backs, off-chip traffic
@@ -16,6 +16,13 @@
 //! through a per-line `ready_at` timestamp so that the timeliness of
 //! prefetches is captured (a demand access arriving before the prefetch
 //! completes pays the residual latency).
+//!
+//! Timing comes in two flavours selected by [`ContentionModel`]: `Ideal`
+//! (fixed latencies, shared resources free — the original semantics) and
+//! `Queued` (L2 tag-pipeline banks with port occupancy, MSHR files that
+//! exert backpressure when full, and a channel/bank DRAM model with finite
+//! request queues whose latency grows under load, with every wait reported
+//! as `queue_delay` and split into application vs. predictor traffic).
 //!
 //! # Example
 //!
@@ -55,11 +62,11 @@ pub mod stats;
 pub use address::{Address, BlockAddr, RegionAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
 pub use block::{CacheLine, LineState};
 pub use cache::{AccessKind, AccessOutcome, Cache, Evicted, FillOrigin, HitLevel};
-pub use config::{CacheConfig, DramConfig, HierarchyConfig, PvRegionConfig};
+pub use config::{CacheConfig, ContentionModel, DramConfig, HierarchyConfig, PvRegionConfig};
 pub use hierarchy::{
     AccessResponse, DataClass, MemoryHierarchy, PrefetchResponse, Requester, RequesterKind,
 };
-pub use memory::MainMemory;
+pub use memory::{DramResponse, MainMemory};
 pub use mshr::{MshrEntry, MshrFile, MshrOutcome};
 pub use prefetch::NextLinePrefetcher;
 pub use replacement::{
@@ -67,4 +74,4 @@ pub use replacement::{
 };
 pub use set_assoc::{Occupied, SetAssociative};
 pub use set_assoc_ref::ReferenceSetAssociative;
-pub use stats::{CacheStats, HierarchyStats, TrafficBreakdown};
+pub use stats::{CacheStats, DelayBreakdown, HierarchyStats, TrafficBreakdown};

@@ -101,6 +101,29 @@ impl MshrFile {
         self.entries.get(&block.raw())
     }
 
+    /// The completion cycle of the entry that will retire first, or `None`
+    /// when the file is empty. Under queued contention a requester that
+    /// finds the file full waits until this cycle for a slot to drain.
+    pub fn earliest_ready(&self) -> Option<u64> {
+        self.entries.values().map(|entry| entry.ready_at).min()
+    }
+
+    /// Queued-contention backpressure: when the file is full at cycle
+    /// `now`, waits until the earliest outstanding fill drains (retiring
+    /// completed entries) and returns the wait in cycles; returns 0 when a
+    /// slot is already free. The request is delayed, never dropped.
+    pub fn wait_for_slot(&mut self, now: u64) -> u64 {
+        if self.entries.len() < self.capacity {
+            return 0;
+        }
+        let Some(drain) = self.earliest_ready() else {
+            return 0;
+        };
+        let start = now.max(drain);
+        self.retire(start);
+        start - now
+    }
+
     /// Registers a miss on `block` whose fill would complete at `ready_at`.
     ///
     /// Completed entries are retired first (based on `now`), then the miss
@@ -204,5 +227,36 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         MshrFile::new(0);
+    }
+
+    #[test]
+    fn earliest_ready_reports_next_drain() {
+        let mut mshr = MshrFile::new(4);
+        assert_eq!(mshr.earliest_ready(), None);
+        mshr.register(BlockAddr::new(1), 0, 300);
+        mshr.register(BlockAddr::new(2), 0, 100);
+        mshr.register(BlockAddr::new(3), 0, 200);
+        assert_eq!(mshr.earliest_ready(), Some(100));
+        mshr.retire(150);
+        assert_eq!(mshr.earliest_ready(), Some(200));
+    }
+
+    #[test]
+    fn wait_for_slot_delays_until_a_drain_and_frees_it() {
+        let mut mshr = MshrFile::new(2);
+        mshr.register(BlockAddr::new(1), 0, 100);
+        mshr.register(BlockAddr::new(2), 0, 250);
+        // Full at cycle 10: wait until the first fill completes at 100.
+        assert_eq!(mshr.wait_for_slot(10), 90);
+        assert_eq!(mshr.occupancy(), 1, "the drained entry must be retired");
+        assert_eq!(
+            mshr.register(BlockAddr::new(3), 100, 500),
+            MshrOutcome::Allocated
+        );
+        // Not full: no wait, nothing retired.
+        let mut free = MshrFile::new(2);
+        free.register(BlockAddr::new(1), 0, 100);
+        assert_eq!(free.wait_for_slot(10), 0);
+        assert_eq!(free.occupancy(), 1);
     }
 }

@@ -94,6 +94,71 @@ impl TrafficBreakdown {
     }
 }
 
+/// Queueing-delay cycles accumulated at a shared resource, split into
+/// application and predictor traffic, together with the number of delayed
+/// requests of each class (so mean waits can be reported).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DelayBreakdown {
+    /// Total wait cycles charged to application requests.
+    pub application_cycles: u64,
+    /// Total wait cycles charged to predictor requests.
+    pub predictor_cycles: u64,
+    /// Application requests that waited at least one cycle.
+    pub application_events: u64,
+    /// Predictor requests that waited at least one cycle.
+    pub predictor_events: u64,
+}
+
+impl DelayBreakdown {
+    /// Records `cycles` of waiting for one request of the given class.
+    /// Zero-cycle waits are not counted as events.
+    pub fn record(&mut self, predictor: bool, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        if predictor {
+            self.predictor_cycles += cycles;
+            self.predictor_events += 1;
+        } else {
+            self.application_cycles += cycles;
+            self.application_events += 1;
+        }
+    }
+
+    /// Total wait cycles across both classes.
+    pub fn total_cycles(&self) -> u64 {
+        self.application_cycles + self.predictor_cycles
+    }
+
+    /// Mean wait in cycles over `requests` requests of the application
+    /// class (zero when no requests were made).
+    pub fn mean_application(&self, requests: u64) -> f64 {
+        if requests == 0 {
+            0.0
+        } else {
+            self.application_cycles as f64 / requests as f64
+        }
+    }
+
+    /// Mean wait in cycles over `requests` requests of the predictor class
+    /// (zero when no requests were made).
+    pub fn mean_predictor(&self, requests: u64) -> f64 {
+        if requests == 0 {
+            0.0
+        } else {
+            self.predictor_cycles as f64 / requests as f64
+        }
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn accumulate(&mut self, other: &DelayBreakdown) {
+        self.application_cycles += other.application_cycles;
+        self.predictor_cycles += other.predictor_cycles;
+        self.application_events += other.application_events;
+        self.predictor_events += other.predictor_events;
+    }
+}
+
 /// System-wide memory statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct HierarchyStats {
@@ -117,6 +182,25 @@ pub struct HierarchyStats {
     pub l1d_prefetches: Vec<u64>,
     /// Next-line instruction prefetches issued (per core).
     pub l1i_prefetches: Vec<u64>,
+    /// Cycles requests waited for a busy L2 tag-pipeline bank
+    /// (always zero under `ContentionModel::Ideal`).
+    pub l2_port_delay: DelayBreakdown,
+    /// Cycles requests waited for a full MSHR file to drain an entry
+    /// (always zero under `ContentionModel::Ideal`).
+    pub mshr_stall_delay: DelayBreakdown,
+    /// Cycles DRAM *reads* waited in channel queues / for banks / for the
+    /// data bus beyond the unloaded latency (always zero under
+    /// `ContentionModel::Ideal`). Write-backs shape the timing state but
+    /// are excluded — no requester waits on them.
+    pub dram_queue_delay: DelayBreakdown,
+    /// DRAM block reads split by data class (the denominator for mean
+    /// queueing-delay-per-read reporting; unlike `l2_misses` this excludes
+    /// misses that merged into an in-flight fill and issued no read).
+    pub dram_read_traffic: TrafficBreakdown,
+    /// Channel-cycles the DRAM data buses spent transferring blocks; divide
+    /// by elapsed cycles for aggregate bus utilization (may exceed 1.0 with
+    /// multiple channels).
+    pub dram_busy_cycles: u64,
 }
 
 impl HierarchyStats {
@@ -133,7 +217,21 @@ impl HierarchyStats {
             dram_writes: 0,
             l1d_prefetches: vec![0; cores],
             l1i_prefetches: vec![0; cores],
+            l2_port_delay: DelayBreakdown::default(),
+            mshr_stall_delay: DelayBreakdown::default(),
+            dram_queue_delay: DelayBreakdown::default(),
+            dram_read_traffic: TrafficBreakdown::default(),
+            dram_busy_cycles: 0,
         }
+    }
+
+    /// Total queueing-delay cycles across every contended resource (L2
+    /// ports, MSHR files, DRAM queues), split by class.
+    pub fn total_queue_delay(&self) -> DelayBreakdown {
+        let mut total = self.l2_port_delay;
+        total.accumulate(&self.mshr_stall_delay);
+        total.accumulate(&self.dram_queue_delay);
+        total
     }
 
     /// Aggregate L1 data stats over all cores.
@@ -223,6 +321,39 @@ mod tests {
         assert_eq!(t.application, 1);
         assert_eq!(t.predictor, 2);
         assert_eq!(t.total(), 3);
+    }
+
+    #[test]
+    fn delay_breakdown_records_and_averages() {
+        let mut delay = DelayBreakdown::default();
+        delay.record(false, 10);
+        delay.record(false, 0); // zero waits are not events
+        delay.record(true, 5);
+        delay.record(true, 15);
+        assert_eq!(delay.application_cycles, 10);
+        assert_eq!(delay.application_events, 1);
+        assert_eq!(delay.predictor_cycles, 20);
+        assert_eq!(delay.predictor_events, 2);
+        assert_eq!(delay.total_cycles(), 30);
+        assert!((delay.mean_application(5) - 2.0).abs() < 1e-12);
+        assert!((delay.mean_predictor(10) - 2.0).abs() < 1e-12);
+        assert_eq!(delay.mean_application(0), 0.0);
+        let mut sum = DelayBreakdown::default();
+        sum.accumulate(&delay);
+        sum.accumulate(&delay);
+        assert_eq!(sum.total_cycles(), 60);
+    }
+
+    #[test]
+    fn total_queue_delay_sums_all_resources() {
+        let mut stats = HierarchyStats::new(1);
+        stats.l2_port_delay.record(false, 3);
+        stats.mshr_stall_delay.record(true, 4);
+        stats.dram_queue_delay.record(false, 5);
+        let total = stats.total_queue_delay();
+        assert_eq!(total.application_cycles, 8);
+        assert_eq!(total.predictor_cycles, 4);
+        assert_eq!(total.total_cycles(), 12);
     }
 
     #[test]

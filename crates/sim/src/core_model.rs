@@ -73,6 +73,29 @@ impl CoreModel {
     /// Accounts for a memory operation of kind `op` that completed with
     /// `latency` cycles end-to-end.
     pub fn retire_memory(&mut self, op: MemOp, latency: u64) {
+        self.retire_memory_contended(op, latency, 0);
+    }
+
+    /// Accounts for a memory operation whose `latency` includes
+    /// `queue_delay` cycles of waiting for contended shared resources
+    /// (L2 ports, MSHR slots, DRAM queues).
+    ///
+    /// Out-of-order execution overlaps *pipelined* latency with independent
+    /// work, so the non-queued part is exposed at the configured fraction as
+    /// before — but backpressure is different: while a request sits in a
+    /// queue it occupies the machine's limited buffering (LSQ/MSHR slots),
+    /// so queueing cycles stall retirement in full. With `queue_delay == 0`
+    /// (always true under `ContentionModel::Ideal`) this is bit-identical to
+    /// [`Self::retire_memory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_delay` exceeds `latency`.
+    pub fn retire_memory_contended(&mut self, op: MemOp, latency: u64, queue_delay: u64) {
+        assert!(
+            queue_delay <= latency,
+            "queue delay {queue_delay} cannot exceed total latency {latency}"
+        );
         let exposure = match op {
             MemOp::Load => self.config.load_exposure,
             MemOp::Store => self.config.store_exposure,
@@ -82,7 +105,9 @@ impl CoreModel {
             self.instructions += 1;
             self.cycles += 1.0 / self.config.retire_width;
         }
-        let exposed = latency.saturating_sub(self.l1_hit_latency) as f64 * exposure;
+        let overlapped = latency - queue_delay;
+        let exposed =
+            overlapped.saturating_sub(self.l1_hit_latency) as f64 * exposure + queue_delay as f64;
         self.cycles += exposed;
         self.stall_cycles += exposed;
     }
@@ -154,6 +179,37 @@ mod tests {
         core.retire_memory(MemOp::InstructionFetch, 20);
         assert_eq!(core.instructions(), 0);
         assert!(core.stall_cycles() > 0.0);
+    }
+
+    #[test]
+    fn queue_delay_is_fully_exposed() {
+        let mut uncontended = core();
+        let mut contended = core();
+        uncontended.retire_memory_contended(MemOp::Load, 402, 0);
+        contended.retire_memory_contended(MemOp::Load, 502, 100);
+        // Same overlapped latency, plus 100 fully-stalling queue cycles.
+        assert!(
+            (contended.stall_cycles() - (uncontended.stall_cycles() + 100.0)).abs() < 1e-9,
+            "queueing must stall retirement in full"
+        );
+    }
+
+    #[test]
+    fn zero_queue_delay_matches_plain_retire() {
+        let mut plain = core();
+        let mut contended = core();
+        for latency in [2u64, 20, 402] {
+            plain.retire_memory(MemOp::Load, latency);
+            contended.retire_memory_contended(MemOp::Load, latency, 0);
+        }
+        assert_eq!(plain.now(), contended.now());
+        assert_eq!(plain.stall_cycles(), contended.stall_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn queue_delay_larger_than_latency_panics() {
+        core().retire_memory_contended(MemOp::Load, 10, 11);
     }
 
     #[test]

@@ -43,4 +43,4 @@ pub mod system;
 pub use config::{CoreConfig, PrefetcherKind, SimConfig};
 pub use core_model::CoreModel;
 pub use metrics::{mean_and_ci95, CoverageMetrics, RunMetrics};
-pub use system::{run_workload, System};
+pub use system::{run_workload, run_workload_mix, System};

@@ -122,6 +122,65 @@ impl RunMetrics {
             self.hierarchy.l2_requests.total() as f64 / base as f64 - 1.0
         }
     }
+
+    /// Mean DRAM queueing delay per application-class DRAM read, in cycles
+    /// (zero under `ContentionModel::Ideal` or when no reads were made).
+    /// The denominator is actual DRAM reads of the class — L2 misses that
+    /// merged into an in-flight fill issued no read and are excluded.
+    pub fn dram_queue_delay_application(&self) -> f64 {
+        let reads = self.hierarchy.dram_read_traffic.application;
+        self.hierarchy.dram_queue_delay.mean_application(reads)
+    }
+
+    /// Mean DRAM queueing delay per predictor-class DRAM read, in cycles.
+    pub fn dram_queue_delay_predictor(&self) -> f64 {
+        let reads = self.hierarchy.dram_read_traffic.predictor;
+        self.hierarchy.dram_queue_delay.mean_predictor(reads)
+    }
+
+    /// Aggregate DRAM data-bus utilization: channel-cycles spent
+    /// transferring blocks divided by elapsed cycles. May exceed 1.0 when
+    /// multiple channels are busy simultaneously; zero in `Ideal` runs.
+    pub fn dram_utilization(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.hierarchy.dram_busy_cycles as f64 / self.elapsed_cycles as f64
+        }
+    }
+
+    /// Total queueing-delay cycles (L2 ports + MSHR stalls + DRAM queues)
+    /// per class, as a [`pv_mem::DelayBreakdown`].
+    pub fn queue_delay(&self) -> pv_mem::DelayBreakdown {
+        self.hierarchy.total_queue_delay()
+    }
+
+    /// A stable one-line digest of the simulated outcome (cycles, misses,
+    /// traffic, coverage). Two runs of the same configuration must produce
+    /// identical digests regardless of host, thread count or wall-clock;
+    /// perf-only PRs must leave digests unchanged. Queueing-delay fields are
+    /// deliberately *excluded* so that `Ideal`-mode digests stay comparable
+    /// across the introduction of the contention model; under `Queued`
+    /// contention the delays are part of `cycles` anyway.
+    pub fn digest(&self) -> String {
+        format!(
+            "cycles={}|instr={}|l2req={}+{}|l2miss={}+{}|l2wb={}+{}|dram={}r{}w|cov={}c{}u{}o|pf={}",
+            self.elapsed_cycles,
+            self.total_instructions,
+            self.hierarchy.l2_requests.application,
+            self.hierarchy.l2_requests.predictor,
+            self.hierarchy.l2_misses.application,
+            self.hierarchy.l2_misses.predictor,
+            self.hierarchy.l2_writebacks.application,
+            self.hierarchy.l2_writebacks.predictor,
+            self.hierarchy.dram_reads,
+            self.hierarchy.dram_writes,
+            self.coverage.covered,
+            self.coverage.uncovered,
+            self.coverage.overpredictions,
+            self.prefetches_issued,
+        )
+    }
 }
 
 /// Mean and half-width of a 95% confidence interval for a set of samples
@@ -200,6 +259,31 @@ mod tests {
         pv.hierarchy.l2_misses.predictor = 1;
         assert!((pv.l2_request_increase_over(&baseline) - 0.3).abs() < 1e-12);
         assert!((pv.offchip_increase_over(&baseline) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let a = metrics(1_000, 2_000);
+        let b = metrics(1_000, 2_000);
+        assert_eq!(a.digest(), b.digest());
+        let mut c = metrics(1_000, 2_000);
+        c.hierarchy.l2_misses.predictor = 7;
+        assert_ne!(a.digest(), c.digest());
+        assert!(a.digest().starts_with("cycles=2000|instr=1000|"));
+    }
+
+    #[test]
+    fn contention_helpers_average_over_class_reads() {
+        let mut m = metrics(100, 1_000);
+        m.hierarchy.dram_read_traffic.application = 10;
+        m.hierarchy.dram_read_traffic.predictor = 5;
+        m.hierarchy.dram_queue_delay.record(false, 200);
+        m.hierarchy.dram_queue_delay.record(true, 50);
+        m.hierarchy.dram_busy_cycles = 400;
+        assert!((m.dram_queue_delay_application() - 20.0).abs() < 1e-12);
+        assert!((m.dram_queue_delay_predictor() - 10.0).abs() < 1e-12);
+        assert!((m.dram_utilization() - 0.4).abs() < 1e-12);
+        assert_eq!(m.queue_delay().total_cycles(), 250);
     }
 
     #[test]

@@ -44,15 +44,38 @@ impl System {
     ///
     /// Panics if `config` or `workload` fail validation.
     pub fn new(config: SimConfig, workload: &WorkloadParams) -> Self {
+        let per_core: Vec<WorkloadParams> = (0..config.cores).map(|_| workload.clone()).collect();
+        Self::new_mixed(config, &per_core)
+    }
+
+    /// Builds a heterogeneous multi-programmed system: core `i` runs
+    /// `workloads[i]`. All cores share the L2 and memory, so dissimilar
+    /// workloads compete for the same capacity and (under queued contention)
+    /// the same bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation, if `workloads.len()` does not
+    /// match the core count, or if any workload fails validation.
+    pub fn new_mixed(config: SimConfig, workloads: &[WorkloadParams]) -> Self {
         config.assert_valid();
-        workload.validate().expect("workload parameters must be valid");
+        assert_eq!(
+            workloads.len(),
+            config.cores,
+            "need exactly one workload per core ({} workloads, {} cores)",
+            workloads.len(),
+            config.cores
+        );
+        for workload in workloads {
+            workload.validate().expect("workload parameters must be valid");
+        }
         let hierarchy = MemoryHierarchy::new(config.hierarchy);
         let cores = (0..config.cores)
             .map(|core| {
                 let engine = Self::build_prefetcher(&config, core);
                 CoreState {
                     id: core,
-                    generator: TraceGenerator::new(workload, config.seed, core),
+                    generator: TraceGenerator::new(&workloads[core], config.seed, core),
                     model: CoreModel::new(config.core, config.hierarchy.l1d.data_latency),
                     engine,
                     covered: 0,
@@ -61,8 +84,13 @@ impl System {
                 }
             })
             .collect();
+        let workload_name = if workloads.windows(2).all(|pair| pair[0].name == pair[1].name) {
+            workloads[0].name.clone()
+        } else {
+            workloads.iter().map(|w| w.name.as_str()).collect::<Vec<_>>().join("+")
+        };
         System {
-            workload_name: workload.name.clone(),
+            workload_name,
             config,
             hierarchy,
             cores,
@@ -168,7 +196,8 @@ impl System {
             DataClass::Application,
             now,
         );
-        core.model.retire_memory(record.op, response.latency);
+        core.model
+            .retire_memory_contended(record.op, response.latency, response.queue_delay);
     }
 
     fn step_data(&mut self, idx: usize, record: &TraceRecord) {
@@ -185,7 +214,11 @@ impl System {
         if record.op == MemOp::Load && response.first_use_of_prefetch {
             self.cores[idx].covered += 1;
         }
-        self.cores[idx].model.retire_memory(record.op, response.latency);
+        self.cores[idx].model.retire_memory_contended(
+            record.op,
+            response.latency,
+            response.queue_delay,
+        );
 
         let Some(engine) = self.cores[idx].engine.take() else {
             return;
@@ -280,6 +313,12 @@ impl System {
 /// Builds a [`System`] from `config` and runs it on `workload`.
 pub fn run_workload(config: &SimConfig, workload: &WorkloadParams) -> RunMetrics {
     System::new(config.clone(), workload).run()
+}
+
+/// Builds a heterogeneous [`System`] (core `i` runs `workloads[i]`) and
+/// runs it.
+pub fn run_workload_mix(config: &SimConfig, workloads: &[WorkloadParams]) -> RunMetrics {
+    System::new_mixed(config.clone(), workloads).run()
 }
 
 #[cfg(test)]
@@ -386,5 +425,87 @@ mod tests {
         let metrics = run_workload(&tiny(PrefetcherKind::sms_8_11a()), &workloads::qry17());
         assert_eq!(metrics.configuration, "SMS-8-11a");
         assert_eq!(metrics.workload, "Qry17");
+    }
+
+    #[test]
+    fn mixed_workloads_run_per_core_and_label_the_mix() {
+        let mix = [
+            workloads::apache(),
+            workloads::db2(),
+            workloads::qry1(),
+            workloads::qry17(),
+        ];
+        let metrics = run_workload_mix(&tiny(PrefetcherKind::None), &mix);
+        assert_eq!(metrics.workload, "Apache+DB2+Qry1+Qry17");
+        assert_eq!(metrics.per_core_ipc.len(), 4);
+        assert!(metrics.per_core_ipc.iter().all(|&ipc| ipc > 0.0));
+        // Every core makes progress against its own trace; the scan query
+        // core must behave differently from the OLTP cores.
+        let spread = metrics.per_core_ipc.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - metrics.per_core_ipc.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            spread > 0.0,
+            "heterogeneous cores should not have identical IPC"
+        );
+    }
+
+    #[test]
+    fn mixed_with_identical_workloads_matches_homogeneous_run() {
+        let config = tiny(PrefetcherKind::sms_pv8());
+        let homogeneous = run_workload(&config, &workloads::qry1());
+        let mixed = run_workload_mix(
+            &config,
+            &[
+                workloads::qry1(),
+                workloads::qry1(),
+                workloads::qry1(),
+                workloads::qry1(),
+            ],
+        );
+        assert_eq!(homogeneous.elapsed_cycles, mixed.elapsed_cycles);
+        assert_eq!(homogeneous.workload, mixed.workload);
+        assert_eq!(
+            homogeneous.hierarchy.l2_requests,
+            mixed.hierarchy.l2_requests
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload per core")]
+    fn mixed_workload_count_must_match_cores() {
+        let config = tiny(PrefetcherKind::None);
+        let _ = System::new_mixed(config, &[workloads::qry1(), workloads::qry2()]);
+    }
+
+    #[test]
+    fn queued_contention_slows_runs_and_reports_delay() {
+        use pv_mem::ContentionModel;
+        let workload = workloads::qry1();
+        let ideal = tiny(PrefetcherKind::sms_pv8());
+        let mut queued = ideal.clone();
+        queued.hierarchy = queued.hierarchy.with_contention(ContentionModel::Queued);
+        let ideal_metrics = run_workload(&ideal, &workload);
+        let queued_metrics = run_workload(&queued, &workload);
+        assert_eq!(
+            ideal_metrics.hierarchy.total_queue_delay().total_cycles(),
+            0,
+            "ideal runs must not observe queueing"
+        );
+        let delay = queued_metrics.hierarchy.total_queue_delay();
+        assert!(
+            delay.application_cycles > 0,
+            "queued runs must observe application queueing"
+        );
+        assert!(
+            delay.predictor_cycles > 0,
+            "PV traffic must compete too, not ride for free"
+        );
+        assert!(
+            queued_metrics.elapsed_cycles > ideal_metrics.elapsed_cycles,
+            "contention must cost cycles ({} vs {})",
+            queued_metrics.elapsed_cycles,
+            ideal_metrics.elapsed_cycles
+        );
+        assert!(queued_metrics.hierarchy.dram_busy_cycles > 0);
     }
 }

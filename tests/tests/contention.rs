@@ -1,0 +1,90 @@
+//! End-to-end behaviour of the queued contention model: the
+//! bandwidth-sensitivity acceptance invariant and the split of queueing
+//! delay into application and predictor traffic.
+
+use pv_experiments::{bandwidth, Runner, Scale};
+use pv_workloads::WorkloadId;
+
+/// Acceptance invariant of the contention refactor: as configured DRAM
+/// bandwidth decreases (cycles per transfer grows), the measured queueing
+/// delay rises monotonically — for application traffic and, in virtualized
+/// runs, for predictor traffic separately.
+#[test]
+fn queueing_delay_rises_monotonically_as_bandwidth_falls() {
+    let runner = Runner::new(Scale::Smoke, 4);
+    let rows = bandwidth::rows_for(&runner, &[WorkloadId::Qry1]);
+    for config in ["SMS-1K-11a", "SMS-PV8"] {
+        let mut sweep: Vec<&bandwidth::BandwidthRow> =
+            rows.iter().filter(|row| row.config == config).collect();
+        sweep.sort_by_key(|row| row.cycles_per_transfer);
+        assert_eq!(sweep.len(), bandwidth::cycles_per_transfer_sweep().len());
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[0].app_queue_cycles < pair[1].app_queue_cycles,
+                "{config}: application queueing must grow as bandwidth falls \
+                 (cpt {} -> {}: {} -> {})",
+                pair[0].cycles_per_transfer,
+                pair[1].cycles_per_transfer,
+                pair[0].app_queue_cycles,
+                pair[1].app_queue_cycles
+            );
+            if config == "SMS-PV8" {
+                assert!(
+                    pair[0].pv_queue_cycles < pair[1].pv_queue_cycles,
+                    "{config}: predictor queueing must grow as bandwidth falls \
+                     (cpt {} -> {}: {} -> {})",
+                    pair[0].cycles_per_transfer,
+                    pair[1].cycles_per_transfer,
+                    pair[0].pv_queue_cycles,
+                    pair[1].pv_queue_cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn predictor_traffic_queues_only_in_virtualized_runs() {
+    let runner = Runner::new(Scale::Smoke, 4);
+    let rows = bandwidth::rows_for(&runner, &[WorkloadId::Qry1]);
+    for row in &rows {
+        if row.config == "SMS-PV8" {
+            assert!(
+                row.pv_queue_cycles > 0,
+                "virtualized runs must observe predictor-class queueing at cpt {}",
+                row.cycles_per_transfer
+            );
+        } else {
+            assert_eq!(
+                row.pv_queue_cycles, 0,
+                "dedicated-table runs have no predictor traffic to queue"
+            );
+        }
+        assert!(row.app_queue_cycles > 0);
+        assert!(row.dram_utilization > 0.0);
+    }
+}
+
+#[test]
+fn contention_erodes_the_virtualized_advantage_first() {
+    let runner = Runner::new(Scale::Smoke, 4);
+    let rows = bandwidth::rows_for(&runner, &[WorkloadId::Qry1]);
+    let speedup = |config: &str, cpt: u64| {
+        rows.iter()
+            .find(|row| row.config == config && row.cycles_per_transfer == cpt)
+            .expect("row present")
+            .speedup
+    };
+    let sweep = bandwidth::cycles_per_transfer_sweep();
+    let fastest = sweep[0];
+    let slowest = sweep[sweep.len() - 1];
+    // At ample bandwidth both prefetchers pay off; when the bus is starved,
+    // both collapse, and the virtualized design — whose PHT misses consume
+    // the same scarce bandwidth — must not fare better than the dedicated
+    // table does.
+    assert!(speedup("SMS-1K-11a", fastest) > 0.10);
+    assert!(speedup("SMS-PV8", fastest) > 0.10);
+    assert!(speedup("SMS-1K-11a", slowest) < speedup("SMS-1K-11a", fastest));
+    assert!(speedup("SMS-PV8", slowest) < speedup("SMS-PV8", fastest));
+    assert!(speedup("SMS-PV8", slowest) <= speedup("SMS-1K-11a", slowest) + 0.01);
+}
