@@ -37,6 +37,13 @@
 //! same retrieve/store interface a dedicated table offers, which is why "the
 //! optimization engine remains unchanged" when its table is virtualized.
 //!
+//! Several predictors can also *cohabit* one physical resource, which is the
+//! paper's economic argument for virtualization: a [`PvRegionPlan`] carves a
+//! core's reserved PV region into one sub-region per table, and a
+//! [`SharedPvProxy`] with a table-tagged [`SharedPvCache`] arbitrates all of
+//! a core's virtualized tables through a single PVCache and a single
+//! memory-request stream (see the [`shared`] module docs).
+//!
 //! # Example
 //!
 //! A minimal predictor entry (a 12-bit tag with a 20-bit confidence-weighted
@@ -83,9 +90,11 @@ pub mod buffers;
 pub mod config;
 pub mod entry;
 pub mod packing;
+pub mod plan;
 pub mod proxy;
 pub mod pvcache;
 pub mod register;
+pub mod shared;
 pub mod stats;
 pub mod storage;
 pub mod table;
@@ -95,9 +104,11 @@ pub use buffers::{EvictBuffer, PatternBuffer};
 pub use config::PvConfig;
 pub use entry::{PvEntry, PvLayout, RawEntry};
 pub use packing::{decode_set, encode_set};
+pub use plan::PvRegionPlan;
 pub use proxy::PvProxy;
 pub use pvcache::{PvCache, PvCacheEntry, PvCacheEviction};
 pub use register::PvStartRegister;
+pub use shared::{SharedPvCache, SharedPvCacheEntry, SharedPvProxy, SharedSetAccess};
 pub use stats::PvStats;
 pub use storage::PvStorageBudget;
 pub use table::{PvSet, PvTable};

@@ -122,6 +122,7 @@ impl<E: PvEntry> PvProxy<E> {
                 DataClass::Predictor,
                 now,
             );
+            self.stats.queue_delay_cycles += response.queue_delay;
             let ready = now + response.latency;
             let _ = self.mshr.register(address.block(), now, ready);
             ready

@@ -1,0 +1,572 @@
+//! Predictor cohabitation: one PVProxy and one PVCache shared by several
+//! virtualized tables on the same core.
+//!
+//! The per-predictor [`crate::PvProxy`] dedicates a full PVCache to a single
+//! table. The paper's economics point the other way: *many* predictors
+//! should amortize one physical resource. This module provides that sharing:
+//!
+//! * a [`SharedPvCache`] whose entries are tagged with a **table id** in
+//!   addition to the set index, so sets from different predictors (SMS,
+//!   Markov, any future [`crate::PvEntry`] backend) arbitrate for the same
+//!   cache lines under one LRU order;
+//! * a [`SharedPvProxy`] that owns the shared cache plus one MSHR, pattern
+//!   buffer and evict buffer, and funnels *all* cohabiting tables' fills and
+//!   write-backs through a single `Requester::pv_proxy(core)` stream — so
+//!   the tables also compete for the same L2 ports, MSHR slots and DRAM
+//!   bandwidth, with per-table statistics kept separately.
+//!
+//! # Contents are write-through
+//!
+//! The shared cache tracks *residency and timing only* (which (table, set)
+//! is cached, dirty bit, fill completion time). The authoritative entry
+//! values live in each predictor's own [`crate::PvTable`], which the typed
+//! adapters (in `pv-sms` / `pv-markov`) update write-through. Because each
+//! table has exactly one owner, this is observationally equivalent to the
+//! per-predictor proxy's copy-on-fetch scheme — with one deliberate
+//! exception: in-set recency promotions made by lookups survive a *clean*
+//! eviction (the dedicated proxy discards the cached copy, promotions
+//! included). Keeping the table current makes the cache metadata-only, which
+//! is what lets two entry types share one cache without type erasure.
+
+use crate::buffers::{EvictBuffer, PatternBuffer};
+use crate::config::PvConfig;
+use crate::stats::PvStats;
+use pv_mem::{AccessKind, Address, DataClass, MemoryHierarchy, MshrFile, Requester};
+
+/// A PVTable set resident in the shared PVCache: residency metadata only
+/// (see the module docs — contents are write-through in the owning table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedPvCacheEntry {
+    /// Which cohabiting table the set belongs to.
+    pub table: usize,
+    /// Which PVTable set of that table this entry caches.
+    pub set_index: usize,
+    /// Whether the set was modified since it was fetched.
+    pub dirty: bool,
+    /// Cycle at which the fill that installed this entry completes; lookups
+    /// hitting earlier must report this time, not their own cycle.
+    pub ready_at: u64,
+}
+
+/// The fully-associative, LRU, *table-tagged* PVCache shared by every
+/// cohabiting predictor on one core. Identical replacement behaviour to
+/// [`crate::PvCache`], with the key widened from `set_index` to
+/// `(table, set_index)`.
+#[derive(Debug, Clone)]
+pub struct SharedPvCache {
+    capacity: usize,
+    /// Most recently used first.
+    entries: Vec<SharedPvCacheEntry>,
+}
+
+impl SharedPvCache {
+    /// Creates a shared PVCache with room for `capacity` PVTable sets
+    /// (across all tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "the PVCache needs at least one entry");
+        SharedPvCache {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Configured capacity in PVTable sets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of sets currently cached, all tables together.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of resident sets belonging to `table`.
+    pub fn occupancy_of(&self, table: usize) -> usize {
+        self.entries.iter().filter(|e| e.table == table).count()
+    }
+
+    /// Whether `(table, set_index)` is cached (no recency update).
+    pub fn contains(&self, table: usize, set_index: usize) -> bool {
+        self.entries.iter().any(|e| e.table == table && e.set_index == set_index)
+    }
+
+    /// Looks up `(table, set_index)`, promoting it to most-recently-used.
+    pub fn lookup(&mut self, table: usize, set_index: usize) -> Option<&mut SharedPvCacheEntry> {
+        let pos = self.entries.iter().position(|e| e.table == table && e.set_index == set_index)?;
+        self.entries[..=pos].rotate_right(1);
+        Some(&mut self.entries[0])
+    }
+
+    /// Installs `(table, set_index)` with a fill completing at `ready_at`,
+    /// evicting the LRU entry — *of whichever table holds it* — when the
+    /// cache is full. Re-inserting a resident set ORs the dirty flag and
+    /// keeps the earlier ready time, as in [`crate::PvCache::insert`].
+    pub fn insert(
+        &mut self,
+        table: usize,
+        set_index: usize,
+        dirty: bool,
+        ready_at: u64,
+    ) -> Option<SharedPvCacheEntry> {
+        if let Some(entry) = self.lookup(table, set_index) {
+            entry.dirty |= dirty;
+            entry.ready_at = entry.ready_at.min(ready_at);
+            return None;
+        }
+        let fresh = SharedPvCacheEntry {
+            table,
+            set_index,
+            dirty,
+            ready_at,
+        };
+        if self.entries.len() >= self.capacity {
+            self.entries.rotate_right(1);
+            return Some(std::mem::replace(&mut self.entries[0], fresh));
+        }
+        self.entries.push(fresh);
+        self.entries.rotate_right(1);
+        None
+    }
+
+    /// Removes every entry, returning the dirty ones (end-of-run drain).
+    pub fn drain_dirty(&mut self) -> Vec<SharedPvCacheEntry> {
+        self.entries.drain(..).filter(|e| e.dirty).collect()
+    }
+}
+
+/// One table bound to a [`SharedPvProxy`]: where its sub-region lives and
+/// how big it is.
+#[derive(Debug, Clone)]
+struct TableBinding {
+    /// The table's `PVStart`: base address of its sub-region.
+    base: Address,
+    /// Number of PVTable sets.
+    table_sets: usize,
+    /// Block size each set packs into.
+    block_bytes: u64,
+    /// Report label (e.g. `"SMS"`, `"Markov"`).
+    label: String,
+}
+
+/// Timing outcome of one shared-cache set access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedSetAccess {
+    /// Whether the set is (or will be) resident. `false` only when the
+    /// lookup was dropped because the pattern buffer was full — the caller
+    /// must then report a predictor miss without touching its table.
+    pub resident: bool,
+    /// Cycle at which the set's data is available.
+    pub ready_at: u64,
+}
+
+/// The shared PVProxy: one per core, arbitrating every cohabiting
+/// virtualized table through one PVCache and one memory-request stream.
+///
+/// Typed adapters register their tables with [`Self::add_table`] and then
+/// drive [`Self::lookup_set`] / [`Self::store_set`]; the proxy handles
+/// residency, replacement across tables, fill merging, dirty write-backs
+/// and per-table statistics. It is deliberately untyped: because contents
+/// are write-through in the owners' tables (module docs), the proxy only
+/// ever needs a set's *address*, which it computes from the binding's base.
+#[derive(Debug)]
+pub struct SharedPvProxy {
+    core: usize,
+    config: PvConfig,
+    cache: SharedPvCache,
+    mshr: MshrFile,
+    pattern_buffer: PatternBuffer,
+    evict_buffer: EvictBuffer,
+    tables: Vec<TableBinding>,
+    stats: Vec<PvStats>,
+}
+
+impl SharedPvProxy {
+    /// Creates the shared proxy for `core`. `config.pvcache_sets` is the
+    /// *total* shared capacity; `table_sets`/`block_bytes` of `config` apply
+    /// to tables added without an explicit geometry.
+    pub fn new(core: usize, config: PvConfig) -> Self {
+        config.assert_valid();
+        SharedPvProxy {
+            core,
+            cache: SharedPvCache::new(config.pvcache_sets),
+            mshr: MshrFile::new(config.mshr_entries),
+            pattern_buffer: PatternBuffer::new(config.pattern_buffer_entries),
+            evict_buffer: EvictBuffer::new(config.evict_buffer_entries),
+            tables: Vec::new(),
+            stats: Vec::new(),
+            config,
+        }
+    }
+
+    /// Registers a cohabiting table based at `base` with `table_sets` sets
+    /// of one `block_bytes` block each, returning its table id.
+    pub fn add_table(
+        &mut self,
+        base: Address,
+        table_sets: usize,
+        block_bytes: u64,
+        label: &str,
+    ) -> usize {
+        assert!(
+            table_sets > 0 && table_sets.is_power_of_two(),
+            "table_sets must be a power of two"
+        );
+        self.tables.push(TableBinding {
+            base,
+            table_sets,
+            block_bytes,
+            label: label.to_owned(),
+        });
+        self.stats.push(PvStats::default());
+        self.tables.len() - 1
+    }
+
+    /// The proxy's configuration.
+    pub fn config(&self) -> &PvConfig {
+        &self.config
+    }
+
+    /// Which core this proxy serves.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// Number of registered tables.
+    pub fn tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Report label of `table`.
+    pub fn table_label(&self, table: usize) -> &str {
+        &self.tables[table].label
+    }
+
+    /// The shared table-tagged PVCache.
+    pub fn cache(&self) -> &SharedPvCache {
+        &self.cache
+    }
+
+    /// Statistics of one table.
+    pub fn table_stats(&self, table: usize) -> &PvStats {
+        &self.stats[table]
+    }
+
+    /// Statistics summed over every table.
+    pub fn stats_merged(&self) -> PvStats {
+        let mut total = PvStats::default();
+        for stats in &self.stats {
+            total.merge(stats);
+        }
+        total
+    }
+
+    /// Resets every table's statistics (residency state is preserved).
+    pub fn reset_stats(&mut self) {
+        for stats in &mut self.stats {
+            *stats = PvStats::default();
+        }
+    }
+
+    /// The memory address of `(table, set_index)` — the shared-proxy analogue
+    /// of Figure 3b's `PVStart + set * block` computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` or `set_index` is out of range.
+    pub fn set_address(&self, table: usize, set_index: usize) -> Address {
+        let binding = &self.tables[table];
+        assert!(
+            set_index < binding.table_sets,
+            "set index {set_index} out of range for table {table} ({} sets)",
+            binding.table_sets
+        );
+        Address::new(binding.base.raw() + set_index as u64 * binding.block_bytes)
+    }
+
+    /// Fetches `(table, set_index)` through the memory hierarchy and installs
+    /// it in the shared cache, evicting (and writing back if dirty) whatever
+    /// set — of any table — is LRU. Mirrors `PvProxy::fetch_set`: the entry
+    /// is installed at request time so later requests merge, and it
+    /// remembers the fill's completion time for early hits.
+    fn fetch_set(
+        &mut self,
+        table: usize,
+        set_index: usize,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    ) -> u64 {
+        let address = self.set_address(table, set_index);
+        self.mshr.retire(now);
+        let ready_at = if let Some(entry) = self.mshr.lookup(address.block()) {
+            self.stats[table].mshr_merges += 1;
+            let ready = entry.ready_at;
+            let _ = self.mshr.register(address.block(), now, ready);
+            ready
+        } else {
+            self.stats[table].memory_requests += 1;
+            let response = mem.access(
+                Requester::pv_proxy(self.core),
+                address.raw(),
+                AccessKind::Read,
+                DataClass::Predictor,
+                now,
+            );
+            self.stats[table].queue_delay_cycles += response.queue_delay;
+            let ready = now + response.latency;
+            let _ = self.mshr.register(address.block(), now, ready);
+            ready
+        };
+        if let Some(evicted) = self.cache.insert(table, set_index, false, ready_at) {
+            self.handle_eviction(evicted, mem, now);
+        }
+        ready_at
+    }
+
+    fn handle_eviction(
+        &mut self,
+        evicted: SharedPvCacheEntry,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    ) {
+        if !evicted.dirty {
+            // Non-modified entries are discarded (paper Section 2.2); the
+            // owning table already holds the authoritative contents.
+            return;
+        }
+        self.stats[evicted.table].dirty_writebacks += 1;
+        let address = self.set_address(evicted.table, evicted.set_index);
+        self.evict_buffer
+            .push(evicted.set_index, now, now + mem.config().l2.data_latency);
+        mem.writeback(Requester::pv_proxy(self.core), address.raw(), now);
+    }
+
+    /// A predictor lookup touching `(table, set_index)` (raw predictor index
+    /// `index`, used to key the pattern buffer). On a shared-cache hit the
+    /// data is available after the PVCache latency (or the in-flight fill);
+    /// on a miss the set is fetched — unless the pattern buffer is full, in
+    /// which case the lookup is dropped (`resident == false`).
+    pub fn lookup_set(
+        &mut self,
+        table: usize,
+        set_index: usize,
+        index: u64,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    ) -> SharedSetAccess {
+        self.stats[table].lookups += 1;
+        let pvcache_latency = self.config.pvcache_latency;
+        if let Some(entry) = self.cache.lookup(table, set_index) {
+            let ready_at = (now + pvcache_latency).max(entry.ready_at);
+            let pending = entry.ready_at > now;
+            self.stats[table].pvcache_hits += 1;
+            if pending {
+                self.stats[table].pending_hits += 1;
+            }
+            return SharedSetAccess {
+                resident: true,
+                ready_at,
+            };
+        }
+        self.stats[table].pvcache_misses += 1;
+        // The pattern buffer is a shared structural resource too: a full
+        // buffer drops the prediction regardless of which table wanted it.
+        // Keys are disambiguated per table so two tables' indices never
+        // merge into one slot.
+        let provisional_done = now + mem.config().l2.tag_latency + mem.config().l2.data_latency;
+        let key = ((table as u64) << 48) | index;
+        if !self.pattern_buffer.try_reserve(key, now, provisional_done) {
+            self.stats[table].dropped_lookups += 1;
+            return SharedSetAccess {
+                resident: false,
+                ready_at: now,
+            };
+        }
+        let ready_at = self.fetch_set(table, set_index, mem, now);
+        SharedSetAccess {
+            resident: true,
+            ready_at,
+        }
+    }
+
+    /// A predictor store touching `(table, set_index)`: write-allocate (the
+    /// set is fetched on a miss, so its other entries are preserved) and
+    /// mark the resident set dirty. The caller updates its own table
+    /// write-through *after* this returns.
+    pub fn store_set(
+        &mut self,
+        table: usize,
+        set_index: usize,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    ) {
+        self.stats[table].stores += 1;
+        if !self.cache.contains(table, set_index) {
+            self.stats[table].store_misses += 1;
+            let _ = self.fetch_set(table, set_index, mem, now);
+        }
+        let cached = self
+            .cache
+            .lookup(table, set_index)
+            .expect("the set was just installed in the shared PVCache");
+        cached.dirty = true;
+    }
+
+    /// Writes every dirty resident set back to the memory hierarchy (used at
+    /// the end of a simulation window so no learned state is stranded).
+    pub fn drain(&mut self, mem: &mut MemoryHierarchy, now: u64) {
+        for evicted in self.cache.drain_dirty() {
+            self.handle_eviction(evicted, mem, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_mem::{HierarchyConfig, MemoryHierarchy, PvRegionConfig};
+
+    fn setup() -> (MemoryHierarchy, SharedPvProxy) {
+        let mut config = HierarchyConfig::paper_baseline(4);
+        config.pv_regions = PvRegionConfig::with_bytes_per_core(4, 128 * 1024);
+        let mem = MemoryHierarchy::new(config);
+        let mut proxy = SharedPvProxy::new(0, PvConfig::pv8());
+        let base = config.pv_regions.core_base(0);
+        let a = proxy.add_table(base, 1024, 64, "A");
+        let b = proxy.add_table(Address::new(base.raw() + 64 * 1024), 1024, 64, "B");
+        assert_eq!((a, b), (0, 1));
+        (mem, proxy)
+    }
+
+    #[test]
+    fn tables_have_disjoint_addresses_inside_one_region() {
+        let (mem, proxy) = setup();
+        let last_a = proxy.set_address(0, 1023).raw() + 63;
+        let first_b = proxy.set_address(1, 0).raw();
+        assert!(last_a < first_b);
+        // Both tables classify as predictor data.
+        assert!(mem.dram().is_predictor_address(proxy.set_address(0, 0)));
+        assert!(mem.dram().is_predictor_address(proxy.set_address(1, 1023)));
+    }
+
+    #[test]
+    fn cold_lookup_fetches_and_later_hits_are_fast() {
+        let (mut mem, mut proxy) = setup();
+        let cold = proxy.lookup_set(0, 3, 0x803, &mut mem, 0);
+        assert!(cold.resident);
+        assert!(cold.ready_at >= 400, "cold set must come from DRAM");
+        assert_eq!(proxy.table_stats(0).memory_requests, 1);
+        let warm = proxy.lookup_set(0, 3, 0x803, &mut mem, cold.ready_at + 10);
+        assert_eq!(
+            warm.ready_at,
+            cold.ready_at + 10 + proxy.config().pvcache_latency
+        );
+        assert_eq!(proxy.table_stats(0).pvcache_hits, 1);
+    }
+
+    #[test]
+    fn early_rereference_merges_and_waits_for_the_fill() {
+        let (mut mem, mut proxy) = setup();
+        let first = proxy.lookup_set(0, 3, 0x803, &mut mem, 0);
+        let second = proxy.lookup_set(0, 3, 0x803, &mut mem, 1);
+        assert_eq!(proxy.table_stats(0).memory_requests, 1);
+        assert_eq!(second.ready_at, first.ready_at);
+        assert_eq!(proxy.table_stats(0).pending_hits, 1);
+    }
+
+    #[test]
+    fn both_tables_share_the_capacity_and_evict_each_other() {
+        let (mut mem, mut proxy) = setup();
+        let capacity = proxy.cache().capacity();
+        // Fill the whole cache with table 0's sets...
+        for set in 0..capacity {
+            proxy.lookup_set(0, set, set as u64, &mut mem, (set as u64) * 1_000);
+        }
+        assert_eq!(proxy.cache().occupancy_of(0), capacity);
+        // ...then stream table 1 through: its fills must displace table 0.
+        for set in 0..capacity / 2 {
+            proxy.lookup_set(
+                1,
+                set,
+                set as u64,
+                &mut mem,
+                1_000_000 + (set as u64) * 1_000,
+            );
+        }
+        assert_eq!(proxy.cache().occupancy_of(1), capacity / 2);
+        assert_eq!(proxy.cache().occupancy_of(0), capacity - capacity / 2);
+        assert_eq!(proxy.cache().len(), capacity);
+    }
+
+    #[test]
+    fn dirty_cross_table_eviction_writes_back_to_the_owners_address() {
+        let (mut mem, mut proxy) = setup();
+        // Dirty one set of table 1, then flood with table 0 until it is
+        // evicted: the write-back must be attributed to table 1.
+        proxy.store_set(1, 7, &mut mem, 0);
+        let capacity = proxy.cache().capacity();
+        for set in 0..capacity {
+            proxy.lookup_set(0, set, set as u64, &mut mem, 1_000 + (set as u64) * 1_000);
+        }
+        assert_eq!(proxy.table_stats(1).dirty_writebacks, 1);
+        assert_eq!(proxy.table_stats(0).dirty_writebacks, 0);
+        // The written-back block is table 1's address, resident in the L2.
+        assert!(mem.l2_contains(proxy.set_address(1, 7).block()));
+    }
+
+    #[test]
+    fn full_pattern_buffer_drops_lookups_per_proxy_not_per_table() {
+        let (mut mem, mut proxy) = setup();
+        let slots = proxy.config().pattern_buffer_entries;
+        // Reserve every slot with distinct sets of table 0 at cycle 0 (all
+        // fills still in flight)...
+        for set in 0..slots {
+            let access = proxy.lookup_set(0, set, set as u64, &mut mem, 0);
+            assert!(access.resident);
+        }
+        // ...now table 1 misses too: the shared buffer is exhausted.
+        let dropped = proxy.lookup_set(1, 0, 0, &mut mem, 0);
+        assert!(!dropped.resident);
+        assert_eq!(proxy.table_stats(1).dropped_lookups, 1);
+    }
+
+    #[test]
+    fn drain_writes_back_only_dirty_sets() {
+        let (mut mem, mut proxy) = setup();
+        proxy.lookup_set(0, 1, 1, &mut mem, 0);
+        proxy.store_set(1, 2, &mut mem, 10);
+        let writes_before = mem.stats().l2_requests.predictor;
+        proxy.drain(&mut mem, 1_000);
+        assert_eq!(proxy.table_stats(1).dirty_writebacks, 1);
+        assert_eq!(proxy.table_stats(0).dirty_writebacks, 0);
+        assert!(mem.stats().l2_requests.predictor > writes_before);
+        assert!(proxy.cache().is_empty());
+    }
+
+    #[test]
+    fn merged_stats_sum_over_tables() {
+        let (mut mem, mut proxy) = setup();
+        proxy.lookup_set(0, 1, 1, &mut mem, 0);
+        proxy.lookup_set(1, 2, 2, &mut mem, 0);
+        let merged = proxy.stats_merged();
+        assert_eq!(merged.lookups, 2);
+        assert_eq!(merged.memory_requests, 2);
+        proxy.reset_stats();
+        assert_eq!(proxy.stats_merged().lookups, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        let (_, proxy) = setup();
+        proxy.set_address(0, 4096);
+    }
+}

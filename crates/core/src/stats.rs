@@ -25,6 +25,12 @@ pub struct PvStats {
     /// PVCache hits on sets whose fill was still in flight (the lookup had
     /// to wait for the fill's completion time).
     pub pending_hits: u64,
+    /// Cycles this proxy's memory requests spent waiting for contended
+    /// shared resources (L2 ports, MSHR slots, DRAM queues) beyond the
+    /// unloaded latencies. Always zero under `ContentionModel::Ideal`; under
+    /// `Queued` it shows how hard *this table's* traffic was squeezed — the
+    /// per-table contention split the cohabitation experiments report.
+    pub queue_delay_cycles: u64,
 }
 
 impl PvStats {
@@ -41,6 +47,7 @@ impl PvStats {
             dirty_writebacks,
             dropped_lookups,
             pending_hits,
+            queue_delay_cycles,
         } = *other;
         self.lookups += lookups;
         self.pvcache_hits += pvcache_hits;
@@ -52,6 +59,7 @@ impl PvStats {
         self.dirty_writebacks += dirty_writebacks;
         self.dropped_lookups += dropped_lookups;
         self.pending_hits += pending_hits;
+        self.queue_delay_cycles += queue_delay_cycles;
     }
 
     /// PVCache hit ratio over lookups in [0, 1].

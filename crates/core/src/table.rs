@@ -166,6 +166,17 @@ impl<E: PvEntry> PvTable<E> {
         &self.sets[set_index]
     }
 
+    /// Mutable access to set `set_index` — used by the write-through
+    /// cohabitation adapters, which keep the authoritative contents in the
+    /// table and leave only residency metadata to the shared PVCache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_index` is out of range.
+    pub fn set_mut(&mut self, set_index: usize) -> &mut PvSet<E> {
+        &mut self.sets[set_index]
+    }
+
     /// Overwrites set `set_index` (a dirty PVCache victim being written
     /// back).
     ///

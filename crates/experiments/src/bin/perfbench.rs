@@ -1,12 +1,13 @@
 //! Performance harness: establishes and tracks the simulator's perf
 //! trajectory.
 //!
-//! Times smoke-scale end-to-end runs for every [`PrefetcherKind`], plus
-//! micro-benchmarks of the packing codec and the set-associative array
-//! against the retained pre-flattening reference implementations and of the
-//! memory-hierarchy access path under both contention models, and writes
-//! the results as `BENCH_PR3.json` (schema `pv-perfbench/2`, documented in
-//! the README's Performance section).
+//! Times smoke-scale end-to-end runs for every [`PrefetcherKind`] —
+//! including the cohabiting SMS+Markov pairs — plus micro-benchmarks of the
+//! packing codec and the set-associative array against the retained
+//! pre-flattening reference implementations and of the memory-hierarchy
+//! access path under both contention models, and writes the results as
+//! `BENCH_PR4.json` (schema `pv-perfbench/2`, documented in the README's
+//! Performance section).
 //!
 //! Each end-to-end row also carries a digest of the run's `RunMetrics`
 //! (cycles, misses, traffic, coverage): optimisation PRs must keep those
@@ -21,10 +22,12 @@
 //!
 //! With `--check-against`, the end-to-end rows are compared against the
 //! matching rows of a previously-recorded JSON (e.g. the committed
-//! `BENCH_PR2.json`): the process exits non-zero when the geometric-mean
+//! `BENCH_PR3.json`): the process exits non-zero when the geometric-mean
 //! records/sec ratio regresses by more than 25%, and digest mismatches are
 //! reported as warnings (behaviour-changing PRs are expected to move them;
-//! perf-only PRs are not).
+//! perf-only PRs are not). Rows with no baseline counterpart — e.g. the
+//! cohabiting kinds the PR that wrote `BENCH_PR4.json` introduced — are
+//! skipped by the gate.
 
 use pv_core::{decode_set, encode_set, packing, PvLayout, PvSet, RawEntry};
 use pv_mem::{
@@ -74,6 +77,8 @@ fn all_kinds() -> Vec<PrefetcherKind> {
         PrefetcherKind::sms_pv16(),
         PrefetcherKind::markov_1k(),
         PrefetcherKind::markov_pv8(),
+        PrefetcherKind::composite_dedicated(4),
+        PrefetcherKind::composite_shared(8),
     ]
 }
 
@@ -81,6 +86,11 @@ fn smoke_config(prefetcher: PrefetcherKind) -> SimConfig {
     let mut config = SimConfig::quick(prefetcher);
     config.warmup_records = 20_000;
     config.measure_records = 30_000;
+    // Cohabiting kinds hold two tables per core; grow the PV region to fit.
+    let needed = config.prefetcher.pv_bytes_per_core();
+    if needed > config.hierarchy.pv_regions.bytes_per_core {
+        config.hierarchy = config.hierarchy.with_pv_bytes_per_core(needed);
+    }
     config
 }
 
@@ -330,7 +340,7 @@ fn main() {
             }
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_PR3.json".to_owned());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR4.json".to_owned());
 
     let mut runs = Vec::new();
     for kind in all_kinds() {

@@ -21,6 +21,7 @@
 pub mod ablation;
 pub mod backends;
 pub mod bandwidth;
+pub mod cohabit;
 pub mod fig10;
 pub mod fig11;
 pub mod fig4;
@@ -75,6 +76,9 @@ pub enum Experiment {
     Bandwidth,
     /// Heterogeneous multi-programmed workload mixes.
     Mixes,
+    /// Predictor cohabitation: SMS + Markov sharing one PV region and one
+    /// PVCache (dedicated vs shared provisioning).
+    Cohabit,
 }
 
 impl Experiment {
@@ -83,7 +87,7 @@ impl Experiment {
         use Experiment::*;
         vec![
             Table1, Table2, Table3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Sec46,
-            Ablation, Backends, Bandwidth, Mixes,
+            Ablation, Backends, Bandwidth, Mixes, Cohabit,
         ]
     }
 
@@ -106,6 +110,7 @@ impl Experiment {
             Experiment::Backends => "backends",
             Experiment::Bandwidth => "bandwidth",
             Experiment::Mixes => "mixes",
+            Experiment::Cohabit => "cohabit",
         }
     }
 
@@ -133,6 +138,7 @@ impl Experiment {
             Experiment::Backends => backends::report(runner),
             Experiment::Bandwidth => bandwidth::report(runner),
             Experiment::Mixes => mixes::report(runner),
+            Experiment::Cohabit => cohabit::report(runner),
         }
     }
 }

@@ -72,6 +72,15 @@ pub enum HierarchyVariant {
         /// Cycles one block occupies a channel's data bus.
         cycles_per_transfer: u64,
     },
+    /// The baseline with `bytes_per_core` bytes of PV region reserved per
+    /// core — room for several cohabiting tables — under the given
+    /// contention model (paper-default DRAM bandwidth).
+    PvRegion {
+        /// Reserved PV bytes per core (e.g. 128 KB for SMS + Markov).
+        bytes_per_core: u64,
+        /// How shared resources are timed.
+        contention: ContentionModel,
+    },
 }
 
 impl HierarchyVariant {
@@ -87,6 +96,10 @@ impl HierarchyVariant {
             } => base
                 .with_contention(ContentionModel::Queued)
                 .with_dram_cycles_per_transfer(cycles_per_transfer),
+            HierarchyVariant::PvRegion {
+                bytes_per_core,
+                contention,
+            } => base.with_pv_bytes_per_core(bytes_per_core).with_contention(contention),
         }
     }
 
@@ -100,6 +113,16 @@ impl HierarchyVariant {
                 cycles_per_transfer,
             } => {
                 format!("queued-cpt{cycles_per_transfer}")
+            }
+            HierarchyVariant::PvRegion {
+                bytes_per_core,
+                contention,
+            } => {
+                let timing = match contention {
+                    ContentionModel::Ideal => "ideal",
+                    ContentionModel::Queued => "queued",
+                };
+                format!("pv{}KB-{timing}", bytes_per_core / 1024)
             }
         }
     }

@@ -1,0 +1,203 @@
+//! The Markov next-address table on a *shared* PVProxy.
+//!
+//! Mirror of `pv_sms::cohabit`: [`SharedVirtualizedMarkov`] registers the
+//! Markov table as one table of a per-core
+//! [`SharedPvProxy`](pv_core::SharedPvProxy), so it competes with its
+//! cohabitants (e.g. SMS) for the same table-tagged PVCache lines and the
+//! same L2/DRAM bandwidth. Contents are write-through in the adapter's own
+//! `PvTable<MarkovEntry>`; the engine still sees only [`NextAddrStorage`].
+
+use crate::entry::{MarkovEntry, MarkovIndex};
+use crate::storage::{NextAddrLookup, NextAddrStorage};
+use pv_core::{PvConfig, PvEntry, PvStartRegister, PvStorageBudget, PvTable, SharedPvProxy};
+use pv_mem::{Address, MemoryHierarchy};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The Markov next-address table bound to a shared, table-tagged PVProxy.
+#[derive(Debug)]
+pub struct SharedVirtualizedMarkov {
+    shared: Rc<RefCell<SharedPvProxy>>,
+    table_id: usize,
+    config: PvConfig,
+    table: PvTable<MarkovEntry>,
+}
+
+impl SharedVirtualizedMarkov {
+    /// Registers a Markov PVTable based at `pv_start` (normally a
+    /// `PvRegionPlan` sub-region base) with the core's shared proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured number of table sets leaves more index tag
+    /// bits than the packed entry stores (mirrors `VirtualizedMarkov::new`).
+    pub fn new(shared: Rc<RefCell<SharedPvProxy>>, config: PvConfig, pv_start: Address) -> Self {
+        let index_tag_bits = crate::entry::INDEX_BITS - config.table_sets.trailing_zeros();
+        assert!(
+            index_tag_bits <= MarkovEntry::TAG_BITS,
+            "a {}-set PVTable needs {} tag bits but MarkovEntry stores {}",
+            config.table_sets,
+            index_tag_bits,
+            MarkovEntry::TAG_BITS
+        );
+        let table_id = shared.borrow_mut().add_table(
+            pv_start,
+            config.table_sets,
+            config.block_bytes,
+            "Markov",
+        );
+        SharedVirtualizedMarkov {
+            table_id,
+            table: PvTable::new(&config, PvStartRegister::new(pv_start)),
+            config,
+            shared,
+        }
+    }
+
+    /// The shared proxy this table arbitrates through.
+    pub fn shared(&self) -> &Rc<RefCell<SharedPvProxy>> {
+        &self.shared
+    }
+
+    /// This table's id within the shared proxy.
+    pub fn table_id(&self) -> usize {
+        self.table_id
+    }
+
+    fn split_index(&self, index: u64) -> (usize, u64) {
+        (
+            (index as usize) & (self.config.table_sets - 1),
+            index >> self.config.table_sets.trailing_zeros(),
+        )
+    }
+
+    /// Writes every dirty resident set of the whole shared proxy back to the
+    /// memory hierarchy.
+    pub fn drain(&mut self, mem: &mut MemoryHierarchy, now: u64) {
+        self.shared.borrow_mut().drain(mem, now);
+    }
+}
+
+impl NextAddrStorage for SharedVirtualizedMarkov {
+    fn lookup(
+        &mut self,
+        index: MarkovIndex,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    ) -> NextAddrLookup {
+        let raw = u64::from(index.raw());
+        let (set_index, tag) = self.split_index(raw);
+        let access = self.shared.borrow_mut().lookup_set(self.table_id, set_index, raw, mem, now);
+        let delta = if access.resident {
+            self.table.set_mut(set_index).lookup(tag).map(|entry| entry.delta())
+        } else {
+            None
+        };
+        NextAddrLookup {
+            delta,
+            ready_at: access.ready_at,
+        }
+    }
+
+    fn store(&mut self, index: MarkovIndex, delta: i64, mem: &mut MemoryHierarchy, now: u64) {
+        let raw = u64::from(index.raw());
+        let (set_index, tag) = self.split_index(raw);
+        let Some(entry) = MarkovEntry::new(tag as u16, delta) else {
+            return;
+        };
+        self.shared.borrow_mut().store_set(self.table_id, set_index, mem, now);
+        self.table.set_mut(set_index).insert(entry);
+    }
+
+    fn label(&self) -> String {
+        format!("Markov-shPV-{}", self.shared.borrow().cache().capacity())
+    }
+
+    fn dedicated_storage_bytes(&self) -> u64 {
+        let sized = PvConfig {
+            pvcache_sets: self.shared.borrow().cache().capacity(),
+            ..self.config
+        };
+        PvStorageBudget::for_entry::<MarkovEntry>(&sized).total_bytes()
+    }
+
+    fn resident_entries(&self) -> usize {
+        self.table.resident_entries()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn reset_stats(&mut self) {
+        self.shared.borrow_mut().reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_mem::{HierarchyConfig, PvRegionConfig};
+
+    #[test]
+    fn markov_round_trips_through_a_shared_proxy() {
+        let mut config = HierarchyConfig::paper_baseline(4);
+        config.pv_regions = PvRegionConfig::with_bytes_per_core(4, 128 * 1024);
+        let mut mem = MemoryHierarchy::new(config);
+        let shared = Rc::new(RefCell::new(SharedPvProxy::new(0, PvConfig::pv8())));
+        let mut table = SharedVirtualizedMarkov::new(
+            Rc::clone(&shared),
+            PvConfig::pv8(),
+            config.pv_regions.core_base(0),
+        );
+        let index = MarkovIndex::from_pc(0x4000);
+        table.store(index, -7, &mut mem, 0);
+        assert_eq!(table.lookup(index, &mut mem, 1_000).delta, Some(-7));
+        assert_eq!(shared.borrow().table_stats(0).stores, 1);
+        assert!(mem.stats().l2_requests.predictor > 0);
+        assert_eq!(NextAddrStorage::label(&table), "Markov-shPV-8");
+    }
+
+    #[test]
+    fn two_tables_cohabit_one_proxy_with_separate_stats() {
+        // Two Markov tables in one region (the SMS+Markov pairing lives in
+        // the cross-crate integration tests): per-table ids, labels and
+        // stats must stay separate while the cache is shared.
+        let mut config = HierarchyConfig::paper_baseline(4);
+        config.pv_regions = PvRegionConfig::with_bytes_per_core(4, 128 * 1024);
+        let mut mem = MemoryHierarchy::new(config);
+        let shared = Rc::new(RefCell::new(SharedPvProxy::new(0, PvConfig::pv8())));
+        let base = config.pv_regions.core_base(0);
+        let mut first = SharedVirtualizedMarkov::new(Rc::clone(&shared), PvConfig::pv8(), base);
+        let mut second = SharedVirtualizedMarkov::new(
+            Rc::clone(&shared),
+            PvConfig::pv8(),
+            Address::new(base.raw() + 64 * 1024),
+        );
+        assert_eq!(first.table_id(), 0);
+        assert_eq!(second.table_id(), 1);
+
+        first.store(MarkovIndex::from_pc(0x4000), -2, &mut mem, 0);
+        second.store(MarkovIndex::from_pc(0x8000), 3, &mut mem, 10);
+
+        {
+            let proxy = shared.borrow();
+            assert_eq!(proxy.tables(), 2);
+            assert_eq!(proxy.table_stats(0).stores, 1);
+            assert_eq!(proxy.table_stats(1).stores, 1);
+            // Both tables occupy the one shared cache.
+            assert_eq!(proxy.cache().occupancy_of(0), 1);
+            assert_eq!(proxy.cache().occupancy_of(1), 1);
+        }
+
+        // Both entries remain retrievable through their own adapters.
+        assert_eq!(
+            first.lookup(MarkovIndex::from_pc(0x4000), &mut mem, 2_000).delta,
+            Some(-2)
+        );
+        assert_eq!(
+            second.lookup(MarkovIndex::from_pc(0x8000), &mut mem, 2_000).delta,
+            Some(3)
+        );
+    }
+}

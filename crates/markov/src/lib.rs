@@ -24,10 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cohabit;
 pub mod entry;
 pub mod prefetcher;
 pub mod storage;
 
+pub use cohabit::SharedVirtualizedMarkov;
 pub use entry::{MarkovConfig, MarkovEntry, MarkovIndex, INDEX_BITS, PC_INDEX_BITS};
 pub use prefetcher::{MarkovPrefetcher, MarkovResponse, MarkovStats};
 pub use storage::{

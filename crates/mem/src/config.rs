@@ -207,6 +207,28 @@ impl PvRegionConfig {
         }
     }
 
+    /// A layout reserving `bytes_per_core` bytes per core, placed just below
+    /// the top of the modelled 3 GB physical memory like
+    /// [`Self::paper_default`]. Used when several virtualized tables cohabit
+    /// one core's region (e.g. SMS + Markov need 2 × 64 KB per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_core` is zero or not block-aligned.
+    pub fn with_bytes_per_core(cores: usize, bytes_per_core: u64) -> Self {
+        assert!(bytes_per_core > 0, "PV regions need at least one byte");
+        assert!(
+            bytes_per_core.is_multiple_of(BLOCK_BYTES),
+            "PV regions must be block-aligned ({bytes_per_core} bytes)"
+        );
+        let total = bytes_per_core * cores as u64;
+        PvRegionConfig {
+            base: Address::new(3 * 1024 * 1024 * 1024 - total),
+            bytes_per_core,
+            cores,
+        }
+    }
+
     /// Base address of `core`'s region.
     ///
     /// # Panics
@@ -286,6 +308,13 @@ impl HierarchyConfig {
     /// Baseline with a different contention model.
     pub fn with_contention(mut self, contention: ContentionModel) -> Self {
         self.contention = contention;
+        self
+    }
+
+    /// Baseline with `bytes_per_core` bytes of reserved PV region per core
+    /// (cohabiting predictors need room for one sub-region per table).
+    pub fn with_pv_bytes_per_core(mut self, bytes_per_core: u64) -> Self {
+        self.pv_regions = PvRegionConfig::with_bytes_per_core(self.cores, bytes_per_core);
         self
     }
 

@@ -384,6 +384,22 @@ impl MemoryHierarchy {
         }
     }
 
+    /// L2 tag-pipeline port arbitration: requests to the same bank serialize
+    /// behind earlier ones (Queued mode only). Returns the cycle the request
+    /// may start, having occupied the bank and recorded the wait in
+    /// `l2_port_delay`. Under `Ideal` the port is free and `now` is returned
+    /// unchanged.
+    fn acquire_l2_port(&mut self, block: BlockAddr, predictor: bool, now: u64) -> u64 {
+        if self.config.contention != ContentionModel::Queued {
+            return now;
+        }
+        let bank = (block.raw() % self.l2_ports.len() as u64) as usize;
+        let port_free = self.l2_ports[bank].max(now);
+        self.l2_ports[bank] = port_free + self.config.l2.port_occupancy;
+        self.stats.l2_port_delay.record(predictor, port_free - now);
+        port_free
+    }
+
     /// Shared-L2 access path (used by L1 misses, prefetches and the PVProxy).
     fn l2_path(
         &mut self,
@@ -396,19 +412,8 @@ impl MemoryHierarchy {
         self.stats.l2_requests.record(predictor);
         let queued = self.config.contention == ContentionModel::Queued;
         let mut queue_delay = 0u64;
-        // L2 tag-pipeline port: requests to the same bank serialize behind
-        // earlier ones (Queued mode only).
-        let start = if queued {
-            let bank = (block.raw() % self.l2_ports.len() as u64) as usize;
-            let port_free = self.l2_ports[bank].max(now);
-            self.l2_ports[bank] = port_free + self.config.l2.port_occupancy;
-            let wait = port_free - now;
-            self.stats.l2_port_delay.record(predictor, wait);
-            queue_delay += wait;
-            port_free
-        } else {
-            now
-        };
+        let start = self.acquire_l2_port(block, predictor, now);
+        queue_delay += start - now;
         let outcome = self.l2.access(block, kind, start);
         if outcome.hit {
             return L2Path {
@@ -422,8 +427,21 @@ impl MemoryHierarchy {
         self.l2_mshr.retire(start);
         let below_start = start + outcome.latency;
         let dram_latency = if let Some(entry) = self.l2_mshr.lookup(block) {
-            let ready = entry.ready_at;
-            self.l2_mshr.register(block, start, ready);
+            let in_flight_ready = entry.ready_at;
+            // The registration outcome is authoritative: a secondary miss
+            // must actually join the in-flight entry, or occupancy (and with
+            // it Queued-mode backpressure) is silently under-counted.
+            let ready = match self.l2_mshr.register(block, start, in_flight_ready) {
+                MshrOutcome::Merged { ready_at } => ready_at,
+                MshrOutcome::Allocated | MshrOutcome::Full => {
+                    // A merge can only fail if the looked-up entry vanished
+                    // (retired or displaced) between lookup and register.
+                    // Count it instead of dropping it on the floor; the
+                    // requester still waits for the fill it observed.
+                    self.stats.l2_mshr_merge_failures += 1;
+                    in_flight_ready
+                }
+            };
             ready.saturating_sub(below_start)
         } else {
             // Under queued contention a full L2 MSHR file delays the fill
@@ -464,19 +482,27 @@ impl MemoryHierarchy {
     /// A dirty line leaving an L1 (or the PVCache) is written back into the
     /// L2. Write-backs allocate in the L2 without fetching from memory
     /// because the whole block is being overwritten.
+    ///
+    /// Under `Queued` contention the write-back competes for the same L2
+    /// tag-pipeline bank ports as reads: it waits for its bank, occupies it,
+    /// and the wait is recorded in `l2_port_delay` under the victim's data
+    /// class. No requester blocks on the write-back itself, but the port
+    /// occupancy delays subsequent same-bank requests — dirty victims are no
+    /// longer free.
     fn writeback_to_l2(&mut self, block: BlockAddr, now: u64) {
         let predictor = self.classify(block).is_predictor();
         self.stats.l2_requests.record(predictor);
+        let start = self.acquire_l2_port(block, predictor, now);
         if self.l2.mark_dirty(block) {
             // Count as a write hit for the L2's own statistics.
-            let _ = self.l2.access(block, AccessKind::Write, now);
+            let _ = self.l2.access(block, AccessKind::Write, start);
             return;
         }
-        let _ = self.l2.access(block, AccessKind::Write, now);
+        let _ = self.l2.access(block, AccessKind::Write, start);
         let evicted = self.l2.fill(
             block,
             true,
-            now + self.config.l2.data_latency,
+            start + self.config.l2.data_latency,
             FillOrigin::Demand,
         );
         if let Some(ev) = evicted {
@@ -484,7 +510,7 @@ impl MemoryHierarchy {
                 let victim_predictor = self.classify(ev.block).is_predictor();
                 self.stats.l2_writebacks.record(victim_predictor);
                 self.stats.dram_writes += 1;
-                self.dram.write(ev.block.base_address(), now + self.config.l2.data_latency);
+                self.dram.write(ev.block.base_address(), start + self.config.l2.data_latency);
             }
         }
     }

@@ -188,6 +188,13 @@ pub struct HierarchyStats {
     /// Cycles requests waited for a full MSHR file to drain an entry
     /// (always zero under `ContentionModel::Ideal`).
     pub mshr_stall_delay: DelayBreakdown,
+    /// Secondary L2 misses whose merge-time MSHR registration did not
+    /// actually merge (the observed in-flight entry vanished between lookup
+    /// and registration). Expected to stay zero: the miss path retires and
+    /// registers against the same cycle, so a looked-up entry cannot retire
+    /// in between — but a non-zero count makes any future violation of that
+    /// invariant loud instead of silently under-counting occupancy.
+    pub l2_mshr_merge_failures: u64,
     /// Cycles DRAM *reads* waited in channel queues / for banks / for the
     /// data bus beyond the unloaded latency (always zero under
     /// `ContentionModel::Ideal`). Write-backs shape the timing state but
@@ -219,6 +226,7 @@ impl HierarchyStats {
             l1i_prefetches: vec![0; cores],
             l2_port_delay: DelayBreakdown::default(),
             mshr_stall_delay: DelayBreakdown::default(),
+            l2_mshr_merge_failures: 0,
             dram_queue_delay: DelayBreakdown::default(),
             dram_read_traffic: TrafficBreakdown::default(),
             dram_busy_cycles: 0,

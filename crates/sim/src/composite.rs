@@ -1,0 +1,248 @@
+//! Predictor cohabitation at the core level: SMS and Markov running
+//! *simultaneously* on one core, both virtualized.
+//!
+//! The paper's economic argument is that virtualization lets many predictors
+//! amortize one physical resource. [`CompositePrefetcher`] realizes it in
+//! the simulated CMP: each core runs the unchanged SMS engine *and* the
+//! unchanged Markov engine, each table living in its own sub-region of the
+//! core's PV region (a [`PvRegionPlan`]), in one of two arrangements:
+//!
+//! * **dedicated** — each table gets its own per-predictor `PvProxy` with a
+//!   private PVCache (the control configuration: 2 × C/2 sets);
+//! * **shared** — both tables arbitrate for one table-tagged
+//!   [`SharedPvProxy`] PVCache of C sets and one memory-request stream.
+//!
+//! The engines are fed in a fixed order (SMS first, then Markov) so runs
+//! replay bit-identically regardless of host or thread count.
+
+use pv_core::{PvConfig, PvRegionPlan, PvStats, SharedPvProxy, VirtualizedBackend};
+use pv_markov::{MarkovConfig, MarkovPrefetcher, SharedVirtualizedMarkov, VirtualizedMarkov};
+use pv_mem::{BlockAddr, MemoryHierarchy};
+use pv_sms::{PrefetchAction, SharedVirtualizedPht, SmsConfig, SmsPrefetcher, VirtualizedPht};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Statistics of one cohabiting table, summed over cores by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PvTableStats {
+    /// Table label (`"SMS"` or `"Markov"`).
+    pub label: String,
+    /// The table's PVProxy statistics.
+    pub stats: PvStats,
+}
+
+/// One core's pair of cohabiting virtualized prefetch engines.
+#[derive(Debug)]
+pub struct CompositePrefetcher {
+    sms: SmsPrefetcher,
+    markov: MarkovPrefetcher,
+    /// Present only in the shared arrangement.
+    shared: Option<Rc<RefCell<SharedPvProxy>>>,
+}
+
+impl CompositePrefetcher {
+    /// The dedicated arrangement: SMS and Markov each on their own
+    /// `PvProxy` (a PVCache of `pv.pvcache_sets` sets apiece), with tables
+    /// at `plan.base(core, 0)` and `plan.base(core, 1)`.
+    pub fn dedicated(
+        core: usize,
+        sms: SmsConfig,
+        markov: MarkovConfig,
+        pv: PvConfig,
+        plan: &PvRegionPlan,
+    ) -> Self {
+        CompositePrefetcher {
+            sms: SmsPrefetcher::new(
+                sms,
+                Box::new(VirtualizedPht::new(core, pv, plan.base(core, 0))),
+            ),
+            markov: MarkovPrefetcher::new(
+                markov,
+                Box::new(VirtualizedMarkov::new(core, pv, plan.base(core, 1))),
+            ),
+            shared: None,
+        }
+    }
+
+    /// The shared arrangement: both tables through one [`SharedPvProxy`]
+    /// whose table-tagged PVCache holds `pv.pvcache_sets` sets in total.
+    pub fn shared(
+        core: usize,
+        sms: SmsConfig,
+        markov: MarkovConfig,
+        pv: PvConfig,
+        plan: &PvRegionPlan,
+    ) -> Self {
+        let proxy = Rc::new(RefCell::new(SharedPvProxy::new(core, pv)));
+        let pht = SharedVirtualizedPht::new(Rc::clone(&proxy), pv, plan.base(core, 0));
+        let table = SharedVirtualizedMarkov::new(Rc::clone(&proxy), pv, plan.base(core, 1));
+        CompositePrefetcher {
+            sms: SmsPrefetcher::new(sms, Box::new(pht)),
+            markov: MarkovPrefetcher::new(markov, Box::new(table)),
+            shared: Some(proxy),
+        }
+    }
+
+    /// Whether the two tables share one PVCache.
+    pub fn is_shared(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The SMS engine.
+    pub fn sms(&self) -> &SmsPrefetcher {
+        &self.sms
+    }
+
+    /// The Markov engine.
+    pub fn markov(&self) -> &MarkovPrefetcher {
+        &self.markov
+    }
+
+    /// Notifies the engines that blocks left the L1 data cache (only SMS
+    /// reacts: evictions close its spatial generations).
+    pub fn on_l1_evictions(&mut self, blocks: &[BlockAddr], mem: &mut MemoryHierarchy, now: u64) {
+        self.sms.on_l1_evictions(blocks, mem, now);
+    }
+
+    /// Observes one L1 data access and returns every prefetch the two
+    /// engines want issued — SMS's stream first, then Markov's prediction,
+    /// a fixed order that keeps runs deterministic.
+    pub fn on_data_access(
+        &mut self,
+        pc: u64,
+        address: u64,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    ) -> Vec<PrefetchAction> {
+        let sms_response = self.sms.on_data_access(pc, address, mem, now);
+        let mut actions = sms_response.prefetches;
+        let markov_response = self.markov.on_data_access(pc, address, mem, now);
+        if let Some(block) = markov_response.prefetch {
+            actions.push(PrefetchAction {
+                block,
+                issue_at: markov_response.issue_at,
+            });
+        }
+        actions
+    }
+
+    /// Per-table PVProxy statistics (labelled `"SMS"` / `"Markov"`).
+    pub fn pv_table_stats(&self) -> Vec<PvTableStats> {
+        match &self.shared {
+            Some(proxy) => {
+                let proxy = proxy.borrow();
+                (0..proxy.tables())
+                    .map(|table| PvTableStats {
+                        label: proxy.table_label(table).to_owned(),
+                        stats: *proxy.table_stats(table),
+                    })
+                    .collect()
+            }
+            None => {
+                let pht = self
+                    .sms
+                    .storage()
+                    .as_any()
+                    .downcast_ref::<VirtualizedPht>()
+                    .expect("dedicated composite uses VirtualizedPht");
+                let table = self
+                    .markov
+                    .storage()
+                    .as_any()
+                    .downcast_ref::<VirtualizedMarkov>()
+                    .expect("dedicated composite uses VirtualizedMarkov");
+                vec![
+                    PvTableStats {
+                        label: "SMS".to_owned(),
+                        stats: *pht.proxy().stats(),
+                    },
+                    PvTableStats {
+                        label: "Markov".to_owned(),
+                        stats: *table.proxy().stats(),
+                    },
+                ]
+            }
+        }
+    }
+
+    /// Resets engine and proxy statistics (learned state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.sms.reset_stats();
+        self.markov.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_mem::HierarchyConfig;
+
+    fn setup(shared: bool) -> (MemoryHierarchy, CompositePrefetcher) {
+        let config = HierarchyConfig::paper_baseline(4).with_pv_bytes_per_core(128 * 1024);
+        let mem = MemoryHierarchy::new(config);
+        let pv = PvConfig::pv8();
+        let plan = PvRegionPlan::new(config.pv_regions, vec![pv.table_bytes(), pv.table_bytes()]);
+        let composite = if shared {
+            CompositePrefetcher::shared(
+                0,
+                SmsConfig::paper_1k_11a(),
+                MarkovConfig::paper_1k(),
+                PvConfig::pv8(),
+                &plan,
+            )
+        } else {
+            CompositePrefetcher::dedicated(
+                0,
+                SmsConfig::paper_1k_11a(),
+                MarkovConfig::paper_1k(),
+                PvConfig::pv8().with_pvcache_sets(4),
+                &plan,
+            )
+        };
+        (mem, composite)
+    }
+
+    /// Drives a short repeating stream through both engines.
+    fn drive(mem: &mut MemoryHierarchy, composite: &mut CompositePrefetcher) -> usize {
+        let mut issued = 0;
+        for round in 0..4u64 {
+            for i in 0..64u64 {
+                let pc = 0x4000 + (i % 8) * 4;
+                let addr = (i * 3 % 50) * 4096 + (i % 16) * 64;
+                let actions = composite.on_data_access(pc, addr, mem, round * 100_000 + i * 1_000);
+                issued += actions.len();
+            }
+        }
+        issued
+    }
+
+    #[test]
+    fn both_engines_observe_accesses_and_report_per_table_stats() {
+        for shared in [false, true] {
+            let (mut mem, mut composite) = setup(shared);
+            drive(&mut mem, &mut composite);
+            assert_eq!(composite.is_shared(), shared);
+            assert!(composite.sms().stats().accesses_observed > 0);
+            assert!(composite.markov().stats().accesses_observed > 0);
+            let tables = composite.pv_table_stats();
+            assert_eq!(tables.len(), 2);
+            assert_eq!(tables[0].label, "SMS");
+            assert_eq!(tables[1].label, "Markov");
+            assert!(
+                tables.iter().all(|t| t.stats.operations() > 0),
+                "both tables must see traffic (shared = {shared})"
+            );
+            assert!(mem.stats().l2_requests.predictor > 0);
+        }
+    }
+
+    #[test]
+    fn reset_preserves_learned_state_but_clears_counters() {
+        let (mut mem, mut composite) = setup(true);
+        drive(&mut mem, &mut composite);
+        composite.reset_stats();
+        assert_eq!(composite.sms().stats().accesses_observed, 0);
+        assert_eq!(composite.markov().stats().accesses_observed, 0);
+        assert!(composite.pv_table_stats().iter().all(|t| t.stats.operations() == 0));
+    }
+}

@@ -91,6 +91,30 @@ pub enum PrefetcherKind {
         /// Virtualization configuration (PVCache size, table layout).
         pv: PvConfig,
     },
+    /// SMS **and** Markov cohabiting on every core, both virtualized, each
+    /// table in its own sub-region of the core's PV region (which must be
+    /// sized for both — see `HierarchyConfig::with_pv_bytes_per_core`), each
+    /// with its own *dedicated* PVCache of `pv.pvcache_sets` sets. The
+    /// control configuration of the `cohabit` experiment.
+    CompositeDedicated {
+        /// SMS engine configuration.
+        sms: SmsConfig,
+        /// Markov engine configuration.
+        markov: MarkovConfig,
+        /// Virtualization configuration; `pvcache_sets` is *per table*.
+        pv: PvConfig,
+    },
+    /// SMS and Markov cohabiting through one **shared**, table-tagged
+    /// PVCache of `pv.pvcache_sets` sets, arbitrated by a single proxy per
+    /// core — the cohabitation design the paper's economics argue for.
+    CompositeShared {
+        /// SMS engine configuration.
+        sms: SmsConfig,
+        /// Markov engine configuration.
+        markov: MarkovConfig,
+        /// Virtualization configuration; `pvcache_sets` is the shared total.
+        pv: PvConfig,
+    },
 }
 
 impl PrefetcherKind {
@@ -156,6 +180,38 @@ impl PrefetcherKind {
         }
     }
 
+    /// SMS + Markov cohabiting with a dedicated PVCache of
+    /// `per_table_pvcache_sets` sets per table.
+    pub fn composite_dedicated(per_table_pvcache_sets: usize) -> Self {
+        PrefetcherKind::CompositeDedicated {
+            sms: SmsConfig::paper_1k_11a(),
+            markov: MarkovConfig::paper_1k(),
+            pv: PvConfig::pv8().with_pvcache_sets(per_table_pvcache_sets),
+        }
+    }
+
+    /// SMS + Markov cohabiting through one shared table-tagged PVCache of
+    /// `shared_pvcache_sets` sets.
+    pub fn composite_shared(shared_pvcache_sets: usize) -> Self {
+        PrefetcherKind::CompositeShared {
+            sms: SmsConfig::paper_1k_11a(),
+            markov: MarkovConfig::paper_1k(),
+            pv: PvConfig::pv8().with_pvcache_sets(shared_pvcache_sets),
+        }
+    }
+
+    /// Bytes of PV region each core needs for this configuration (the sum of
+    /// its virtualized tables' footprints; zero when nothing is virtualized).
+    pub fn pv_bytes_per_core(&self) -> u64 {
+        match self {
+            PrefetcherKind::None | PrefetcherKind::Sms(_) | PrefetcherKind::Markov(_) => 0,
+            PrefetcherKind::VirtualizedSms { pv, .. }
+            | PrefetcherKind::VirtualizedMarkov { pv, .. } => pv.table_bytes(),
+            PrefetcherKind::CompositeDedicated { pv, .. }
+            | PrefetcherKind::CompositeShared { pv, .. } => 2 * pv.table_bytes(),
+        }
+    }
+
     /// A short label for reports (e.g. `"SMS-1K"`, `"SMS-PV8"`).
     pub fn label(&self) -> String {
         match self {
@@ -166,6 +222,12 @@ impl PrefetcherKind {
             PrefetcherKind::VirtualizedMarkov { pv, .. } => {
                 format!("Markov-PV{}", pv.pvcache_sets)
             }
+            PrefetcherKind::CompositeDedicated { pv, .. } => {
+                format!("SMS+Markov-2xPV{}", pv.pvcache_sets)
+            }
+            PrefetcherKind::CompositeShared { pv, .. } => {
+                format!("SMS+Markov-shPV{}", pv.pvcache_sets)
+            }
         }
     }
 
@@ -173,7 +235,10 @@ impl PrefetcherKind {
     pub fn is_virtualized(&self) -> bool {
         matches!(
             self,
-            PrefetcherKind::VirtualizedSms { .. } | PrefetcherKind::VirtualizedMarkov { .. }
+            PrefetcherKind::VirtualizedSms { .. }
+                | PrefetcherKind::VirtualizedMarkov { .. }
+                | PrefetcherKind::CompositeDedicated { .. }
+                | PrefetcherKind::CompositeShared { .. }
         )
     }
 }
@@ -249,6 +314,14 @@ impl SimConfig {
         assert!(
             self.measure_records > 0,
             "measurement window must be non-empty"
+        );
+        assert!(
+            self.prefetcher.pv_bytes_per_core() <= self.hierarchy.pv_regions.bytes_per_core,
+            "the {} configuration needs {} PV bytes per core but the hierarchy reserves only {} \
+             (grow it with HierarchyConfig::with_pv_bytes_per_core)",
+            self.prefetcher.label(),
+            self.prefetcher.pv_bytes_per_core(),
+            self.hierarchy.pv_regions.bytes_per_core
         );
         self.core.assert_valid();
     }

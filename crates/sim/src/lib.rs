@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod composite;
 pub mod config;
 pub mod core_model;
 pub mod metrics;
 pub mod system;
 
+pub use composite::{CompositePrefetcher, PvTableStats};
 pub use config::{CoreConfig, PrefetcherKind, SimConfig};
 pub use core_model::CoreModel;
 pub use metrics::{mean_and_ci95, CoverageMetrics, RunMetrics};

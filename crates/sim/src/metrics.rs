@@ -72,6 +72,10 @@ pub struct RunMetrics {
     /// PVProxy statistics summed over cores (`None` for non-virtualized
     /// configurations).
     pub pv: Option<PvStats>,
+    /// Per-table PVProxy statistics of cohabiting configurations, summed
+    /// over cores and keyed by table label (`"SMS"` / `"Markov"`). Empty for
+    /// single-predictor kinds, whose aggregate lives in [`Self::pv`].
+    pub pv_tables: Vec<crate::composite::PvTableStats>,
     /// Data prefetches issued into the L1s.
     pub prefetches_issued: u64,
 }
@@ -216,6 +220,7 @@ mod tests {
             sms: None,
             markov: None,
             pv: None,
+            pv_tables: Vec::new(),
             prefetches_issued: 0,
         }
     }

@@ -1,20 +1,22 @@
 //! The simulated CMP: cores, traces, prefetchers and the shared memory
 //! hierarchy, plus the warm-up/measure run loop.
 
+use crate::composite::CompositePrefetcher;
 use crate::config::{PrefetcherKind, SimConfig};
 use crate::core_model::CoreModel;
 use crate::metrics::{CoverageMetrics, RunMetrics};
-use pv_core::{PvStats, VirtualizedBackend};
+use pv_core::{PvRegionPlan, PvStats, VirtualizedBackend};
 use pv_markov::{MarkovPrefetcher, MarkovStats, VirtualizedMarkov};
 use pv_mem::{DataClass, MemoryHierarchy, Requester};
 use pv_sms::{build_storage, SmsPrefetcher, SmsStats, VirtualizedPht};
 use pv_workloads::{MemOp, TraceGenerator, TraceRecord, WorkloadParams};
 
 /// One core's data-prefetch engine: any of the optimization engines that can
-/// sit on top of a dedicated or virtualized table.
+/// sit on top of a dedicated or virtualized table, or a cohabiting pair.
 enum Engine {
     Sms(SmsPrefetcher),
     Markov(MarkovPrefetcher),
+    Composite(CompositePrefetcher),
 }
 
 /// Per-core simulation state.
@@ -122,7 +124,28 @@ impl System {
                     Box::new(VirtualizedMarkov::new(core, *pv, base)),
                 )))
             }
+            PrefetcherKind::CompositeDedicated { sms, markov, pv } => {
+                let plan = Self::cohabit_plan(config, pv);
+                Some(Engine::Composite(CompositePrefetcher::dedicated(
+                    core, *sms, *markov, *pv, &plan,
+                )))
+            }
+            PrefetcherKind::CompositeShared { sms, markov, pv } => {
+                let plan = Self::cohabit_plan(config, pv);
+                Some(Engine::Composite(CompositePrefetcher::shared(
+                    core, *sms, *markov, *pv, &plan,
+                )))
+            }
         }
+    }
+
+    /// The region plan of a cohabiting configuration: one SMS table and one
+    /// Markov table per core, side by side in the core's PV region.
+    fn cohabit_plan(config: &SimConfig, pv: &pv_core::PvConfig) -> PvRegionPlan {
+        PvRegionPlan::new(
+            config.hierarchy.pv_regions,
+            vec![pv.table_bytes(), pv.table_bytes()],
+        )
     }
 
     /// The configuration this system was built from.
@@ -172,6 +195,7 @@ impl System {
             match &mut core.engine {
                 Some(Engine::Sms(sms)) => sms.reset_stats(),
                 Some(Engine::Markov(markov)) => markov.reset_stats(),
+                Some(Engine::Composite(composite)) => composite.reset_stats(),
                 None => {}
             }
         }
@@ -255,6 +279,20 @@ impl System {
                 }
                 Engine::Markov(markov)
             }
+            Engine::Composite(mut composite) => {
+                composite.on_l1_evictions(&response.l1_evictions, &mut self.hierarchy, now);
+                let actions =
+                    composite.on_data_access(record.pc, record.address, &mut self.hierarchy, now);
+                for action in &actions {
+                    let issue_at = action.issue_at.max(now);
+                    let outcome = self.hierarchy.prefetch_into_l1d(core_id, action.block, issue_at);
+                    if outcome.issued {
+                        self.cores[idx].prefetches_issued += 1;
+                    }
+                    composite.on_l1_evictions(&outcome.l1_evictions, &mut self.hierarchy, issue_at);
+                }
+                Engine::Composite(composite)
+            }
         };
         self.cores[idx].engine = Some(engine);
     }
@@ -269,6 +307,7 @@ impl System {
         let mut sms_total: Option<SmsStats> = None;
         let mut markov_total: Option<MarkovStats> = None;
         let mut pv_total: Option<PvStats> = None;
+        let mut pv_tables: Vec<crate::composite::PvTableStats> = Vec::new();
         let mut prefetches_issued = 0;
         for (core_idx, core) in self.cores.iter().enumerate() {
             coverage.covered += core.covered;
@@ -290,6 +329,19 @@ impl System {
                         pv_total.get_or_insert_with(PvStats::default).merge(table.proxy().stats());
                     }
                 }
+                Some(Engine::Composite(composite)) => {
+                    sms_total.get_or_insert_with(SmsStats::default).merge(composite.sms().stats());
+                    markov_total
+                        .get_or_insert_with(MarkovStats::default)
+                        .merge(composite.markov().stats());
+                    for table in composite.pv_table_stats() {
+                        pv_total.get_or_insert_with(PvStats::default).merge(&table.stats);
+                        match pv_tables.iter_mut().find(|t| t.label == table.label) {
+                            Some(total) => total.stats.merge(&table.stats),
+                            None => pv_tables.push(table),
+                        }
+                    }
+                }
                 None => {}
             }
         }
@@ -305,6 +357,7 @@ impl System {
             sms: sms_total,
             markov: markov_total,
             pv: pv_total,
+            pv_tables,
             prefetches_issued,
         }
     }
@@ -418,6 +471,49 @@ mod tests {
         assert!(pv.memory_requests > 0);
         assert!(virtualized.hierarchy.l2_requests.predictor > 0);
         assert_eq!(virtualized.configuration, "Markov-PV8");
+    }
+
+    #[test]
+    fn composite_kinds_run_both_engines_and_split_pv_stats_per_table() {
+        let workload = workloads::qry1();
+        for kind in [
+            PrefetcherKind::composite_dedicated(4),
+            PrefetcherKind::composite_shared(8),
+        ] {
+            let mut config = tiny(kind.clone());
+            config.hierarchy = config.hierarchy.with_pv_bytes_per_core(kind.pv_bytes_per_core());
+            let metrics = run_workload(&config, &workload);
+            let sms = metrics.sms.as_ref().expect("composite runs expose SMS stats");
+            let markov = metrics.markov.as_ref().expect("composite runs expose Markov stats");
+            assert!(sms.accesses_observed > 0);
+            assert!(markov.accesses_observed > 0);
+            assert!(metrics.hierarchy.l2_requests.predictor > 0);
+            let pv = metrics.pv.as_ref().expect("composite runs expose PV stats");
+            assert_eq!(metrics.pv_tables.len(), 2, "one entry per cohabiting table");
+            assert_eq!(metrics.pv_tables[0].label, "SMS");
+            assert_eq!(metrics.pv_tables[1].label, "Markov");
+            let per_table_sum: u64 =
+                metrics.pv_tables.iter().map(|t| t.stats.memory_requests).sum();
+            assert_eq!(
+                per_table_sum, pv.memory_requests,
+                "per-table split must sum to total"
+            );
+            assert!(
+                metrics.pv_tables.iter().all(|t| t.stats.lookups > 0),
+                "both tables must serve their engine ({})",
+                metrics.configuration
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PV bytes per core")]
+    fn composite_kinds_reject_undersized_pv_regions() {
+        // The baseline region (64 KB/core) cannot hold two 64 KB tables.
+        let _ = run_workload(
+            &tiny(PrefetcherKind::composite_shared(8)),
+            &workloads::qry1(),
+        );
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! SMS on a *shared* PVProxy: the cohabitation adapter.
+//!
+//! [`VirtualizedPht`](crate::VirtualizedPht) gives SMS a PVProxy of its own.
+//! [`SharedVirtualizedPht`] instead registers the SMS PVTable as one table
+//! of a per-core [`SharedPvProxy`], so SMS and any cohabiting predictor
+//! (e.g. the Markov backend) arbitrate for the same table-tagged PVCache
+//! entries and the same L2/DRAM bandwidth. The SMS engine is — as always —
+//! unchanged: it still sees only [`PatternStorage`].
+//!
+//! Contents are write-through: the adapter owns the authoritative
+//! `PvTable<SmsEntry>` and consults it only while the shared proxy reports
+//! the set resident (see `pv_core::shared` for the contract).
+
+use crate::index::PhtIndex;
+use crate::pattern::SpatialPattern;
+use crate::pht::{PatternLookup, PatternStorage};
+use crate::virtualized::SmsEntry;
+use pv_core::{
+    PvConfig, PvEntry, PvLayout, PvStartRegister, PvStorageBudget, PvTable, SharedPvProxy,
+};
+use pv_mem::{Address, MemoryHierarchy};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The SMS pattern-history table bound to a shared, table-tagged PVProxy.
+#[derive(Debug)]
+pub struct SharedVirtualizedPht {
+    shared: Rc<RefCell<SharedPvProxy>>,
+    table_id: usize,
+    config: PvConfig,
+    layout: PvLayout,
+    table: PvTable<SmsEntry>,
+}
+
+impl SharedVirtualizedPht {
+    /// Registers an SMS PVTable based at `pv_start` (normally a
+    /// `PvRegionPlan` sub-region base) with the core's shared proxy.
+    /// `config` describes this table's geometry; the PVCache capacity is the
+    /// shared proxy's, not `config.pvcache_sets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured number of table sets leaves more index tag
+    /// bits than the packed entry stores (mirrors `VirtualizedPht::new`).
+    pub fn new(shared: Rc<RefCell<SharedPvProxy>>, config: PvConfig, pv_start: Address) -> Self {
+        assert!(
+            PhtIndex::tag_bits(config.table_sets) <= SmsEntry::TAG_BITS,
+            "a {}-set PVTable needs {} tag bits but SmsEntry stores {}",
+            config.table_sets,
+            PhtIndex::tag_bits(config.table_sets),
+            SmsEntry::TAG_BITS
+        );
+        let table_id =
+            shared
+                .borrow_mut()
+                .add_table(pv_start, config.table_sets, config.block_bytes, "SMS");
+        SharedVirtualizedPht {
+            table_id,
+            layout: PvLayout::of::<SmsEntry>(config.block_bytes),
+            table: PvTable::new(&config, PvStartRegister::new(pv_start)),
+            config,
+            shared,
+        }
+    }
+
+    /// The shared proxy this table arbitrates through.
+    pub fn shared(&self) -> &Rc<RefCell<SharedPvProxy>> {
+        &self.shared
+    }
+
+    /// This table's id within the shared proxy.
+    pub fn table_id(&self) -> usize {
+        self.table_id
+    }
+
+    /// Splits a raw PHT index into (set index, tag) for this geometry.
+    fn split_index(&self, index: u64) -> (usize, u64) {
+        (
+            (index as usize) & (self.config.table_sets - 1),
+            index >> self.config.table_sets.trailing_zeros(),
+        )
+    }
+
+    /// Writes every dirty resident set of the *whole shared proxy* back to
+    /// the memory hierarchy (sets are interleaved across tables, so a
+    /// per-table drain would be a fiction).
+    pub fn drain(&mut self, mem: &mut MemoryHierarchy, now: u64) {
+        self.shared.borrow_mut().drain(mem, now);
+    }
+}
+
+impl PatternStorage for SharedVirtualizedPht {
+    fn lookup(&mut self, index: PhtIndex, mem: &mut MemoryHierarchy, now: u64) -> PatternLookup {
+        let raw = u64::from(index.raw());
+        let (set_index, tag) = self.split_index(raw);
+        let access = self.shared.borrow_mut().lookup_set(self.table_id, set_index, raw, mem, now);
+        let pattern = if access.resident {
+            self.table.set_mut(set_index).lookup(tag).map(|entry| entry.pattern)
+        } else {
+            // Dropped (pattern buffer full): the prediction is lost even if
+            // the entry exists — the set never made it on chip.
+            None
+        };
+        PatternLookup {
+            pattern,
+            ready_at: access.ready_at,
+        }
+    }
+
+    fn store(
+        &mut self,
+        index: PhtIndex,
+        pattern: SpatialPattern,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    ) {
+        let raw = u64::from(index.raw());
+        let (set_index, tag) = self.split_index(raw);
+        let entry = SmsEntry::new(tag as u16, pattern);
+        // Same geometry guards as PvProxy::store: the structured table must
+        // only ever hold entries the packed layout could represent.
+        assert!(
+            entry.tag() <= self.layout.max_tag(),
+            "tag {:#x} exceeds the layout's {} tag bits",
+            entry.tag(),
+            self.layout.tag_bits
+        );
+        assert!(
+            entry.payload() != 0 && entry.payload() <= self.layout.max_payload(),
+            "payload {:#x} must be non-zero and fit the layout's {} payload bits",
+            entry.payload(),
+            self.layout.payload_bits
+        );
+        self.shared.borrow_mut().store_set(self.table_id, set_index, mem, now);
+        self.table.set_mut(set_index).insert(entry);
+    }
+
+    fn label(&self) -> String {
+        format!("shPV-{}", self.shared.borrow().cache().capacity())
+    }
+
+    fn dedicated_storage_bytes(&self) -> u64 {
+        // The budget of the whole shared proxy at this entry's widths; the
+        // proxy is shared, so cohabiting adapters deliberately report the
+        // same pooled figure rather than a per-table split.
+        let sized = PvConfig {
+            pvcache_sets: self.shared.borrow().cache().capacity(),
+            ..self.config
+        };
+        PvStorageBudget::for_entry::<SmsEntry>(&sized).total_bytes()
+    }
+
+    fn resident_patterns(&self) -> usize {
+        self.table.resident_entries()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn reset_stats(&mut self) {
+        // Resets every cohabiting table's statistics; the peer adapter's
+        // reset doing the same is idempotent.
+        self.shared.borrow_mut().reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::TriggerKey;
+    use pv_mem::{HierarchyConfig, PvRegionConfig};
+
+    fn setup() -> (MemoryHierarchy, SharedVirtualizedPht) {
+        let mut config = HierarchyConfig::paper_baseline(4);
+        config.pv_regions = PvRegionConfig::with_bytes_per_core(4, 128 * 1024);
+        let mem = MemoryHierarchy::new(config);
+        let shared = Rc::new(RefCell::new(SharedPvProxy::new(0, PvConfig::pv8())));
+        let pht = SharedVirtualizedPht::new(
+            Rc::clone(&shared),
+            PvConfig::pv8(),
+            config.pv_regions.core_base(0),
+        );
+        (mem, pht)
+    }
+
+    fn index_for(pc: u64, offset: u32) -> PhtIndex {
+        TriggerKey::new(pc, offset).index()
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips_through_the_shared_proxy() {
+        let (mut mem, mut pht) = setup();
+        let index = index_for(0x4000, 3);
+        let pattern = SpatialPattern::from_offsets([3, 4, 9]);
+        pht.store(index, pattern, &mut mem, 0);
+        let lookup = pht.lookup(index, &mut mem, 1_000);
+        assert_eq!(lookup.pattern, Some(pattern));
+        let shared = pht.shared().borrow();
+        assert_eq!(shared.table_stats(0).stores, 1);
+        assert_eq!(shared.table_stats(0).pvcache_hits, 1);
+    }
+
+    #[test]
+    fn cold_lookup_pays_memory_latency_and_issues_predictor_traffic() {
+        let (mut mem, mut pht) = setup();
+        let lookup = pht.lookup(index_for(0x4000, 3), &mut mem, 0);
+        assert!(lookup.pattern.is_none());
+        assert!(lookup.ready_at >= 400, "cold set must come from DRAM");
+        assert_eq!(mem.stats().l2_requests.predictor, 1);
+    }
+
+    #[test]
+    fn evicted_dirty_sets_survive_via_write_through() {
+        let (mut mem, mut pht) = setup();
+        let pattern = SpatialPattern::from_offsets([1, 2]);
+        let capacity = pht.shared().borrow().cache().capacity();
+        for i in 0..(capacity + 4) as u64 {
+            pht.store(index_for(0x4000 + i * 4, 1), pattern, &mut mem, i * 1000);
+        }
+        assert!(pht.shared().borrow().table_stats(0).dirty_writebacks >= 1);
+        let lookup = pht.lookup(index_for(0x4000, 1), &mut mem, 1_000_000);
+        assert_eq!(lookup.pattern, Some(pattern));
+    }
+
+    #[test]
+    fn labels_and_budget_name_the_shared_cache() {
+        let (_, pht) = setup();
+        assert_eq!(PatternStorage::label(&pht), "shPV-8");
+        // Same pooled budget as a dedicated PV-8 proxy at SMS widths.
+        assert_eq!(pht.dedicated_storage_bytes(), 889);
+    }
+}

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod agt;
+pub mod cohabit;
 pub mod config;
 pub mod index;
 pub mod pattern;
@@ -67,6 +68,7 @@ pub mod stats;
 pub mod virtualized;
 
 pub use agt::{ActiveGenerationTable, AgtUpdate, CompletedGeneration, TriggerInfo};
+pub use cohabit::SharedVirtualizedPht;
 pub use config::{PhtGeometry, SmsConfig};
 pub use index::{PhtIndex, TriggerKey};
 pub use pattern::SpatialPattern;

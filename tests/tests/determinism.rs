@@ -7,12 +7,13 @@
 //! worker thread or many, and across back-to-back runs — the seeded-replay
 //! discipline that keeps every recorded number reproducible.
 
-use pv_experiments::{HierarchyVariant, MixSpec, RunSpec, Runner, Scale};
+use pv_experiments::{cohabit, HierarchyVariant, MixSpec, RunSpec, Runner, Scale};
+use pv_mem::ContentionModel;
 use pv_sim::PrefetcherKind;
 use pv_workloads::WorkloadId;
 
-/// The specs exercised: ideal and queued hierarchies, dedicated and
-/// virtualized prefetchers.
+/// The specs exercised: ideal and queued hierarchies; dedicated,
+/// virtualized and cohabiting prefetchers.
 fn specs() -> Vec<RunSpec> {
     let mut specs = Vec::new();
     for prefetcher in [PrefetcherKind::None, PrefetcherKind::sms_pv8()] {
@@ -24,6 +25,24 @@ fn specs() -> Vec<RunSpec> {
                 cycles_per_transfer: 64,
             },
         });
+    }
+    // Cohabiting kinds: two engines per core sharing one region (and, for
+    // the shared kind, one PVCache through an Rc<RefCell<...>> proxy) must
+    // replay bit-identically too, under both timing models.
+    for prefetcher in [
+        PrefetcherKind::composite_dedicated(4),
+        PrefetcherKind::composite_shared(8),
+    ] {
+        for contention in [ContentionModel::Ideal, ContentionModel::Queued] {
+            specs.push(RunSpec {
+                workload: WorkloadId::Qry1,
+                prefetcher: prefetcher.clone(),
+                hierarchy: HierarchyVariant::PvRegion {
+                    bytes_per_core: cohabit::PV_BYTES_PER_CORE,
+                    contention,
+                },
+            });
+        }
     }
     specs
 }
