@@ -2,12 +2,12 @@
 //! trajectory.
 //!
 //! Times smoke-scale end-to-end runs for every [`PrefetcherKind`] —
-//! including the cohabiting SMS+Markov pairs — plus micro-benchmarks of the
-//! packing codec and the set-associative array against the retained
-//! pre-flattening reference implementations and of the memory-hierarchy
-//! access path under both contention models, and writes the results as
-//! `BENCH_PR4.json` (schema `pv-perfbench/2`, documented in the README's
-//! Performance section).
+//! including the cohabiting SMS+Markov pairs and the feedback-throttled
+//! variants — plus micro-benchmarks of the packing codec and the
+//! set-associative array against the retained pre-flattening reference
+//! implementations and of the memory-hierarchy access path under both
+//! contention models, and writes the results as `BENCH_PR5.json` (schema
+//! `pv-perfbench/2`, documented in the README's Performance section).
 //!
 //! Each end-to-end row also carries a digest of the run's `RunMetrics`
 //! (cycles, misses, traffic, coverage): optimisation PRs must keep those
@@ -22,11 +22,11 @@
 //!
 //! With `--check-against`, the end-to-end rows are compared against the
 //! matching rows of a previously-recorded JSON (e.g. the committed
-//! `BENCH_PR3.json`): the process exits non-zero when the geometric-mean
+//! `BENCH_PR4.json`): the process exits non-zero when the geometric-mean
 //! records/sec ratio regresses by more than 25%, and digest mismatches are
 //! reported as warnings (behaviour-changing PRs are expected to move them;
 //! perf-only PRs are not). Rows with no baseline counterpart — e.g. the
-//! cohabiting kinds the PR that wrote `BENCH_PR4.json` introduced — are
+//! throttled kinds the PR that wrote `BENCH_PR5.json` introduced — are
 //! skipped by the gate.
 
 use pv_core::{decode_set, encode_set, packing, PvLayout, PvSet, RawEntry};
@@ -79,6 +79,8 @@ fn all_kinds() -> Vec<PrefetcherKind> {
         PrefetcherKind::markov_pv8(),
         PrefetcherKind::composite_dedicated(4),
         PrefetcherKind::composite_shared(8),
+        PrefetcherKind::sms_pv8_throttled(),
+        PrefetcherKind::markov_pv8_throttled(),
     ]
 }
 
@@ -340,7 +342,7 @@ fn main() {
             }
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_PR4.json".to_owned());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR5.json".to_owned());
 
     let mut runs = Vec::new();
     for kind in all_kinds() {

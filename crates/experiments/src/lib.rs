@@ -37,6 +37,7 @@ pub mod sec46;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod throttle;
 
 pub use report::Table;
 pub use runner::{HierarchyVariant, MixSpec, RunSpec, Runner, Scale};
@@ -79,6 +80,9 @@ pub enum Experiment {
     /// Predictor cohabitation: SMS + Markov sharing one PV region and one
     /// PVCache (dedicated vs shared provisioning).
     Cohabit,
+    /// Feedback-directed throttling: fixed vs adaptive issue degree under
+    /// queued DRAM contention.
+    Throttle,
 }
 
 impl Experiment {
@@ -87,7 +91,7 @@ impl Experiment {
         use Experiment::*;
         vec![
             Table1, Table2, Table3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Sec46,
-            Ablation, Backends, Bandwidth, Mixes, Cohabit,
+            Ablation, Backends, Bandwidth, Mixes, Cohabit, Throttle,
         ]
     }
 
@@ -111,6 +115,7 @@ impl Experiment {
             Experiment::Bandwidth => "bandwidth",
             Experiment::Mixes => "mixes",
             Experiment::Cohabit => "cohabit",
+            Experiment::Throttle => "throttle",
         }
     }
 
@@ -139,6 +144,7 @@ impl Experiment {
             Experiment::Bandwidth => bandwidth::report(runner),
             Experiment::Mixes => mixes::report(runner),
             Experiment::Cohabit => cohabit::report(runner),
+            Experiment::Throttle => throttle::report(runner),
         }
     }
 }

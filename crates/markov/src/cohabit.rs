@@ -2,7 +2,7 @@
 //!
 //! Mirror of `pv_sms::cohabit`: [`SharedVirtualizedMarkov`] registers the
 //! Markov table as one table of a per-core
-//! [`SharedPvProxy`](pv_core::SharedPvProxy), so it competes with its
+//! [`SharedPvProxy`], so it competes with its
 //! cohabitants (e.g. SMS) for the same table-tagged PVCache lines and the
 //! same L2/DRAM bandwidth. Contents are write-through in the adapter's own
 //! `PvTable<MarkovEntry>`; the engine still sees only [`NextAddrStorage`].

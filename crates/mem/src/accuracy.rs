@@ -1,0 +1,279 @@
+//! Windowed prefetch-accuracy sampling.
+//!
+//! The L1 data caches already keep the two counters that define prefetch
+//! accuracy — first demand uses of prefetched lines and prefetched lines
+//! evicted before any use — but only as run totals. This module samples
+//! them over a configurable *epoch* so a feedback consumer (the throttle
+//! controller in `pv-sim`) can react to how useful prefetches are *right
+//! now* rather than on average since boot.
+//!
+//! The [`MemoryHierarchy`](crate::MemoryHierarchy) owns one
+//! [`AccuracyWindow`] per (core, [`DataClass`](crate::DataClass)) pair and
+//! feeds it from the prefetch bookkeeping it already performs; recording is
+//! pure counting and never influences timing, so configurations that ignore
+//! the windows behave bit-identically with sampling on or off.
+
+use std::collections::VecDeque;
+
+/// One completed accuracy epoch: how prefetched lines fared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccuracySample {
+    /// Prefetched lines first used by a demand access during the epoch.
+    pub used: u64,
+    /// Prefetched lines evicted (or invalidated) unused during the epoch.
+    pub useless: u64,
+}
+
+impl AccuracySample {
+    /// Useful fraction in `[0, 1]`; zero for an empty sample.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.used + self.useless;
+        if total == 0 {
+            0.0
+        } else {
+            self.used as f64 / total as f64
+        }
+    }
+
+    /// Whether the sample's accuracy is strictly below `pct` per cent
+    /// (integer arithmetic, so feedback decisions stay exactly
+    /// reproducible across hosts).
+    pub fn below_pct(&self, pct: u8) -> bool {
+        self.used * 100 < u64::from(pct) * (self.used + self.useless)
+    }
+
+    /// Whether the sample's accuracy is strictly above `pct` per cent.
+    pub fn above_pct(&self, pct: u8) -> bool {
+        self.used * 100 > u64::from(pct) * (self.used + self.useless)
+    }
+}
+
+/// Samples prefetch outcomes (used vs. evicted-unused) over fixed-size
+/// epochs of `epoch` outcome events each.
+///
+/// Completed epochs queue up until a consumer drains them with
+/// [`AccuracyWindow::pop_completed`]; cumulative totals are kept alongside
+/// for end-of-run reporting.
+#[derive(Debug, Clone)]
+pub struct AccuracyWindow {
+    epoch: u64,
+    used: u64,
+    useless: u64,
+    completed: VecDeque<AccuracySample>,
+    total_used: u64,
+    total_useless: u64,
+}
+
+impl AccuracyWindow {
+    /// Creates a window sampling every `epoch` prefetch-outcome events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is zero — a zero-length epoch would complete a
+    /// sample on every event and the backlog would grow without bound.
+    pub fn new(epoch: u64) -> Self {
+        assert!(epoch > 0, "accuracy epochs must contain at least one event");
+        AccuracyWindow {
+            epoch,
+            used: 0,
+            useless: 0,
+            completed: VecDeque::new(),
+            total_used: 0,
+            total_useless: 0,
+        }
+    }
+
+    /// The configured epoch length in events.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records the first demand use of a prefetched line.
+    pub fn record_used(&mut self) {
+        self.used += 1;
+        self.total_used += 1;
+        self.maybe_complete();
+    }
+
+    /// Records a prefetched line evicted or invalidated before any use.
+    pub fn record_useless(&mut self) {
+        self.useless += 1;
+        self.total_useless += 1;
+        self.maybe_complete();
+    }
+
+    /// Completed epochs retained when nobody drains the window. Feedback
+    /// consumers (the throttle controller) drain on every access, so they
+    /// never come near the cap; in runs without a consumer the backlog
+    /// would otherwise grow linearly with run length for nothing.
+    pub const MAX_PENDING: usize = 64;
+
+    fn maybe_complete(&mut self) {
+        if self.used + self.useless >= self.epoch {
+            if self.completed.len() == Self::MAX_PENDING {
+                self.completed.pop_front();
+            }
+            self.completed.push_back(AccuracySample {
+                used: self.used,
+                useless: self.useless,
+            });
+            self.used = 0;
+            self.useless = 0;
+        }
+    }
+
+    /// Removes and returns the oldest completed epoch, if any.
+    pub fn pop_completed(&mut self) -> Option<AccuracySample> {
+        self.completed.pop_front()
+    }
+
+    /// Number of completed epochs waiting to be drained.
+    pub fn pending(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Events recorded in the current (incomplete) epoch.
+    pub fn in_flight_events(&self) -> u64 {
+        self.used + self.useless
+    }
+
+    /// Cumulative used/useless totals since the last reset, including the
+    /// current incomplete epoch.
+    pub fn totals(&self) -> AccuracySample {
+        AccuracySample {
+            used: self.total_used,
+            useless: self.total_useless,
+        }
+    }
+
+    /// Clears all samples and counters, keeping the epoch length (used at
+    /// the warm-up/measurement boundary).
+    pub fn reset(&mut self) {
+        self.used = 0;
+        self.useless = 0;
+        self.completed.clear();
+        self.total_used = 0;
+        self.total_useless = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_completion_and_drain_order() {
+        let mut window = AccuracyWindow::new(4);
+        for _ in 0..3 {
+            window.record_used();
+        }
+        assert_eq!(window.pending(), 0);
+        assert_eq!(window.in_flight_events(), 3);
+        window.record_useless();
+        assert_eq!(window.pending(), 1);
+        assert_eq!(window.in_flight_events(), 0);
+        for _ in 0..4 {
+            window.record_useless();
+        }
+        assert_eq!(window.pending(), 2);
+        let first = window.pop_completed().unwrap();
+        assert_eq!(
+            first,
+            AccuracySample {
+                used: 3,
+                useless: 1
+            }
+        );
+        let second = window.pop_completed().unwrap();
+        assert_eq!(
+            second,
+            AccuracySample {
+                used: 0,
+                useless: 4
+            }
+        );
+        assert!(window.pop_completed().is_none());
+        assert_eq!(
+            window.totals(),
+            AccuracySample {
+                used: 3,
+                useless: 5
+            }
+        );
+    }
+
+    #[test]
+    fn sample_accuracy_fractions_and_thresholds() {
+        let sample = AccuracySample {
+            used: 3,
+            useless: 1,
+        };
+        assert!((sample.accuracy() - 0.75).abs() < 1e-12);
+        assert!(sample.below_pct(80));
+        assert!(!sample.below_pct(75));
+        assert!(sample.above_pct(70));
+        assert!(!sample.above_pct(75));
+        let empty = AccuracySample {
+            used: 0,
+            useless: 0,
+        };
+        assert_eq!(empty.accuracy(), 0.0);
+        assert!(!empty.below_pct(50), "an empty sample crosses no threshold");
+        assert!(!empty.above_pct(50));
+    }
+
+    #[test]
+    fn reset_clears_counts_and_backlog_but_keeps_epoch() {
+        let mut window = AccuracyWindow::new(2);
+        window.record_used();
+        window.record_used();
+        window.record_useless();
+        assert_eq!(window.pending(), 1);
+        window.reset();
+        assert_eq!(window.pending(), 0);
+        assert_eq!(window.in_flight_events(), 0);
+        assert_eq!(
+            window.totals(),
+            AccuracySample {
+                used: 0,
+                useless: 0
+            }
+        );
+        assert_eq!(window.epoch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn zero_epoch_is_rejected() {
+        let _ = AccuracyWindow::new(0);
+    }
+
+    /// Undrained windows (every run without a throttle consumer) must not
+    /// accumulate samples without bound: the backlog is capped and the
+    /// oldest epochs are shed first, while cumulative totals keep counting.
+    #[test]
+    fn undrained_backlog_is_bounded_and_sheds_oldest() {
+        let mut window = AccuracyWindow::new(1);
+        for _ in 0..AccuracyWindow::MAX_PENDING + 10 {
+            window.record_used();
+        }
+        window.record_useless();
+        assert_eq!(window.pending(), AccuracyWindow::MAX_PENDING);
+        assert_eq!(
+            window.totals(),
+            AccuracySample {
+                used: (AccuracyWindow::MAX_PENDING + 10) as u64,
+                useless: 1
+            }
+        );
+        // The newest sample survived the shedding; only old ones dropped.
+        let newest = std::iter::from_fn(|| window.pop_completed()).last().unwrap();
+        assert_eq!(
+            newest,
+            AccuracySample {
+                used: 0,
+                useless: 1
+            }
+        );
+    }
+}

@@ -276,6 +276,11 @@ pub struct HierarchyConfig {
     pub next_line_iprefetch: bool,
     /// How shared resources (L2 ports, MSHRs, DRAM queues) are timed.
     pub contention: ContentionModel,
+    /// Prefetch-outcome events (first uses + unused evictions) per
+    /// prefetch-accuracy sampling epoch (see [`crate::AccuracyWindow`]).
+    /// Sampling is pure bookkeeping and never perturbs timing; consumers
+    /// that ignore the windows behave identically at any epoch.
+    pub accuracy_epoch: u64,
 }
 
 impl HierarchyConfig {
@@ -290,6 +295,7 @@ impl HierarchyConfig {
             pv_regions: PvRegionConfig::paper_default(cores),
             next_line_iprefetch: true,
             contention: ContentionModel::Ideal,
+            accuracy_epoch: 256,
         }
     }
 
@@ -322,6 +328,13 @@ impl HierarchyConfig {
     /// sweep knob).
     pub fn with_dram_cycles_per_transfer(mut self, cycles: u64) -> Self {
         self.dram = self.dram.with_cycles_per_transfer(cycles);
+        self
+    }
+
+    /// Baseline with a different prefetch-accuracy sampling epoch
+    /// (events per window; must be non-zero).
+    pub fn with_accuracy_epoch(mut self, epoch: u64) -> Self {
+        self.accuracy_epoch = epoch;
         self
     }
 }

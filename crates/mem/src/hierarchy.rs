@@ -17,6 +17,7 @@
 //! demand traffic. Under [`ContentionModel::Ideal`] all of this is off and
 //! the hierarchy reproduces the original fixed-latency timing bit for bit.
 
+use crate::accuracy::AccuracyWindow;
 use crate::address::{Address, BlockAddr};
 use crate::cache::{AccessKind, AccessOutcome, Cache, FillOrigin, HitLevel};
 use crate::config::{ContentionModel, HierarchyConfig};
@@ -95,6 +96,15 @@ impl DataClass {
     pub fn is_predictor(self) -> bool {
         matches!(self, DataClass::Predictor)
     }
+
+    /// Dense index (`Application = 0`, `Predictor = 1`), used to key
+    /// per-class state such as the prefetch-accuracy windows.
+    pub fn index(self) -> usize {
+        match self {
+            DataClass::Application => 0,
+            DataClass::Predictor => 1,
+        }
+    }
 }
 
 /// Result of a demand access through the hierarchy.
@@ -150,6 +160,9 @@ pub struct MemoryHierarchy {
     l2_ports: Vec<u64>,
     dram: MainMemory,
     iprefetch: Vec<NextLinePrefetcher>,
+    /// Per-(core, data-class) windows over L1D prefetch outcomes
+    /// (indexed `[core][DataClass::index()]`).
+    accuracy: Vec<[AccuracyWindow; 2]>,
     stats: HierarchyStats,
 }
 
@@ -176,6 +189,14 @@ impl MemoryHierarchy {
             l2_ports,
             dram,
             iprefetch: (0..cores).map(|_| NextLinePrefetcher::new()).collect(),
+            accuracy: (0..cores)
+                .map(|_| {
+                    [
+                        AccuracyWindow::new(config.accuracy_epoch),
+                        AccuracyWindow::new(config.accuracy_epoch),
+                    ]
+                })
+                .collect(),
             stats: HierarchyStats::new(cores),
         }
     }
@@ -274,6 +295,9 @@ impl MemoryHierarchy {
             self.l1d[core].access(block, kind, now)
         };
         if outcome.hit {
+            if !instruction && outcome.first_use_of_prefetch {
+                self.record_prefetch_outcome(core, block, true);
+            }
             return AccessResponse {
                 latency: outcome.latency,
                 level: HitLevel::L1,
@@ -365,6 +389,9 @@ impl MemoryHierarchy {
                 self.writeback_to_l2(ev.block, now);
             }
             if !instruction {
+                if ev.prefetched_unused {
+                    self.record_prefetch_outcome(core, ev.block, false);
+                }
                 evictions.push(ev.block);
             }
         }
@@ -560,6 +587,9 @@ impl MemoryHierarchy {
             if ev.dirty {
                 self.writeback_to_l2(ev.block, now);
             }
+            if ev.prefetched_unused {
+                self.record_prefetch_outcome(core, ev.block, false);
+            }
             evictions.push(ev.block);
         }
         PrefetchResponse {
@@ -585,11 +615,52 @@ impl MemoryHierarchy {
         }
     }
 
+    fn record_prefetch_outcome(&mut self, core: usize, block: BlockAddr, used: bool) {
+        let class = self.classify(block);
+        let window = &mut self.accuracy[core][class.index()];
+        if used {
+            window.record_used();
+        } else {
+            window.record_useless();
+        }
+    }
+
+    /// The prefetch-accuracy window of `(core, class)` — windowed used vs.
+    /// evicted-unused outcomes of prefetches into `core`'s L1D.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn prefetch_accuracy(&self, core: usize, class: DataClass) -> &AccuracyWindow {
+        self.assert_core(core);
+        &self.accuracy[core][class.index()]
+    }
+
+    /// Mutable access to a prefetch-accuracy window, used by feedback
+    /// consumers to drain completed epochs
+    /// ([`AccuracyWindow::pop_completed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn prefetch_accuracy_mut(&mut self, core: usize, class: DataClass) -> &mut AccuracyWindow {
+        self.assert_core(core);
+        &mut self.accuracy[core][class.index()]
+    }
+
     /// Snapshot of the current statistics.
     pub fn stats(&self) -> HierarchyStats {
         let mut stats = self.stats.clone();
         stats.l1d = self.l1d.iter().map(|c| *c.stats()).collect();
         stats.l1i = self.l1i.iter().map(|c| *c.stats()).collect();
+        stats.next_line = self
+            .iprefetch
+            .iter()
+            .map(|pf| crate::stats::NextLineStats {
+                issued: pf.issued(),
+                suppressed: pf.suppressed(),
+            })
+            .collect();
         stats.l2 = *self.l2.stats();
         stats.dram_queue_delay = self.dram.queue_delay();
         stats.dram_read_traffic = self.dram.reads();
@@ -618,6 +689,14 @@ impl MemoryHierarchy {
         }
         self.l2.reset_stats();
         self.dram.reset_stats();
+        for pf in &mut self.iprefetch {
+            pf.reset_stats();
+        }
+        for windows in &mut self.accuracy {
+            for window in windows {
+                window.reset();
+            }
+        }
         if self.config.contention == ContentionModel::Queued {
             for port in &mut self.l2_ports {
                 *port = 0;

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod address;
 pub mod block;
 pub mod cache;
@@ -59,6 +60,7 @@ pub mod set_assoc;
 pub mod set_assoc_ref;
 pub mod stats;
 
+pub use accuracy::{AccuracySample, AccuracyWindow};
 pub use address::{Address, BlockAddr, RegionAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
 pub use block::{CacheLine, LineState};
 pub use cache::{AccessKind, AccessOutcome, Cache, Evicted, FillOrigin, HitLevel};
@@ -74,4 +76,4 @@ pub use replacement::{
 };
 pub use set_assoc::{Occupied, SetAssociative};
 pub use set_assoc_ref::ReferenceSetAssociative;
-pub use stats::{CacheStats, DelayBreakdown, HierarchyStats, TrafficBreakdown};
+pub use stats::{CacheStats, DelayBreakdown, HierarchyStats, NextLineStats, TrafficBreakdown};

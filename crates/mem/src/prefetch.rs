@@ -48,6 +48,14 @@ impl NextLinePrefetcher {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// Resets the counters only, preserving the last-miss history so a
+    /// measurement-window boundary does not change which prefetches the
+    /// predictor issues next (counters never influence behaviour).
+    pub fn reset_stats(&mut self) {
+        self.issued = 0;
+        self.suppressed = 0;
+    }
 }
 
 #[cfg(test)]
@@ -74,6 +82,19 @@ mod tests {
             pf.on_instruction_miss(BlockAddr::new(11)),
             Some(BlockAddr::new(12))
         );
+    }
+
+    #[test]
+    fn reset_stats_keeps_suppression_history() {
+        let mut pf = NextLinePrefetcher::new();
+        pf.on_instruction_miss(BlockAddr::new(10));
+        pf.reset_stats();
+        assert_eq!(pf.issued(), 0);
+        assert_eq!(pf.suppressed(), 0);
+        // The repeated miss is still suppressed: behaviour is unchanged by
+        // the counter reset.
+        assert_eq!(pf.on_instruction_miss(BlockAddr::new(10)), None);
+        assert_eq!(pf.suppressed(), 1);
     }
 
     #[test]

@@ -69,6 +69,16 @@ impl CacheStats {
     }
 }
 
+/// Counters of one core's next-line instruction prefetcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NextLineStats {
+    /// Next-line prefetches the predictor asked for on L1I misses.
+    pub issued: u64,
+    /// Duplicate-miss requests suppressed (stalled fetch streams re-missing
+    /// on the same block).
+    pub suppressed: u64,
+}
+
 /// A counter split into application and predictor (PV) data.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficBreakdown {
@@ -180,8 +190,14 @@ pub struct HierarchyStats {
     pub dram_writes: u64,
     /// Prefetches issued into L1 data caches (per core).
     pub l1d_prefetches: Vec<u64>,
-    /// Next-line instruction prefetches issued (per core).
+    /// Next-line instruction prefetches issued (per core). Counts only
+    /// prefetches that actually installed a line (the target was not
+    /// already resident); the predictor's own view is in
+    /// [`Self::next_line`].
     pub l1i_prefetches: Vec<u64>,
+    /// Per-core next-line instruction-prefetcher counters (requests issued
+    /// and duplicate-miss suppressions, regardless of residency).
+    pub next_line: Vec<NextLineStats>,
     /// Cycles requests waited for a busy L2 tag-pipeline bank
     /// (always zero under `ContentionModel::Ideal`).
     pub l2_port_delay: DelayBreakdown,
@@ -224,6 +240,7 @@ impl HierarchyStats {
             dram_writes: 0,
             l1d_prefetches: vec![0; cores],
             l1i_prefetches: vec![0; cores],
+            next_line: vec![NextLineStats::default(); cores],
             l2_port_delay: DelayBreakdown::default(),
             mshr_stall_delay: DelayBreakdown::default(),
             l2_mshr_merge_failures: 0,
@@ -239,6 +256,16 @@ impl HierarchyStats {
         let mut total = self.l2_port_delay;
         total.accumulate(&self.mshr_stall_delay);
         total.accumulate(&self.dram_queue_delay);
+        total
+    }
+
+    /// Aggregate next-line instruction-prefetcher counters over all cores.
+    pub fn next_line_total(&self) -> NextLineStats {
+        let mut total = NextLineStats::default();
+        for s in &self.next_line {
+            total.issued += s.issued;
+            total.suppressed += s.suppressed;
+        }
         total
     }
 

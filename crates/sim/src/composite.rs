@@ -1,46 +1,65 @@
-//! Predictor cohabitation at the core level: SMS and Markov running
-//! *simultaneously* on one core, both virtualized.
+//! Predictor cohabitation at the core level: several prefetch engines
+//! running *simultaneously* on one core.
 //!
 //! The paper's economic argument is that virtualization lets many predictors
 //! amortize one physical resource. [`CompositePrefetcher`] realizes it in
-//! the simulated CMP: each core runs the unchanged SMS engine *and* the
-//! unchanged Markov engine, each table living in its own sub-region of the
-//! core's PV region (a [`PvRegionPlan`]), in one of two arrangements:
+//! the simulated CMP as a plain composition of [`PrefetchEngine`]s: any list
+//! of labelled boxed engines, fed in a fixed order so runs replay
+//! bit-identically regardless of host or thread count. The two paper
+//! arrangements are provided as constructors:
 //!
 //! * **dedicated** — each table gets its own per-predictor `PvProxy` with a
 //!   private PVCache (the control configuration: 2 × C/2 sets);
 //! * **shared** — both tables arbitrate for one table-tagged
 //!   [`SharedPvProxy`] PVCache of C sets and one memory-request stream.
 //!
-//! The engines are fed in a fixed order (SMS first, then Markov) so runs
-//! replay bit-identically regardless of host or thread count.
+//! Because the composite is itself a [`PrefetchEngine`], the simulator
+//! drives it through the exact same feed/issue path as a single engine,
+//! and composites can in principle nest or wrap (e.g. under the
+//! feedback throttler).
 
-use pv_core::{PvConfig, PvRegionPlan, PvStats, SharedPvProxy, VirtualizedBackend};
+use crate::engine::{EngineSnapshot, PrefetchEngine, PvTableStats};
+use pv_core::{PvConfig, PvRegionPlan, SharedPvProxy};
 use pv_markov::{MarkovConfig, MarkovPrefetcher, SharedVirtualizedMarkov, VirtualizedMarkov};
 use pv_mem::{BlockAddr, MemoryHierarchy};
 use pv_sms::{PrefetchAction, SharedVirtualizedPht, SmsConfig, SmsPrefetcher, VirtualizedPht};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-/// Statistics of one cohabiting table, summed over cores by the simulator.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PvTableStats {
-    /// Table label (`"SMS"` or `"Markov"`).
-    pub label: String,
-    /// The table's PVProxy statistics.
-    pub stats: PvStats,
-}
-
-/// One core's pair of cohabiting virtualized prefetch engines.
-#[derive(Debug)]
+/// One core's set of cohabiting prefetch engines, composed behind the
+/// [`PrefetchEngine`] trait.
 pub struct CompositePrefetcher {
-    sms: SmsPrefetcher,
-    markov: MarkovPrefetcher,
+    /// The cohabiting engines with their table labels, in feed order.
+    engines: Vec<(String, Box<dyn PrefetchEngine>)>,
     /// Present only in the shared arrangement.
     shared: Option<Rc<RefCell<SharedPvProxy>>>,
 }
 
+impl std::fmt::Debug for CompositePrefetcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositePrefetcher")
+            .field("engines", &self.labels())
+            .field("shared", &self.shared.is_some())
+            .finish()
+    }
+}
+
 impl CompositePrefetcher {
+    /// Composes an arbitrary list of labelled engines, fed in list order on
+    /// every event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty — a composite of nothing would silently
+    /// predict nothing.
+    pub fn from_engines(engines: Vec<(String, Box<dyn PrefetchEngine>)>) -> Self {
+        assert!(!engines.is_empty(), "a composite needs at least one engine");
+        CompositePrefetcher {
+            engines,
+            shared: None,
+        }
+    }
+
     /// The dedicated arrangement: SMS and Markov each on their own
     /// `PvProxy` (a PVCache of `pv.pvcache_sets` sets apiece), with tables
     /// at `plan.base(core, 0)` and `plan.base(core, 1)`.
@@ -51,17 +70,22 @@ impl CompositePrefetcher {
         pv: PvConfig,
         plan: &PvRegionPlan,
     ) -> Self {
-        CompositePrefetcher {
-            sms: SmsPrefetcher::new(
-                sms,
-                Box::new(VirtualizedPht::new(core, pv, plan.base(core, 0))),
+        Self::from_engines(vec![
+            (
+                "SMS".to_owned(),
+                Box::new(SmsPrefetcher::new(
+                    sms,
+                    Box::new(VirtualizedPht::new(core, pv, plan.base(core, 0))),
+                )),
             ),
-            markov: MarkovPrefetcher::new(
-                markov,
-                Box::new(VirtualizedMarkov::new(core, pv, plan.base(core, 1))),
+            (
+                "Markov".to_owned(),
+                Box::new(MarkovPrefetcher::new(
+                    markov,
+                    Box::new(VirtualizedMarkov::new(core, pv, plan.base(core, 1))),
+                )),
             ),
-            shared: None,
-        }
+        ])
     }
 
     /// The shared arrangement: both tables through one [`SharedPvProxy`]
@@ -76,99 +100,107 @@ impl CompositePrefetcher {
         let proxy = Rc::new(RefCell::new(SharedPvProxy::new(core, pv)));
         let pht = SharedVirtualizedPht::new(Rc::clone(&proxy), pv, plan.base(core, 0));
         let table = SharedVirtualizedMarkov::new(Rc::clone(&proxy), pv, plan.base(core, 1));
-        CompositePrefetcher {
-            sms: SmsPrefetcher::new(sms, Box::new(pht)),
-            markov: MarkovPrefetcher::new(markov, Box::new(table)),
-            shared: Some(proxy),
-        }
+        let mut composite = Self::from_engines(vec![
+            (
+                "SMS".to_owned(),
+                Box::new(SmsPrefetcher::new(sms, Box::new(pht))),
+            ),
+            (
+                "Markov".to_owned(),
+                Box::new(MarkovPrefetcher::new(markov, Box::new(table))),
+            ),
+        ]);
+        composite.shared = Some(proxy);
+        composite
     }
 
-    /// Whether the two tables share one PVCache.
+    /// Whether the engines share one PVCache.
     pub fn is_shared(&self) -> bool {
         self.shared.is_some()
     }
 
-    /// The SMS engine.
-    pub fn sms(&self) -> &SmsPrefetcher {
-        &self.sms
+    /// The composed engines' labels, in feed order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.engines.iter().map(|(label, _)| label.as_str()).collect()
     }
 
-    /// The Markov engine.
-    pub fn markov(&self) -> &MarkovPrefetcher {
-        &self.markov
+    /// The engine labelled `label`, if present.
+    pub fn engine(&self, label: &str) -> Option<&dyn PrefetchEngine> {
+        self.engines
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, engine)| engine.as_ref() as &dyn PrefetchEngine)
     }
 
-    /// Notifies the engines that blocks left the L1 data cache (only SMS
-    /// reacts: evictions close its spatial generations).
-    pub fn on_l1_evictions(&mut self, blocks: &[BlockAddr], mem: &mut MemoryHierarchy, now: u64) {
-        self.sms.on_l1_evictions(blocks, mem, now);
+    /// Per-table PVProxy statistics, labelled in feed order. In the shared
+    /// arrangement the split comes from the table-tagged proxy; in the
+    /// dedicated arrangement each engine reports its own proxy (nested
+    /// composites contribute their own per-table split).
+    pub fn pv_table_stats(&self) -> Vec<PvTableStats> {
+        self.snapshot().pv_tables
+    }
+}
+
+impl PrefetchEngine for CompositePrefetcher {
+    /// Forwards evictions to every engine in feed order (engines that do
+    /// not track residency ignore them).
+    fn on_l1_evictions(&mut self, blocks: &[BlockAddr], mem: &mut MemoryHierarchy, now: u64) {
+        for (_, engine) in &mut self.engines {
+            engine.on_l1_evictions(blocks, mem, now);
+        }
     }
 
-    /// Observes one L1 data access and returns every prefetch the two
-    /// engines want issued — SMS's stream first, then Markov's prediction,
-    /// a fixed order that keeps runs deterministic.
-    pub fn on_data_access(
+    /// Feeds the access to every engine in feed order, concatenating their
+    /// predictions — the fixed order keeps runs deterministic.
+    fn on_data_access(
         &mut self,
         pc: u64,
         address: u64,
         mem: &mut MemoryHierarchy,
         now: u64,
-    ) -> Vec<PrefetchAction> {
-        let sms_response = self.sms.on_data_access(pc, address, mem, now);
-        let mut actions = sms_response.prefetches;
-        let markov_response = self.markov.on_data_access(pc, address, mem, now);
-        if let Some(block) = markov_response.prefetch {
-            actions.push(PrefetchAction {
-                block,
-                issue_at: markov_response.issue_at,
-            });
-        }
-        actions
-    }
-
-    /// Per-table PVProxy statistics (labelled `"SMS"` / `"Markov"`).
-    pub fn pv_table_stats(&self) -> Vec<PvTableStats> {
-        match &self.shared {
-            Some(proxy) => {
-                let proxy = proxy.borrow();
-                (0..proxy.tables())
-                    .map(|table| PvTableStats {
-                        label: proxy.table_label(table).to_owned(),
-                        stats: *proxy.table_stats(table),
-                    })
-                    .collect()
-            }
-            None => {
-                let pht = self
-                    .sms
-                    .storage()
-                    .as_any()
-                    .downcast_ref::<VirtualizedPht>()
-                    .expect("dedicated composite uses VirtualizedPht");
-                let table = self
-                    .markov
-                    .storage()
-                    .as_any()
-                    .downcast_ref::<VirtualizedMarkov>()
-                    .expect("dedicated composite uses VirtualizedMarkov");
-                vec![
-                    PvTableStats {
-                        label: "SMS".to_owned(),
-                        stats: *pht.proxy().stats(),
-                    },
-                    PvTableStats {
-                        label: "Markov".to_owned(),
-                        stats: *table.proxy().stats(),
-                    },
-                ]
-            }
+        out: &mut Vec<PrefetchAction>,
+    ) {
+        for (_, engine) in &mut self.engines {
+            engine.on_data_access(pc, address, mem, now, out);
         }
     }
 
     /// Resets engine and proxy statistics (learned state is preserved).
-    pub fn reset_stats(&mut self) {
-        self.sms.reset_stats();
-        self.markov.reset_stats();
+    fn reset_stats(&mut self) {
+        for (_, engine) in &mut self.engines {
+            engine.reset_stats();
+        }
+    }
+
+    /// Merges the engines' snapshots; PV statistics are reported per table
+    /// (in [`EngineSnapshot::pv_tables`]) rather than as one aggregate.
+    fn snapshot(&self) -> EngineSnapshot {
+        let mut snapshot = EngineSnapshot::default();
+        for (label, engine) in &self.engines {
+            let mut child = engine.snapshot();
+            // A single-table child's aggregate is lifted into the per-table
+            // split under its feed-order label; a child that already splits
+            // per table (a nested composite) passes its tables through.
+            if let Some(stats) = child.pv.take() {
+                child.pv_tables.push(PvTableStats {
+                    label: label.clone(),
+                    stats,
+                });
+            }
+            snapshot.merge(child);
+        }
+        if let Some(proxy) = &self.shared {
+            // The shared arrangement's children write through one
+            // table-tagged proxy, which owns the authoritative split.
+            let proxy = proxy.borrow();
+            snapshot.pv_tables = (0..proxy.tables())
+                .map(|table| PvTableStats {
+                    label: proxy.table_label(table).to_owned(),
+                    stats: *proxy.table_stats(table),
+                })
+                .collect();
+        }
+        snapshot
     }
 }
 
@@ -202,15 +234,17 @@ mod tests {
         (mem, composite)
     }
 
-    /// Drives a short repeating stream through both engines.
+    /// Drives a short repeating stream through the composed engines.
     fn drive(mem: &mut MemoryHierarchy, composite: &mut CompositePrefetcher) -> usize {
         let mut issued = 0;
+        let mut out = Vec::new();
         for round in 0..4u64 {
             for i in 0..64u64 {
                 let pc = 0x4000 + (i % 8) * 4;
                 let addr = (i * 3 % 50) * 4096 + (i % 16) * 64;
-                let actions = composite.on_data_access(pc, addr, mem, round * 100_000 + i * 1_000);
-                issued += actions.len();
+                out.clear();
+                composite.on_data_access(pc, addr, mem, round * 100_000 + i * 1_000, &mut out);
+                issued += out.len();
             }
         }
         issued
@@ -222,8 +256,11 @@ mod tests {
             let (mut mem, mut composite) = setup(shared);
             drive(&mut mem, &mut composite);
             assert_eq!(composite.is_shared(), shared);
-            assert!(composite.sms().stats().accesses_observed > 0);
-            assert!(composite.markov().stats().accesses_observed > 0);
+            assert_eq!(composite.labels(), ["SMS", "Markov"]);
+            let snapshot = composite.snapshot();
+            assert!(snapshot.sms.expect("SMS stats").accesses_observed > 0);
+            assert!(snapshot.markov.expect("Markov stats").accesses_observed > 0);
+            assert!(snapshot.pv.is_none(), "the aggregate lives in pv_tables");
             let tables = composite.pv_table_stats();
             assert_eq!(tables.len(), 2);
             assert_eq!(tables[0].label, "SMS");
@@ -241,8 +278,83 @@ mod tests {
         let (mut mem, mut composite) = setup(true);
         drive(&mut mem, &mut composite);
         composite.reset_stats();
-        assert_eq!(composite.sms().stats().accesses_observed, 0);
-        assert_eq!(composite.markov().stats().accesses_observed, 0);
+        let snapshot = composite.snapshot();
+        assert_eq!(snapshot.sms.unwrap().accesses_observed, 0);
+        assert_eq!(snapshot.markov.unwrap().accesses_observed, 0);
         assert!(composite.pv_table_stats().iter().all(|t| t.stats.operations() == 0));
+    }
+
+    #[test]
+    fn feed_order_follows_the_engine_list() {
+        // A composite of two SMS engines trained on the same pattern emits
+        // the first engine's stream before the second's.
+        let config = SmsConfig::paper_1k_11a();
+        let engines: Vec<(String, Box<dyn PrefetchEngine>)> = vec![
+            (
+                "A".to_owned(),
+                Box::new(SmsPrefetcher::new(config, pv_sms::build_storage(&config))),
+            ),
+            (
+                "B".to_owned(),
+                Box::new(SmsPrefetcher::new(config, pv_sms::build_storage(&config))),
+            ),
+        ];
+        let mut composite = CompositePrefetcher::from_engines(engines);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_baseline(1));
+        let mut out = Vec::new();
+        // Train a two-block pattern, then retrigger it.
+        for (i, offset) in [(0u64, 2u32), (1, 5)] {
+            composite.on_data_access(
+                0x400,
+                pv_mem::RegionAddr::new(10).block_at(offset, 32).base_address().raw(),
+                &mut mem,
+                i * 10,
+                &mut out,
+            );
+        }
+        composite.on_l1_evictions(&[pv_mem::RegionAddr::new(10).block_at(2, 32)], &mut mem, 50);
+        out.clear();
+        composite.on_data_access(
+            0x400,
+            pv_mem::RegionAddr::new(20).block_at(2, 32).base_address().raw(),
+            &mut mem,
+            100,
+            &mut out,
+        );
+        assert_eq!(out.len(), 2, "both engines predict the trained block");
+        assert_eq!(
+            out[0].block, out[1].block,
+            "identical engines, same prediction"
+        );
+        assert_eq!(composite.labels(), ["A", "B"]);
+        assert!(composite.engine("A").is_some());
+        assert!(composite.engine("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one engine")]
+    fn empty_composites_are_rejected() {
+        let _ = CompositePrefetcher::from_engines(Vec::new());
+    }
+
+    /// A nested composite's per-table split survives aggregation: the
+    /// outer snapshot passes the inner tables through instead of
+    /// discarding them.
+    #[test]
+    fn nested_composites_keep_their_per_table_stats() {
+        let (mut mem, inner) = setup(false);
+        let mut outer =
+            CompositePrefetcher::from_engines(vec![("pair".to_owned(), Box::new(inner))]);
+        drive(&mut mem, &mut outer);
+        let snapshot = outer.snapshot();
+        assert!(snapshot.sms.is_some());
+        assert!(snapshot.markov.is_some());
+        let tables = outer.pv_table_stats();
+        assert_eq!(
+            tables.iter().map(|t| t.label.as_str()).collect::<Vec<_>>(),
+            ["SMS", "Markov"],
+            "the inner split passes through the outer composite"
+        );
+        assert!(tables.iter().all(|t| t.stats.operations() > 0));
     }
 }

@@ -1,6 +1,7 @@
 //! Simulation configuration: core timing parameters, prefetcher selection
 //! and run lengths.
 
+use crate::throttle::ThrottleConfig;
 use pv_core::PvConfig;
 use pv_markov::MarkovConfig;
 use pv_mem::HierarchyConfig;
@@ -115,6 +116,19 @@ pub enum PrefetcherKind {
         /// Virtualization configuration; `pvcache_sets` is the shared total.
         pv: PvConfig,
     },
+    /// Any of the above wrapped in feedback-directed throttling: the
+    /// engine's issue degree is capped (and, at the deepest level, its
+    /// predictions dropped) when the windowed prefetch accuracy sampled by
+    /// the memory hierarchy falls below the configured watermarks. Opt-in:
+    /// only these variants consult the throttle controller, every other
+    /// kind behaves bit-identically to before the subsystem existed.
+    Throttled {
+        /// The throttled engine configuration (must not be
+        /// [`PrefetcherKind::None`] or itself be throttled).
+        inner: Box<PrefetcherKind>,
+        /// The accuracy-feedback policy.
+        throttle: ThrottleConfig,
+    },
 }
 
 impl PrefetcherKind {
@@ -200,6 +214,25 @@ impl PrefetcherKind {
         }
     }
 
+    /// Wraps this configuration in feedback-directed throttling.
+    pub fn throttled(self, throttle: ThrottleConfig) -> Self {
+        PrefetcherKind::Throttled {
+            inner: Box::new(self),
+            throttle,
+        }
+    }
+
+    /// The paper's final virtualized design with the default feedback
+    /// policy: SMS-PV8 whose issue degree adapts to windowed accuracy.
+    pub fn sms_pv8_throttled() -> Self {
+        Self::sms_pv8().throttled(ThrottleConfig::feedback_default())
+    }
+
+    /// The virtualized Markov prefetcher with the default feedback policy.
+    pub fn markov_pv8_throttled() -> Self {
+        Self::markov_pv8().throttled(ThrottleConfig::feedback_default())
+    }
+
     /// Bytes of PV region each core needs for this configuration (the sum of
     /// its virtualized tables' footprints; zero when nothing is virtualized).
     pub fn pv_bytes_per_core(&self) -> u64 {
@@ -209,6 +242,7 @@ impl PrefetcherKind {
             | PrefetcherKind::VirtualizedMarkov { pv, .. } => pv.table_bytes(),
             PrefetcherKind::CompositeDedicated { pv, .. }
             | PrefetcherKind::CompositeShared { pv, .. } => 2 * pv.table_bytes(),
+            PrefetcherKind::Throttled { inner, .. } => inner.pv_bytes_per_core(),
         }
     }
 
@@ -228,18 +262,47 @@ impl PrefetcherKind {
             PrefetcherKind::CompositeShared { pv, .. } => {
                 format!("SMS+Markov-shPV{}", pv.pvcache_sets)
             }
+            PrefetcherKind::Throttled { inner, .. } => format!("{}-throttled", inner.label()),
         }
     }
 
     /// Whether this configuration virtualizes the predictor table.
     pub fn is_virtualized(&self) -> bool {
-        matches!(
-            self,
+        match self {
             PrefetcherKind::VirtualizedSms { .. }
-                | PrefetcherKind::VirtualizedMarkov { .. }
-                | PrefetcherKind::CompositeDedicated { .. }
-                | PrefetcherKind::CompositeShared { .. }
-        )
+            | PrefetcherKind::VirtualizedMarkov { .. }
+            | PrefetcherKind::CompositeDedicated { .. }
+            | PrefetcherKind::CompositeShared { .. } => true,
+            PrefetcherKind::Throttled { inner, .. } => inner.is_virtualized(),
+            PrefetcherKind::None | PrefetcherKind::Sms(_) | PrefetcherKind::Markov(_) => false,
+        }
+    }
+
+    /// Whether this configuration adapts its issue degree to feedback.
+    pub fn is_throttled(&self) -> bool {
+        matches!(self, PrefetcherKind::Throttled { .. })
+    }
+
+    /// Validates the configuration (currently only the throttled wrapper
+    /// carries parameters that can be inconsistent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a throttled wrapper has nothing to throttle, is nested in
+    /// another throttled wrapper, or carries an invalid feedback policy.
+    pub fn assert_valid(&self) {
+        if let PrefetcherKind::Throttled { inner, throttle } = self {
+            assert!(
+                !matches!(**inner, PrefetcherKind::None),
+                "throttling the no-prefetch baseline is meaningless"
+            );
+            assert!(
+                !inner.is_throttled(),
+                "throttled configurations must not nest"
+            );
+            throttle.assert_valid();
+            inner.assert_valid();
+        }
     }
 }
 
@@ -323,6 +386,12 @@ impl SimConfig {
             self.prefetcher.pv_bytes_per_core(),
             self.hierarchy.pv_regions.bytes_per_core
         );
+        self.prefetcher.assert_valid();
+        assert!(
+            self.hierarchy.accuracy_epoch > 0,
+            "the prefetch-accuracy sampling epoch must be non-zero \
+             (feedback throttling reads the sampled windows)"
+        );
         self.core.assert_valid();
     }
 }
@@ -351,6 +420,41 @@ mod tests {
         assert_eq!(PrefetcherKind::markov_pv8().label(), "Markov-PV8");
         assert!(PrefetcherKind::markov_pv8().is_virtualized());
         assert!(!PrefetcherKind::markov_1k().is_virtualized());
+    }
+
+    #[test]
+    fn throttled_kinds_wrap_their_inner_configuration() {
+        let kind = PrefetcherKind::sms_pv8_throttled();
+        assert_eq!(kind.label(), "SMS-PV8-throttled");
+        assert!(kind.is_throttled());
+        assert!(kind.is_virtualized(), "throttling preserves virtualization");
+        assert_eq!(
+            kind.pv_bytes_per_core(),
+            PrefetcherKind::sms_pv8().pv_bytes_per_core()
+        );
+        kind.assert_valid();
+        assert_eq!(
+            PrefetcherKind::markov_pv8_throttled().label(),
+            "Markov-PV8-throttled"
+        );
+        let config = SimConfig::quick(PrefetcherKind::sms_pv8_throttled());
+        config.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn throttling_the_baseline_is_rejected() {
+        PrefetcherKind::None
+            .throttled(ThrottleConfig::feedback_default())
+            .assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not nest")]
+    fn nested_throttling_is_rejected() {
+        PrefetcherKind::sms_pv8_throttled()
+            .throttled(ThrottleConfig::feedback_default())
+            .assert_valid();
     }
 
     #[test]

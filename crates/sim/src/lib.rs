@@ -38,11 +38,17 @@
 pub mod composite;
 pub mod config;
 pub mod core_model;
+pub mod engine;
 pub mod metrics;
 pub mod system;
+pub mod throttle;
 
-pub use composite::{CompositePrefetcher, PvTableStats};
+pub use composite::CompositePrefetcher;
 pub use config::{CoreConfig, PrefetcherKind, SimConfig};
 pub use core_model::CoreModel;
+pub use engine::{EngineSnapshot, PrefetchEngine, PvTableStats};
 pub use metrics::{mean_and_ci95, CoverageMetrics, RunMetrics};
 pub use system::{run_workload, run_workload_mix, System};
+pub use throttle::{
+    LevelChange, ThrottleConfig, ThrottleController, ThrottleMetrics, ThrottledEngine,
+};

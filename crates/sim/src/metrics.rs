@@ -75,9 +75,12 @@ pub struct RunMetrics {
     /// Per-table PVProxy statistics of cohabiting configurations, summed
     /// over cores and keyed by table label (`"SMS"` / `"Markov"`). Empty for
     /// single-predictor kinds, whose aggregate lives in [`Self::pv`].
-    pub pv_tables: Vec<crate::composite::PvTableStats>,
+    pub pv_tables: Vec<crate::engine::PvTableStats>,
     /// Data prefetches issued into the L1s.
     pub prefetches_issued: u64,
+    /// Feedback-throttling statistics summed over cores (`None` unless a
+    /// throttled prefetcher kind ran).
+    pub throttle: Option<crate::throttle::ThrottleMetrics>,
 }
 
 impl RunMetrics {
@@ -159,6 +162,23 @@ impl RunMetrics {
         self.hierarchy.total_queue_delay()
     }
 
+    /// Next-line instruction prefetches issued, summed over cores (the
+    /// baseline I-prefetcher every configuration runs).
+    pub fn next_line_issued(&self) -> u64 {
+        self.hierarchy.next_line_total().issued
+    }
+
+    /// Next-line duplicate-miss suppressions, summed over cores.
+    pub fn next_line_suppressed(&self) -> u64 {
+        self.hierarchy.next_line_total().suppressed
+    }
+
+    /// Prefetches the feedback throttle dropped (zero when throttling is
+    /// off or never engaged).
+    pub fn dropped_prefetches(&self) -> u64 {
+        self.throttle.as_ref().map_or(0, |t| t.dropped_prefetches)
+    }
+
     /// A stable one-line digest of the simulated outcome (cycles, misses,
     /// traffic, coverage). Two runs of the same configuration must produce
     /// identical digests regardless of host, thread count or wall-clock;
@@ -222,6 +242,7 @@ mod tests {
             pv: None,
             pv_tables: Vec::new(),
             prefetches_issued: 0,
+            throttle: None,
         }
     }
 

@@ -4,27 +4,24 @@
 use crate::composite::CompositePrefetcher;
 use crate::config::{PrefetcherKind, SimConfig};
 use crate::core_model::CoreModel;
+use crate::engine::{EngineSnapshot, PrefetchEngine};
 use crate::metrics::{CoverageMetrics, RunMetrics};
-use pv_core::{PvRegionPlan, PvStats, VirtualizedBackend};
-use pv_markov::{MarkovPrefetcher, MarkovStats, VirtualizedMarkov};
+use crate::throttle::ThrottledEngine;
+use pv_core::PvRegionPlan;
+use pv_markov::MarkovPrefetcher;
 use pv_mem::{DataClass, MemoryHierarchy, Requester};
-use pv_sms::{build_storage, SmsPrefetcher, SmsStats, VirtualizedPht};
+use pv_sms::{build_storage, PrefetchAction, SmsPrefetcher, VirtualizedPht};
 use pv_workloads::{MemOp, TraceGenerator, TraceRecord, WorkloadParams};
-
-/// One core's data-prefetch engine: any of the optimization engines that can
-/// sit on top of a dedicated or virtualized table, or a cohabiting pair.
-enum Engine {
-    Sms(SmsPrefetcher),
-    Markov(MarkovPrefetcher),
-    Composite(CompositePrefetcher),
-}
 
 /// Per-core simulation state.
 struct CoreState {
     id: usize,
     generator: TraceGenerator,
     model: CoreModel,
-    engine: Option<Engine>,
+    /// The core's data-prefetch engine — any [`PrefetchEngine`]: SMS,
+    /// Markov, a cohabiting composite, or a throttled wrapper. The
+    /// simulator drives all of them through one feed/issue path.
+    engine: Option<Box<dyn PrefetchEngine>>,
     covered: u64,
     prefetches_issued: u64,
     records_consumed: u64,
@@ -36,6 +33,9 @@ pub struct System {
     workload_name: String,
     hierarchy: MemoryHierarchy,
     cores: Vec<CoreState>,
+    /// Scratch buffer the engines append predictions into (reused across
+    /// accesses so the hot path stays allocation-free).
+    actions: Vec<PrefetchAction>,
 }
 
 impl System {
@@ -96,45 +96,61 @@ impl System {
             config,
             hierarchy,
             cores,
+            actions: Vec::new(),
         }
     }
 
-    fn build_prefetcher(config: &SimConfig, core: usize) -> Option<Engine> {
-        match &config.prefetcher {
+    fn build_prefetcher(config: &SimConfig, core: usize) -> Option<Box<dyn PrefetchEngine>> {
+        Self::build_engine(&config.prefetcher, config, core)
+    }
+
+    /// Builds the [`PrefetchEngine`] a `kind` configuration describes for
+    /// one core. Recursion handles the wrapping variants (throttling).
+    fn build_engine(
+        kind: &PrefetcherKind,
+        config: &SimConfig,
+        core: usize,
+    ) -> Option<Box<dyn PrefetchEngine>> {
+        match kind {
             PrefetcherKind::None => None,
-            PrefetcherKind::Sms(sms_config) => Some(Engine::Sms(SmsPrefetcher::new(
+            PrefetcherKind::Sms(sms_config) => Some(Box::new(SmsPrefetcher::new(
                 *sms_config,
                 build_storage(sms_config),
             ))),
             PrefetcherKind::VirtualizedSms { sms, pv } => {
                 let base = config.hierarchy.pv_regions.core_base(core);
-                Some(Engine::Sms(SmsPrefetcher::new(
+                Some(Box::new(SmsPrefetcher::new(
                     *sms,
                     Box::new(VirtualizedPht::new(core, *pv, base)),
                 )))
             }
-            PrefetcherKind::Markov(markov) => Some(Engine::Markov(MarkovPrefetcher::new(
+            PrefetcherKind::Markov(markov) => Some(Box::new(MarkovPrefetcher::new(
                 *markov,
                 Box::new(pv_markov::DedicatedMarkov::new(*markov)),
             ))),
             PrefetcherKind::VirtualizedMarkov { markov, pv } => {
                 let base = config.hierarchy.pv_regions.core_base(core);
-                Some(Engine::Markov(MarkovPrefetcher::new(
+                Some(Box::new(MarkovPrefetcher::new(
                     *markov,
-                    Box::new(VirtualizedMarkov::new(core, *pv, base)),
+                    Box::new(pv_markov::VirtualizedMarkov::new(core, *pv, base)),
                 )))
             }
             PrefetcherKind::CompositeDedicated { sms, markov, pv } => {
                 let plan = Self::cohabit_plan(config, pv);
-                Some(Engine::Composite(CompositePrefetcher::dedicated(
+                Some(Box::new(CompositePrefetcher::dedicated(
                     core, *sms, *markov, *pv, &plan,
                 )))
             }
             PrefetcherKind::CompositeShared { sms, markov, pv } => {
                 let plan = Self::cohabit_plan(config, pv);
-                Some(Engine::Composite(CompositePrefetcher::shared(
+                Some(Box::new(CompositePrefetcher::shared(
                     core, *sms, *markov, *pv, &plan,
                 )))
+            }
+            PrefetcherKind::Throttled { inner, throttle } => {
+                let engine = Self::build_engine(inner, config, core)
+                    .expect("validation rejects throttled no-prefetch configurations");
+                Some(Box::new(ThrottledEngine::new(core, engine, *throttle)))
             }
         }
     }
@@ -192,11 +208,8 @@ impl System {
             core.model.reset();
             core.covered = 0;
             core.prefetches_issued = 0;
-            match &mut core.engine {
-                Some(Engine::Sms(sms)) => sms.reset_stats(),
-                Some(Engine::Markov(markov)) => markov.reset_stats(),
-                Some(Engine::Composite(composite)) => composite.reset_stats(),
-                None => {}
+            if let Some(engine) = &mut core.engine {
+                engine.reset_stats();
             }
         }
     }
@@ -244,56 +257,33 @@ impl System {
             response.queue_delay,
         );
 
-        let Some(engine) = self.cores[idx].engine.take() else {
+        // The single engine-agnostic feed/issue path: blocks displaced by
+        // the demand fill end residency-tracked state (e.g. SMS spatial
+        // generations), the access is fed to the engine, and every
+        // prediction it drained into the scratch buffer is issued — with
+        // eviction feedback after each issue, since a prefetch fill can
+        // itself displace blocks the engine is watching.
+        let Some(mut engine) = self.cores[idx].engine.take() else {
             return;
         };
-        let engine = match engine {
-            Engine::Sms(mut sms) => {
-                // Blocks displaced by the demand fill end their spatial
-                // generations.
-                sms.on_l1_evictions(&response.l1_evictions, &mut self.hierarchy, now);
-                // Feed the access to the prefetcher and issue any predicted
-                // stream.
-                let response =
-                    sms.on_data_access(record.pc, record.address, &mut self.hierarchy, now);
-                for prefetch in &response.prefetches {
-                    let issue_at = prefetch.issue_at.max(now);
-                    let outcome =
-                        self.hierarchy.prefetch_into_l1d(core_id, prefetch.block, issue_at);
-                    if outcome.issued {
-                        self.cores[idx].prefetches_issued += 1;
-                    }
-                    sms.on_l1_evictions(&outcome.l1_evictions, &mut self.hierarchy, issue_at);
-                }
-                Engine::Sms(sms)
+        engine.on_l1_evictions(&response.l1_evictions, &mut self.hierarchy, now);
+        self.actions.clear();
+        engine.on_data_access(
+            record.pc,
+            record.address,
+            &mut self.hierarchy,
+            now,
+            &mut self.actions,
+        );
+        for action_idx in 0..self.actions.len() {
+            let action = self.actions[action_idx];
+            let issue_at = action.issue_at.max(now);
+            let outcome = self.hierarchy.prefetch_into_l1d(core_id, action.block, issue_at);
+            if outcome.issued {
+                self.cores[idx].prefetches_issued += 1;
             }
-            Engine::Markov(mut markov) => {
-                let response =
-                    markov.on_data_access(record.pc, record.address, &mut self.hierarchy, now);
-                if let Some(block) = response.prefetch {
-                    let issue_at = response.issue_at.max(now);
-                    let outcome = self.hierarchy.prefetch_into_l1d(core_id, block, issue_at);
-                    if outcome.issued {
-                        self.cores[idx].prefetches_issued += 1;
-                    }
-                }
-                Engine::Markov(markov)
-            }
-            Engine::Composite(mut composite) => {
-                composite.on_l1_evictions(&response.l1_evictions, &mut self.hierarchy, now);
-                let actions =
-                    composite.on_data_access(record.pc, record.address, &mut self.hierarchy, now);
-                for action in &actions {
-                    let issue_at = action.issue_at.max(now);
-                    let outcome = self.hierarchy.prefetch_into_l1d(core_id, action.block, issue_at);
-                    if outcome.issued {
-                        self.cores[idx].prefetches_issued += 1;
-                    }
-                    composite.on_l1_evictions(&outcome.l1_evictions, &mut self.hierarchy, issue_at);
-                }
-                Engine::Composite(composite)
-            }
-        };
+            engine.on_l1_evictions(&outcome.l1_evictions, &mut self.hierarchy, issue_at);
+        }
         self.cores[idx].engine = Some(engine);
     }
 
@@ -304,46 +294,22 @@ impl System {
         let hierarchy = self.hierarchy.stats();
 
         let mut coverage = CoverageMetrics::default();
-        let mut sms_total: Option<SmsStats> = None;
-        let mut markov_total: Option<MarkovStats> = None;
-        let mut pv_total: Option<PvStats> = None;
-        let mut pv_tables: Vec<crate::composite::PvTableStats> = Vec::new();
+        let mut snapshot = EngineSnapshot::default();
         let mut prefetches_issued = 0;
         for (core_idx, core) in self.cores.iter().enumerate() {
             coverage.covered += core.covered;
             coverage.uncovered += hierarchy.l1d[core_idx].read_misses;
             coverage.overpredictions += hierarchy.l1d[core_idx].prefetched_evicted_unused;
             prefetches_issued += core.prefetches_issued;
-            match &core.engine {
-                Some(Engine::Sms(sms)) => {
-                    sms_total.get_or_insert_with(SmsStats::default).merge(sms.stats());
-                    if let Some(pht) = sms.storage().as_any().downcast_ref::<VirtualizedPht>() {
-                        pv_total.get_or_insert_with(PvStats::default).merge(pht.proxy().stats());
-                    }
-                }
-                Some(Engine::Markov(markov)) => {
-                    markov_total.get_or_insert_with(MarkovStats::default).merge(markov.stats());
-                    if let Some(table) =
-                        markov.storage().as_any().downcast_ref::<VirtualizedMarkov>()
-                    {
-                        pv_total.get_or_insert_with(PvStats::default).merge(table.proxy().stats());
-                    }
-                }
-                Some(Engine::Composite(composite)) => {
-                    sms_total.get_or_insert_with(SmsStats::default).merge(composite.sms().stats());
-                    markov_total
-                        .get_or_insert_with(MarkovStats::default)
-                        .merge(composite.markov().stats());
-                    for table in composite.pv_table_stats() {
-                        pv_total.get_or_insert_with(PvStats::default).merge(&table.stats);
-                        match pv_tables.iter_mut().find(|t| t.label == table.label) {
-                            Some(total) => total.stats.merge(&table.stats),
-                            None => pv_tables.push(table),
-                        }
-                    }
-                }
-                None => {}
+            if let Some(engine) = &core.engine {
+                snapshot.merge(engine.snapshot());
             }
+        }
+        // Per-table splits feed the aggregate too (single-table engines
+        // already report through `snapshot.pv`, composites only per table).
+        let mut pv_total = snapshot.pv;
+        for table in &snapshot.pv_tables {
+            pv_total.get_or_insert_with(pv_core::PvStats::default).merge(&table.stats);
         }
 
         RunMetrics {
@@ -354,11 +320,12 @@ impl System {
             per_core_ipc,
             hierarchy,
             coverage,
-            sms: sms_total,
-            markov: markov_total,
+            sms: snapshot.sms,
+            markov: snapshot.markov,
             pv: pv_total,
-            pv_tables,
+            pv_tables: snapshot.pv_tables,
             prefetches_issued,
+            throttle: snapshot.throttle,
         }
     }
 }

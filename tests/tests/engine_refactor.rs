@@ -1,0 +1,218 @@
+//! Guards for the PR-5 `PrefetchEngine` trait refactor.
+//!
+//! The per-core engine integration used to be an open-coded `Engine` enum
+//! matched in five-plus places in `pv-sim`; it is now a trait with a single
+//! feed/issue path. The refactor must be *observationally invisible*: every
+//! pre-existing `PrefetcherKind` (all 12) must produce bit-identical
+//! `RunMetrics::digest()` output in both `Ideal` and `Queued` contention
+//! modes. The digests pinned here were recorded at the pre-refactor HEAD
+//! (commit 1559948) with the exact same smoke-scale configuration.
+
+use pv_mem::ContentionModel;
+use pv_sim::{run_workload, PrefetcherKind, SimConfig};
+use pv_workloads::workloads;
+
+/// Smoke-scale windows (the perfbench configuration), with the PV region
+/// grown when a cohabiting kind needs room for two tables per core.
+fn smoke_config(kind: PrefetcherKind, contention: ContentionModel) -> SimConfig {
+    let mut config = SimConfig::quick(kind);
+    config.warmup_records = 20_000;
+    config.measure_records = 30_000;
+    let needed = config.prefetcher.pv_bytes_per_core();
+    if needed > config.hierarchy.pv_regions.bytes_per_core {
+        config.hierarchy = config.hierarchy.with_pv_bytes_per_core(needed);
+    }
+    config.hierarchy = config.hierarchy.with_contention(contention);
+    config
+}
+
+/// Every `PrefetcherKind` that existed before the trait refactor.
+fn pre_existing_kinds() -> Vec<PrefetcherKind> {
+    vec![
+        PrefetcherKind::None,
+        PrefetcherKind::sms_1k_16a(),
+        PrefetcherKind::sms_1k_11a(),
+        PrefetcherKind::sms_16_11a(),
+        PrefetcherKind::sms_8_11a(),
+        PrefetcherKind::sms_infinite(),
+        PrefetcherKind::sms_pv8(),
+        PrefetcherKind::sms_pv16(),
+        PrefetcherKind::markov_1k(),
+        PrefetcherKind::markov_pv8(),
+        PrefetcherKind::composite_dedicated(4),
+        PrefetcherKind::composite_shared(8),
+    ]
+}
+
+/// `(contention, kind label, digest)` recorded at commit 1559948, Qry1,
+/// smoke scale, for all 12 pre-existing kinds under both contention models.
+const PRE_REFACTOR_DIGESTS: &[(&str, &str, &str)] = &[
+    ("Ideal", "NoPrefetch", "cycles=1665667|instr=381112|l2req=48247+0|l2miss=34644+0|l2wb=18+0|dram=34644r18w|cov=0c37056u0o|pf=0"),
+    ("Ideal", "SMS-1K-16a", "cycles=956462|instr=381112|l2req=52918+0|l2miss=38766+0|l2wb=32+0|dram=38766r32w|cov=21579c15712u4268o|pf=27087"),
+    ("Ideal", "SMS-1K-11a", "cycles=956462|instr=381112|l2req=52918+0|l2miss=38766+0|l2wb=32+0|dram=38766r32w|cov=21579c15712u4268o|pf=27087"),
+    ("Ideal", "SMS-16-11a", "cycles=1014948|instr=381112|l2req=52248+0|l2miss=38165+0|l2wb=29+0|dram=38165r29w|cov=19313c17955u3708o|pf=24065"),
+    ("Ideal", "SMS-8-11a", "cycles=1149757|instr=381112|l2req=50818+0|l2miss=36868+0|l2wb=28+0|dram=36868r28w|cov=15158c22049u2415o|pf=18360"),
+    ("Ideal", "SMS-Infinite", "cycles=956462|instr=381112|l2req=52918+0|l2miss=38766+0|l2wb=32+0|dram=38766r32w|cov=21579c15712u4268o|pf=27087"),
+    ("Ideal", "SMS-PV8", "cycles=958661|instr=381112|l2req=52918+10981|l2miss=38766+1101|l2wb=35+0|dram=39867r35w|cov=21579c15712u4268o|pf=27087"),
+    ("Ideal", "SMS-PV16", "cycles=958449|instr=381112|l2req=52918+10702|l2miss=38766+1101|l2wb=35+0|dram=39867r35w|cov=21579c15712u4268o|pf=27087"),
+    ("Ideal", "Markov-1K", "cycles=1411302|instr=381112|l2req=100329+0|l2miss=77193+0|l2wb=736+0|dram=77193r736w|cov=6510c31902u50778o|pf=57477"),
+    ("Ideal", "Markov-PV8", "cycles=1411438|instr=381112|l2req=100329+31067|l2miss=77195+324|l2wb=757+32|dram=77519r789w|cov=6510c31902u50778o|pf=57477"),
+    ("Ideal", "SMS+Markov-2xPV4", "cycles=873511|instr=381112|l2req=106059+111258|l2miss=82396+1507|l2wb=1021+129|dram=83903r1150w|cov=23587c15077u56111o|pf=80872"),
+    ("Ideal", "SMS+Markov-shPV8", "cycles=873355|instr=381112|l2req=106059+60416|l2miss=82394+1508|l2wb=1021+130|dram=83902r1151w|cov=23587c15077u56111o|pf=80872"),
+    ("Queued", "NoPrefetch", "cycles=1715434|instr=381112|l2req=48247+0|l2miss=34644+0|l2wb=18+0|dram=34644r18w|cov=0c37056u0o|pf=0"),
+    ("Queued", "SMS-1K-16a", "cycles=1255825|instr=381112|l2req=52918+0|l2miss=38767+0|l2wb=32+0|dram=38767r32w|cov=21579c15712u4268o|pf=27087"),
+    ("Queued", "SMS-1K-11a", "cycles=1255825|instr=381112|l2req=52918+0|l2miss=38767+0|l2wb=32+0|dram=38767r32w|cov=21579c15712u4268o|pf=27087"),
+    ("Queued", "SMS-16-11a", "cycles=1294003|instr=381112|l2req=52248+0|l2miss=38163+0|l2wb=29+0|dram=38163r29w|cov=19313c17955u3708o|pf=24065"),
+    ("Queued", "SMS-8-11a", "cycles=1375648|instr=381112|l2req=50818+0|l2miss=36868+0|l2wb=28+0|dram=36868r28w|cov=15158c22049u2415o|pf=18360"),
+    ("Queued", "SMS-Infinite", "cycles=1255825|instr=381112|l2req=52918+0|l2miss=38767+0|l2wb=32+0|dram=38767r32w|cov=21579c15712u4268o|pf=27087"),
+    ("Queued", "SMS-PV8", "cycles=1294996|instr=381112|l2req=52918+10981|l2miss=38768+1101|l2wb=35+0|dram=39869r35w|cov=21579c15712u4268o|pf=27087"),
+    ("Queued", "SMS-PV16", "cycles=1320173|instr=381112|l2req=52918+10702|l2miss=38767+1101|l2wb=35+0|dram=39868r35w|cov=21579c15712u4268o|pf=27087"),
+    ("Queued", "Markov-1K", "cycles=2174455|instr=381112|l2req=100330+0|l2miss=77188+0|l2wb=733+0|dram=77188r733w|cov=6511c31901u50778o|pf=57478"),
+    ("Queued", "Markov-PV8", "cycles=2252570|instr=381112|l2req=100330+31070|l2miss=77187+324|l2wb=753+32|dram=77511r785w|cov=6511c31901u50778o|pf=57478"),
+    ("Queued", "SMS+Markov-2xPV4", "cycles=2325104|instr=381112|l2req=106059+110962|l2miss=82435+1495|l2wb=1020+122|dram=83930r1142w|cov=23587c15077u56111o|pf=80872"),
+    ("Queued", "SMS+Markov-shPV8", "cycles=2314061|instr=381112|l2req=106059+60474|l2miss=82438+1498|l2wb=1018+125|dram=83936r1143w|cov=23587c15077u56111o|pf=80872"),
+];
+
+fn contention_by_name(name: &str) -> ContentionModel {
+    match name {
+        "Ideal" => ContentionModel::Ideal,
+        "Queued" => ContentionModel::Queued,
+        other => panic!("unknown contention model {other}"),
+    }
+}
+
+/// The digest-stability satellite: the trait refactor (and the off-by-
+/// default throttling subsystem) must leave every pre-existing kind
+/// bit-identical in both contention modes.
+#[test]
+fn all_twelve_pre_existing_kinds_are_digest_identical_in_both_modes() {
+    assert_eq!(
+        PRE_REFACTOR_DIGESTS.len(),
+        2 * pre_existing_kinds().len(),
+        "one pin per (contention, kind)"
+    );
+    let workload = workloads::qry1();
+    for (contention, label, expected) in PRE_REFACTOR_DIGESTS {
+        let kind = pre_existing_kinds()
+            .into_iter()
+            .find(|k| k.label() == *label)
+            .unwrap_or_else(|| panic!("unknown kind label {label}"));
+        let config = smoke_config(kind, contention_by_name(contention));
+        let metrics = run_workload(&config, &workload);
+        assert_eq!(
+            metrics.digest(),
+            *expected,
+            "{label} under {contention}: digest moved across the PrefetchEngine refactor"
+        );
+    }
+}
+
+/// Pre-existing kinds must not suddenly report throttle metrics — the
+/// subsystem is opt-in.
+#[test]
+fn unthrottled_kinds_report_no_throttle_metrics() {
+    let metrics = run_workload(
+        &smoke_config(PrefetcherKind::sms_pv8(), ContentionModel::Ideal),
+        &workloads::qry1(),
+    );
+    assert!(metrics.throttle.is_none());
+    assert_eq!(metrics.dropped_prefetches(), 0);
+}
+
+/// The next-line satellite: the counters that used to be visible only in a
+/// `pv-mem` unit test now flow through `HierarchyStats` into `RunMetrics`.
+#[test]
+fn next_line_counters_flow_into_run_metrics() {
+    let metrics = run_workload(
+        &smoke_config(PrefetcherKind::None, ContentionModel::Ideal),
+        &workloads::qry1(),
+    );
+    assert_eq!(metrics.hierarchy.next_line.len(), 4, "one entry per core");
+    assert!(
+        metrics.next_line_issued() > 0,
+        "instruction streams must trigger next-line prefetches"
+    );
+    assert_eq!(
+        metrics.next_line_issued(),
+        metrics.hierarchy.next_line_total().issued
+    );
+    // The predictor view counts every request it makes; the hierarchy
+    // counter only those that installed a line — the predictor can never
+    // report fewer.
+    assert!(
+        metrics.next_line_issued() >= metrics.hierarchy.l1i_prefetches.iter().sum::<u64>(),
+        "issued requests must dominate actual installs"
+    );
+}
+
+/// The throttle must bite on a degree-1 engine too: positive caps can
+/// never truncate Markov's single prediction per access, so only the drop
+/// level (cap 0 with the probe trickle) suppresses it — and Markov's
+/// dismal accuracy must reach it.
+#[test]
+fn degree_one_engines_are_throttled_through_the_drop_level() {
+    let workload = workloads::qry1();
+    let fixed = run_workload(
+        &smoke_config(PrefetcherKind::markov_pv8(), ContentionModel::Ideal),
+        &workload,
+    );
+    let throttled = run_workload(
+        &smoke_config(
+            PrefetcherKind::markov_pv8_throttled(),
+            ContentionModel::Ideal,
+        ),
+        &workload,
+    );
+    let feedback = throttled.throttle.as_ref().expect("throttle metrics present");
+    assert!(
+        feedback.accuracy() < 0.30,
+        "the premise: Markov mispredicts most of the time (measured {:.2})",
+        feedback.accuracy()
+    );
+    assert_eq!(
+        feedback.max_level_reached(),
+        4,
+        "only the drop level can suppress a degree-1 engine"
+    );
+    assert!(
+        throttled.prefetches_issued * 2 < fixed.prefetches_issued,
+        "the drop level must suppress most of the stream ({} vs {})",
+        throttled.prefetches_issued,
+        fixed.prefetches_issued
+    );
+    assert!(
+        throttled.prefetches_issued > 0,
+        "the probe trickle keeps the feedback signal alive"
+    );
+}
+
+/// A throttled kind is a real engine end-to-end: it runs, reports
+/// throttle metrics, and its digest differs from the fixed-degree parent
+/// exactly when the controller engages.
+#[test]
+fn throttled_kind_runs_and_reports_feedback_metrics() {
+    let workload = workloads::apache();
+    let fixed = run_workload(
+        &smoke_config(PrefetcherKind::sms_pv8(), ContentionModel::Ideal),
+        &workload,
+    );
+    let throttled = run_workload(
+        &smoke_config(PrefetcherKind::sms_pv8_throttled(), ContentionModel::Ideal),
+        &workload,
+    );
+    assert_eq!(throttled.configuration, "SMS-PV8-throttled");
+    let feedback = throttled.throttle.as_ref().expect("throttled runs report metrics");
+    assert!(feedback.samples > 0, "epochs must complete");
+    assert!(feedback.accuracy() > 0.0);
+    assert!(
+        feedback.max_level_reached() > 0,
+        "Apache's accuracy must engage the throttle"
+    );
+    assert!(throttled.dropped_prefetches() > 0);
+    assert!(throttled.prefetches_issued < fixed.prefetches_issued);
+    assert_ne!(
+        throttled.digest(),
+        fixed.digest(),
+        "an engaged throttle is a behaviour change"
+    );
+}

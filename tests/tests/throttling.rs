@@ -1,0 +1,134 @@
+//! Acceptance tests for the feedback-directed throttling subsystem and its
+//! `throttle` experiment.
+//!
+//! The headline invariant (the PR-5 acceptance criterion): at the scarcest
+//! bandwidth point of the sweep, the throttled variant strictly reduces
+//! the DRAM queueing delay its predictor traffic observes and matches or
+//! beats the fixed-degree configuration's IPC on the low-accuracy
+//! workload. The flip side — an accurate predictor must ride through the
+//! feedback loop essentially untouched — is checked on the scan query.
+
+use pv_experiments::bandwidth::cycles_per_transfer_sweep;
+use pv_experiments::{throttle, Runner, Scale};
+use pv_workloads::WorkloadId;
+
+/// One (fixed, throttled) row pair of the sweep.
+fn pair_at(
+    rows: &[throttle::ThrottleRow],
+    workload: &str,
+    cycles_per_transfer: u64,
+) -> (throttle::ThrottleRow, throttle::ThrottleRow) {
+    let mut pair = rows
+        .iter()
+        .filter(|row| row.workload == workload && row.cycles_per_transfer == cycles_per_transfer);
+    let fixed = pair.next().expect("fixed-degree row present").clone();
+    let throttled = pair.next().expect("throttled row present").clone();
+    assert!(!fixed.config.ends_with("-throttled"));
+    assert!(throttled.config.ends_with("-throttled"));
+    (fixed, throttled)
+}
+
+/// The pinned acceptance property at the scarcest `cycles_per_transfer`
+/// point: strictly less predictor DRAM queueing delay, and at least the
+/// fixed-degree IPC, on the workload whose accuracy engages the throttle.
+#[test]
+fn throttling_recovers_ipc_and_cuts_predictor_queue_delay_when_bandwidth_is_scarce() {
+    let runner = Runner::with_default_threads(Scale::Smoke);
+    let rows = throttle::rows_for(&runner, &[WorkloadId::Apache]);
+    let scarcest = *cycles_per_transfer_sweep().last().expect("non-empty sweep");
+    let (fixed, throttled) = pair_at(&rows, "Apache", scarcest);
+
+    assert!(
+        throttled.max_level > 0 && throttled.dropped_prefetches > 0,
+        "Apache's misprediction rate must engage the throttle"
+    );
+    assert!(
+        throttled.accuracy < 0.70,
+        "the experiment's premise: Apache prefetches are inaccurate \
+         (measured {:.2})",
+        throttled.accuracy
+    );
+    assert!(
+        throttled.pv_queue_cycles < fixed.pv_queue_cycles,
+        "throttling must strictly reduce predictor DRAM queue delay at the \
+         scarcest point ({} vs {})",
+        throttled.pv_queue_cycles,
+        fixed.pv_queue_cycles
+    );
+    assert!(
+        throttled.ipc >= fixed.ipc,
+        "throttling must match or beat fixed-degree IPC at the scarcest \
+         point ({:.4} vs {:.4})",
+        throttled.ipc,
+        fixed.ipc
+    );
+    // The mechanism, not just the outcome: the win comes from suppressing
+    // useless traffic, so the demand stream must also wait less.
+    assert!(throttled.prefetches_issued < fixed.prefetches_issued);
+    assert!(throttled.app_queue_cycles < fixed.app_queue_cycles);
+}
+
+/// An accurate predictor stays inside the dead band: the throttled variant
+/// keeps (almost all of) the fixed-degree speedup at full bandwidth.
+#[test]
+fn accurate_predictors_ride_through_the_feedback_loop() {
+    let runner = Runner::with_default_threads(Scale::Smoke);
+    let rows = throttle::rows_for(&runner, &[WorkloadId::Qry1]);
+    let fastest = cycles_per_transfer_sweep()[0];
+    let (fixed, throttled) = pair_at(&rows, "Qry1", fastest);
+
+    assert!(
+        throttled.accuracy > 0.80,
+        "the scan query predicts accurately (measured {:.2})",
+        throttled.accuracy
+    );
+    assert!(
+        fixed.speedup > 0.25,
+        "fixed-degree prefetching must pay off at full bandwidth"
+    );
+    let retained = (1.0 + throttled.speedup) / (1.0 + fixed.speedup);
+    assert!(
+        retained > 0.95,
+        "an accurate stream must keep its speedup under the feedback loop \
+         (retained {:.3} of the fixed-degree performance)",
+        retained
+    );
+    // Only a sliver of its predictions may be dropped.
+    assert!(
+        throttled.dropped_prefetches * 20 < fixed.prefetches_issued,
+        "under 5% of an accurate stream's prefetches may be dropped \
+         ({} of {})",
+        throttled.dropped_prefetches,
+        fixed.prefetches_issued
+    );
+}
+
+/// Throttling is a per-epoch feedback loop, so more queue pressure must
+/// never make the controller report nonsense: every sweep point reports
+/// consistent counters and the throttled run never issues more than the
+/// fixed one.
+#[test]
+fn throttle_rows_are_internally_consistent_across_the_sweep() {
+    let runner = Runner::with_default_threads(Scale::Smoke);
+    let rows = throttle::rows(&runner);
+    assert_eq!(
+        rows.len(),
+        2 * 2 * cycles_per_transfer_sweep().len(),
+        "two workloads x two configs per sweep point"
+    );
+    for row in &rows {
+        if row.config.ends_with("-throttled") {
+            assert!(row.accuracy > 0.0, "throttled runs sample accuracy");
+        } else {
+            assert_eq!(row.dropped_prefetches, 0);
+            assert_eq!(row.max_level, 0);
+        }
+        assert!(row.next_line_issued > 0, "next-line counters are surfaced");
+    }
+    for &workload in &["Qry1", "Apache"] {
+        for &cpt in &cycles_per_transfer_sweep() {
+            let (fixed, throttled) = pair_at(&rows, workload, cpt);
+            assert!(throttled.prefetches_issued <= fixed.prefetches_issued);
+        }
+    }
+}
