@@ -1,0 +1,541 @@
+//! Feedback-directed prefetch throttling.
+//!
+//! The virtualized predictors share the L2/DRAM path with demand traffic,
+//! so useless prefetches are not merely wasted work — they consume the
+//! exact bandwidth the application is starving for. This module closes the
+//! loop from the prefetch-accuracy windows `pv-mem` samples (used vs.
+//! evicted-unused prefetched lines, per epoch) to the issue path:
+//! a [`ThrottleController`] maps windowed accuracy to a throttle *level*
+//! with hysteresis, each level caps the number of prefetches issued per
+//! demand access (the issue degree), and the deepest level may drop
+//! predictions entirely.
+//!
+//! Throttling is strictly opt-in: only the `PrefetcherKind::Throttled`
+//! variants construct a [`ThrottledEngine`], and a run without one never
+//! consults the controller, so all pre-existing configurations remain
+//! bit-identical.
+
+use crate::engine::{EngineSnapshot, PrefetchEngine};
+use pv_mem::{AccuracySample, BlockAddr, DataClass, MemoryHierarchy};
+use pv_sms::PrefetchAction;
+
+/// Parameters of the accuracy-to-issue-degree feedback loop.
+///
+/// The controller moves between `max_level + 1` states: level 0 is
+/// unthrottled, level `L >= 1` caps the issue degree at
+/// `base_degree >> (L - 1)` prefetches per demand access (so each deeper
+/// level halves the cap; a cap of zero drops every prediction). Hysteresis
+/// comes from the dead band between the two watermarks: a completed epoch
+/// below `low_accuracy_pct` tightens one level, one above
+/// `high_accuracy_pct` relaxes one level, and anything in between holds —
+/// a constant-accuracy stream therefore ratchets monotonically to a fixed
+/// point and stays there, it cannot oscillate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThrottleConfig {
+    /// Epoch accuracy (per cent) strictly below which the controller
+    /// tightens one level.
+    pub low_accuracy_pct: u8,
+    /// Epoch accuracy (per cent) strictly above which the controller
+    /// relaxes one level. Must exceed `low_accuracy_pct`.
+    pub high_accuracy_pct: u8,
+    /// Deepest throttle level (>= 1).
+    pub max_level: u8,
+    /// Issue-degree cap at level 1; halves per deeper level.
+    pub base_degree: u8,
+}
+
+impl ThrottleConfig {
+    /// The default feedback policy used by the throttled prefetcher
+    /// presets: tighten below 70% accuracy, relax above 85%, four levels
+    /// capping the degree at 4, 2, 1 and 0 (the drop level, which keeps
+    /// only the probe trickle — the only level that bites on degree-1
+    /// engines like Markov). The wide dead band leaves well-predicting
+    /// engines (windowed accuracy in the 80s and above) essentially
+    /// untouched; only genuinely wasteful streams are suppressed.
+    pub fn feedback_default() -> Self {
+        ThrottleConfig {
+            low_accuracy_pct: 70,
+            high_accuracy_pct: 85,
+            max_level: 4,
+            base_degree: 4,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the watermarks are not an ascending pair of percentages,
+    /// if there is no throttled level, or if the base degree is zero
+    /// (level 1 would already drop everything, leaving deeper levels
+    /// meaningless).
+    pub fn assert_valid(&self) {
+        assert!(
+            self.low_accuracy_pct < self.high_accuracy_pct,
+            "throttle watermarks must satisfy low < high ({} vs {})",
+            self.low_accuracy_pct,
+            self.high_accuracy_pct
+        );
+        assert!(
+            self.high_accuracy_pct <= 100,
+            "accuracy watermarks are percentages (got {})",
+            self.high_accuracy_pct
+        );
+        assert!(self.max_level >= 1, "throttling needs at least one level");
+        assert!(self.base_degree >= 1, "base issue degree must be positive");
+    }
+
+    /// The issue-degree cap at `level`: `None` (unlimited) at level 0,
+    /// otherwise `base_degree` halved per deeper level, saturating at 0.
+    /// A zero cap is the *drop* decision — but the controller still lets a
+    /// probe trickle through (one prediction in
+    /// [`ThrottleController::PROBE_INTERVAL`]) so the accuracy signal
+    /// never starves and the engine can earn its way back.
+    pub fn degree_cap(&self, level: u8) -> Option<usize> {
+        if level == 0 {
+            None
+        } else {
+            Some((self.base_degree as usize) >> (level - 1))
+        }
+    }
+}
+
+/// One recorded throttle-level transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelChange {
+    /// Core whose controller moved.
+    pub core: usize,
+    /// 1-based index of the accuracy sample that triggered the move.
+    pub sample: u64,
+    /// The level after the move.
+    pub level: u8,
+}
+
+/// Throttling statistics, merged over cores into `RunMetrics`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThrottleMetrics {
+    /// Completed accuracy epochs observed.
+    pub samples: u64,
+    /// Prefetched lines first used by demand accesses (summed over the
+    /// observed epochs).
+    pub used: u64,
+    /// Prefetched lines evicted unused (summed over the observed epochs).
+    pub useless: u64,
+    /// Predictions dropped by the issue-degree cap.
+    pub dropped_prefetches: u64,
+    /// Every level transition, in observation order (the throttle trace).
+    pub level_trace: Vec<LevelChange>,
+    /// Final level of each core's controller.
+    pub final_levels: Vec<u8>,
+}
+
+impl ThrottleMetrics {
+    /// Overall windowed accuracy in `[0, 1]` (zero before any epoch
+    /// completes).
+    pub fn accuracy(&self) -> f64 {
+        AccuracySample {
+            used: self.used,
+            useless: self.useless,
+        }
+        .accuracy()
+    }
+
+    /// The deepest level any core reached.
+    pub fn max_level_reached(&self) -> u8 {
+        self.level_trace
+            .iter()
+            .map(|change| change.level)
+            .max()
+            .unwrap_or(0)
+            .max(self.final_levels.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Folds `other` into `self` (aggregation across cores).
+    pub fn merge(&mut self, other: &ThrottleMetrics) {
+        self.samples += other.samples;
+        self.used += other.used;
+        self.useless += other.useless;
+        self.dropped_prefetches += other.dropped_prefetches;
+        self.level_trace.extend_from_slice(&other.level_trace);
+        self.final_levels.extend_from_slice(&other.final_levels);
+    }
+}
+
+/// The per-core feedback state machine: consumes accuracy samples, holds
+/// the current throttle level, and enforces the level's issue-degree cap.
+#[derive(Debug, Clone)]
+pub struct ThrottleController {
+    core: usize,
+    config: ThrottleConfig,
+    level: u8,
+    samples: u64,
+    used: u64,
+    useless: u64,
+    dropped: u64,
+    /// Predictions seen while at a zero cap; every
+    /// [`Self::PROBE_INTERVAL`]-th one is let through as a probe.
+    probe_counter: u64,
+    trace: Vec<LevelChange>,
+}
+
+impl ThrottleController {
+    /// At the drop level (cap 0) one prediction in this many is still
+    /// issued. Without the probe trickle a fully-dropped engine would
+    /// generate no prefetch outcomes, the accuracy windows would never
+    /// complete another epoch, and the controller could never relax —
+    /// the feedback loop would starve itself permanently.
+    pub const PROBE_INTERVAL: u64 = 16;
+
+    /// Creates a controller for `core` starting unthrottled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(core: usize, config: ThrottleConfig) -> Self {
+        config.assert_valid();
+        ThrottleController {
+            core,
+            config,
+            level: 0,
+            samples: 0,
+            used: 0,
+            useless: 0,
+            dropped: 0,
+            probe_counter: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The current throttle level (0 = unthrottled).
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// The configuration this controller runs.
+    pub fn config(&self) -> &ThrottleConfig {
+        &self.config
+    }
+
+    /// Feeds one completed accuracy epoch and returns the (possibly
+    /// unchanged) level. Empty epochs cannot occur (epochs complete on an
+    /// event), but an all-zero sample would simply hold the level.
+    pub fn observe(&mut self, sample: AccuracySample) -> u8 {
+        self.samples += 1;
+        self.used += sample.used;
+        self.useless += sample.useless;
+        let before = self.level;
+        if sample.below_pct(self.config.low_accuracy_pct) {
+            self.level = (self.level + 1).min(self.config.max_level);
+        } else if sample.above_pct(self.config.high_accuracy_pct) {
+            self.level = self.level.saturating_sub(1);
+        }
+        if self.level != before {
+            self.trace.push(LevelChange {
+                core: self.core,
+                sample: self.samples,
+                level: self.level,
+            });
+        }
+        self.level
+    }
+
+    /// Applies the current level's issue-degree cap to the predictions an
+    /// engine appended to `out` beyond `start`, dropping the excess (the
+    /// later entries — engines emit in priority order). At a zero cap
+    /// (the drop decision) everything is dropped except the deterministic
+    /// probe trickle that keeps the accuracy signal alive.
+    pub fn enforce(&mut self, out: &mut Vec<PrefetchAction>, start: usize) {
+        let Some(cap) = self.config.degree_cap(self.level) else {
+            return;
+        };
+        if cap == 0 {
+            let mut kept = start;
+            for index in start..out.len() {
+                self.probe_counter += 1;
+                if self.probe_counter.is_multiple_of(Self::PROBE_INTERVAL) {
+                    out[kept] = out[index];
+                    kept += 1;
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            out.truncate(kept);
+            return;
+        }
+        let produced = out.len() - start;
+        if produced > cap {
+            self.dropped += (produced - cap) as u64;
+            out.truncate(start + cap);
+        }
+    }
+
+    /// This controller's contribution to the run's [`ThrottleMetrics`].
+    pub fn metrics(&self) -> ThrottleMetrics {
+        ThrottleMetrics {
+            samples: self.samples,
+            used: self.used,
+            useless: self.useless,
+            dropped_prefetches: self.dropped,
+            level_trace: self.trace.clone(),
+            final_levels: vec![self.level],
+        }
+    }
+
+    /// Clears counters and the trace; the level and the probe phase
+    /// persist, like the engines' learned state, across the warm-up/
+    /// measurement boundary (resetting them would change behaviour at the
+    /// window edge).
+    pub fn reset_stats(&mut self) {
+        self.samples = 0;
+        self.used = 0;
+        self.useless = 0;
+        self.dropped = 0;
+        self.trace.clear();
+    }
+}
+
+/// A [`PrefetchEngine`] decorator that throttles its inner engine's issue
+/// stream with a per-core [`ThrottleController`].
+///
+/// On every data access the wrapper first drains any accuracy epochs the
+/// hierarchy completed for this core's application-class prefetches, then
+/// lets the inner engine predict, then enforces the resulting issue-degree
+/// cap on what it produced.
+#[derive(Debug)]
+pub struct ThrottledEngine<E> {
+    core: usize,
+    inner: E,
+    controller: ThrottleController,
+}
+
+impl<E: PrefetchEngine> ThrottledEngine<E> {
+    /// Wraps `inner`, throttled by `config`'s feedback policy.
+    pub fn new(core: usize, inner: E, config: ThrottleConfig) -> Self {
+        ThrottledEngine {
+            core,
+            inner,
+            controller: ThrottleController::new(core, config),
+        }
+    }
+
+    /// The controller (for inspection in tests).
+    pub fn controller(&self) -> &ThrottleController {
+        &self.controller
+    }
+}
+
+impl<E: PrefetchEngine> PrefetchEngine for ThrottledEngine<E> {
+    fn on_l1_evictions(&mut self, blocks: &[BlockAddr], mem: &mut MemoryHierarchy, now: u64) {
+        self.inner.on_l1_evictions(blocks, mem, now);
+    }
+
+    fn on_data_access(
+        &mut self,
+        pc: u64,
+        address: u64,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+        out: &mut Vec<PrefetchAction>,
+    ) {
+        let window = mem.prefetch_accuracy_mut(self.core, DataClass::Application);
+        while let Some(sample) = window.pop_completed() {
+            self.controller.observe(sample);
+        }
+        let start = out.len();
+        self.inner.on_data_access(pc, address, mem, now, out);
+        self.controller.enforce(out, start);
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+        self.controller.reset_stats();
+    }
+
+    fn snapshot(&self) -> EngineSnapshot {
+        let mut snapshot = self.inner.snapshot();
+        snapshot.throttle = Some(self.controller.metrics());
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(used: u64, useless: u64) -> AccuracySample {
+        AccuracySample { used, useless }
+    }
+
+    #[test]
+    fn config_caps_halve_per_level_down_to_the_drop_level() {
+        let config = ThrottleConfig::feedback_default();
+        config.assert_valid();
+        assert_eq!(config.degree_cap(0), None);
+        assert_eq!(config.degree_cap(1), Some(4));
+        assert_eq!(config.degree_cap(2), Some(2));
+        assert_eq!(config.degree_cap(3), Some(1));
+        assert_eq!(config.degree_cap(4), Some(0), "the drop decision");
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn inverted_watermarks_are_rejected() {
+        ThrottleConfig {
+            low_accuracy_pct: 95,
+            high_accuracy_pct: 85,
+            ..ThrottleConfig::feedback_default()
+        }
+        .assert_valid();
+    }
+
+    #[test]
+    fn low_accuracy_ratchets_down_and_saturates() {
+        let mut ctrl = ThrottleController::new(0, ThrottleConfig::feedback_default());
+        for expected in [1, 2, 3, 4, 4, 4] {
+            assert_eq!(ctrl.observe(sample(1, 9)), expected);
+        }
+        assert_eq!(ctrl.metrics().max_level_reached(), 4);
+        assert_eq!(
+            ctrl.metrics().level_trace.len(),
+            4,
+            "saturated holds are not transitions"
+        );
+    }
+
+    /// The drop level must not silence the feedback signal: one prediction
+    /// in PROBE_INTERVAL still goes through, so a degree-1 engine (which a
+    /// positive cap can never touch) is throttled yet can earn its way
+    /// back.
+    #[test]
+    fn drop_level_keeps_a_deterministic_probe_trickle() {
+        let mut ctrl = ThrottleController::new(0, ThrottleConfig::feedback_default());
+        for _ in 0..4 {
+            ctrl.observe(sample(0, 10));
+        }
+        assert_eq!(ctrl.config().degree_cap(ctrl.level()), Some(0));
+        let action = |i: u64| PrefetchAction {
+            block: BlockAddr::new(i),
+            issue_at: 0,
+        };
+        let mut kept = 0usize;
+        let interval = ThrottleController::PROBE_INTERVAL as usize;
+        // 64 degree-1 accesses: exactly one in PROBE_INTERVAL survives.
+        for i in 0..64u64 {
+            let mut out = vec![action(i)];
+            ctrl.enforce(&mut out, 0);
+            kept += out.len();
+        }
+        assert_eq!(kept, 64 / interval);
+        assert_eq!(
+            ctrl.metrics().dropped_prefetches,
+            (64 - 64 / interval) as u64
+        );
+    }
+
+    #[test]
+    fn high_accuracy_relaxes_back_to_unthrottled() {
+        let mut ctrl = ThrottleController::new(2, ThrottleConfig::feedback_default());
+        ctrl.observe(sample(0, 10));
+        ctrl.observe(sample(0, 10));
+        assert_eq!(ctrl.level(), 2);
+        for expected in [1, 0, 0] {
+            assert_eq!(ctrl.observe(sample(99, 1)), expected);
+        }
+        let metrics = ctrl.metrics();
+        assert!(metrics.level_trace.iter().all(|c| c.core == 2));
+        assert_eq!(metrics.final_levels, vec![0]);
+    }
+
+    /// The hysteresis acceptance test: a constant-accuracy stream settles
+    /// at a fixed point and never oscillates, wherever the accuracy lies
+    /// relative to the watermarks.
+    #[test]
+    fn constant_accuracy_streams_never_oscillate() {
+        for (used, useless) in [(50, 50), (80, 20), (99, 1)] {
+            let mut ctrl = ThrottleController::new(0, ThrottleConfig::feedback_default());
+            let mut levels = Vec::new();
+            for _ in 0..50 {
+                levels.push(ctrl.observe(sample(used, useless)));
+            }
+            // Monotone until the fixed point, then flat: the sequence of
+            // levels never changes direction.
+            let mut directions: Vec<i32> = levels
+                .windows(2)
+                .map(|w| (w[1] as i32 - w[0] as i32).signum())
+                .filter(|&d| d != 0)
+                .collect();
+            directions.dedup();
+            assert!(
+                directions.len() <= 1,
+                "accuracy {used}/{useless} oscillated: levels {levels:?}"
+            );
+            assert_eq!(
+                levels[levels.len() - 2],
+                levels[levels.len() - 1],
+                "stream must settle"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_band_holds_the_current_level() {
+        let mut ctrl = ThrottleController::new(0, ThrottleConfig::feedback_default());
+        ctrl.observe(sample(0, 10));
+        assert_eq!(ctrl.level(), 1);
+        for _ in 0..10 {
+            // 80% sits between the 70/85 watermarks.
+            assert_eq!(ctrl.observe(sample(80, 20)), 1);
+        }
+        assert_eq!(ctrl.metrics().level_trace.len(), 1);
+    }
+
+    #[test]
+    fn enforce_caps_only_beyond_start_and_counts_drops() {
+        let mut ctrl = ThrottleController::new(0, ThrottleConfig::feedback_default());
+        ctrl.observe(sample(0, 10));
+        ctrl.observe(sample(0, 10));
+        assert_eq!(ctrl.config().degree_cap(ctrl.level()), Some(2));
+        let action = |i: u64| PrefetchAction {
+            block: BlockAddr::new(i),
+            issue_at: 0,
+        };
+        let mut out: Vec<PrefetchAction> = (0..3).map(action).collect();
+        let start = out.len();
+        out.extend((10..15).map(action));
+        ctrl.enforce(&mut out, start);
+        assert_eq!(out.len(), start + 2, "cap applies to the new entries only");
+        assert_eq!(out[start].block, BlockAddr::new(10));
+        assert_eq!(ctrl.metrics().dropped_prefetches, 3);
+        // Unthrottled controllers never drop.
+        let mut free = ThrottleController::new(0, ThrottleConfig::feedback_default());
+        let mut out: Vec<PrefetchAction> = (0..20).map(action).collect();
+        free.enforce(&mut out, 0);
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn reset_stats_keeps_the_level() {
+        let mut ctrl = ThrottleController::new(0, ThrottleConfig::feedback_default());
+        ctrl.observe(sample(0, 10));
+        ctrl.reset_stats();
+        assert_eq!(ctrl.level(), 1, "the level is learned state");
+        let metrics = ctrl.metrics();
+        assert_eq!(metrics.samples, 0);
+        assert!(metrics.level_trace.is_empty());
+        assert_eq!(metrics.final_levels, vec![1]);
+    }
+
+    #[test]
+    fn metrics_merge_across_cores() {
+        let mut a = ThrottleController::new(0, ThrottleConfig::feedback_default());
+        let mut b = ThrottleController::new(1, ThrottleConfig::feedback_default());
+        a.observe(sample(0, 10));
+        b.observe(sample(99, 1));
+        let mut total = a.metrics();
+        total.merge(&b.metrics());
+        assert_eq!(total.samples, 2);
+        assert_eq!(total.final_levels, vec![1, 0]);
+        assert_eq!(total.max_level_reached(), 1);
+        assert!((total.accuracy() - 99.0 / 110.0).abs() < 1e-12);
+    }
+}
