@@ -6,8 +6,10 @@
 //! variants — plus micro-benchmarks of the packing codec and the
 //! set-associative array against the retained pre-flattening reference
 //! implementations and of the memory-hierarchy access path under both
-//! contention models, and writes the results as `BENCH_PR5.json` (schema
-//! `pv-perfbench/2`, documented in the README's Performance section).
+//! contention models, and a replay-path row that times decode+simulate over
+//! pre-recorded binary traces, and writes the results as `BENCH_PR6.json`
+//! (schema `pv-perfbench/2`, documented in the README's Performance
+//! section).
 //!
 //! Each end-to-end row also carries a digest of the run's `RunMetrics`
 //! (cycles, misses, traffic, coverage): optimisation PRs must keep those
@@ -26,7 +28,7 @@
 //! records/sec ratio regresses by more than 25%, and digest mismatches are
 //! reported as warnings (behaviour-changing PRs are expected to move them;
 //! perf-only PRs are not). Rows with no baseline counterpart — e.g. the
-//! throttled kinds the PR that wrote `BENCH_PR5.json` introduced — are
+//! replay-path row the PR that wrote `BENCH_PR6.json` introduced — are
 //! skipped by the gate.
 
 use pv_core::{decode_set, encode_set, packing, PvLayout, PvSet, RawEntry};
@@ -34,8 +36,9 @@ use pv_mem::{
     AccessKind, ContentionModel, DataClass, HierarchyConfig, MemoryHierarchy,
     ReferenceSetAssociative, ReplacementKind, Requester, SetAssociative,
 };
-use pv_sim::{run_workload, PrefetcherKind, SimConfig};
-use pv_workloads::WorkloadId;
+use pv_sim::{run_streams, run_workload, PrefetcherKind, SimConfig};
+use pv_trace::{record_generator, ReplayStream};
+use pv_workloads::{AccessStream, WorkloadId};
 use std::time::Instant;
 
 /// End-to-end records/sec measured at commit 3b12054 (the last commit before
@@ -342,7 +345,7 @@ fn main() {
             }
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_PR5.json".to_owned());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR6.json".to_owned());
 
     let mut runs = Vec::new();
     for kind in all_kinds() {
@@ -378,6 +381,54 @@ fn main() {
             );
             runs.push(row);
         }
+    }
+
+    // Replay path: decode pre-recorded binary traces and simulate from
+    // them. The row times the full pipeline (header parse + per-record
+    // bit unpacking + simulation); the digest matches the live run's by
+    // construction, so the row also guards record/replay fidelity.
+    {
+        let kind = PrefetcherKind::sms_pv8();
+        let workload = WorkloadId::Qry1;
+        let config = smoke_config(kind.clone());
+        let per_core = config.warmup_records + config.measure_records;
+        let traces: Vec<Vec<u8>> = (0..config.cores)
+            .map(|core| {
+                record_generator(&workload.params(), config.seed, core as u32, per_core)
+                    .expect("generated records fit the default trace layout")
+            })
+            .collect();
+        let records = per_core * config.cores as u64;
+        let mut seconds = f64::INFINITY;
+        let mut metrics = None;
+        for _ in 0..5 {
+            let start = Instant::now();
+            let streams: Vec<Box<dyn AccessStream>> = traces
+                .iter()
+                .map(|bytes| {
+                    Box::new(ReplayStream::new(bytes.clone()).expect("valid trace"))
+                        as Box<dyn AccessStream>
+                })
+                .collect();
+            let run = run_streams(&config, streams);
+            seconds = seconds.min(start.elapsed().as_secs_f64());
+            metrics = Some(run);
+        }
+        let metrics = metrics.expect("at least one repetition ran");
+        let row = EndToEnd {
+            prefetcher: kind.label(),
+            workload: format!("{}-replay", workload.name()),
+            records,
+            seconds,
+            records_per_sec: records as f64 / seconds,
+            pre_refactor_records_per_sec: None,
+            digest: metrics.digest(),
+        };
+        eprintln!(
+            "end_to_end {:<14} {:<8} {:>10.0} records/sec ({})",
+            row.prefetcher, row.workload, row.records_per_sec, row.digest
+        );
+        runs.push(row);
     }
 
     // Interleave the current and reference measurements in adjacent windows

@@ -33,6 +33,7 @@ pub mod fig9;
 pub mod mixes;
 pub mod report;
 pub mod runner;
+pub mod scenarios;
 pub mod sec46;
 pub mod table1;
 pub mod table2;
@@ -40,7 +41,7 @@ pub mod table3;
 pub mod throttle;
 
 pub use report::Table;
-pub use runner::{HierarchyVariant, MixSpec, RunSpec, Runner, Scale};
+pub use runner::{HierarchyVariant, MixSpec, RunSpec, Runner, Scale, ScenarioSpec};
 
 /// Identifier of one reproducible experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,6 +84,9 @@ pub enum Experiment {
     /// Feedback-directed throttling: fixed vs adaptive issue degree under
     /// queued DRAM contention.
     Throttle,
+    /// Non-stationary scenarios: phase flips, flash crowds, diurnal load,
+    /// and an antagonist core (trace-composed workloads).
+    Scenarios,
 }
 
 impl Experiment {
@@ -91,7 +95,7 @@ impl Experiment {
         use Experiment::*;
         vec![
             Table1, Table2, Table3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Sec46,
-            Ablation, Backends, Bandwidth, Mixes, Cohabit, Throttle,
+            Ablation, Backends, Bandwidth, Mixes, Cohabit, Throttle, Scenarios,
         ]
     }
 
@@ -116,6 +120,7 @@ impl Experiment {
             Experiment::Mixes => "mixes",
             Experiment::Cohabit => "cohabit",
             Experiment::Throttle => "throttle",
+            Experiment::Scenarios => "scenarios",
         }
     }
 
@@ -145,6 +150,7 @@ impl Experiment {
             Experiment::Mixes => mixes::report(runner),
             Experiment::Cohabit => cohabit::report(runner),
             Experiment::Throttle => throttle::report(runner),
+            Experiment::Scenarios => scenarios::report(runner),
         }
     }
 }

@@ -2,7 +2,8 @@
 
 use parking_lot::Mutex;
 use pv_mem::{ContentionModel, HierarchyConfig};
-use pv_sim::{run_workload, run_workload_mix, PrefetcherKind, RunMetrics, SimConfig};
+use pv_sim::{run_streams, run_workload, run_workload_mix, PrefetcherKind, RunMetrics, SimConfig};
+use pv_trace::Scenario;
 use pv_workloads::WorkloadId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -72,6 +73,16 @@ pub enum HierarchyVariant {
         /// Cycles one block occupies a channel's data bus.
         cycles_per_transfer: u64,
     },
+    /// A queued-DRAM bandwidth point with a shortened prefetch-accuracy
+    /// epoch (outcomes per window). The non-stationary scenario studies
+    /// use this so the throttle feedback loop completes several epochs per
+    /// workload phase and its re-convergence is observable within a run.
+    QueuedDramEpoch {
+        /// Cycles one block occupies a channel's data bus.
+        cycles_per_transfer: u64,
+        /// Prefetch outcomes per accuracy epoch (default hierarchy: 256).
+        accuracy_epoch: u64,
+    },
     /// The baseline with `bytes_per_core` bytes of PV region reserved per
     /// core — room for several cohabiting tables — under the given
     /// contention model (paper-default DRAM bandwidth).
@@ -96,6 +107,13 @@ impl HierarchyVariant {
             } => base
                 .with_contention(ContentionModel::Queued)
                 .with_dram_cycles_per_transfer(cycles_per_transfer),
+            HierarchyVariant::QueuedDramEpoch {
+                cycles_per_transfer,
+                accuracy_epoch,
+            } => base
+                .with_contention(ContentionModel::Queued)
+                .with_dram_cycles_per_transfer(cycles_per_transfer)
+                .with_accuracy_epoch(accuracy_epoch),
             HierarchyVariant::PvRegion {
                 bytes_per_core,
                 contention,
@@ -113,6 +131,12 @@ impl HierarchyVariant {
                 cycles_per_transfer,
             } => {
                 format!("queued-cpt{cycles_per_transfer}")
+            }
+            HierarchyVariant::QueuedDramEpoch {
+                cycles_per_transfer,
+                accuracy_epoch,
+            } => {
+                format!("queued-cpt{cycles_per_transfer}-ep{accuracy_epoch}")
             }
             HierarchyVariant::PvRegion {
                 bytes_per_core,
@@ -135,6 +159,11 @@ impl HierarchyVariant {
 enum WorkloadSel {
     Homogeneous(WorkloadId),
     PerCore([WorkloadId; 4]),
+    /// Every core runs its slice of a non-stationary scenario composition
+    /// (see `pv_trace::Scenario`); scenarios are small `Copy` values over
+    /// workload identifiers and integer knobs, so they hash structurally
+    /// like everything else in the key.
+    Scenario(Scenario),
 }
 
 /// Cache key of one simulation: the full configuration, hashed structurally.
@@ -173,6 +202,38 @@ impl RunSpec {
     fn key(&self) -> RunKey {
         RunKey {
             workload: WorkloadSel::Homogeneous(self.workload),
+            prefetcher: self.prefetcher.clone(),
+            hierarchy: self.hierarchy,
+        }
+    }
+}
+
+/// One non-stationary scenario simulation to run: every core consumes its
+/// per-core stream of `scenario` (phase flips, flash crowds, diurnal
+/// modulation, or an antagonist on the last core).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// The scenario composition all cores run.
+    pub scenario: Scenario,
+    /// Which prefetcher each core uses.
+    pub prefetcher: PrefetcherKind,
+    /// Which memory hierarchy variant is simulated.
+    pub hierarchy: HierarchyVariant,
+}
+
+impl ScenarioSpec {
+    /// A scenario run on the baseline hierarchy.
+    pub fn base(scenario: Scenario, prefetcher: PrefetcherKind) -> Self {
+        ScenarioSpec {
+            scenario,
+            prefetcher,
+            hierarchy: HierarchyVariant::Base,
+        }
+    }
+
+    fn key(&self) -> RunKey {
+        RunKey {
+            workload: WorkloadSel::Scenario(self.scenario),
             prefetcher: self.prefetcher.clone(),
             hierarchy: self.hierarchy,
         }
@@ -262,6 +323,10 @@ impl Runner {
                 let params: Vec<_> = workloads.iter().map(|w| w.params()).collect();
                 run_workload_mix(&config, &params)
             }
+            WorkloadSel::Scenario(scenario) => {
+                let streams = scenario.build_streams(config.cores, config.seed);
+                run_streams(&config, streams)
+            }
         };
         self.runs_executed.fetch_add(1, Ordering::Relaxed);
         Arc::new(metrics)
@@ -286,6 +351,13 @@ impl Runner {
     /// if it has not been run yet (mixes share the same cache as
     /// homogeneous runs).
     pub fn metrics_mixed(&self, spec: &MixSpec) -> Arc<RunMetrics> {
+        self.metrics_for_key(spec.key())
+    }
+
+    /// Returns the metrics for a scenario run, running the simulation if
+    /// it has not been run yet (scenarios share the cache with everything
+    /// else).
+    pub fn metrics_scenario(&self, spec: &ScenarioSpec) -> Arc<RunMetrics> {
         self.metrics_for_key(spec.key())
     }
 
@@ -329,6 +401,12 @@ impl Runner {
     /// Runs every mixed spec in `specs` that is not cached yet, in parallel.
     pub fn prefetch_mixed(&self, specs: &[MixSpec]) {
         self.prefetch_keys(specs.iter().map(MixSpec::key).collect());
+    }
+
+    /// Runs every scenario spec in `specs` that is not cached yet, in
+    /// parallel.
+    pub fn prefetch_scenarios(&self, specs: &[ScenarioSpec]) {
+        self.prefetch_keys(specs.iter().map(ScenarioSpec::key).collect());
     }
 }
 

@@ -11,12 +11,14 @@ use pv_core::PvRegionPlan;
 use pv_markov::MarkovPrefetcher;
 use pv_mem::{DataClass, MemoryHierarchy, Requester};
 use pv_sms::{build_storage, PrefetchAction, SmsPrefetcher, VirtualizedPht};
-use pv_workloads::{MemOp, TraceGenerator, TraceRecord, WorkloadParams};
+use pv_workloads::{AccessStream, MemOp, TraceGenerator, TraceRecord, WorkloadParams};
 
 /// Per-core simulation state.
 struct CoreState {
     id: usize,
-    generator: TraceGenerator,
+    /// The core's record source — any [`AccessStream`]: a live synthetic
+    /// generator, a replayed trace, or a non-stationary scenario stream.
+    stream: Box<dyn AccessStream>,
     model: CoreModel,
     /// The core's data-prefetch engine — any [`PrefetchEngine`]: SMS,
     /// Markov, a cohabiting composite, or a throttled wrapper. The
@@ -25,6 +27,9 @@ struct CoreState {
     covered: u64,
     prefetches_issued: u64,
     records_consumed: u64,
+    /// Set when the stream returned `None`; replayed traces are finite and
+    /// end the core's run cleanly.
+    exhausted: bool,
 }
 
 /// The simulated four-core system.
@@ -71,26 +76,58 @@ impl System {
         for workload in workloads {
             workload.validate().expect("workload parameters must be valid");
         }
+        let streams = workloads
+            .iter()
+            .enumerate()
+            .map(|(core, workload)| {
+                Box::new(TraceGenerator::new(workload, config.seed, core)) as Box<dyn AccessStream>
+            })
+            .collect();
+        Self::from_streams(config, streams)
+    }
+
+    /// Builds a system whose cores consume the given streams: core `i`
+    /// reads `streams[i]`. This is the general entry point — generators,
+    /// replayed traces, and scenario compositions all arrive here. Finite
+    /// streams end the owning core's run cleanly when they dry up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation or if `streams.len()` does not
+    /// match the core count.
+    pub fn from_streams(config: SimConfig, streams: Vec<Box<dyn AccessStream>>) -> Self {
+        config.assert_valid();
+        assert_eq!(
+            streams.len(),
+            config.cores,
+            "need exactly one stream per core ({} streams, {} cores)",
+            streams.len(),
+            config.cores
+        );
+        let labels: Vec<String> = streams.iter().map(|s| s.label().to_owned()).collect();
+        let workload_name = if labels.windows(2).all(|pair| pair[0] == pair[1]) {
+            labels[0].clone()
+        } else {
+            labels.join("+")
+        };
         let hierarchy = MemoryHierarchy::new(config.hierarchy);
-        let cores = (0..config.cores)
-            .map(|core| {
+        let cores = streams
+            .into_iter()
+            .enumerate()
+            .map(|(core, stream)| {
                 let engine = Self::build_prefetcher(&config, core);
                 CoreState {
                     id: core,
-                    generator: TraceGenerator::new(&workloads[core], config.seed, core),
+                    stream,
                     model: CoreModel::new(config.core, config.hierarchy.l1d.data_latency),
                     engine,
                     covered: 0,
                     prefetches_issued: 0,
                     records_consumed: 0,
+                    exhausted: false,
                 }
             })
             .collect();
-        let workload_name = if workloads.windows(2).all(|pair| pair[0].name == pair[1].name) {
-            workloads[0].name.clone()
-        } else {
-            workloads.iter().map(|w| w.name.as_str()).collect::<Vec<_>>().join("+")
-        };
         System {
             workload_name,
             config,
@@ -174,6 +211,18 @@ impl System {
         &self.hierarchy
     }
 
+    /// Records each core has consumed so far (warm-up plus measurement).
+    pub fn records_consumed(&self) -> Vec<u64> {
+        self.cores.iter().map(|c| c.records_consumed).collect()
+    }
+
+    /// Whether each core's stream has ended. Always all-false for the
+    /// infinite synthetic generators; replayed traces set their core's
+    /// flag when the trace runs out.
+    pub fn exhausted(&self) -> Vec<bool> {
+        self.cores.iter().map(|c| c.exhausted).collect()
+    }
+
     /// Runs the warm-up and measurement windows and returns the metrics of
     /// the measurement window.
     pub fn run(&mut self) -> RunMetrics {
@@ -183,9 +232,12 @@ impl System {
         self.collect_metrics()
     }
 
-    /// Consumes `records_per_core` further trace records on every core,
-    /// always advancing the core whose local clock is furthest behind so the
-    /// shared L2 sees a fair interleaving.
+    /// Consumes up to `records_per_core` further trace records on every
+    /// core, always advancing the core whose local clock is furthest behind
+    /// so the shared L2 sees a fair interleaving. A core whose stream ends
+    /// early simply stops participating: the timing model is synchronous
+    /// (no in-flight accesses to drain), so its statistics are coherent at
+    /// whatever point the trace ran out.
     fn run_phase(&mut self, records_per_core: u64) {
         let targets: Vec<u64> =
             self.cores.iter().map(|c| c.records_consumed + records_per_core).collect();
@@ -194,7 +246,7 @@ impl System {
                 .cores
                 .iter()
                 .enumerate()
-                .filter(|(idx, core)| core.records_consumed < targets[*idx])
+                .filter(|(idx, core)| !core.exhausted && core.records_consumed < targets[*idx])
                 .min_by_key(|(_, core)| core.model.now())
                 .map(|(idx, _)| idx);
             let Some(idx) = next else { break };
@@ -215,7 +267,10 @@ impl System {
     }
 
     fn step_core(&mut self, idx: usize) {
-        let record = self.cores[idx].generator.next().expect("trace generators are infinite");
+        let Some(record) = self.cores[idx].stream.next_record() else {
+            self.cores[idx].exhausted = true;
+            return;
+        };
         self.cores[idx].records_consumed += 1;
         match record.op {
             MemOp::InstructionFetch => self.step_fetch(idx, &record),
@@ -339,6 +394,12 @@ pub fn run_workload(config: &SimConfig, workload: &WorkloadParams) -> RunMetrics
 /// runs it.
 pub fn run_workload_mix(config: &SimConfig, workloads: &[WorkloadParams]) -> RunMetrics {
     System::new_mixed(config.clone(), workloads).run()
+}
+
+/// Builds a [`System`] over arbitrary per-core streams (core `i` reads
+/// `streams[i]`) and runs it.
+pub fn run_streams(config: &SimConfig, streams: Vec<Box<dyn AccessStream>>) -> RunMetrics {
+    System::from_streams(config.clone(), streams).run()
 }
 
 #[cfg(test)]
@@ -538,6 +599,71 @@ mod tests {
     fn mixed_workload_count_must_match_cores() {
         let config = tiny(PrefetcherKind::None);
         let _ = System::new_mixed(config, &[workloads::qry1(), workloads::qry2()]);
+    }
+
+    #[test]
+    fn stream_runs_match_generator_runs_exactly() {
+        use pv_workloads::AccessStream;
+        let config = tiny(PrefetcherKind::sms_pv8());
+        let workload = workloads::qry1();
+        let direct = run_workload(&config, &workload);
+        let streams: Vec<Box<dyn AccessStream>> = (0..config.cores)
+            .map(|core| {
+                Box::new(TraceGenerator::new(&workload, config.seed, core)) as Box<dyn AccessStream>
+            })
+            .collect();
+        let via_streams = run_streams(&config, streams);
+        assert_eq!(direct.digest(), via_streams.digest());
+        assert_eq!(direct.workload, via_streams.workload);
+    }
+
+    #[test]
+    fn finite_streams_end_the_run_cleanly() {
+        use pv_workloads::{AccessStream, TakeStream};
+        let config = tiny(PrefetcherKind::sms_pv8());
+        // Core 2's trace dries up mid-measurement; the others run in full.
+        let full = config.warmup_records + config.measure_records;
+        let short = config.warmup_records + config.measure_records / 2;
+        let workload = workloads::qry1();
+        let streams: Vec<Box<dyn AccessStream>> = (0..config.cores)
+            .map(|core| {
+                let generator = TraceGenerator::new(&workload, config.seed, core);
+                let limit = if core == 2 { short } else { full };
+                Box::new(TakeStream::new(generator, limit)) as Box<dyn AccessStream>
+            })
+            .collect();
+        let mut system = System::from_streams(config.clone(), streams);
+        let metrics = system.run();
+        assert_eq!(
+            system.records_consumed(),
+            vec![full, full, short, full],
+            "the short core stops at its trace end, the rest finish"
+        );
+        assert_eq!(system.exhausted(), vec![false, false, true, false]);
+        assert!(metrics.elapsed_cycles > 0);
+        assert!(metrics.total_instructions > 0);
+        assert!(
+            metrics.per_core_ipc.iter().all(|&ipc| ipc > 0.0),
+            "every core, including the exhausted one, reports coherent stats"
+        );
+    }
+
+    #[test]
+    fn all_streams_empty_yields_an_empty_but_coherent_run() {
+        use pv_workloads::{AccessStream, TakeStream};
+        let config = tiny(PrefetcherKind::None);
+        let streams: Vec<Box<dyn AccessStream>> = (0..config.cores)
+            .map(|core| {
+                let generator = TraceGenerator::new(&workloads::qry1(), config.seed, core);
+                Box::new(TakeStream::new(generator, 0)) as Box<dyn AccessStream>
+            })
+            .collect();
+        let mut system = System::from_streams(config, streams);
+        let metrics = system.run();
+        assert_eq!(system.records_consumed(), vec![0, 0, 0, 0]);
+        assert_eq!(system.exhausted(), vec![true, true, true, true]);
+        assert_eq!(metrics.total_instructions, 0);
+        assert_eq!(metrics.elapsed_cycles, 0);
     }
 
     #[test]

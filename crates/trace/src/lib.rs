@@ -1,0 +1,38 @@
+//! # pv-trace — trace record/replay and non-stationary scenarios
+//!
+//! Two halves, one seam. The seam is [`pv_workloads::AccessStream`]: the
+//! simulator consumes records through it without knowing whether they come
+//! from a live synthetic generator, a recorded trace, or a scenario
+//! composition.
+//!
+//! **Record/replay** ([`mod@format`], [`recorder`],
+//! [`replay`]): a compact binary per-core trace format that bit-packs
+//! `TraceRecord {pc, address, op, non_mem_instructions}` with the same
+//! `pv_core::packing` word-window codec the PV tables use (the paper's
+//! Fig. 3a idiom) — 14 bytes per record at the default 48/48/2/14-bit
+//! layout, four records per 64-byte block. The header is versioned and
+//! self-describing; readers reject unknown versions. Replaying a recorded
+//! run reproduces a bit-identical `RunMetrics` digest, which makes traces
+//! diffable artifacts: capture once, replay against any configuration.
+//!
+//! **Scenarios** ([`scenario`]): non-stationary streams composed over
+//! `WorkloadParams` — scheduled phase flips, flash-crowd spikes, diurnal
+//! intensity modulation, and an antagonist core thrashing the shared L2 —
+//! the test bed for how the throttle controller and the cohabiting PV
+//! cache respond when workload statistics shift mid-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod recorder;
+pub mod replay;
+pub mod scenario;
+
+pub use format::{
+    encode_records, encode_records_with_layout, Provenance, TraceError, TraceHeader, TraceLayout,
+    TraceWriter, BLOCK_BYTES, HEADER_BYTES, MAGIC, VERSION,
+};
+pub use recorder::{record_generator, record_stream, TeeHandle, TeeStream};
+pub use replay::ReplayStream;
+pub use scenario::{antagonist_params, intensify, Scenario, ScheduleStream};

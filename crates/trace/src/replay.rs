@@ -1,0 +1,166 @@
+//! Streaming decoder that replays a recorded trace as an [`AccessStream`].
+//!
+//! Decoding is allocation-free after construction: the stream borrows no
+//! intermediate buffers and unpacks each record directly from the trace
+//! bytes with `pv_core::packing::read_bits` (the same 128-bit window the
+//! encoder used). The header is validated up front — bad magic, unknown
+//! versions, malformed layouts, and truncated bodies are all rejected
+//! before the first record is produced — so the hot path contains no
+//! error handling at all.
+
+use crate::format::{decode_at, TraceError, TraceHeader};
+use pv_workloads::{AccessStream, TraceRecord};
+
+/// Replays the records of an encoded trace, in order, then ends.
+///
+/// Implements both [`AccessStream`] (for feeding the simulator) and
+/// [`Iterator`] (for tests and tools). The stream is finite: after
+/// `records()` items it returns `None` forever, which the simulator turns
+/// into a clean end-of-run for the owning core.
+#[derive(Debug)]
+pub struct ReplayStream {
+    data: Vec<u8>,
+    header: TraceHeader,
+    next: u64,
+    label: String,
+}
+
+impl ReplayStream {
+    /// Parses and validates `data`, returning a stream positioned at the
+    /// first record.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TraceError`] from header validation: bad magic,
+    /// unsupported version, malformed layout, or a body shorter than the
+    /// record count implies.
+    pub fn new(data: Vec<u8>) -> Result<ReplayStream, TraceError> {
+        let header = TraceHeader::parse(&data)?;
+        let label = format!(
+            "replay:core{}:seed{:#x}",
+            header.provenance.core, header.provenance.seed
+        );
+        Ok(ReplayStream {
+            data,
+            header,
+            next: 0,
+            label,
+        })
+    }
+
+    /// The validated header of the underlying trace.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Total records in the trace.
+    pub fn records(&self) -> u64 {
+        self.header.records
+    }
+
+    /// Records not yet produced.
+    pub fn remaining(&self) -> u64 {
+        self.header.records - self.next
+    }
+}
+
+impl AccessStream for ReplayStream {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.next >= self.header.records {
+            return None;
+        }
+        let record = decode_at(&self.data, &self.header.layout, self.next)
+            .expect("body was validated against the header at construction");
+        self.next += 1;
+        Some(record)
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl Iterator for ReplayStream {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        self.next_record()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = usize::try_from(self.remaining()).expect("trace fits in memory");
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{encode_records, Provenance, VERSION};
+    use pv_workloads::{workloads, TraceGenerator};
+
+    #[test]
+    fn replay_reproduces_the_generator_stream() {
+        let params = workloads::oracle();
+        let records: Vec<_> = TraceGenerator::new(&params, 99, 2).take(500).collect();
+        let bytes = encode_records(&records, Provenance { core: 2, seed: 99 });
+        let replay = ReplayStream::new(bytes).expect("valid trace");
+        assert_eq!(replay.records(), 500);
+        let replayed: Vec<_> = replay.collect();
+        assert_eq!(replayed, records);
+    }
+
+    #[test]
+    fn replay_ends_and_stays_ended() {
+        let records: Vec<_> = TraceGenerator::new(&workloads::qry1(), 1, 0).take(3).collect();
+        let bytes = encode_records(&records, Provenance::default());
+        let mut replay = ReplayStream::new(bytes).expect("valid trace");
+        for _ in 0..3 {
+            assert!(replay.next_record().is_some());
+        }
+        assert_eq!(replay.remaining(), 0);
+        assert!(replay.next_record().is_none());
+        assert!(replay.next_record().is_none(), "exhaustion is sticky");
+    }
+
+    #[test]
+    fn label_names_the_provenance() {
+        let bytes = encode_records(
+            &[],
+            Provenance {
+                core: 1,
+                seed: 0xABC,
+            },
+        );
+        let replay = ReplayStream::new(bytes).expect("valid trace");
+        assert_eq!(replay.label(), "replay:core1:seed0xabc");
+        assert_eq!(replay.header().version, VERSION);
+    }
+
+    #[test]
+    fn corrupted_traces_are_rejected_at_construction() {
+        let records: Vec<_> = TraceGenerator::new(&workloads::zeus(), 5, 1).take(10).collect();
+        let bytes = encode_records(&records, Provenance::default());
+        let mut future = bytes.clone();
+        future[4] = 7;
+        assert_eq!(
+            ReplayStream::new(future).unwrap_err(),
+            TraceError::UnsupportedVersion(7)
+        );
+        let truncated = bytes[..bytes.len() - 8].to_vec();
+        assert!(matches!(
+            ReplayStream::new(truncated).unwrap_err(),
+            TraceError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn size_hint_tracks_consumption() {
+        let records: Vec<_> = TraceGenerator::new(&workloads::db2(), 5, 1).take(8).collect();
+        let bytes = encode_records(&records, Provenance::default());
+        let mut replay = ReplayStream::new(bytes).expect("valid trace");
+        assert_eq!(replay.size_hint(), (8, Some(8)));
+        replay.next();
+        assert_eq!(replay.size_hint(), (7, Some(7)));
+    }
+}

@@ -39,11 +39,13 @@
 pub mod generator;
 pub mod params;
 pub mod record;
+pub mod stream;
 pub mod workloads;
 pub mod zipf;
 
 pub use generator::TraceGenerator;
 pub use params::WorkloadParams;
 pub use record::{MemOp, TraceRecord};
+pub use stream::{AccessStream, TakeStream};
 pub use workloads::{paper_workloads, WorkloadId};
 pub use zipf::ZipfSampler;

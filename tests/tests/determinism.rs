@@ -7,10 +7,11 @@
 //! worker thread or many, and across back-to-back runs — the seeded-replay
 //! discipline that keeps every recorded number reproducible.
 
-use pv_experiments::{cohabit, HierarchyVariant, MixSpec, RunSpec, Runner, Scale};
+use pv_experiments::{cohabit, HierarchyVariant, MixSpec, RunSpec, Runner, Scale, ScenarioSpec};
 use pv_mem::ContentionModel;
-use pv_sim::PrefetcherKind;
-use pv_workloads::WorkloadId;
+use pv_sim::{run_streams, PrefetcherKind};
+use pv_trace::{record_generator, ReplayStream, Scenario};
+use pv_workloads::{workloads, AccessStream, WorkloadId};
 
 /// The specs exercised: ideal and queued hierarchies; dedicated,
 /// virtualized and cohabiting prefetchers.
@@ -94,6 +95,105 @@ fn queued_contention_digests_are_reproducible_for_mixes() {
     let a = Runner::new(Scale::Smoke, 1).metrics_mixed(&spec).digest();
     let b = Runner::new(Scale::Smoke, 4).metrics_mixed(&spec).digest();
     assert_eq!(a, b, "mixed queued runs must replay identically");
+}
+
+/// The scenario specs exercised by the thread-count guard: every scenario
+/// shape (flip, flash crowd, diurnal, antagonist) plus the throttled flip
+/// under queued bandwidth — scenario streams rebuild generators mid-run,
+/// which must not depend on which worker thread executes the run.
+fn scenario_specs() -> Vec<ScenarioSpec> {
+    let flip = Scenario::PhaseFlip {
+        a: WorkloadId::Qry1,
+        b: WorkloadId::Apache,
+        period: 10_000,
+    };
+    vec![
+        ScenarioSpec::base(flip, PrefetcherKind::sms_pv8()),
+        ScenarioSpec {
+            scenario: flip,
+            prefetcher: PrefetcherKind::sms_pv8_throttled(),
+            hierarchy: HierarchyVariant::QueuedDramEpoch {
+                cycles_per_transfer: 64,
+                accuracy_epoch: 8,
+            },
+        },
+        ScenarioSpec::base(
+            Scenario::FlashCrowd {
+                workload: WorkloadId::Oracle,
+                calm: 10_000,
+                spike: 5_000,
+                intensity_pct: 250,
+            },
+            PrefetcherKind::sms_pv8(),
+        ),
+        ScenarioSpec::base(
+            Scenario::Diurnal {
+                workload: WorkloadId::Db2,
+                period: 20_000,
+                steps: 8,
+                amplitude_pct: 60,
+            },
+            PrefetcherKind::sms_pv8(),
+        ),
+        ScenarioSpec::base(
+            Scenario::Antagonist {
+                workload: WorkloadId::Qry1,
+            },
+            PrefetcherKind::sms_pv8(),
+        ),
+    ]
+}
+
+fn scenario_digests(runner: &Runner) -> Vec<String> {
+    scenario_specs()
+        .iter()
+        .map(|spec| runner.metrics_scenario(spec).digest())
+        .collect()
+}
+
+#[test]
+fn scenario_runs_agree_across_thread_counts() {
+    let serial = Runner::new(Scale::Smoke, 1);
+    let parallel = Runner::new(Scale::Smoke, 8);
+    parallel.prefetch_scenarios(&scenario_specs());
+    assert_eq!(
+        scenario_digests(&serial),
+        scenario_digests(&parallel),
+        "thread count must not change any scenario outcome"
+    );
+}
+
+#[test]
+fn replay_runs_are_reproducible() {
+    // Two independent replays of the same recorded bytes must agree with
+    // each other and with the live generator run they were recorded from.
+    let config = Scale::Smoke.config(PrefetcherKind::sms_pv8());
+    let workload = workloads::qry1();
+    let per_core = config.warmup_records + config.measure_records;
+    let traces: Vec<Vec<u8>> = (0..config.cores)
+        .map(|core| {
+            record_generator(&workload, config.seed, core as u32, per_core)
+                .expect("records fit the default layout")
+        })
+        .collect();
+    let replay_once = || {
+        let streams: Vec<Box<dyn AccessStream>> = traces
+            .iter()
+            .map(|bytes| {
+                Box::new(ReplayStream::new(bytes.clone()).expect("valid trace"))
+                    as Box<dyn AccessStream>
+            })
+            .collect();
+        run_streams(&config, streams).digest()
+    };
+    let live = pv_sim::run_workload(&config, &workload).digest();
+    let first = replay_once();
+    let second = replay_once();
+    assert_eq!(first, second, "replaying the same bytes twice must agree");
+    assert_eq!(
+        first, live,
+        "replay must agree with the live run it recorded"
+    );
 }
 
 #[test]

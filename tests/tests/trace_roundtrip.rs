@@ -1,0 +1,238 @@
+//! Trace format guards: random-layout round trips, the pinned on-disk
+//! golden trace, version gating, and record→replay digest fidelity.
+//!
+//! The binary trace format (pv-trace) is a persistence format: bytes
+//! written by one build must decode identically in every later build, or
+//! every recorded artifact silently rots. Three layers of defence:
+//!
+//! 1. property round trips — seeded random records encode→decode
+//!    identically across randomly drawn codec layouts;
+//! 2. a golden trace committed at `tests/data/golden_qry1.pvtrace` — both
+//!    directions are pinned (current encoder reproduces the bytes, current
+//!    decoder reproduces the records), so neither side can drift;
+//! 3. replaying a recorded run must reproduce the live run's
+//!    `RunMetrics::digest()` bit-for-bit in both contention modes — the
+//!    pinned digests below were recorded when the format was introduced.
+
+use pv_mem::ContentionModel;
+use pv_sim::{run_streams, run_workload, PrefetcherKind, SimConfig};
+use pv_trace::{
+    encode_records, encode_records_with_layout, record_generator, Provenance, ReplayStream,
+    TraceError, TraceHeader, TraceLayout, VERSION,
+};
+use pv_workloads::{workloads, AccessStream, MemOp, TraceGenerator, TraceRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where the golden trace lives (committed binary artifact).
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/data/golden_qry1.pvtrace");
+/// What the golden trace contains: the first `GOLDEN_RECORDS` records of
+/// Qry1 at the default simulator seed, core 0.
+const GOLDEN_SEED: u64 = 0x5EED_0001;
+const GOLDEN_RECORDS: usize = 1_000;
+
+fn golden_records() -> Vec<TraceRecord> {
+    TraceGenerator::new(&workloads::qry1(), GOLDEN_SEED, 0)
+        .take(GOLDEN_RECORDS)
+        .collect()
+}
+
+fn golden_bytes() -> Vec<u8> {
+    encode_records(
+        &golden_records(),
+        Provenance {
+            core: 0,
+            seed: GOLDEN_SEED,
+        },
+    )
+}
+
+/// Regenerates the golden trace. Run explicitly after an *intentional*
+/// format change (which must also bump `VERSION`):
+/// `cargo test -p pv-tests --test trace_roundtrip regenerate -- --ignored`
+#[test]
+#[ignore = "writes the golden artifact; run only on intentional format changes"]
+fn regenerate_golden_trace() {
+    std::fs::write(GOLDEN_PATH, golden_bytes()).expect("write golden trace");
+}
+
+#[test]
+fn random_records_round_trip_across_random_layouts() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    for trial in 0..40 {
+        let layout = TraceLayout {
+            pc_bits: rng.gen_range(1..=64),
+            addr_bits: rng.gen_range(1..=64),
+            imm_bits: rng.gen_range(1..=32),
+        };
+        layout.validate().expect("drawn layouts are in range");
+        let mask = |bits: u32| {
+            if bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            }
+        };
+        let records: Vec<TraceRecord> = (0..rng.gen_range(1..200usize))
+            .map(|_| TraceRecord {
+                pc: rng.gen::<u64>() & mask(layout.pc_bits),
+                address: rng.gen::<u64>() & mask(layout.addr_bits),
+                op: match rng.gen_range(0..3u32) {
+                    0 => MemOp::Load,
+                    1 => MemOp::Store,
+                    _ => MemOp::InstructionFetch,
+                },
+                non_mem_instructions: (rng.gen::<u64>() & mask(layout.imm_bits)) as u32,
+            })
+            .collect();
+        let bytes = encode_records_with_layout(&records, layout, Provenance::default());
+        let replay = ReplayStream::new(bytes).expect("encoded trace must parse");
+        assert_eq!(replay.header().layout, layout);
+        let decoded: Vec<TraceRecord> = replay.collect();
+        assert_eq!(
+            decoded, records,
+            "trial {trial}: layout {layout:?} must round-trip"
+        );
+    }
+}
+
+#[test]
+fn golden_trace_bytes_are_pinned() {
+    let on_disk = std::fs::read(GOLDEN_PATH).expect(
+        "golden trace missing; run `cargo test -p pv-tests --test trace_roundtrip \
+         regenerate -- --ignored` once and commit the artifact",
+    );
+    assert_eq!(
+        on_disk,
+        golden_bytes(),
+        "the encoder no longer reproduces the committed golden trace — the on-disk format \
+         drifted (an intentional change must bump VERSION and regenerate the artifact)"
+    );
+}
+
+#[test]
+fn golden_trace_decodes_to_the_generator_stream() {
+    let on_disk = std::fs::read(GOLDEN_PATH).expect("golden trace present");
+    let replay = ReplayStream::new(on_disk).expect("golden trace parses");
+    let header = *replay.header();
+    assert_eq!(header.version, VERSION);
+    assert_eq!(header.layout, TraceLayout::DEFAULT);
+    assert_eq!(header.records, GOLDEN_RECORDS as u64);
+    assert_eq!(header.provenance.seed, GOLDEN_SEED);
+    let decoded: Vec<TraceRecord> = replay.collect();
+    assert_eq!(
+        decoded,
+        golden_records(),
+        "the decoder no longer reproduces the golden records"
+    );
+}
+
+#[test]
+fn unknown_versions_and_corruption_are_rejected() {
+    let bytes = std::fs::read(GOLDEN_PATH).expect("golden trace present");
+    // A future version must be rejected, not half-decoded.
+    let mut future = bytes.clone();
+    future[4..6].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    assert_eq!(
+        ReplayStream::new(future).unwrap_err(),
+        TraceError::UnsupportedVersion(VERSION + 1)
+    );
+    // Bad magic.
+    let mut magic = bytes.clone();
+    magic[0..4].copy_from_slice(b"NOPE");
+    assert!(matches!(
+        TraceHeader::parse(&magic),
+        Err(TraceError::BadMagic(_))
+    ));
+    // A truncated body must be caught by the header's record count.
+    assert!(matches!(
+        ReplayStream::new(bytes[..bytes.len() - 1].to_vec()),
+        Err(TraceError::Truncated { .. })
+    ));
+}
+
+/// Smoke-scale windows (the perfbench/engine-refactor configuration).
+fn smoke_config(kind: PrefetcherKind, contention: ContentionModel) -> SimConfig {
+    let mut config = SimConfig::quick(kind);
+    config.warmup_records = 20_000;
+    config.measure_records = 30_000;
+    config.hierarchy = config.hierarchy.with_contention(contention);
+    config
+}
+
+/// Records the per-core streams a live run would consume and replays them
+/// through the simulator, returning (live digest, replay digest).
+fn record_then_replay(contention: ContentionModel) -> (String, String) {
+    let config = smoke_config(PrefetcherKind::sms_pv8(), contention);
+    let workload = workloads::qry1();
+    let live = run_workload(&config, &workload);
+
+    // The simulator consumes exactly warmup + measure records per core, and
+    // per-core streams are interleaving-independent, so recording that many
+    // records per core captures the run in full.
+    let per_core = config.warmup_records + config.measure_records;
+    let streams: Vec<Box<dyn AccessStream>> = (0..config.cores)
+        .map(|core| {
+            let bytes = record_generator(&workload, config.seed, core as u32, per_core)
+                .expect("generated records fit the default layout");
+            Box::new(ReplayStream::new(bytes).expect("recorded trace parses"))
+                as Box<dyn AccessStream>
+        })
+        .collect();
+    let replayed = run_streams(&config, streams);
+    (live.digest(), replayed.digest())
+}
+
+/// Digest pins for the record→replay round trip (smoke scale, SMS-PV8,
+/// Qry1). Recorded when the trace format was introduced; a change here
+/// means the simulated outcome moved, which a record/replay PR must not do.
+const PINNED_DIGEST_IDEAL: &str =
+    "cycles=958661|instr=381112|l2req=52918+10981|l2miss=38766+1101|l2wb=35+0|dram=39867r35w|cov=21579c15712u4268o|pf=27087";
+const PINNED_DIGEST_QUEUED: &str =
+    "cycles=1294996|instr=381112|l2req=52918+10981|l2miss=38768+1101|l2wb=35+0|dram=39869r35w|cov=21579c15712u4268o|pf=27087";
+
+#[test]
+fn replay_reproduces_live_digest_ideal() {
+    let (live, replayed) = record_then_replay(ContentionModel::Ideal);
+    assert_eq!(
+        live, replayed,
+        "replay must be bit-identical to the live run"
+    );
+    assert_eq!(live, PINNED_DIGEST_IDEAL, "pinned Ideal digest moved");
+}
+
+#[test]
+fn replay_reproduces_live_digest_queued() {
+    let (live, replayed) = record_then_replay(ContentionModel::Queued);
+    assert_eq!(
+        live, replayed,
+        "replay must be bit-identical to the live run"
+    );
+    assert_eq!(live, PINNED_DIGEST_QUEUED, "pinned Queued digest moved");
+}
+
+#[test]
+fn partial_replay_covers_a_prefix_of_the_live_run() {
+    // A trace shorter than the run's demand ends the core's stream early —
+    // here all four cores run out mid-measurement and the run still
+    // produces coherent (smaller) totals.
+    let config = smoke_config(PrefetcherKind::None, ContentionModel::Ideal);
+    let workload = workloads::qry17();
+    let per_core = config.warmup_records + config.measure_records / 2;
+    let streams: Vec<Box<dyn AccessStream>> = (0..config.cores)
+        .map(|core| {
+            let bytes = record_generator(&workload, config.seed, core as u32, per_core)
+                .expect("records fit");
+            Box::new(ReplayStream::new(bytes).expect("valid trace")) as Box<dyn AccessStream>
+        })
+        .collect();
+    let full = run_workload(&config, &workload);
+    let partial = run_streams(&config, streams);
+    assert!(partial.total_instructions > 0);
+    assert!(
+        partial.total_instructions < full.total_instructions,
+        "a truncated trace must simulate fewer instructions ({} vs {})",
+        partial.total_instructions,
+        full.total_instructions
+    );
+}
