@@ -62,6 +62,7 @@ fn bench_pht(c: &mut Criterion) {
             TriggerKey::new(i * 4, (i % 32) as u32).index(),
             SpatialPattern::from_bits(0xA5A5_5A5A),
             &mut mem,
+            None,
             i,
         );
     }
@@ -72,6 +73,7 @@ fn bench_pht(c: &mut Criterion) {
             dedicated.lookup(
                 TriggerKey::new((i % 8192) * 4, (i % 32) as u32).index(),
                 &mut mem,
+                None,
                 i,
             )
         })
@@ -88,6 +90,7 @@ fn bench_pht(c: &mut Criterion) {
             virtualized.lookup(
                 TriggerKey::new((i % 8192) * 4, (i % 32) as u32).index(),
                 &mut mem,
+                None,
                 i * 10,
             )
         })

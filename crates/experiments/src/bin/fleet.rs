@@ -1,0 +1,161 @@
+//! Fleet sweep CLI: expand a configuration grid and drain it over
+//! work-stealing worker threads, streaming JSON Lines.
+//!
+//! ```text
+//! cargo run --release -p pv-experiments --bin fleet -- \
+//!     [--threads N] [--scale quick|paper|smoke] \
+//!     [--kinds none,sms-pv8,markov-pv8,composite-shared8] \
+//!     [--workloads Apache,DB2,Qry1,Qry17] \
+//!     [--cpt 0,32,64,128] \
+//!     [--mix Apache+DB2+Qry1+Qry17] \
+//!     [--scenarios] [--throttle] [--out sweep.jsonl]
+//! ```
+//!
+//! Defaults sweep the 64-point grid of `FleetGrid::default_grid` at the
+//! `PV_REPRO_SCALE` scale over all available host threads. `--cpt 0` is the
+//! paper's `Ideal` fixed-latency DRAM; non-zero values run `Queued`
+//! contention at that cycles-per-transfer. `--scenarios` appends the
+//! non-stationary scenario compositions as additional workload points;
+//! `--throttle` additionally sweeps every throttleable kind under the
+//! default feedback policy. Rows carry no timing, so
+//! `grep '"type": "run"' out.jsonl | sort` is byte-stable across thread
+//! counts; wall-clock throughput lives in the summary footer.
+
+use pv_experiments::fleet::{
+    default_scenarios, kind_names, parse_kind, parse_workload, run_fleet, FleetGrid, FleetWorkload,
+};
+use pv_experiments::Scale;
+
+fn fail(message: &str) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+}
+
+fn main() {
+    let mut grid = FleetGrid::default_grid();
+    let mut scale = Scale::from_env();
+    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut out_path: Option<String> = None;
+    let mut scenarios = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = next_value(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threads requires a positive integer"));
+                if threads == 0 {
+                    fail("--threads requires a positive integer");
+                }
+            }
+            "--scale" => {
+                let name = next_value(&mut args, "--scale");
+                scale = Scale::from_name(&name)
+                    .unwrap_or_else(|| fail("--scale expects quick, paper or smoke"));
+            }
+            "--kinds" => {
+                let list = next_value(&mut args, "--kinds");
+                grid.kinds = list
+                    .split(',')
+                    .map(|name| {
+                        parse_kind(name.trim()).unwrap_or_else(|| {
+                            fail(&format!(
+                                "unknown kind '{}' (expected one of {}, each optionally \
+                                 suffixed -throttled)",
+                                name.trim(),
+                                kind_names().join(", ")
+                            ))
+                        })
+                    })
+                    .collect();
+            }
+            "--workloads" => {
+                let list = next_value(&mut args, "--workloads");
+                grid.workloads = list
+                    .split(',')
+                    .map(|name| {
+                        parse_workload(name.trim())
+                            .map(FleetWorkload::Homogeneous)
+                            .unwrap_or_else(|| fail(&format!("unknown workload '{}'", name.trim())))
+                    })
+                    .collect();
+            }
+            "--cpt" => {
+                let list = next_value(&mut args, "--cpt");
+                grid.cycles_per_transfer = list
+                    .split(',')
+                    .map(|v| {
+                        v.trim().parse().unwrap_or_else(|_| {
+                            fail("--cpt expects comma-separated cycle counts (0 = Ideal)")
+                        })
+                    })
+                    .collect();
+            }
+            "--mix" => {
+                let spec = next_value(&mut args, "--mix");
+                let parts: Vec<_> = spec
+                    .split('+')
+                    .map(|name| {
+                        parse_workload(name.trim())
+                            .unwrap_or_else(|| fail(&format!("unknown workload '{}'", name.trim())))
+                    })
+                    .collect();
+                let mix: [pv_workloads::WorkloadId; 4] = parts
+                    .try_into()
+                    .unwrap_or_else(|_| fail("--mix expects exactly four +-joined workloads"));
+                grid.workloads.push(FleetWorkload::Mix(mix));
+            }
+            "--scenarios" => scenarios = true,
+            "--throttle" => grid.throttle = true,
+            "--out" => out_path = Some(next_value(&mut args, "--out")),
+            flag => fail(&format!(
+                "unknown argument '{flag}' (expected --threads, --scale, --kinds, --workloads, \
+                 --cpt, --mix, --scenarios, --throttle, --out)"
+            )),
+        }
+    }
+    if scenarios {
+        grid.workloads.extend(default_scenarios(scale));
+    }
+
+    let points = grid.points();
+    if points.is_empty() {
+        fail("the grid expanded to zero points (every axis needs at least one value)");
+    }
+    eprintln!(
+        "fleet: {} points ({} kinds x {} workloads x {} bandwidths{}) over {} threads",
+        points.len(),
+        grid.kinds.len(),
+        grid.workloads.len(),
+        grid.cycles_per_transfer.len(),
+        if grid.throttle {
+            " + throttle axis"
+        } else {
+            ""
+        },
+        threads
+    );
+
+    let summary = match out_path {
+        Some(path) => {
+            let file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| fail(&format!("failed to create {path}: {e}")));
+            let mut sink = std::io::BufWriter::new(file);
+            run_fleet(points, scale, threads, &mut sink)
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut sink = stdout.lock();
+            run_fleet(points, scale, threads, &mut sink)
+        }
+    };
+    eprintln!(
+        "fleet: {} runs in {:.1}s ({:.2} runs/sec on {} threads)",
+        summary.points, summary.seconds, summary.runs_per_sec, summary.threads
+    );
+}

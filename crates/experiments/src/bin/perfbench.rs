@@ -6,10 +6,13 @@
 //! variants — plus micro-benchmarks of the packing codec and the
 //! set-associative array against the retained pre-flattening reference
 //! implementations and of the memory-hierarchy access path under both
-//! contention models, and a replay-path row that times decode+simulate over
-//! pre-recorded binary traces, and writes the results as `BENCH_PR6.json`
-//! (schema `pv-perfbench/2`, documented in the README's Performance
-//! section).
+//! contention models and of the DRAM service path under queued contention,
+//! and a replay-path row that times decode+simulate over pre-recorded
+//! binary traces, plus a fleet-throughput section that sweeps a small grid
+//! through the work-stealing fleet driver on one thread and on all host
+//! threads (runs/sec each, and the scaling efficiency between them), and
+//! writes the results as `BENCH_PR7.json` (schema `pv-perfbench/2`,
+//! documented in the README's Performance section).
 //!
 //! Each end-to-end row also carries a digest of the run's `RunMetrics`
 //! (cycles, misses, traffic, coverage): optimisation PRs must keep those
@@ -32,9 +35,12 @@
 //! skipped by the gate.
 
 use pv_core::{decode_set, encode_set, packing, PvLayout, PvSet, RawEntry};
+use pv_experiments::fleet::{run_fleet, FleetGrid, FleetWorkload};
+use pv_experiments::Scale;
 use pv_mem::{
-    AccessKind, ContentionModel, DataClass, HierarchyConfig, MemoryHierarchy,
-    ReferenceSetAssociative, ReplacementKind, Requester, SetAssociative,
+    AccessKind, ContentionModel, DataClass, DramConfig, HierarchyConfig, MainMemory,
+    MemoryHierarchy, PvRegionConfig, ReferenceSetAssociative, ReplacementKind, Requester,
+    SetAssociative,
 };
 use pv_sim::{run_streams, run_workload, PrefetcherKind, SimConfig};
 use pv_trace::{record_generator, ReplayStream};
@@ -235,6 +241,62 @@ fn bench_hierarchy_queued(iters: u64) -> f64 {
     bench_hierarchy(ContentionModel::Queued, iters)
 }
 
+/// The DRAM service path in isolation, under queued contention: a
+/// deterministic read stream paced just below the data-bus drain rate, so
+/// the per-channel in-flight queues stay populated and every call walks the
+/// completed-request drain (the path the `VecDeque` front-pop replaced a
+/// full `retain` scan on).
+fn bench_memory_service(iters: u64) -> f64 {
+    let mut memory = MainMemory::new(
+        DramConfig::paper(),
+        PvRegionConfig::paper_default(4),
+        ContentionModel::Queued,
+    );
+    let mut state = 0x0123_4567_89ab_cdefu64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut now = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let r = next();
+        let addr = pv_mem::Address::new(((r >> 2) % (16 * 1024 * 1024)) * 64);
+        std::hint::black_box(memory.read(addr, now).latency);
+        now += 3;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// One fleet-throughput measurement: the small grid swept through the
+/// work-stealing driver at smoke scale.
+struct FleetBench {
+    points: usize,
+    threads: usize,
+    runs_per_sec: f64,
+}
+
+fn bench_fleet(threads: usize) -> FleetBench {
+    let grid = FleetGrid {
+        kinds: vec![PrefetcherKind::None, PrefetcherKind::sms_pv8()],
+        workloads: vec![
+            FleetWorkload::Homogeneous(WorkloadId::Qry1),
+            FleetWorkload::Homogeneous(WorkloadId::Apache),
+        ],
+        cycles_per_transfer: vec![0, 64],
+        throttle: false,
+    };
+    let mut sink = Vec::new();
+    let summary = run_fleet(grid.points(), Scale::Smoke, threads, &mut sink);
+    FleetBench {
+        points: summary.points,
+        threads: summary.threads,
+        runs_per_sec: summary.runs_per_sec,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -345,7 +407,7 @@ fn main() {
             }
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_PR6.json".to_owned());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR7.json".to_owned());
 
     let mut runs = Vec::new();
     for kind in all_kinds() {
@@ -446,6 +508,8 @@ fn main() {
     let (sa, sa_ref) = interleaved(bench_set_assoc, bench_set_assoc_reference, 1_000_000);
     let (hier_ideal, hier_queued) =
         interleaved(bench_hierarchy_ideal, bench_hierarchy_queued, 2_000_000);
+    let memory_service =
+        (0..5).map(|_| bench_memory_service(2_000_000)).fold(f64::INFINITY, f64::min);
     let micros = vec![
         Micro {
             name: "packing/round_trip".to_owned(),
@@ -467,6 +531,11 @@ fn main() {
             ns_per_op: hier_queued,
             reference_ns_per_op: None,
         },
+        Micro {
+            name: "memory/service_queued".to_owned(),
+            ns_per_op: memory_service,
+            reference_ns_per_op: None,
+        },
     ];
     for micro in &micros {
         match micro.reference_ns_per_op {
@@ -480,6 +549,24 @@ fn main() {
             None => eprintln!("micro {:<24} {:>8.1} ns/op", micro.name, micro.ns_per_op),
         }
     }
+
+    // Fleet throughput: the same small grid on one thread and on all host
+    // threads. Serial first so its cache-warming effects (none — runs are
+    // independent) cannot flatter the parallel figure.
+    let serial_fleet = bench_fleet(1);
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let parallel_fleet = bench_fleet(host_threads);
+    let scaling_efficiency =
+        (parallel_fleet.runs_per_sec / serial_fleet.runs_per_sec) / parallel_fleet.threads as f64;
+    eprintln!(
+        "fleet {} points: {:.2} runs/sec on 1 thread, {:.2} runs/sec on {} threads \
+         ({:.0}% scaling efficiency)",
+        serial_fleet.points,
+        serial_fleet.runs_per_sec,
+        parallel_fleet.runs_per_sec,
+        parallel_fleet.threads,
+        scaling_efficiency * 100.0
+    );
 
     let end_to_end_speedups: Vec<f64> = runs
         .iter()
@@ -542,6 +629,15 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"fleet\": {{\"points\": {}, \"runs_per_sec_1t\": {:.2}, \"threads\": {}, \
+         \"runs_per_sec_nt\": {:.2}, \"scaling_efficiency\": {:.3}}},\n",
+        serial_fleet.points,
+        serial_fleet.runs_per_sec,
+        parallel_fleet.threads,
+        parallel_fleet.runs_per_sec,
+        scaling_efficiency,
+    ));
     json.push_str(&format!(
         "  \"summary\": {{\"end_to_end_speedup_geomean\": {:.3}, \"packing_speedup\": {:.3}, \
          \"set_assoc_speedup\": {:.3}, \"hierarchy_queued_overhead\": {:.3}}}\n",

@@ -30,6 +30,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod mixes;
 pub mod report;
 pub mod runner;
@@ -40,6 +41,7 @@ pub mod table2;
 pub mod table3;
 pub mod throttle;
 
+pub use fleet::{run_fleet, FleetGrid, FleetPoint, FleetSummary, FleetWorkload};
 pub use report::Table;
 pub use runner::{HierarchyVariant, MixSpec, RunSpec, Runner, Scale, ScenarioSpec};
 

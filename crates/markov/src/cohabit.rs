@@ -6,19 +6,23 @@
 //! cohabitants (e.g. SMS) for the same table-tagged PVCache lines and the
 //! same L2/DRAM bandwidth. Contents are write-through in the adapter's own
 //! `PvTable<MarkovEntry>`; the engine still sees only [`NextAddrStorage`].
+//!
+//! The adapter does not own the proxy: it arrives by `&mut` through the
+//! `shared` parameter of every call, which keeps the adapter (and the whole
+//! simulator above it) `Send` with no `RefCell` bookkeeping on the hot path.
 
 use crate::entry::{MarkovEntry, MarkovIndex};
 use crate::storage::{NextAddrLookup, NextAddrStorage};
 use pv_core::{PvConfig, PvEntry, PvStartRegister, PvStorageBudget, PvTable, SharedPvProxy};
 use pv_mem::{Address, MemoryHierarchy};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// The Markov next-address table bound to a shared, table-tagged PVProxy.
 #[derive(Debug)]
 pub struct SharedVirtualizedMarkov {
-    shared: Rc<RefCell<SharedPvProxy>>,
     table_id: usize,
+    /// PVCache sets of the proxy this adapter registered with (fixed for
+    /// the proxy's lifetime), so labels and budgets need no proxy access.
+    shared_capacity: usize,
     config: PvConfig,
     table: PvTable<MarkovEntry>,
 }
@@ -31,7 +35,7 @@ impl SharedVirtualizedMarkov {
     ///
     /// Panics if the configured number of table sets leaves more index tag
     /// bits than the packed entry stores (mirrors `VirtualizedMarkov::new`).
-    pub fn new(shared: Rc<RefCell<SharedPvProxy>>, config: PvConfig, pv_start: Address) -> Self {
+    pub fn new(shared: &mut SharedPvProxy, config: PvConfig, pv_start: Address) -> Self {
         let index_tag_bits = crate::entry::INDEX_BITS - config.table_sets.trailing_zeros();
         assert!(
             index_tag_bits <= MarkovEntry::TAG_BITS,
@@ -40,23 +44,13 @@ impl SharedVirtualizedMarkov {
             index_tag_bits,
             MarkovEntry::TAG_BITS
         );
-        let table_id = shared.borrow_mut().add_table(
-            pv_start,
-            config.table_sets,
-            config.block_bytes,
-            "Markov",
-        );
+        let table_id = shared.add_table(pv_start, config.table_sets, config.block_bytes, "Markov");
         SharedVirtualizedMarkov {
             table_id,
+            shared_capacity: shared.cache().capacity(),
             table: PvTable::new(&config, PvStartRegister::new(pv_start)),
             config,
-            shared,
         }
-    }
-
-    /// The shared proxy this table arbitrates through.
-    pub fn shared(&self) -> &Rc<RefCell<SharedPvProxy>> {
-        &self.shared
     }
 
     /// This table's id within the shared proxy.
@@ -71,10 +65,8 @@ impl SharedVirtualizedMarkov {
         )
     }
 
-    /// Writes every dirty resident set of the whole shared proxy back to the
-    /// memory hierarchy.
-    pub fn drain(&mut self, mem: &mut MemoryHierarchy, now: u64) {
-        self.shared.borrow_mut().drain(mem, now);
+    fn proxy(shared: Option<&mut SharedPvProxy>) -> &mut SharedPvProxy {
+        shared.expect("SharedVirtualizedMarkov requires the shared proxy it registered with")
     }
 }
 
@@ -83,11 +75,12 @@ impl NextAddrStorage for SharedVirtualizedMarkov {
         &mut self,
         index: MarkovIndex,
         mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
         now: u64,
     ) -> NextAddrLookup {
         let raw = u64::from(index.raw());
         let (set_index, tag) = self.split_index(raw);
-        let access = self.shared.borrow_mut().lookup_set(self.table_id, set_index, raw, mem, now);
+        let access = Self::proxy(shared).lookup_set(self.table_id, set_index, raw, mem, now);
         let delta = if access.resident {
             self.table.set_mut(set_index).lookup(tag).map(|entry| entry.delta())
         } else {
@@ -99,23 +92,30 @@ impl NextAddrStorage for SharedVirtualizedMarkov {
         }
     }
 
-    fn store(&mut self, index: MarkovIndex, delta: i64, mem: &mut MemoryHierarchy, now: u64) {
+    fn store(
+        &mut self,
+        index: MarkovIndex,
+        delta: i64,
+        mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) {
         let raw = u64::from(index.raw());
         let (set_index, tag) = self.split_index(raw);
         let Some(entry) = MarkovEntry::new(tag as u16, delta) else {
             return;
         };
-        self.shared.borrow_mut().store_set(self.table_id, set_index, mem, now);
+        Self::proxy(shared).store_set(self.table_id, set_index, mem, now);
         self.table.set_mut(set_index).insert(entry);
     }
 
     fn label(&self) -> String {
-        format!("Markov-shPV-{}", self.shared.borrow().cache().capacity())
+        format!("Markov-shPV-{}", self.shared_capacity)
     }
 
     fn dedicated_storage_bytes(&self) -> u64 {
         let sized = PvConfig {
-            pvcache_sets: self.shared.borrow().cache().capacity(),
+            pvcache_sets: self.shared_capacity,
             ..self.config
         };
         PvStorageBudget::for_entry::<MarkovEntry>(&sized).total_bytes()
@@ -129,9 +129,8 @@ impl NextAddrStorage for SharedVirtualizedMarkov {
         self
     }
 
-    fn reset_stats(&mut self) {
-        self.shared.borrow_mut().reset_stats();
-    }
+    // reset_stats: the default no-op — the proxy's owner resets its
+    // statistics once for all cohabiting tables.
 }
 
 #[cfg(test)]
@@ -144,16 +143,19 @@ mod tests {
         let mut config = HierarchyConfig::paper_baseline(4);
         config.pv_regions = PvRegionConfig::with_bytes_per_core(4, 128 * 1024);
         let mut mem = MemoryHierarchy::new(config);
-        let shared = Rc::new(RefCell::new(SharedPvProxy::new(0, PvConfig::pv8())));
+        let mut shared = SharedPvProxy::new(0, PvConfig::pv8());
         let mut table = SharedVirtualizedMarkov::new(
-            Rc::clone(&shared),
+            &mut shared,
             PvConfig::pv8(),
             config.pv_regions.core_base(0),
         );
         let index = MarkovIndex::from_pc(0x4000);
-        table.store(index, -7, &mut mem, 0);
-        assert_eq!(table.lookup(index, &mut mem, 1_000).delta, Some(-7));
-        assert_eq!(shared.borrow().table_stats(0).stores, 1);
+        table.store(index, -7, &mut mem, Some(&mut shared), 0);
+        assert_eq!(
+            table.lookup(index, &mut mem, Some(&mut shared), 1_000).delta,
+            Some(-7)
+        );
+        assert_eq!(shared.table_stats(0).stores, 1);
         assert!(mem.stats().l2_requests.predictor > 0);
         assert_eq!(NextAddrStorage::label(&table), "Markov-shPV-8");
     }
@@ -166,38 +168,75 @@ mod tests {
         let mut config = HierarchyConfig::paper_baseline(4);
         config.pv_regions = PvRegionConfig::with_bytes_per_core(4, 128 * 1024);
         let mut mem = MemoryHierarchy::new(config);
-        let shared = Rc::new(RefCell::new(SharedPvProxy::new(0, PvConfig::pv8())));
+        let mut shared = SharedPvProxy::new(0, PvConfig::pv8());
         let base = config.pv_regions.core_base(0);
-        let mut first = SharedVirtualizedMarkov::new(Rc::clone(&shared), PvConfig::pv8(), base);
+        let mut first = SharedVirtualizedMarkov::new(&mut shared, PvConfig::pv8(), base);
         let mut second = SharedVirtualizedMarkov::new(
-            Rc::clone(&shared),
+            &mut shared,
             PvConfig::pv8(),
             Address::new(base.raw() + 64 * 1024),
         );
         assert_eq!(first.table_id(), 0);
         assert_eq!(second.table_id(), 1);
 
-        first.store(MarkovIndex::from_pc(0x4000), -2, &mut mem, 0);
-        second.store(MarkovIndex::from_pc(0x8000), 3, &mut mem, 10);
+        first.store(
+            MarkovIndex::from_pc(0x4000),
+            -2,
+            &mut mem,
+            Some(&mut shared),
+            0,
+        );
+        second.store(
+            MarkovIndex::from_pc(0x8000),
+            3,
+            &mut mem,
+            Some(&mut shared),
+            10,
+        );
 
-        {
-            let proxy = shared.borrow();
-            assert_eq!(proxy.tables(), 2);
-            assert_eq!(proxy.table_stats(0).stores, 1);
-            assert_eq!(proxy.table_stats(1).stores, 1);
-            // Both tables occupy the one shared cache.
-            assert_eq!(proxy.cache().occupancy_of(0), 1);
-            assert_eq!(proxy.cache().occupancy_of(1), 1);
-        }
+        assert_eq!(shared.tables(), 2);
+        assert_eq!(shared.table_stats(0).stores, 1);
+        assert_eq!(shared.table_stats(1).stores, 1);
+        // Both tables occupy the one shared cache.
+        assert_eq!(shared.cache().occupancy_of(0), 1);
+        assert_eq!(shared.cache().occupancy_of(1), 1);
 
         // Both entries remain retrievable through their own adapters.
         assert_eq!(
-            first.lookup(MarkovIndex::from_pc(0x4000), &mut mem, 2_000).delta,
+            first
+                .lookup(
+                    MarkovIndex::from_pc(0x4000),
+                    &mut mem,
+                    Some(&mut shared),
+                    2_000
+                )
+                .delta,
             Some(-2)
         );
         assert_eq!(
-            second.lookup(MarkovIndex::from_pc(0x8000), &mut mem, 2_000).delta,
+            second
+                .lookup(
+                    MarkovIndex::from_pc(0x8000),
+                    &mut mem,
+                    Some(&mut shared),
+                    2_000
+                )
+                .delta,
             Some(3)
         );
+    }
+
+    #[test]
+    fn the_adapter_is_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let config = HierarchyConfig::paper_baseline(4);
+        let mut shared = SharedPvProxy::new(0, PvConfig::pv8());
+        let table = SharedVirtualizedMarkov::new(
+            &mut shared,
+            PvConfig::pv8(),
+            config.pv_regions.core_base(0),
+        );
+        assert_send(&table);
+        assert_send(&shared);
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::entry::{MarkovConfig, MarkovIndex};
 use crate::storage::NextAddrStorage;
+use pv_core::SharedPvProxy;
 use pv_mem::{Address, BlockAddr, MemoryHierarchy};
 
 /// Counters maintained by one Markov engine.
@@ -113,6 +114,7 @@ impl MarkovPrefetcher {
         pc: u64,
         address: u64,
         mem: &mut MemoryHierarchy,
+        mut shared: Option<&mut SharedPvProxy>,
         now: u64,
     ) -> MarkovResponse {
         self.stats.accesses_observed += 1;
@@ -122,13 +124,13 @@ impl MarkovPrefetcher {
             let delta = block.raw() as i64 - last_block.raw() as i64;
             if delta != 0 {
                 self.stats.stores += 1;
-                self.storage.store(last_index, delta, mem, now);
+                self.storage.store(last_index, delta, mem, shared.as_deref_mut(), now);
             }
         }
         // 2. Predict: what followed this PC's access last time?
         let index = MarkovIndex::from_pc(pc);
         self.stats.lookups += 1;
-        let lookup = self.storage.lookup(index, mem, now);
+        let lookup = self.storage.lookup(index, mem, shared, now);
         self.last = Some((index, block));
         match lookup.delta {
             Some(delta) => {
@@ -178,18 +180,18 @@ mod tests {
     ) -> MarkovResponse {
         // pc 0x4000 touches block 100; the following access (pc 0x4004)
         // lands on block 102, so pc 0x4000's entry learns delta +2.
-        engine.on_data_access(0x4000, 100 * 64, mem, 0);
-        engine.on_data_access(0x4004, 102 * 64, mem, 10);
+        engine.on_data_access(0x4000, 100 * 64, mem, None, 0);
+        engine.on_data_access(0x4004, 102 * 64, mem, None, 10);
         // Re-run pc 0x4000 at a different block: it predicts +2 blocks.
-        engine.on_data_access(0x4008, 500 * 64, mem, 20);
-        engine.on_data_access(0x4000, 200 * 64, mem, 30)
+        engine.on_data_access(0x4008, 500 * 64, mem, None, 20);
+        engine.on_data_access(0x4000, 200 * 64, mem, None, 30)
     }
 
     #[test]
     fn cold_engine_produces_no_prefetches() {
         let mut engine = dedicated_engine();
         let mut mem = mem();
-        let response = engine.on_data_access(0x4000, 0x10_0000, &mut mem, 0);
+        let response = engine.on_data_access(0x4000, 0x10_0000, &mut mem, None, 0);
         assert!(response.prefetch.is_none());
         assert_eq!(engine.stats().hits, 0);
     }
@@ -237,13 +239,13 @@ mod tests {
         let mut engine = dedicated_engine();
         let mut mem = mem();
         // Learn delta +2 for pc 0x4000 (stored by the following access).
-        engine.on_data_access(0x4000, 100 * 64, &mut mem, 0);
-        engine.on_data_access(0x4004, 102 * 64, &mut mem, 10);
+        engine.on_data_access(0x4000, 100 * 64, &mut mem, None, 0);
+        engine.on_data_access(0x4004, 102 * 64, &mut mem, None, 10);
         engine.reset_stats();
         assert_eq!(engine.stats().hits, 0);
         // The next 0x4000 access stores a delta for 0x4004 (the previous
         // access), not for 0x4000 itself, so 0x4000's entry is intact.
-        let response = engine.on_data_access(0x4000, 300 * 64, &mut mem, 100);
+        let response = engine.on_data_access(0x4000, 300 * 64, &mut mem, None, 100);
         assert_eq!(
             response.prefetch,
             Some(BlockAddr::new(302)),

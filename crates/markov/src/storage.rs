@@ -5,7 +5,7 @@
 //! conventional on-chip table or over the `pv-core` substrate.
 
 use crate::entry::{MarkovConfig, MarkovEntry, MarkovIndex};
-use pv_core::{PvConfig, PvEntry, PvProxy, PvStorageBudget, VirtualizedBackend};
+use pv_core::{PvConfig, PvEntry, PvProxy, PvStorageBudget, SharedPvProxy, VirtualizedBackend};
 use pv_mem::{Address, MemoryHierarchy, ReplacementKind, SetAssociative};
 
 /// Result of a next-address lookup.
@@ -18,14 +18,31 @@ pub struct NextAddrLookup {
 }
 
 /// Storage backend for the next-address table.
-pub trait NextAddrStorage: std::fmt::Debug {
+///
+/// As with `pv_sms::PatternStorage`, backends registered with a per-core
+/// [`SharedPvProxy`] receive the proxy by `&mut` reference (`shared`) on
+/// every call; self-contained backends ignore it. `Send` is a supertrait so
+/// a boxed storage can cross threads with the `System` that owns it.
+pub trait NextAddrStorage: std::fmt::Debug + Send {
     /// Looks up the delta stored for `index`.
-    fn lookup(&mut self, index: MarkovIndex, mem: &mut MemoryHierarchy, now: u64)
-        -> NextAddrLookup;
+    fn lookup(
+        &mut self,
+        index: MarkovIndex,
+        mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) -> NextAddrLookup;
 
     /// Stores `delta` for `index`, replacing any previous delta. Deltas that
     /// cannot be encoded (zero or out of range) are ignored.
-    fn store(&mut self, index: MarkovIndex, delta: i64, mem: &mut MemoryHierarchy, now: u64);
+    fn store(
+        &mut self,
+        index: MarkovIndex,
+        delta: i64,
+        mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    );
 
     /// Human-readable label used in experiment reports.
     fn label(&self) -> String;
@@ -71,6 +88,7 @@ impl NextAddrStorage for DedicatedMarkov {
         &mut self,
         index: MarkovIndex,
         _mem: &mut MemoryHierarchy,
+        _shared: Option<&mut SharedPvProxy>,
         now: u64,
     ) -> NextAddrLookup {
         let set = index.set_index(self.config.table_sets);
@@ -81,7 +99,14 @@ impl NextAddrStorage for DedicatedMarkov {
         }
     }
 
-    fn store(&mut self, index: MarkovIndex, delta: i64, _mem: &mut MemoryHierarchy, _now: u64) {
+    fn store(
+        &mut self,
+        index: MarkovIndex,
+        delta: i64,
+        _mem: &mut MemoryHierarchy,
+        _shared: Option<&mut SharedPvProxy>,
+        _now: u64,
+    ) {
         if delta == 0 || delta.abs() > MarkovEntry::max_delta() {
             return;
         }
@@ -158,6 +183,7 @@ impl NextAddrStorage for VirtualizedMarkov {
         &mut self,
         index: MarkovIndex,
         mem: &mut MemoryHierarchy,
+        _shared: Option<&mut SharedPvProxy>,
         now: u64,
     ) -> NextAddrLookup {
         let lookup = self.proxy.lookup(u64::from(index.raw()), mem, now);
@@ -167,7 +193,14 @@ impl NextAddrStorage for VirtualizedMarkov {
         }
     }
 
-    fn store(&mut self, index: MarkovIndex, delta: i64, mem: &mut MemoryHierarchy, now: u64) {
+    fn store(
+        &mut self,
+        index: MarkovIndex,
+        delta: i64,
+        mem: &mut MemoryHierarchy,
+        _shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) {
         let raw = u64::from(index.raw());
         let Some(entry) = MarkovEntry::new(self.proxy.tag_of(raw) as u16, delta) else {
             return;
@@ -222,9 +255,9 @@ mod tests {
         let mut table = DedicatedMarkov::new(MarkovConfig::paper_1k());
         let mut mem = mem();
         let index = MarkovIndex::from_pc(0x4000);
-        assert!(table.lookup(index, &mut mem, 0).delta.is_none());
-        table.store(index, -7, &mut mem, 0);
-        assert_eq!(table.lookup(index, &mut mem, 10).delta, Some(-7));
+        assert!(table.lookup(index, &mut mem, None, 0).delta.is_none());
+        table.store(index, -7, &mut mem, None, 0);
+        assert_eq!(table.lookup(index, &mut mem, None, 10).delta, Some(-7));
         assert_eq!(table.resident_entries(), 1);
         assert_eq!(table.label(), "Markov-1K");
     }
@@ -235,8 +268,8 @@ mod tests {
         let mut mem = MemoryHierarchy::new(config);
         let mut table = VirtualizedMarkov::new(0, PvConfig::pv8(), config.pv_regions.core_base(0));
         let index = MarkovIndex::from_pc(0x4000);
-        table.store(index, 3, &mut mem, 0);
-        assert_eq!(table.lookup(index, &mut mem, 100).delta, Some(3));
+        table.store(index, 3, &mut mem, None, 0);
+        assert_eq!(table.lookup(index, &mut mem, None, 100).delta, Some(3));
         assert_eq!(table.proxy().stats().stores, 1);
         assert!(
             mem.stats().l2_requests.predictor > 0,
@@ -260,9 +293,9 @@ mod tests {
         let mut mem = MemoryHierarchy::new(config);
         let mut table = VirtualizedMarkov::new(0, PvConfig::pv8(), config.pv_regions.core_base(0));
         let index = MarkovIndex::from_pc(0x4000);
-        table.store(index, 0, &mut mem, 0);
-        table.store(index, MarkovEntry::max_delta() + 1, &mut mem, 0);
+        table.store(index, 0, &mut mem, None, 0);
+        table.store(index, MarkovEntry::max_delta() + 1, &mut mem, None, 0);
         assert_eq!(table.proxy().stats().stores, 0);
-        assert!(table.lookup(index, &mut mem, 10).delta.is_none());
+        assert!(table.lookup(index, &mut mem, None, 10).delta.is_none());
     }
 }

@@ -17,6 +17,7 @@
 use crate::address::{Address, BLOCK_OFFSET_BITS};
 use crate::config::{ContentionModel, DramConfig, PvRegionConfig};
 use crate::stats::{DelayBreakdown, TrafficBreakdown};
+use std::collections::VecDeque;
 
 /// Timing of one serviced DRAM request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,8 +36,9 @@ struct ChannelState {
     banks: Vec<u64>,
     /// Cycle the channel data bus becomes free.
     data_busy_until: u64,
-    /// Completion cycles of requests currently occupying queue slots.
-    inflight: Vec<u64>,
+    /// Completion cycles of requests currently occupying queue slots,
+    /// sorted ascending (see `service` for why construction guarantees it).
+    inflight: VecDeque<u64>,
 }
 
 /// The main-memory backing store.
@@ -139,9 +141,11 @@ impl MainMemory {
         // Queue admission: wait until the channel has a free request slot.
         // `inflight` is sorted ascending by construction: each request's
         // completion is strictly later than the previous one's on the same
-        // channel (it waits for at least `data_busy_until`), and `retain`
-        // preserves order.
-        channel.inflight.retain(|&done| done > now);
+        // channel (it waits for at least `data_busy_until`), so completed
+        // requests drain from the front without scanning the whole queue.
+        while channel.inflight.front().is_some_and(|&done| done <= now) {
+            channel.inflight.pop_front();
+        }
         let mut start = now;
         if channel.inflight.len() >= self.config.queue_depth {
             // The request may enter once enough earlier requests complete
@@ -157,7 +161,7 @@ impl MainMemory {
         let unloaded_done = bank_start + self.config.latency;
         let done = unloaded_done.max(channel.data_busy_until + self.config.cycles_per_transfer);
         channel.data_busy_until = done;
-        channel.inflight.push(done);
+        channel.inflight.push_back(done);
         self.busy_cycles += self.config.cycles_per_transfer;
 
         let latency = done - now;

@@ -23,16 +23,21 @@ use pv_core::{PvConfig, PvRegionPlan, SharedPvProxy};
 use pv_markov::{MarkovConfig, MarkovPrefetcher, SharedVirtualizedMarkov, VirtualizedMarkov};
 use pv_mem::{BlockAddr, MemoryHierarchy};
 use pv_sms::{PrefetchAction, SharedVirtualizedPht, SmsConfig, SmsPrefetcher, VirtualizedPht};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// One core's set of cohabiting prefetch engines, composed behind the
 /// [`PrefetchEngine`] trait.
+///
+/// In the shared arrangement the composite *owns* the per-core
+/// [`SharedPvProxy`] and lends it to its children as the `shared` parameter
+/// of each feed call. That ownership shape (plain value, no `Rc<RefCell>`)
+/// is what makes the composite — and the whole `System` above it — `Send`,
+/// and removes per-access borrow bookkeeping from the hottest loop.
 pub struct CompositePrefetcher {
     /// The cohabiting engines with their table labels, in feed order.
     engines: Vec<(String, Box<dyn PrefetchEngine>)>,
-    /// Present only in the shared arrangement.
-    shared: Option<Rc<RefCell<SharedPvProxy>>>,
+    /// Present only in the shared arrangement: the proxy the children's
+    /// cohabitation adapters registered their tables with.
+    shared: Option<SharedPvProxy>,
 }
 
 impl std::fmt::Debug for CompositePrefetcher {
@@ -97,9 +102,9 @@ impl CompositePrefetcher {
         pv: PvConfig,
         plan: &PvRegionPlan,
     ) -> Self {
-        let proxy = Rc::new(RefCell::new(SharedPvProxy::new(core, pv)));
-        let pht = SharedVirtualizedPht::new(Rc::clone(&proxy), pv, plan.base(core, 0));
-        let table = SharedVirtualizedMarkov::new(Rc::clone(&proxy), pv, plan.base(core, 1));
+        let mut proxy = SharedPvProxy::new(core, pv);
+        let pht = SharedVirtualizedPht::new(&mut proxy, pv, plan.base(core, 0));
+        let table = SharedVirtualizedMarkov::new(&mut proxy, pv, plan.base(core, 1));
         let mut composite = Self::from_engines(vec![
             (
                 "SMS".to_owned(),
@@ -117,6 +122,11 @@ impl CompositePrefetcher {
     /// Whether the engines share one PVCache.
     pub fn is_shared(&self) -> bool {
         self.shared.is_some()
+    }
+
+    /// The owned shared proxy (shared arrangement only).
+    pub fn shared_proxy(&self) -> Option<&SharedPvProxy> {
+        self.shared.as_ref()
     }
 
     /// The composed engines' labels, in feed order.
@@ -143,10 +153,19 @@ impl CompositePrefetcher {
 
 impl PrefetchEngine for CompositePrefetcher {
     /// Forwards evictions to every engine in feed order (engines that do
-    /// not track residency ignore them).
-    fn on_l1_evictions(&mut self, blocks: &[BlockAddr], mem: &mut MemoryHierarchy, now: u64) {
+    /// not track residency ignore them). The composite's own proxy (shared
+    /// arrangement) replaces whatever arrived from above; otherwise the
+    /// incoming proxy is forwarded unchanged (nesting).
+    fn on_l1_evictions(
+        &mut self,
+        blocks: &[BlockAddr],
+        mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) {
+        let mut proxy = self.shared.as_mut().or(shared);
         for (_, engine) in &mut self.engines {
-            engine.on_l1_evictions(blocks, mem, now);
+            engine.on_l1_evictions(blocks, mem, proxy.as_deref_mut(), now);
         }
     }
 
@@ -157,18 +176,25 @@ impl PrefetchEngine for CompositePrefetcher {
         pc: u64,
         address: u64,
         mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
         now: u64,
         out: &mut Vec<PrefetchAction>,
     ) {
+        let mut proxy = self.shared.as_mut().or(shared);
         for (_, engine) in &mut self.engines {
-            engine.on_data_access(pc, address, mem, now, out);
+            engine.on_data_access(pc, address, mem, proxy.as_deref_mut(), now, out);
         }
     }
 
     /// Resets engine and proxy statistics (learned state is preserved).
+    /// The owned proxy is reset here, once — the cohabitation adapters keep
+    /// no statistics of their own.
     fn reset_stats(&mut self) {
         for (_, engine) in &mut self.engines {
             engine.reset_stats();
+        }
+        if let Some(proxy) = &mut self.shared {
+            proxy.reset_stats();
         }
     }
 
@@ -192,7 +218,6 @@ impl PrefetchEngine for CompositePrefetcher {
         if let Some(proxy) = &self.shared {
             // The shared arrangement's children write through one
             // table-tagged proxy, which owns the authoritative split.
-            let proxy = proxy.borrow();
             snapshot.pv_tables = (0..proxy.tables())
                 .map(|table| PvTableStats {
                     label: proxy.table_label(table).to_owned(),
@@ -243,7 +268,14 @@ mod tests {
                 let pc = 0x4000 + (i % 8) * 4;
                 let addr = (i * 3 % 50) * 4096 + (i % 16) * 64;
                 out.clear();
-                composite.on_data_access(pc, addr, mem, round * 100_000 + i * 1_000, &mut out);
+                composite.on_data_access(
+                    pc,
+                    addr,
+                    mem,
+                    None,
+                    round * 100_000 + i * 1_000,
+                    &mut out,
+                );
                 issued += out.len();
             }
         }
@@ -308,16 +340,23 @@ mod tests {
                 0x400,
                 pv_mem::RegionAddr::new(10).block_at(offset, 32).base_address().raw(),
                 &mut mem,
+                None,
                 i * 10,
                 &mut out,
             );
         }
-        composite.on_l1_evictions(&[pv_mem::RegionAddr::new(10).block_at(2, 32)], &mut mem, 50);
+        composite.on_l1_evictions(
+            &[pv_mem::RegionAddr::new(10).block_at(2, 32)],
+            &mut mem,
+            None,
+            50,
+        );
         out.clear();
         composite.on_data_access(
             0x400,
             pv_mem::RegionAddr::new(20).block_at(2, 32).base_address().raw(),
             &mut mem,
+            None,
             100,
             &mut out,
         );

@@ -10,7 +10,7 @@
 //! [`EngineSnapshot`].
 
 use crate::throttle::ThrottleMetrics;
-use pv_core::{PvStats, VirtualizedBackend};
+use pv_core::{PvStats, SharedPvProxy, VirtualizedBackend};
 use pv_markov::{MarkovPrefetcher, MarkovStats, VirtualizedMarkov};
 use pv_mem::{BlockAddr, MemoryHierarchy};
 use pv_sms::{PrefetchAction, SmsPrefetcher, SmsStats, VirtualizedPht};
@@ -73,11 +73,25 @@ impl EngineSnapshot {
 /// Implementations must be deterministic: the same access stream against
 /// the same `MemoryHierarchy` state must produce the same prefetch
 /// sequence on every host.
-pub trait PrefetchEngine {
+///
+/// The `shared` parameter on both feed methods carries the per-core
+/// [`SharedPvProxy`] down to cohabitation adapters; whoever owns the proxy
+/// (the composite prefetcher, in the shared arrangement) substitutes its
+/// own on the way down, and the simulator passes `None` at the top. Engines
+/// without shared tables ignore it. `Send` is a supertrait so a boxed
+/// engine travels with its `System` across host threads (the fleet driver
+/// depends on this).
+pub trait PrefetchEngine: Send {
     /// Notifies the engine that blocks left the core's L1 data cache
     /// (evictions or invalidations). Engines that do not track residency
     /// (e.g. Markov) ignore this.
-    fn on_l1_evictions(&mut self, blocks: &[BlockAddr], mem: &mut MemoryHierarchy, now: u64);
+    fn on_l1_evictions(
+        &mut self,
+        blocks: &[BlockAddr],
+        mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    );
 
     /// Observes one L1 data access and appends every prefetch the engine
     /// wants issued to `out` (each with the cycle its prediction became
@@ -88,6 +102,7 @@ pub trait PrefetchEngine {
         pc: u64,
         address: u64,
         mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
         now: u64,
         out: &mut Vec<PrefetchAction>,
     );
@@ -101,8 +116,14 @@ pub trait PrefetchEngine {
 }
 
 impl<E: PrefetchEngine + ?Sized> PrefetchEngine for Box<E> {
-    fn on_l1_evictions(&mut self, blocks: &[BlockAddr], mem: &mut MemoryHierarchy, now: u64) {
-        (**self).on_l1_evictions(blocks, mem, now);
+    fn on_l1_evictions(
+        &mut self,
+        blocks: &[BlockAddr],
+        mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) {
+        (**self).on_l1_evictions(blocks, mem, shared, now);
     }
 
     fn on_data_access(
@@ -110,10 +131,11 @@ impl<E: PrefetchEngine + ?Sized> PrefetchEngine for Box<E> {
         pc: u64,
         address: u64,
         mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
         now: u64,
         out: &mut Vec<PrefetchAction>,
     ) {
-        (**self).on_data_access(pc, address, mem, now, out);
+        (**self).on_data_access(pc, address, mem, shared, now, out);
     }
 
     fn reset_stats(&mut self) {
@@ -126,8 +148,14 @@ impl<E: PrefetchEngine + ?Sized> PrefetchEngine for Box<E> {
 }
 
 impl PrefetchEngine for SmsPrefetcher {
-    fn on_l1_evictions(&mut self, blocks: &[BlockAddr], mem: &mut MemoryHierarchy, now: u64) {
-        SmsPrefetcher::on_l1_evictions(self, blocks, mem, now);
+    fn on_l1_evictions(
+        &mut self,
+        blocks: &[BlockAddr],
+        mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) {
+        SmsPrefetcher::on_l1_evictions(self, blocks, mem, shared, now);
     }
 
     fn on_data_access(
@@ -135,10 +163,11 @@ impl PrefetchEngine for SmsPrefetcher {
         pc: u64,
         address: u64,
         mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
         now: u64,
         out: &mut Vec<PrefetchAction>,
     ) {
-        let response = SmsPrefetcher::on_data_access(self, pc, address, mem, now);
+        let response = SmsPrefetcher::on_data_access(self, pc, address, mem, shared, now);
         out.extend(response.prefetches);
     }
 
@@ -160,7 +189,13 @@ impl PrefetchEngine for SmsPrefetcher {
 }
 
 impl PrefetchEngine for MarkovPrefetcher {
-    fn on_l1_evictions(&mut self, _blocks: &[BlockAddr], _mem: &mut MemoryHierarchy, _now: u64) {
+    fn on_l1_evictions(
+        &mut self,
+        _blocks: &[BlockAddr],
+        _mem: &mut MemoryHierarchy,
+        _shared: Option<&mut SharedPvProxy>,
+        _now: u64,
+    ) {
         // The Markov engine learns from the access stream only; L1
         // residency does not factor into its predictions.
     }
@@ -170,10 +205,11 @@ impl PrefetchEngine for MarkovPrefetcher {
         pc: u64,
         address: u64,
         mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
         now: u64,
         out: &mut Vec<PrefetchAction>,
     ) {
-        let response = MarkovPrefetcher::on_data_access(self, pc, address, mem, now);
+        let response = MarkovPrefetcher::on_data_access(self, pc, address, mem, shared, now);
         if let Some(block) = response.prefetch {
             out.push(PrefetchAction {
                 block,
@@ -216,7 +252,7 @@ mod tests {
         for i in 0..256u64 {
             let pc = 0x4000 + (i % 4) * 4;
             let addr = (i % 32) * 4096 + (i % 8) * 64;
-            engine.on_data_access(pc, addr, mem, i * 100, &mut out);
+            engine.on_data_access(pc, addr, mem, None, i * 100, &mut out);
         }
         out.len()
     }
@@ -241,7 +277,7 @@ mod tests {
         let mut engine = MarkovPrefetcher::new(config, Box::new(DedicatedMarkov::new(config)));
         let mut mem = mem();
         let before = mem.stats().l2_requests.total();
-        PrefetchEngine::on_l1_evictions(&mut engine, &[BlockAddr::new(7)], &mut mem, 0);
+        PrefetchEngine::on_l1_evictions(&mut engine, &[BlockAddr::new(7)], &mut mem, None, 0);
         assert_eq!(
             mem.stats().l2_requests.total(),
             before,

@@ -43,6 +43,19 @@ pub struct System {
     actions: Vec<PrefetchAction>,
 }
 
+/// Compile-time guard: a whole [`System`] — streams, engines (including the
+/// composite with its owned `SharedPvProxy`) and the hierarchy — must be
+/// `Send`, so fleet sweeps can hand complete simulations to worker threads.
+/// Reintroducing an `Rc`/`RefCell` anywhere inside the simulator fails this
+/// assertion at build time rather than in the fleet.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<System>();
+    assert_send::<CompositePrefetcher>();
+    assert_send::<Box<dyn PrefetchEngine>>();
+    assert_send::<Box<dyn AccessStream>>();
+};
+
 impl System {
     /// Builds the system described by `config`, with every core running an
     /// independent instance of `workload`.
@@ -321,12 +334,13 @@ impl System {
         let Some(mut engine) = self.cores[idx].engine.take() else {
             return;
         };
-        engine.on_l1_evictions(&response.l1_evictions, &mut self.hierarchy, now);
+        engine.on_l1_evictions(&response.l1_evictions, &mut self.hierarchy, None, now);
         self.actions.clear();
         engine.on_data_access(
             record.pc,
             record.address,
             &mut self.hierarchy,
+            None,
             now,
             &mut self.actions,
         );
@@ -337,7 +351,7 @@ impl System {
             if outcome.issued {
                 self.cores[idx].prefetches_issued += 1;
             }
-            engine.on_l1_evictions(&outcome.l1_evictions, &mut self.hierarchy, issue_at);
+            engine.on_l1_evictions(&outcome.l1_evictions, &mut self.hierarchy, None, issue_at);
         }
         self.cores[idx].engine = Some(engine);
     }

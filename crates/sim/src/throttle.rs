@@ -325,8 +325,14 @@ impl<E: PrefetchEngine> ThrottledEngine<E> {
 }
 
 impl<E: PrefetchEngine> PrefetchEngine for ThrottledEngine<E> {
-    fn on_l1_evictions(&mut self, blocks: &[BlockAddr], mem: &mut MemoryHierarchy, now: u64) {
-        self.inner.on_l1_evictions(blocks, mem, now);
+    fn on_l1_evictions(
+        &mut self,
+        blocks: &[BlockAddr],
+        mem: &mut MemoryHierarchy,
+        shared: Option<&mut pv_core::SharedPvProxy>,
+        now: u64,
+    ) {
+        self.inner.on_l1_evictions(blocks, mem, shared, now);
     }
 
     fn on_data_access(
@@ -334,6 +340,7 @@ impl<E: PrefetchEngine> PrefetchEngine for ThrottledEngine<E> {
         pc: u64,
         address: u64,
         mem: &mut MemoryHierarchy,
+        shared: Option<&mut pv_core::SharedPvProxy>,
         now: u64,
         out: &mut Vec<PrefetchAction>,
     ) {
@@ -342,7 +349,7 @@ impl<E: PrefetchEngine> PrefetchEngine for ThrottledEngine<E> {
             self.controller.observe(sample);
         }
         let start = out.len();
-        self.inner.on_data_access(pc, address, mem, now, out);
+        self.inner.on_data_access(pc, address, mem, shared, now, out);
         self.controller.enforce(out, start);
     }
 

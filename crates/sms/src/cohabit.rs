@@ -7,6 +7,12 @@
 //! entries and the same L2/DRAM bandwidth. The SMS engine is — as always —
 //! unchanged: it still sees only [`PatternStorage`].
 //!
+//! The adapter does not own the proxy: the proxy lives with whoever composes
+//! the cohabiting engines (the composite prefetcher), and arrives by `&mut`
+//! through the `shared` parameter of every [`PatternStorage`] call. That
+//! keeps the adapter — and the whole simulator above it — `Send`, with no
+//! per-access `RefCell` borrow bookkeeping on the hot path.
+//!
 //! Contents are write-through: the adapter owns the authoritative
 //! `PvTable<SmsEntry>` and consults it only while the shared proxy reports
 //! the set resident (see `pv_core::shared` for the contract).
@@ -19,14 +25,15 @@ use pv_core::{
     PvConfig, PvEntry, PvLayout, PvStartRegister, PvStorageBudget, PvTable, SharedPvProxy,
 };
 use pv_mem::{Address, MemoryHierarchy};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// The SMS pattern-history table bound to a shared, table-tagged PVProxy.
 #[derive(Debug)]
 pub struct SharedVirtualizedPht {
-    shared: Rc<RefCell<SharedPvProxy>>,
     table_id: usize,
+    /// PVCache sets of the proxy this adapter registered with, captured at
+    /// construction (the proxy's capacity is fixed for its lifetime) so
+    /// `label`/`dedicated_storage_bytes` need no proxy access.
+    shared_capacity: usize,
     config: PvConfig,
     layout: PvLayout,
     table: PvTable<SmsEntry>,
@@ -42,7 +49,7 @@ impl SharedVirtualizedPht {
     ///
     /// Panics if the configured number of table sets leaves more index tag
     /// bits than the packed entry stores (mirrors `VirtualizedPht::new`).
-    pub fn new(shared: Rc<RefCell<SharedPvProxy>>, config: PvConfig, pv_start: Address) -> Self {
+    pub fn new(shared: &mut SharedPvProxy, config: PvConfig, pv_start: Address) -> Self {
         assert!(
             PhtIndex::tag_bits(config.table_sets) <= SmsEntry::TAG_BITS,
             "a {}-set PVTable needs {} tag bits but SmsEntry stores {}",
@@ -50,22 +57,14 @@ impl SharedVirtualizedPht {
             PhtIndex::tag_bits(config.table_sets),
             SmsEntry::TAG_BITS
         );
-        let table_id =
-            shared
-                .borrow_mut()
-                .add_table(pv_start, config.table_sets, config.block_bytes, "SMS");
+        let table_id = shared.add_table(pv_start, config.table_sets, config.block_bytes, "SMS");
         SharedVirtualizedPht {
             table_id,
+            shared_capacity: shared.cache().capacity(),
             layout: PvLayout::of::<SmsEntry>(config.block_bytes),
             table: PvTable::new(&config, PvStartRegister::new(pv_start)),
             config,
-            shared,
         }
-    }
-
-    /// The shared proxy this table arbitrates through.
-    pub fn shared(&self) -> &Rc<RefCell<SharedPvProxy>> {
-        &self.shared
     }
 
     /// This table's id within the shared proxy.
@@ -81,19 +80,25 @@ impl SharedVirtualizedPht {
         )
     }
 
-    /// Writes every dirty resident set of the *whole shared proxy* back to
-    /// the memory hierarchy (sets are interleaved across tables, so a
-    /// per-table drain would be a fiction).
-    pub fn drain(&mut self, mem: &mut MemoryHierarchy, now: u64) {
-        self.shared.borrow_mut().drain(mem, now);
+    /// The proxy this adapter arbitrates through, out of the `shared`
+    /// parameter. Panics with a diagnosable message when a caller wires the
+    /// adapter up without one.
+    fn proxy(shared: Option<&mut SharedPvProxy>) -> &mut SharedPvProxy {
+        shared.expect("SharedVirtualizedPht requires the shared proxy it registered with")
     }
 }
 
 impl PatternStorage for SharedVirtualizedPht {
-    fn lookup(&mut self, index: PhtIndex, mem: &mut MemoryHierarchy, now: u64) -> PatternLookup {
+    fn lookup(
+        &mut self,
+        index: PhtIndex,
+        mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) -> PatternLookup {
         let raw = u64::from(index.raw());
         let (set_index, tag) = self.split_index(raw);
-        let access = self.shared.borrow_mut().lookup_set(self.table_id, set_index, raw, mem, now);
+        let access = Self::proxy(shared).lookup_set(self.table_id, set_index, raw, mem, now);
         let pattern = if access.resident {
             self.table.set_mut(set_index).lookup(tag).map(|entry| entry.pattern)
         } else {
@@ -112,6 +117,7 @@ impl PatternStorage for SharedVirtualizedPht {
         index: PhtIndex,
         pattern: SpatialPattern,
         mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
         now: u64,
     ) {
         let raw = u64::from(index.raw());
@@ -131,12 +137,12 @@ impl PatternStorage for SharedVirtualizedPht {
             entry.payload(),
             self.layout.payload_bits
         );
-        self.shared.borrow_mut().store_set(self.table_id, set_index, mem, now);
+        Self::proxy(shared).store_set(self.table_id, set_index, mem, now);
         self.table.set_mut(set_index).insert(entry);
     }
 
     fn label(&self) -> String {
-        format!("shPV-{}", self.shared.borrow().cache().capacity())
+        format!("shPV-{}", self.shared_capacity)
     }
 
     fn dedicated_storage_bytes(&self) -> u64 {
@@ -144,7 +150,7 @@ impl PatternStorage for SharedVirtualizedPht {
         // proxy is shared, so cohabiting adapters deliberately report the
         // same pooled figure rather than a per-table split.
         let sized = PvConfig {
-            pvcache_sets: self.shared.borrow().cache().capacity(),
+            pvcache_sets: self.shared_capacity,
             ..self.config
         };
         PvStorageBudget::for_entry::<SmsEntry>(&sized).total_bytes()
@@ -158,11 +164,8 @@ impl PatternStorage for SharedVirtualizedPht {
         self
     }
 
-    fn reset_stats(&mut self) {
-        // Resets every cohabiting table's statistics; the peer adapter's
-        // reset doing the same is idempotent.
-        self.shared.borrow_mut().reset_stats();
-    }
+    // reset_stats: the default no-op. The proxy's statistics belong to its
+    // owner (the composite), which resets them once for all tables.
 }
 
 #[cfg(test)]
@@ -171,17 +174,14 @@ mod tests {
     use crate::index::TriggerKey;
     use pv_mem::{HierarchyConfig, PvRegionConfig};
 
-    fn setup() -> (MemoryHierarchy, SharedVirtualizedPht) {
+    fn setup() -> (MemoryHierarchy, SharedPvProxy, SharedVirtualizedPht) {
         let mut config = HierarchyConfig::paper_baseline(4);
         config.pv_regions = PvRegionConfig::with_bytes_per_core(4, 128 * 1024);
         let mem = MemoryHierarchy::new(config);
-        let shared = Rc::new(RefCell::new(SharedPvProxy::new(0, PvConfig::pv8())));
-        let pht = SharedVirtualizedPht::new(
-            Rc::clone(&shared),
-            PvConfig::pv8(),
-            config.pv_regions.core_base(0),
-        );
-        (mem, pht)
+        let mut shared = SharedPvProxy::new(0, PvConfig::pv8());
+        let pht =
+            SharedVirtualizedPht::new(&mut shared, PvConfig::pv8(), config.pv_regions.core_base(0));
+        (mem, shared, pht)
     }
 
     fn index_for(pc: u64, offset: u32) -> PhtIndex {
@@ -190,21 +190,20 @@ mod tests {
 
     #[test]
     fn store_then_lookup_round_trips_through_the_shared_proxy() {
-        let (mut mem, mut pht) = setup();
+        let (mut mem, mut shared, mut pht) = setup();
         let index = index_for(0x4000, 3);
         let pattern = SpatialPattern::from_offsets([3, 4, 9]);
-        pht.store(index, pattern, &mut mem, 0);
-        let lookup = pht.lookup(index, &mut mem, 1_000);
+        pht.store(index, pattern, &mut mem, Some(&mut shared), 0);
+        let lookup = pht.lookup(index, &mut mem, Some(&mut shared), 1_000);
         assert_eq!(lookup.pattern, Some(pattern));
-        let shared = pht.shared().borrow();
         assert_eq!(shared.table_stats(0).stores, 1);
         assert_eq!(shared.table_stats(0).pvcache_hits, 1);
     }
 
     #[test]
     fn cold_lookup_pays_memory_latency_and_issues_predictor_traffic() {
-        let (mut mem, mut pht) = setup();
-        let lookup = pht.lookup(index_for(0x4000, 3), &mut mem, 0);
+        let (mut mem, mut shared, mut pht) = setup();
+        let lookup = pht.lookup(index_for(0x4000, 3), &mut mem, Some(&mut shared), 0);
         assert!(lookup.pattern.is_none());
         assert!(lookup.ready_at >= 400, "cold set must come from DRAM");
         assert_eq!(mem.stats().l2_requests.predictor, 1);
@@ -212,22 +211,35 @@ mod tests {
 
     #[test]
     fn evicted_dirty_sets_survive_via_write_through() {
-        let (mut mem, mut pht) = setup();
+        let (mut mem, mut shared, mut pht) = setup();
         let pattern = SpatialPattern::from_offsets([1, 2]);
-        let capacity = pht.shared().borrow().cache().capacity();
+        let capacity = shared.cache().capacity();
         for i in 0..(capacity + 4) as u64 {
-            pht.store(index_for(0x4000 + i * 4, 1), pattern, &mut mem, i * 1000);
+            pht.store(
+                index_for(0x4000 + i * 4, 1),
+                pattern,
+                &mut mem,
+                Some(&mut shared),
+                i * 1000,
+            );
         }
-        assert!(pht.shared().borrow().table_stats(0).dirty_writebacks >= 1);
-        let lookup = pht.lookup(index_for(0x4000, 1), &mut mem, 1_000_000);
+        assert!(shared.table_stats(0).dirty_writebacks >= 1);
+        let lookup = pht.lookup(index_for(0x4000, 1), &mut mem, Some(&mut shared), 1_000_000);
         assert_eq!(lookup.pattern, Some(pattern));
     }
 
     #[test]
     fn labels_and_budget_name_the_shared_cache() {
-        let (_, pht) = setup();
+        let (_, _, pht) = setup();
         assert_eq!(PatternStorage::label(&pht), "shPV-8");
         // Same pooled budget as a dedicated PV-8 proxy at SMS widths.
         assert_eq!(pht.dedicated_storage_bytes(), 889);
+    }
+
+    #[test]
+    fn the_adapter_is_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let (_, _, pht) = setup();
+        assert_send(&pht);
     }
 }

@@ -34,7 +34,7 @@
 //! let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::paper_baseline(1));
 //!
 //! // Feed an access; a cold trigger produces no prefetches yet.
-//! let actions = sms.on_data_access(0x400, 0x10_0000, &mut hierarchy, 0);
+//! let actions = sms.on_data_access(0x400, 0x10_0000, &mut hierarchy, None, 0);
 //! assert!(actions.prefetches.is_empty());
 //! ```
 //!
@@ -50,7 +50,7 @@
 //! let mut hierarchy = MemoryHierarchy::new(hierarchy_config);
 //! let pht = VirtualizedPht::new(0, PvConfig::pv8(), hierarchy_config.pv_regions.core_base(0));
 //! let mut sms = SmsPrefetcher::new(SmsConfig::paper_1k_11a(), Box::new(pht));
-//! let response = sms.on_data_access(0x400, 0x10_0000, &mut hierarchy, 0);
+//! let response = sms.on_data_access(0x400, 0x10_0000, &mut hierarchy, None, 0);
 //! assert!(response.prefetches.is_empty()); // nothing learned yet
 //! ```
 

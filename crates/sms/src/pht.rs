@@ -16,6 +16,7 @@
 use crate::config::{PhtGeometry, SmsConfig};
 use crate::index::PhtIndex;
 use crate::pattern::SpatialPattern;
+use pv_core::SharedPvProxy;
 use pv_mem::{MemoryHierarchy, ReplacementKind, SetAssociative};
 use std::collections::HashMap;
 
@@ -32,10 +33,22 @@ pub struct PatternLookup {
 ///
 /// Implementations may use the memory hierarchy (`mem`) to model the cost of
 /// retrieving or spilling predictor state; the dedicated on-chip tables
-/// ignore it.
-pub trait PatternStorage: std::fmt::Debug {
+/// ignore it. Backends registered with a per-core [`SharedPvProxy`] receive
+/// the proxy by `&mut` reference (`shared`) on every call — the proxy is
+/// owned further up the engine stack (by the composite prefetcher), which
+/// keeps the whole simulator `Send`. Self-contained backends ignore it.
+///
+/// `Send` is a supertrait so a boxed storage can cross threads together with
+/// the `System` that owns it (the fleet driver depends on this).
+pub trait PatternStorage: std::fmt::Debug + Send {
     /// Looks up the pattern stored for `index`.
-    fn lookup(&mut self, index: PhtIndex, mem: &mut MemoryHierarchy, now: u64) -> PatternLookup;
+    fn lookup(
+        &mut self,
+        index: PhtIndex,
+        mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) -> PatternLookup;
 
     /// Stores `pattern` for `index`, replacing any previous pattern.
     fn store(
@@ -43,6 +56,7 @@ pub trait PatternStorage: std::fmt::Debug {
         index: PhtIndex,
         pattern: SpatialPattern,
         mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
         now: u64,
     );
 
@@ -103,7 +117,13 @@ impl DedicatedPht {
 }
 
 impl PatternStorage for DedicatedPht {
-    fn lookup(&mut self, index: PhtIndex, _mem: &mut MemoryHierarchy, now: u64) -> PatternLookup {
+    fn lookup(
+        &mut self,
+        index: PhtIndex,
+        _mem: &mut MemoryHierarchy,
+        _shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) -> PatternLookup {
         let set = index.set_index(self.sets);
         let tag = u64::from(index.tag(self.sets));
         PatternLookup {
@@ -117,6 +137,7 @@ impl PatternStorage for DedicatedPht {
         index: PhtIndex,
         pattern: SpatialPattern,
         _mem: &mut MemoryHierarchy,
+        _shared: Option<&mut SharedPvProxy>,
         _now: u64,
     ) {
         let set = index.set_index(self.sets);
@@ -160,7 +181,13 @@ impl InfinitePht {
 }
 
 impl PatternStorage for InfinitePht {
-    fn lookup(&mut self, index: PhtIndex, _mem: &mut MemoryHierarchy, now: u64) -> PatternLookup {
+    fn lookup(
+        &mut self,
+        index: PhtIndex,
+        _mem: &mut MemoryHierarchy,
+        _shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) -> PatternLookup {
         PatternLookup {
             pattern: self.table.get(&index.raw()).copied(),
             ready_at: now + self.lookup_latency,
@@ -172,6 +199,7 @@ impl PatternStorage for InfinitePht {
         index: PhtIndex,
         pattern: SpatialPattern,
         _mem: &mut MemoryHierarchy,
+        _shared: Option<&mut SharedPvProxy>,
         _now: u64,
     ) {
         self.table.insert(index.raw(), pattern);
@@ -223,10 +251,10 @@ mod tests {
         let mut pht = DedicatedPht::new(config.pht, &config);
         let mut mem = mem();
         let index = TriggerKey::new(0x4000, 5).index();
-        assert!(pht.lookup(index, &mut mem, 0).pattern.is_none());
+        assert!(pht.lookup(index, &mut mem, None, 0).pattern.is_none());
         let pattern = SpatialPattern::from_offsets([5, 6, 9]);
-        pht.store(index, pattern, &mut mem, 0);
-        let lookup = pht.lookup(index, &mut mem, 10);
+        pht.store(index, pattern, &mut mem, None, 0);
+        let lookup = pht.lookup(index, &mut mem, None, 10);
         assert_eq!(lookup.pattern, Some(pattern));
         assert_eq!(lookup.ready_at, 10 + config.dedicated_lookup_latency);
         assert_eq!(pht.resident_patterns(), 1);
@@ -241,13 +269,13 @@ mod tests {
         let mut mem = mem();
         let a = PhtIndex::from_raw(0x08); // set 0, tag 1
         let b = PhtIndex::from_raw(0x10); // set 0, tag 2
-        pht.store(a, SpatialPattern::single(1), &mut mem, 0);
-        pht.store(b, SpatialPattern::single(2), &mut mem, 0);
+        pht.store(a, SpatialPattern::single(1), &mut mem, None, 0);
+        pht.store(b, SpatialPattern::single(2), &mut mem, None, 0);
         assert!(
-            pht.lookup(a, &mut mem, 0).pattern.is_none(),
+            pht.lookup(a, &mut mem, None, 0).pattern.is_none(),
             "a must have been evicted"
         );
-        assert!(pht.lookup(b, &mut mem, 0).pattern.is_some());
+        assert!(pht.lookup(b, &mut mem, None, 0).pattern.is_some());
     }
 
     #[test]
@@ -260,12 +288,13 @@ mod tests {
                 PhtIndex::from_raw(i),
                 SpatialPattern::single(i % 32),
                 &mut mem,
+                None,
                 0,
             );
         }
         assert_eq!(pht.resident_patterns(), 10_000);
         for i in (0..10_000u32).step_by(997) {
-            assert!(pht.lookup(PhtIndex::from_raw(i), &mut mem, 0).pattern.is_some());
+            assert!(pht.lookup(PhtIndex::from_raw(i), &mut mem, None, 0).pattern.is_some());
         }
     }
 

@@ -6,6 +6,7 @@ use crate::config::SmsConfig;
 use crate::pattern::SpatialPattern;
 use crate::pht::PatternStorage;
 use crate::stats::SmsStats;
+use pv_core::SharedPvProxy;
 use pv_mem::{Address, BlockAddr, MemoryHierarchy};
 
 /// One prefetch the engine wants performed.
@@ -91,33 +92,51 @@ impl SmsPrefetcher {
         pc: u64,
         address: u64,
         mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
         now: u64,
     ) -> EngineResponse {
         self.stats.accesses_observed += 1;
         let block = Address::new(address).block();
         let mut update = AgtUpdate::default();
         self.agt.on_access(pc, block, &mut update);
-        self.apply_update(update, block, mem, now)
+        self.apply_update(update, block, mem, shared, now)
     }
 
     /// Notifies the engine that blocks left the L1 data cache (evictions or
     /// invalidations); generations covering them end and their patterns are
     /// stored.
-    pub fn on_l1_evictions(&mut self, blocks: &[BlockAddr], mem: &mut MemoryHierarchy, now: u64) {
+    pub fn on_l1_evictions(
+        &mut self,
+        blocks: &[BlockAddr],
+        mem: &mut MemoryHierarchy,
+        mut shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) {
         for &block in blocks {
             let mut update = AgtUpdate::default();
             self.agt.on_l1_eviction(block, &mut update);
-            self.store_completed(&update, mem, now);
+            self.store_completed(&update, mem, shared.as_deref_mut(), now);
         }
     }
 
     /// Ends all active generations and stores their patterns (used at the
     /// end of a simulation window).
-    pub fn flush(&mut self, mem: &mut MemoryHierarchy, now: u64) {
+    pub fn flush(
+        &mut self,
+        mem: &mut MemoryHierarchy,
+        mut shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) {
         for completed in self.agt.flush() {
             if completed.pattern.count() >= 2 {
                 self.stats.patterns_stored += 1;
-                self.storage.store(completed.key.index(), completed.pattern, mem, now);
+                self.storage.store(
+                    completed.key.index(),
+                    completed.pattern,
+                    mem,
+                    shared.as_deref_mut(),
+                    now,
+                );
             }
         }
     }
@@ -127,9 +146,10 @@ impl SmsPrefetcher {
         update: AgtUpdate,
         trigger_block: BlockAddr,
         mem: &mut MemoryHierarchy,
+        mut shared: Option<&mut SharedPvProxy>,
         now: u64,
     ) -> EngineResponse {
-        self.store_completed(&update, mem, now);
+        self.store_completed(&update, mem, shared.as_deref_mut(), now);
         let mut response = EngineResponse::default();
         let Some(trigger) = update.trigger else {
             return response;
@@ -137,7 +157,7 @@ impl SmsPrefetcher {
         response.triggered = true;
         self.stats.triggers += 1;
         self.stats.pht_lookups += 1;
-        let lookup = self.storage.lookup(trigger.key.index(), mem, now);
+        let lookup = self.storage.lookup(trigger.key.index(), mem, shared, now);
         match lookup.pattern {
             Some(pattern) => {
                 self.stats.pht_hits += 1;
@@ -153,13 +173,25 @@ impl SmsPrefetcher {
         response
     }
 
-    fn store_completed(&mut self, update: &AgtUpdate, mem: &mut MemoryHierarchy, now: u64) {
+    fn store_completed(
+        &mut self,
+        update: &AgtUpdate,
+        mem: &mut MemoryHierarchy,
+        mut shared: Option<&mut SharedPvProxy>,
+        now: u64,
+    ) {
         for completed in &update.completed {
             // Patterns reaching the PHT always have at least two blocks (the
             // filter table absorbs single-access generations).
             if completed.pattern.count() >= 2 {
                 self.stats.patterns_stored += 1;
-                self.storage.store(completed.key.index(), completed.pattern, mem, now);
+                self.storage.store(
+                    completed.key.index(),
+                    completed.pattern,
+                    mem,
+                    shared.as_deref_mut(),
+                    now,
+                );
             }
         }
     }
@@ -215,20 +247,20 @@ mod tests {
         pc: u64,
     ) -> EngineResponse {
         // Generation over region 10: blocks 2, 5, 7.
-        engine.on_data_access(pc, addr(10, 2), mem, 0);
-        engine.on_data_access(pc + 8, addr(10, 5), mem, 10);
-        engine.on_data_access(pc + 16, addr(10, 7), mem, 20);
+        engine.on_data_access(pc, addr(10, 2), mem, None, 0);
+        engine.on_data_access(pc + 8, addr(10, 5), mem, None, 10);
+        engine.on_data_access(pc + 16, addr(10, 7), mem, None, 20);
         // Evicting block 5 ends the generation and stores the pattern.
-        engine.on_l1_evictions(&[RegionAddr::new(10).block_at(5, 32)], mem, 30);
+        engine.on_l1_evictions(&[RegionAddr::new(10).block_at(5, 32)], mem, None, 30);
         // The same trigger PC and offset on a different region now predicts.
-        engine.on_data_access(pc, addr(20, 2), mem, 100)
+        engine.on_data_access(pc, addr(20, 2), mem, None, 100)
     }
 
     #[test]
     fn cold_trigger_produces_no_prefetches() {
         let mut engine = engine(SmsConfig::paper_1k_11a());
         let mut mem = mem();
-        let response = engine.on_data_access(0x400, addr(1, 3), &mut mem, 0);
+        let response = engine.on_data_access(0x400, addr(1, 3), &mut mem, None, 0);
         assert!(response.triggered);
         assert!(!response.pht_hit);
         assert!(response.prefetches.is_empty());
@@ -281,7 +313,7 @@ mod tests {
         let mut engine = engine(SmsConfig::paper_1k_11a());
         let mut mem = mem();
         train_and_retrigger(&mut engine, &mut mem, 0x400);
-        let response = engine.on_data_access(0x9000, addr(30, 2), &mut mem, 200);
+        let response = engine.on_data_access(0x9000, addr(30, 2), &mut mem, None, 200);
         assert!(response.triggered);
         assert!(!response.pht_hit);
     }
@@ -294,16 +326,17 @@ mod tests {
         for i in 0..2000u64 {
             let pc = 0x1000 + i * 4;
             let region = 100 + i;
-            engine.on_data_access(pc, addr(region, 1), &mut mem, i * 10);
-            engine.on_data_access(pc + 4, addr(region, 3), &mut mem, i * 10 + 1);
+            engine.on_data_access(pc, addr(region, 1), &mut mem, None, i * 10);
+            engine.on_data_access(pc + 4, addr(region, 3), &mut mem, None, i * 10 + 1);
             engine.on_l1_evictions(
                 &[RegionAddr::new(region).block_at(1, 32)],
                 &mut mem,
+                None,
                 i * 10 + 2,
             );
         }
         // Re-trigger the earliest PC: it must have been evicted.
-        let response = engine.on_data_access(0x1000, addr(5000, 1), &mut mem, 1_000_000);
+        let response = engine.on_data_access(0x1000, addr(5000, 1), &mut mem, None, 1_000_000);
         assert!(
             !response.pht_hit,
             "an 88-entry PHT cannot retain 2000 patterns"
@@ -317,15 +350,16 @@ mod tests {
         for i in 0..2000u64 {
             let pc = 0x1000 + i * 4;
             let region = 100 + i;
-            engine.on_data_access(pc, addr(region, 1), &mut mem, i * 10);
-            engine.on_data_access(pc + 4, addr(region, 3), &mut mem, i * 10 + 1);
+            engine.on_data_access(pc, addr(region, 1), &mut mem, None, i * 10);
+            engine.on_data_access(pc + 4, addr(region, 3), &mut mem, None, i * 10 + 1);
             engine.on_l1_evictions(
                 &[RegionAddr::new(region).block_at(1, 32)],
                 &mut mem,
+                None,
                 i * 10 + 2,
             );
         }
-        let response = engine.on_data_access(0x1000, addr(5000, 1), &mut mem, 1_000_000);
+        let response = engine.on_data_access(0x1000, addr(5000, 1), &mut mem, None, 1_000_000);
         assert!(response.pht_hit, "the infinite PHT never forgets");
     }
 
@@ -333,12 +367,12 @@ mod tests {
     fn flush_persists_in_flight_generations() {
         let mut engine = engine(SmsConfig::paper_1k_11a());
         let mut mem = mem();
-        engine.on_data_access(0x400, addr(1, 0), &mut mem, 0);
-        engine.on_data_access(0x404, addr(1, 4), &mut mem, 1);
-        engine.flush(&mut mem, 10);
+        engine.on_data_access(0x400, addr(1, 0), &mut mem, None, 0);
+        engine.on_data_access(0x404, addr(1, 4), &mut mem, None, 1);
+        engine.flush(&mut mem, None, 10);
         assert_eq!(engine.stats().patterns_stored, 1);
         // The flushed pattern is usable by a later trigger.
-        let response = engine.on_data_access(0x400, addr(9, 0), &mut mem, 100);
+        let response = engine.on_data_access(0x400, addr(9, 0), &mut mem, None, 100);
         assert!(response.pht_hit);
     }
 
@@ -349,7 +383,7 @@ mod tests {
         train_and_retrigger(&mut engine, &mut mem, 0x400);
         engine.reset_stats();
         assert_eq!(engine.stats().pht_hits, 0);
-        let response = engine.on_data_access(0x400, addr(40, 2), &mut mem, 500);
+        let response = engine.on_data_access(0x400, addr(40, 2), &mut mem, None, 500);
         assert!(response.pht_hit, "resetting stats must not clear the PHT");
     }
 }

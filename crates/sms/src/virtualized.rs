@@ -102,7 +102,13 @@ impl VirtualizedPht {
 }
 
 impl PatternStorage for VirtualizedPht {
-    fn lookup(&mut self, index: PhtIndex, mem: &mut MemoryHierarchy, now: u64) -> PatternLookup {
+    fn lookup(
+        &mut self,
+        index: PhtIndex,
+        mem: &mut MemoryHierarchy,
+        _shared: Option<&mut pv_core::SharedPvProxy>,
+        now: u64,
+    ) -> PatternLookup {
         let lookup = self.proxy.lookup(u64::from(index.raw()), mem, now);
         PatternLookup {
             pattern: lookup.entry.map(|e| e.pattern),
@@ -115,6 +121,7 @@ impl PatternStorage for VirtualizedPht {
         index: PhtIndex,
         pattern: SpatialPattern,
         mem: &mut MemoryHierarchy,
+        _shared: Option<&mut pv_core::SharedPvProxy>,
         now: u64,
     ) {
         let raw = u64::from(index.raw());
@@ -188,7 +195,7 @@ mod tests {
     #[test]
     fn cold_lookup_misses_and_costs_memory_latency() {
         let (mut mem, mut pht) = setup();
-        let lookup = pht.lookup(index_for(0x4000, 3), &mut mem, 0);
+        let lookup = pht.lookup(index_for(0x4000, 3), &mut mem, None, 0);
         assert!(lookup.pattern.is_none());
         assert!(
             lookup.ready_at >= 400,
@@ -203,8 +210,8 @@ mod tests {
         let (mut mem, mut pht) = setup();
         let index = index_for(0x4000, 3);
         let pattern = SpatialPattern::from_offsets([3, 4, 9]);
-        pht.store(index, pattern, &mut mem, 0);
-        let lookup = pht.lookup(index, &mut mem, 1_000);
+        pht.store(index, pattern, &mut mem, None, 0);
+        let lookup = pht.lookup(index, &mut mem, None, 1_000);
         assert_eq!(lookup.pattern, Some(pattern));
         assert_eq!(pht.proxy().stats().pvcache_hits, 1);
     }
@@ -221,12 +228,12 @@ mod tests {
             // (the set index is the low bits of PC-bits concatenated with
             // the offset, so a PC step of 4 moves the set by 32).
             let index = index_for(0x4000 + i * 4, 1);
-            pht.store(index, pattern, &mut mem, i * 1000);
+            pht.store(index, pattern, &mut mem, None, i * 1000);
         }
         assert!(pht.proxy().stats().dirty_writebacks >= 1);
         // The first index's pattern must still be retrievable: its set comes
         // back from the memory hierarchy.
-        let lookup = pht.lookup(index_for(0x4000, 1), &mut mem, 1_000_000);
+        let lookup = pht.lookup(index_for(0x4000, 1), &mut mem, None, 1_000_000);
         assert_eq!(
             lookup.pattern,
             Some(pattern),
@@ -238,11 +245,11 @@ mod tests {
     fn merged_lookups_wait_for_the_inflight_fill() {
         let (mut mem, mut pht) = setup();
         let index = index_for(0x4000, 1);
-        let first = pht.lookup(index, &mut mem, 0);
+        let first = pht.lookup(index, &mut mem, None, 0);
         // Same set requested again one cycle later: the fetch is merged (no
         // second memory request) and the early hit reports the in-flight
         // fill's completion time rather than pretending the data arrived.
-        let second = pht.lookup(index, &mut mem, 1);
+        let second = pht.lookup(index, &mut mem, None, 1);
         assert_eq!(pht.proxy().stats().memory_requests, 1);
         assert_eq!(second.ready_at, first.ready_at);
         assert_eq!(pht.proxy().stats().pending_hits, 1);

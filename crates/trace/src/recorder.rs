@@ -12,10 +12,13 @@
 //!   passes through it, so a trace can be captured *while* the simulator
 //!   runs. The encoded bytes live behind a shared [`TeeHandle`] because the
 //!   simulator takes ownership of the stream; the handle stays with the
-//!   caller and yields the finished trace after the run.
+//!   caller and yields the finished trace after the run. The handle pair is
+//!   `Arc<Mutex<_>>`-backed (not `Rc<RefCell<_>>`) so a teed stream remains
+//!   a valid — `Send` — simulator stream; the lock is uncontended in
+//!   practice because the tee and the handle are used from one thread at a
+//!   time (during and after the run, respectively).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::format::{Provenance, TraceError, TraceWriter};
 use pv_workloads::{AccessStream, TraceGenerator, TraceRecord, WorkloadParams};
@@ -66,13 +69,17 @@ pub fn record_generator(
 /// ownership of the [`TeeStream`]).
 #[derive(Debug, Clone)]
 pub struct TeeHandle {
-    writer: Rc<RefCell<Option<TraceWriter>>>,
+    writer: Arc<Mutex<Option<TraceWriter>>>,
 }
 
 impl TeeHandle {
     /// Records encoded so far.
     pub fn records(&self) -> u64 {
-        self.writer.borrow().as_ref().map_or(0, TraceWriter::records)
+        self.writer
+            .lock()
+            .expect("tee writer lock poisoned")
+            .as_ref()
+            .map_or(0, TraceWriter::records)
     }
 
     /// Finalizes the trace and returns its bytes. Call after the run that
@@ -83,7 +90,8 @@ impl TeeHandle {
     /// Panics if called twice — the encoder is consumed by finishing.
     pub fn finish(&self) -> Vec<u8> {
         self.writer
-            .borrow_mut()
+            .lock()
+            .expect("tee writer lock poisoned")
             .take()
             .expect("a tee handle can only be finished once")
             .finish()
@@ -99,16 +107,16 @@ impl TeeHandle {
 #[derive(Debug)]
 pub struct TeeStream<S> {
     inner: S,
-    writer: Rc<RefCell<Option<TraceWriter>>>,
+    writer: Arc<Mutex<Option<TraceWriter>>>,
 }
 
 impl<S: AccessStream> TeeStream<S> {
     /// Wraps `inner`, returning the tee and the handle that will yield the
     /// encoded trace once the tee has been consumed.
     pub fn new(inner: S, provenance: Provenance) -> (TeeStream<S>, TeeHandle) {
-        let writer = Rc::new(RefCell::new(Some(TraceWriter::new(provenance))));
+        let writer = Arc::new(Mutex::new(Some(TraceWriter::new(provenance))));
         let handle = TeeHandle {
-            writer: Rc::clone(&writer),
+            writer: Arc::clone(&writer),
         };
         (TeeStream { inner, writer }, handle)
     }
@@ -118,7 +126,8 @@ impl<S: AccessStream> AccessStream for TeeStream<S> {
     fn next_record(&mut self) -> Option<TraceRecord> {
         let record = self.inner.next_record()?;
         self.writer
-            .borrow_mut()
+            .lock()
+            .expect("tee writer lock poisoned")
             .as_mut()
             .expect("tee must not be used after its handle finished")
             .push(&record)

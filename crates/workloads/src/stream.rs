@@ -17,7 +17,11 @@ use crate::record::TraceRecord;
 /// must yield the same record sequence on every host (the digest-pinning
 /// discipline depends on it). A stream may be finite; once `next_record`
 /// returns `None` it must keep returning `None`.
-pub trait AccessStream {
+///
+/// `Send` is a supertrait: streams are owned by simulator cores, and a
+/// whole `System` (cores, engines, hierarchy) must be movable across host
+/// threads so fleet sweeps can distribute runs over a work-stealing pool.
+pub trait AccessStream: Send {
     /// The next record, or `None` when the stream is exhausted.
     fn next_record(&mut self) -> Option<TraceRecord>;
 

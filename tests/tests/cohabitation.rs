@@ -9,8 +9,6 @@ use pv_mem::{ContentionModel, HierarchyConfig, MemoryHierarchy};
 use pv_sim::PrefetcherKind;
 use pv_sms::{PatternStorage, SharedVirtualizedPht, SpatialPattern, TriggerKey};
 use pv_workloads::WorkloadId;
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// The two backends cohabit one proxy: different entry widths, different
 /// sub-regions, one cache, separate per-table statistics.
@@ -20,32 +18,54 @@ fn sms_and_markov_share_one_proxy_and_one_cache() {
     let mut mem = MemoryHierarchy::new(config);
     let pv = PvConfig::pv8();
     let plan = PvRegionPlan::new(config.pv_regions, vec![pv.table_bytes(), pv.table_bytes()]);
-    let shared = Rc::new(RefCell::new(SharedPvProxy::new(0, pv)));
-    let mut sms = SharedVirtualizedPht::new(Rc::clone(&shared), pv, plan.base(0, 0));
-    let mut markov = SharedVirtualizedMarkov::new(Rc::clone(&shared), pv, plan.base(0, 1));
+    let mut shared = SharedPvProxy::new(0, pv);
+    let mut sms = SharedVirtualizedPht::new(&mut shared, pv, plan.base(0, 0));
+    let mut markov = SharedVirtualizedMarkov::new(&mut shared, pv, plan.base(0, 1));
 
     let pattern = SpatialPattern::from_offsets([1, 4, 7]);
-    sms.store(TriggerKey::new(0x4000, 1).index(), pattern, &mut mem, 0);
-    markov.store(MarkovIndex::from_pc(0x8000), 3, &mut mem, 10);
+    sms.store(
+        TriggerKey::new(0x4000, 1).index(),
+        pattern,
+        &mut mem,
+        Some(&mut shared),
+        0,
+    );
+    markov.store(
+        MarkovIndex::from_pc(0x8000),
+        3,
+        &mut mem,
+        Some(&mut shared),
+        10,
+    );
 
-    {
-        let proxy = shared.borrow();
-        assert_eq!(proxy.tables(), 2);
-        assert_eq!(proxy.table_label(0), "SMS");
-        assert_eq!(proxy.table_label(1), "Markov");
-        assert_eq!(proxy.table_stats(0).stores, 1);
-        assert_eq!(proxy.table_stats(1).stores, 1);
-        assert_eq!(proxy.cache().occupancy_of(0), 1);
-        assert_eq!(proxy.cache().occupancy_of(1), 1);
-    }
+    assert_eq!(shared.tables(), 2);
+    assert_eq!(shared.table_label(0), "SMS");
+    assert_eq!(shared.table_label(1), "Markov");
+    assert_eq!(shared.table_stats(0).stores, 1);
+    assert_eq!(shared.table_stats(1).stores, 1);
+    assert_eq!(shared.cache().occupancy_of(0), 1);
+    assert_eq!(shared.cache().occupancy_of(1), 1);
 
     // Each adapter still retrieves its own entries through the shared cache.
     assert_eq!(
-        sms.lookup(TriggerKey::new(0x4000, 1).index(), &mut mem, 2_000).pattern,
+        sms.lookup(
+            TriggerKey::new(0x4000, 1).index(),
+            &mut mem,
+            Some(&mut shared),
+            2_000
+        )
+        .pattern,
         Some(pattern)
     );
     assert_eq!(
-        markov.lookup(MarkovIndex::from_pc(0x8000), &mut mem, 2_000).delta,
+        markov
+            .lookup(
+                MarkovIndex::from_pc(0x8000),
+                &mut mem,
+                Some(&mut shared),
+                2_000
+            )
+            .delta,
         Some(3)
     );
     // All of it flowed through one Requester::pv_proxy stream at the L2.
@@ -60,35 +80,46 @@ fn one_table_can_claim_the_whole_shared_cache() {
     let mut mem = MemoryHierarchy::new(config);
     let pv = PvConfig::pv8();
     let plan = PvRegionPlan::new(config.pv_regions, vec![pv.table_bytes(), pv.table_bytes()]);
-    let shared = Rc::new(RefCell::new(SharedPvProxy::new(0, pv)));
-    let mut sms = SharedVirtualizedPht::new(Rc::clone(&shared), pv, plan.base(0, 0));
-    let mut markov = SharedVirtualizedMarkov::new(Rc::clone(&shared), pv, plan.base(0, 1));
+    let mut shared = SharedPvProxy::new(0, pv);
+    let mut sms = SharedVirtualizedPht::new(&mut shared, pv, plan.base(0, 0));
+    let mut markov = SharedVirtualizedMarkov::new(&mut shared, pv, plan.base(0, 1));
 
     // Markov touches one set; SMS then streams through more sets than the
     // cache holds, displacing it entirely.
-    markov.store(MarkovIndex::from_pc(0x8000), 3, &mut mem, 0);
+    markov.store(
+        MarkovIndex::from_pc(0x8000),
+        3,
+        &mut mem,
+        Some(&mut shared),
+        0,
+    );
     let capacity = pv.pvcache_sets;
     for i in 0..(capacity + 2) as u64 {
         sms.store(
             TriggerKey::new(0x4000 + i * 4, 1).index(),
             SpatialPattern::from_offsets([1, 2]),
             &mut mem,
+            Some(&mut shared),
             1_000 + i * 1_000,
         );
     }
-    {
-        let proxy = shared.borrow();
-        assert_eq!(
-            proxy.cache().occupancy_of(1),
-            0,
-            "Markov's set was displaced"
-        );
-        assert_eq!(proxy.cache().occupancy_of(0), capacity);
-        assert_eq!(proxy.table_stats(1).dirty_writebacks, 1);
-    }
+    assert_eq!(
+        shared.cache().occupancy_of(1),
+        0,
+        "Markov's set was displaced"
+    );
+    assert_eq!(shared.cache().occupancy_of(0), capacity);
+    assert_eq!(shared.table_stats(1).dirty_writebacks, 1);
     // The displaced delta survives in memory and comes back on demand.
     assert_eq!(
-        markov.lookup(MarkovIndex::from_pc(0x8000), &mut mem, 1_000_000).delta,
+        markov
+            .lookup(
+                MarkovIndex::from_pc(0x8000),
+                &mut mem,
+                Some(&mut shared),
+                1_000_000
+            )
+            .delta,
         Some(3)
     );
 }

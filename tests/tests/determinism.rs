@@ -7,6 +7,7 @@
 //! worker thread or many, and across back-to-back runs — the seeded-replay
 //! discipline that keeps every recorded number reproducible.
 
+use pv_experiments::fleet::{run_fleet, FleetGrid, FleetWorkload};
 use pv_experiments::{cohabit, HierarchyVariant, MixSpec, RunSpec, Runner, Scale, ScenarioSpec};
 use pv_mem::ContentionModel;
 use pv_sim::{run_streams, PrefetcherKind};
@@ -28,7 +29,7 @@ fn specs() -> Vec<RunSpec> {
         });
     }
     // Cohabiting kinds: two engines per core sharing one region (and, for
-    // the shared kind, one PVCache through an Rc<RefCell<...>> proxy) must
+    // the shared kind, one PVCache through the composite-owned proxy) must
     // replay bit-identically too, under both timing models.
     for prefetcher in [
         PrefetcherKind::composite_dedicated(4),
@@ -161,6 +162,67 @@ fn scenario_runs_agree_across_thread_counts() {
         scenario_digests(&parallel),
         "thread count must not change any scenario outcome"
     );
+}
+
+/// A small but representative fleet grid: ideal and queued bandwidth
+/// points, a virtualized and a cohabiting kind, the throttle axis, a
+/// heterogeneous mix and a non-stationary scenario.
+fn fleet_points() -> Vec<pv_experiments::FleetPoint> {
+    let grid = FleetGrid {
+        kinds: vec![
+            PrefetcherKind::sms_pv8(),
+            PrefetcherKind::composite_shared(8),
+        ],
+        workloads: vec![
+            FleetWorkload::Homogeneous(WorkloadId::Qry1),
+            FleetWorkload::Mix([
+                WorkloadId::Apache,
+                WorkloadId::Db2,
+                WorkloadId::Qry1,
+                WorkloadId::Qry17,
+            ]),
+            FleetWorkload::Scenario(Scenario::PhaseFlip {
+                a: WorkloadId::Qry1,
+                b: WorkloadId::Apache,
+                period: 10_000,
+            }),
+        ],
+        cycles_per_transfer: vec![0, 64],
+        throttle: true,
+    };
+    grid.points()
+}
+
+/// Sorted `"run"` rows of one sweep (row *order* is completion order and
+/// may legitimately differ across thread counts; row *content* may not).
+fn fleet_rows(threads: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let summary = run_fleet(fleet_points(), Scale::Smoke, threads, &mut out);
+    assert_eq!(summary.points, fleet_points().len());
+    let text = String::from_utf8(out).expect("fleet output is UTF-8");
+    let mut rows: Vec<String> = text
+        .lines()
+        .filter(|line| line.starts_with("{\"type\": \"run\""))
+        .map(str::to_owned)
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn fleet_sweeps_agree_bit_for_bit_across_thread_counts() {
+    let serial = fleet_rows(1);
+    let parallel = fleet_rows(4);
+    assert_eq!(serial.len(), fleet_points().len());
+    assert_eq!(
+        serial, parallel,
+        "work-stealing must not change any simulated outcome, only completion order"
+    );
+    // The grid really covers the risky shapes: throttled points and the
+    // scenario/mix workloads all made it into the row set.
+    assert!(serial.iter().any(|row| row.contains("\"throttled\": true")));
+    assert!(serial.iter().any(|row| row.contains("\"workload\": \"mix:")));
+    assert!(serial.iter().any(|row| row.contains("\"workload\": \"flip:")));
 }
 
 #[test]
