@@ -10,9 +10,12 @@
 //! and a replay-path row that times decode+simulate over pre-recorded
 //! binary traces, plus a fleet-throughput section that sweeps a small grid
 //! through the work-stealing fleet driver on one thread and on all host
-//! threads (runs/sec each, and the scaling efficiency between them), and
-//! writes the results as `BENCH_PR7.json` (schema `pv-perfbench/2`,
-//! documented in the README's Performance section).
+//! threads (runs/sec each, and the scaling efficiency between them), plus
+//! scheduler (`system/schedule`, event heap vs reference scan) and L1-hit
+//! fast-path (`hierarchy/access_hit_fastpath`, classification-free vs
+//! general entry) micros, and writes the results as `BENCH_PR8.json`
+//! (schema `pv-perfbench/2`, documented in the README's Performance
+//! section).
 //!
 //! Each end-to-end row also carries a digest of the run's `RunMetrics`
 //! (cycles, misses, traffic, coverage): optimisation PRs must keep those
@@ -38,11 +41,11 @@ use pv_core::{decode_set, encode_set, packing, PvLayout, PvSet, RawEntry};
 use pv_experiments::fleet::{run_fleet, FleetGrid, FleetWorkload};
 use pv_experiments::Scale;
 use pv_mem::{
-    AccessKind, ContentionModel, DataClass, DramConfig, HierarchyConfig, MainMemory,
-    MemoryHierarchy, PvRegionConfig, ReferenceSetAssociative, ReplacementKind, Requester,
-    SetAssociative,
+    AccessKind, ContentionModel, DataClass, DramConfig, EvictionBuffer, HierarchyConfig,
+    MainMemory, MemoryHierarchy, PvRegionConfig, ReferenceSetAssociative, ReplacementKind,
+    Requester, SetAssociative,
 };
-use pv_sim::{run_streams, run_workload, PrefetcherKind, SimConfig};
+use pv_sim::{run_streams, run_workload, PrefetcherKind, Scheduler, SimConfig, System};
 use pv_trace::{record_generator, ReplayStream};
 use pv_workloads::{AccessStream, WorkloadId};
 use std::time::Instant;
@@ -270,6 +273,75 @@ fn bench_memory_service(iters: u64) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// The run-loop scheduling cost end to end: a sixteen-core no-prefetcher
+/// system consuming records, timed per record, under the given scheduler.
+/// The event-heap and reference-scan variants run the identical workload,
+/// so their ratio isolates the `min_by_key`-scan removal; sixteen cores
+/// (vs the paper's four) is where scan cost is actually visible — the
+/// heap's advantage grows with core count while the scan's cost is linear
+/// in it.
+fn bench_schedule(scheduler: Scheduler, iters: u64) -> f64 {
+    let mut config = SimConfig::quick(PrefetcherKind::None);
+    config.cores = 16;
+    config.hierarchy = HierarchyConfig::paper_baseline(16);
+    // Windows are irrelevant: the bench drives phases directly.
+    config.warmup_records = 0;
+    config.measure_records = 1;
+    let cores = config.cores as u64;
+    let mut system = System::new(config, &WorkloadId::Qry1.params());
+    system.set_scheduler(scheduler);
+    let start = Instant::now();
+    system.run_records(iters / cores);
+    start.elapsed().as_nanos() as f64 / ((iters / cores) * cores) as f64
+}
+
+fn bench_schedule_heap(iters: u64) -> f64 {
+    bench_schedule(Scheduler::EventHeap, iters)
+}
+
+fn bench_schedule_reference(iters: u64) -> f64 {
+    bench_schedule(Scheduler::ReferenceScan, iters)
+}
+
+/// The L1-hit fast path ([`MemoryHierarchy::access_data`]) against the
+/// general requester-classified entry point, on a pure-hit stream: the
+/// ratio isolates the classification-skipping and scratch-buffer work.
+fn bench_hit_path(general: bool, iters: u64) -> f64 {
+    let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::paper_baseline(1));
+    let mut evictions = EvictionBuffer::default();
+    let blocks: Vec<u64> = (0..64u64).map(|i| i * 64).collect();
+    for &addr in &blocks {
+        hierarchy.access_data(0, addr, AccessKind::Read, 0, &mut evictions);
+    }
+    let start = Instant::now();
+    for now in 0..iters {
+        let addr = blocks[(now % 64) as usize];
+        let latency = if general {
+            hierarchy
+                .access(
+                    Requester::data(0),
+                    addr,
+                    AccessKind::Read,
+                    DataClass::Application,
+                    now,
+                )
+                .latency
+        } else {
+            hierarchy.access_data(0, addr, AccessKind::Read, now, &mut evictions).latency
+        };
+        std::hint::black_box(latency);
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_hit_fastpath(iters: u64) -> f64 {
+    bench_hit_path(false, iters)
+}
+
+fn bench_hit_general(iters: u64) -> f64 {
+    bench_hit_path(true, iters)
+}
+
 /// One fleet-throughput measurement: the small grid swept through the
 /// work-stealing driver at smoke scale.
 struct FleetBench {
@@ -407,7 +479,7 @@ fn main() {
             }
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_PR7.json".to_owned());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR8.json".to_owned());
 
     let mut runs = Vec::new();
     for kind in all_kinds() {
@@ -510,6 +582,9 @@ fn main() {
         interleaved(bench_hierarchy_ideal, bench_hierarchy_queued, 2_000_000);
     let memory_service =
         (0..5).map(|_| bench_memory_service(2_000_000)).fold(f64::INFINITY, f64::min);
+    let (schedule, schedule_ref) =
+        interleaved(bench_schedule_heap, bench_schedule_reference, 400_000);
+    let (hit_fast, hit_general) = interleaved(bench_hit_fastpath, bench_hit_general, 4_000_000);
     let micros = vec![
         Micro {
             name: "packing/round_trip".to_owned(),
@@ -535,6 +610,16 @@ fn main() {
             name: "memory/service_queued".to_owned(),
             ns_per_op: memory_service,
             reference_ns_per_op: None,
+        },
+        Micro {
+            name: "system/schedule".to_owned(),
+            ns_per_op: schedule,
+            reference_ns_per_op: Some(schedule_ref),
+        },
+        Micro {
+            name: "hierarchy/access_hit_fastpath".to_owned(),
+            ns_per_op: hit_fast,
+            reference_ns_per_op: Some(hit_general),
         },
     ];
     for micro in &micros {

@@ -77,7 +77,9 @@ impl AccuracyWindow {
             epoch,
             used: 0,
             useless: 0,
-            completed: VecDeque::new(),
+            // Reserve the full backlog up front: completing an epoch sits
+            // on the per-record hot path, which must never allocate.
+            completed: VecDeque::with_capacity(Self::MAX_PENDING),
             total_used: 0,
             total_useless: 0,
         }

@@ -107,16 +107,81 @@ impl DataClass {
     }
 }
 
+/// Caller-owned scratch buffer for L1-eviction reports.
+///
+/// The hot path used to heap-allocate a `Vec<BlockAddr>` inside every
+/// [`AccessResponse`] / [`PrefetchResponse`]; the buffer replaces that with
+/// a fixed-capacity inline array the caller threads through
+/// [`MemoryHierarchy::access_with_evictions`] and
+/// [`MemoryHierarchy::prefetch_into_l1d`] — the same reuse discipline as
+/// the simulator's prefetch-action scratch. The hierarchy clears it on
+/// entry and pushes at most one victim per access (a single L1 fill evicts
+/// at most one line), so the whole response path is allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionBuffer {
+    len: u8,
+    blocks: [BlockAddr; Self::CAPACITY],
+}
+
+impl Default for EvictionBuffer {
+    fn default() -> Self {
+        EvictionBuffer {
+            len: 0,
+            blocks: [BlockAddr::new(0); Self::CAPACITY],
+        }
+    }
+}
+
+impl EvictionBuffer {
+    /// Inline capacity. A demand access or prefetch fills at most one L1
+    /// line and therefore evicts at most one; the spare slot keeps the
+    /// invariant an assert instead of silent truncation if the fill path
+    /// ever grows a second victim source.
+    pub const CAPACITY: usize = 2;
+
+    /// Empties the buffer (also done by the hierarchy on entry).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The evicted blocks reported by the last call, in eviction order.
+    pub fn as_slice(&self) -> &[BlockAddr] {
+        &self.blocks[..self.len as usize]
+    }
+
+    /// Whether the last call evicted nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of evictions reported by the last call.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub(crate) fn push(&mut self, block: BlockAddr) {
+        let slot = self.len as usize;
+        assert!(
+            slot < Self::CAPACITY,
+            "one access cannot evict more than {} L1 lines",
+            Self::CAPACITY
+        );
+        self.blocks[slot] = block;
+        self.len += 1;
+    }
+}
+
 /// Result of a demand access through the hierarchy.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The response is plain `Copy` data; evicted blocks are reported through
+/// the caller-owned [`EvictionBuffer`] instead of an embedded `Vec`, so
+/// returning a response never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessResponse {
     /// End-to-end latency in cycles.
     pub latency: u64,
     /// Which level serviced the request.
     pub level: HitLevel,
-    /// Blocks evicted from the requesting core's L1 data cache as a side
-    /// effect of this access (used by SMS to close spatial generations).
-    pub l1_evictions: Vec<BlockAddr>,
     /// The access was the first demand use of a prefetched L1 line.
     pub first_use_of_prefetch: bool,
     /// The access hit a prefetched line whose fill was still in flight.
@@ -127,15 +192,15 @@ pub struct AccessResponse {
     pub queue_delay: u64,
 }
 
-/// Result of a prefetch request into an L1 data cache.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Result of a prefetch request into an L1 data cache. Like
+/// [`AccessResponse`], evictions are reported through the caller-owned
+/// [`EvictionBuffer`], keeping the response `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefetchResponse {
     /// False when the block was already resident (prefetch dropped).
     pub issued: bool,
     /// Cycle at which the prefetched data becomes usable.
     pub ready_at: u64,
-    /// Blocks evicted from the L1 data cache to make room.
-    pub l1_evictions: Vec<BlockAddr>,
 }
 
 /// Result of one shared-L2 path traversal (internal).
@@ -211,8 +276,15 @@ impl MemoryHierarchy {
         self.config.cores
     }
 
+    /// Invariant: `core < self.config.cores`. Every public entry point is
+    /// keyed by a core index that the simulator derived from this same
+    /// configuration, and any violation panics immediately afterwards on
+    /// the first indexed access (`self.l1d[core]`), so a release-mode
+    /// bounds check here would only duplicate work on the hottest path —
+    /// debug builds keep the descriptive message.
+    #[inline]
     fn assert_core(&self, core: usize) {
-        assert!(
+        debug_assert!(
             core < self.config.cores,
             "core {core} out of range ({} cores)",
             self.config.cores
@@ -247,9 +319,12 @@ impl MemoryHierarchy {
     ///   the paper's design ("normal memory requests, injected on the
     ///   backside of the L1").
     ///
-    /// # Panics
+    /// Debug builds panic if `requester.core` is out of range (release
+    /// builds panic on the first indexed access instead).
     ///
-    /// Panics if `requester.core` is out of range.
+    /// Callers that need the evicted blocks (the simulator's engine feed)
+    /// use [`Self::access_with_evictions`]; this convenience form discards
+    /// them through a throwaway stack scratch, which is free.
     pub fn access(
         &mut self,
         requester: Requester,
@@ -258,19 +333,38 @@ impl MemoryHierarchy {
         class: DataClass,
         now: u64,
     ) -> AccessResponse {
+        let mut scratch = EvictionBuffer::default();
+        self.access_with_evictions(requester, addr, kind, class, now, &mut scratch)
+    }
+
+    /// [`Self::access`] with L1 eviction reporting: `evictions` is cleared
+    /// and receives the blocks displaced from the requesting core's L1 data
+    /// cache (used by SMS to close spatial generations). The buffer is
+    /// caller-owned scratch so the response path never allocates.
+    pub fn access_with_evictions(
+        &mut self,
+        requester: Requester,
+        addr: u64,
+        kind: AccessKind,
+        class: DataClass,
+        now: u64,
+        evictions: &mut EvictionBuffer,
+    ) -> AccessResponse {
+        evictions.clear();
         self.assert_core(requester.core);
         let block = Address::new(addr).block();
         match requester.kind {
-            RequesterKind::Data => self.l1_path(requester.core, block, kind, class, now, false),
+            RequesterKind::Data => {
+                self.l1_path(requester.core, block, kind, class, now, false, evictions)
+            }
             RequesterKind::Instruction => {
-                self.l1_path(requester.core, block, kind, class, now, true)
+                self.l1_path(requester.core, block, kind, class, now, true, evictions)
             }
             RequesterKind::PvProxy | RequesterKind::DataPrefetch => {
                 let below = self.l2_path(block, kind, class, now);
                 AccessResponse {
                     latency: below.latency,
                     level: below.level,
-                    l1_evictions: Vec::new(),
                     first_use_of_prefetch: false,
                     late_prefetch: false,
                     queue_delay: below.queue_delay,
@@ -279,7 +373,53 @@ impl MemoryHierarchy {
         }
     }
 
+    /// The core data-access path, shorn of requester classification: a
+    /// demand access through `core`'s L1 data cache with the L1-hit case
+    /// handled first. Equivalent to
+    /// `access_with_evictions(Requester::data(core), addr, kind,
+    /// DataClass::Application, now, evictions)` — the simulator's
+    /// per-record hot path calls this so the overwhelmingly common L1 hit
+    /// does a single tag probe and returns without touching the requester
+    /// `match`, the eviction buffer contents, or any classification work.
+    #[inline]
+    pub fn access_data(
+        &mut self,
+        core: usize,
+        addr: u64,
+        kind: AccessKind,
+        now: u64,
+        evictions: &mut EvictionBuffer,
+    ) -> AccessResponse {
+        evictions.clear();
+        self.assert_core(core);
+        let block = Address::new(addr).block();
+        let outcome = self.l1d[core].access(block, kind, now);
+        if outcome.hit {
+            if outcome.first_use_of_prefetch {
+                self.record_prefetch_outcome(core, block, true);
+            }
+            return AccessResponse {
+                latency: outcome.latency,
+                level: HitLevel::L1,
+                first_use_of_prefetch: outcome.first_use_of_prefetch,
+                late_prefetch: outcome.late_prefetch,
+                queue_delay: 0,
+            };
+        }
+        self.miss_path(
+            core,
+            block,
+            kind,
+            DataClass::Application,
+            now,
+            false,
+            outcome,
+            evictions,
+        )
+    }
+
     /// Demand path through a private L1 (data or instruction).
+    #[allow(clippy::too_many_arguments)]
     fn l1_path(
         &mut self,
         core: usize,
@@ -288,6 +428,7 @@ impl MemoryHierarchy {
         class: DataClass,
         now: u64,
         instruction: bool,
+        evictions: &mut EvictionBuffer,
     ) -> AccessResponse {
         let outcome = if instruction {
             self.l1i[core].access(block, kind, now)
@@ -301,13 +442,21 @@ impl MemoryHierarchy {
             return AccessResponse {
                 latency: outcome.latency,
                 level: HitLevel::L1,
-                l1_evictions: Vec::new(),
                 first_use_of_prefetch: outcome.first_use_of_prefetch,
                 late_prefetch: outcome.late_prefetch,
                 queue_delay: 0,
             };
         }
-        self.miss_path(core, block, kind, class, now, instruction, outcome)
+        self.miss_path(
+            core,
+            block,
+            kind,
+            class,
+            now,
+            instruction,
+            outcome,
+            evictions,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -320,6 +469,7 @@ impl MemoryHierarchy {
         now: u64,
         instruction: bool,
         outcome: AccessOutcome,
+        evictions: &mut EvictionBuffer,
     ) -> AccessResponse {
         // L1 miss: merge into an outstanding fill when possible, otherwise go
         // to the L2 (and possibly memory).
@@ -383,7 +533,6 @@ impl MemoryHierarchy {
         } else {
             self.l1d[core].fill(block, dirty, ready_at, FillOrigin::Demand)
         };
-        let mut evictions = Vec::new();
         if let Some(ev) = evicted {
             if ev.dirty {
                 self.writeback_to_l2(ev.block, now);
@@ -404,7 +553,6 @@ impl MemoryHierarchy {
         AccessResponse {
             latency: total_latency,
             level,
-            l1_evictions: evictions,
             first_use_of_prefetch: false,
             late_prefetch: false,
             queue_delay,
@@ -553,19 +701,22 @@ impl MemoryHierarchy {
     ///
     /// The prefetch travels through the L2 like a demand fill would, but the
     /// core does not wait for it; the returned `ready_at` is when the data
-    /// becomes usable.
+    /// becomes usable. `evictions` is cleared and receives the displaced
+    /// block, if any (caller-owned scratch, exactly as in
+    /// [`Self::access_with_evictions`]).
     pub fn prefetch_into_l1d(
         &mut self,
         core: usize,
         block: BlockAddr,
         now: u64,
+        evictions: &mut EvictionBuffer,
     ) -> PrefetchResponse {
+        evictions.clear();
         self.assert_core(core);
         if self.l1d[core].contains(block) {
             return PrefetchResponse {
                 issued: false,
                 ready_at: now,
-                l1_evictions: Vec::new(),
             };
         }
         self.l1d_mshr[core].retire(now);
@@ -574,7 +725,6 @@ impl MemoryHierarchy {
             return PrefetchResponse {
                 issued: false,
                 ready_at: now,
-                l1_evictions: Vec::new(),
             };
         }
         let below = self.l2_path(block, AccessKind::Read, DataClass::Application, now);
@@ -582,7 +732,6 @@ impl MemoryHierarchy {
         let _ = self.l1d_mshr[core].register(block, now, ready_at);
         self.stats.l1d_prefetches[core] += 1;
         let evicted = self.l1d[core].fill(block, false, ready_at, FillOrigin::Prefetch);
-        let mut evictions = Vec::new();
         if let Some(ev) = evicted {
             if ev.dirty {
                 self.writeback_to_l2(ev.block, now);
@@ -595,7 +744,6 @@ impl MemoryHierarchy {
         PrefetchResponse {
             issued: true,
             ready_at,
-            l1_evictions: evictions,
         }
     }
 
@@ -630,7 +778,8 @@ impl MemoryHierarchy {
     ///
     /// # Panics
     ///
-    /// Panics if `core` is out of range.
+    /// Panics if `core` is out of range (debug builds fail the descriptive
+    /// assertion first; release builds fail the indexed access).
     pub fn prefetch_accuracy(&self, core: usize, class: DataClass) -> &AccuracyWindow {
         self.assert_core(core);
         &self.accuracy[core][class.index()]
@@ -642,7 +791,8 @@ impl MemoryHierarchy {
     ///
     /// # Panics
     ///
-    /// Panics if `core` is out of range.
+    /// Panics if `core` is out of range (debug builds fail the descriptive
+    /// assertion first; release builds fail the indexed access).
     pub fn prefetch_accuracy_mut(&mut self, core: usize, class: DataClass) -> &mut AccuracyWindow {
         self.assert_core(core);
         &mut self.accuracy[core][class.index()]
@@ -803,7 +953,7 @@ mod tests {
     fn prefetch_installs_into_l1_and_counts_coverage_on_use() {
         let mut h = hierarchy();
         let block = BlockAddr::new(0x3000);
-        let pf = h.prefetch_into_l1d(0, block, 0);
+        let pf = h.prefetch_into_l1d(0, block, 0, &mut EvictionBuffer::default());
         assert!(pf.issued);
         assert!(pf.ready_at >= 400);
         // Demand access long after the prefetch completed: full L1 hit.
@@ -823,7 +973,7 @@ mod tests {
     fn late_prefetch_pays_partial_latency() {
         let mut h = hierarchy();
         let block = BlockAddr::new(0x4000);
-        let pf = h.prefetch_into_l1d(0, block, 0);
+        let pf = h.prefetch_into_l1d(0, block, 0, &mut EvictionBuffer::default());
         assert!(pf.issued);
         // Demand access 10 cycles later: prefetch still in flight.
         let r = h.access(
@@ -848,8 +998,9 @@ mod tests {
     fn duplicate_prefetch_is_dropped() {
         let mut h = hierarchy();
         let block = BlockAddr::new(0x5000);
-        assert!(h.prefetch_into_l1d(0, block, 0).issued);
-        assert!(!h.prefetch_into_l1d(0, block, 1).issued);
+        let mut scratch = EvictionBuffer::default();
+        assert!(h.prefetch_into_l1d(0, block, 0, &mut scratch).issued);
+        assert!(!h.prefetch_into_l1d(0, block, 1, &mut scratch).issued);
         let stats = h.stats();
         assert_eq!(stats.l1d_prefetches[0], 1);
     }
@@ -941,18 +1092,56 @@ mod tests {
         let ways = h.config().l1d.ways as u64;
         // Fill one L1 set beyond capacity and check that an eviction shows up.
         let mut evictions_seen = 0;
+        let mut evictions = EvictionBuffer::default();
         for i in 0..=ways {
             let block = BlockAddr::new(3 + i * l1_sets);
-            let r = h.access(
+            let _ = h.access_with_evictions(
                 Requester::data(0),
                 block.base_address().raw(),
                 AccessKind::Read,
                 DataClass::Application,
                 i * 1000,
+                &mut evictions,
             );
-            evictions_seen += r.l1_evictions.len();
+            evictions_seen += evictions.len();
         }
         assert!(evictions_seen >= 1, "overflowing an L1 set must evict");
+    }
+
+    /// The classification-free data path must behave exactly like the
+    /// general entry point, hit and miss alike.
+    #[test]
+    fn access_data_fast_path_matches_general_access() {
+        let mut a = hierarchy();
+        let mut b = hierarchy();
+        let mut ev_a = EvictionBuffer::default();
+        let mut ev_b = EvictionBuffer::default();
+        let l1_sets = a.config().l1d.sets() as u64;
+        for i in 0..64u64 {
+            // A mix of fresh misses, re-hits and set-conflict evictions.
+            let block = BlockAddr::new((i % 7) * l1_sets + (i % 3));
+            let kind = if i % 5 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let ra = a.access_with_evictions(
+                Requester::data(0),
+                block.base_address().raw(),
+                kind,
+                DataClass::Application,
+                i * 100,
+                &mut ev_a,
+            );
+            let rb = b.access_data(0, block.base_address().raw(), kind, i * 100, &mut ev_b);
+            assert_eq!(ra, rb, "response diverged at access {i}");
+            assert_eq!(
+                ev_a.as_slice(),
+                ev_b.as_slice(),
+                "evictions diverged at access {i}"
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     fn queued_hierarchy(l2_mshr_entries: usize) -> MemoryHierarchy {
@@ -1121,6 +1310,9 @@ mod tests {
         assert!(stats.dram_busy_cycles > 0);
     }
 
+    // Core-id bounds are a debug-only assertion; release builds rely on the
+    // slice indexing panic instead.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_core_panics() {

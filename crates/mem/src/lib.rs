@@ -66,7 +66,8 @@ pub use block::{CacheLine, LineState};
 pub use cache::{AccessKind, AccessOutcome, Cache, Evicted, FillOrigin, HitLevel};
 pub use config::{CacheConfig, ContentionModel, DramConfig, HierarchyConfig, PvRegionConfig};
 pub use hierarchy::{
-    AccessResponse, DataClass, MemoryHierarchy, PrefetchResponse, Requester, RequesterKind,
+    AccessResponse, DataClass, EvictionBuffer, MemoryHierarchy, PrefetchResponse, Requester,
+    RequesterKind,
 };
 pub use memory::{DramResponse, MainMemory};
 pub use mshr::{MshrEntry, MshrFile, MshrOutcome};

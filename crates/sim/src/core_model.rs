@@ -18,6 +18,10 @@ pub struct CoreModel {
     /// Current local time in cycles (fractional cycles accumulate so narrow
     /// retire widths are modelled exactly).
     cycles: f64,
+    /// `cycles.ceil()` cached as an integer, maintained on every mutation.
+    /// The scheduler compares core clocks once per retired record, so
+    /// [`Self::now`] must be a plain load rather than an f64 `ceil`.
+    now_cycles: u64,
     /// Instructions retired.
     instructions: u64,
     /// Cycles lost to memory stalls (diagnostic).
@@ -34,6 +38,7 @@ impl CoreModel {
         CoreModel {
             config,
             cycles: 0.0,
+            now_cycles: 0,
             instructions: 0,
             stall_cycles: 0.0,
             l1_hit_latency,
@@ -42,7 +47,8 @@ impl CoreModel {
 
     /// Current local cycle count (rounded up).
     pub fn now(&self) -> u64 {
-        self.cycles.ceil() as u64
+        debug_assert_eq!(self.now_cycles, self.cycles.ceil() as u64);
+        self.now_cycles
     }
 
     /// Instructions retired so far.
@@ -68,6 +74,7 @@ impl CoreModel {
     pub fn retire_non_memory(&mut self, count: u32) {
         self.instructions += u64::from(count);
         self.cycles += f64::from(count) / self.config.retire_width;
+        self.now_cycles = self.cycles.ceil() as u64;
     }
 
     /// Accounts for a memory operation of kind `op` that completed with
@@ -110,6 +117,7 @@ impl CoreModel {
             overlapped.saturating_sub(self.l1_hit_latency) as f64 * exposure + queue_delay as f64;
         self.cycles += exposed;
         self.stall_cycles += exposed;
+        self.now_cycles = self.cycles.ceil() as u64;
     }
 
     /// The cache access kind for a trace operation.
@@ -124,6 +132,7 @@ impl CoreModel {
     /// configuration.
     pub fn reset(&mut self) {
         self.cycles = 0.0;
+        self.now_cycles = 0;
         self.instructions = 0;
         self.stall_cycles = 0.0;
     }

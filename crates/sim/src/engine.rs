@@ -167,8 +167,7 @@ impl PrefetchEngine for SmsPrefetcher {
         now: u64,
         out: &mut Vec<PrefetchAction>,
     ) {
-        let response = SmsPrefetcher::on_data_access(self, pc, address, mem, shared, now);
-        out.extend(response.prefetches);
+        SmsPrefetcher::on_data_access_into(self, pc, address, mem, shared, now, out);
     }
 
     fn reset_stats(&mut self) {

@@ -48,7 +48,7 @@ pub use config::{CoreConfig, PrefetcherKind, SimConfig};
 pub use core_model::CoreModel;
 pub use engine::{EngineSnapshot, PrefetchEngine, PvTableStats};
 pub use metrics::{mean_and_ci95, CoverageMetrics, RunMetrics};
-pub use system::{run_streams, run_workload, run_workload_mix, System};
+pub use system::{run_streams, run_workload, run_workload_mix, Scheduler, System};
 pub use throttle::{
     LevelChange, ThrottleConfig, ThrottleController, ThrottleMetrics, ThrottledEngine,
 };

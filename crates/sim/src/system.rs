@@ -9,9 +9,30 @@ use crate::metrics::{CoverageMetrics, RunMetrics};
 use crate::throttle::ThrottledEngine;
 use pv_core::PvRegionPlan;
 use pv_markov::MarkovPrefetcher;
-use pv_mem::{DataClass, MemoryHierarchy, Requester};
+use pv_mem::{DataClass, EvictionBuffer, MemoryHierarchy, Requester};
 use pv_sms::{build_storage, PrefetchAction, SmsPrefetcher, VirtualizedPht};
 use pv_workloads::{AccessStream, MemOp, TraceGenerator, TraceRecord, WorkloadParams};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which run-loop picks the next core to step.
+///
+/// Both schedulers advance the core whose local clock is furthest behind,
+/// breaking ties by core index, and therefore produce bit-identical step
+/// orders and metrics. The event heap is the production path; the scan is
+/// the obviously-correct reference kept for differential testing (the same
+/// pattern as `pv_mem::ReferenceSetAssociative`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// `BinaryHeap` of ready cores keyed by `(now, idx)`, with a
+    /// run-until-overtaken inner loop: the popped core keeps stepping while
+    /// its clock stays ahead of (less than) the heap peek, so long record
+    /// runs on one lagging core cost zero heap traffic.
+    #[default]
+    EventHeap,
+    /// The original per-record `min_by_key` scan over every core.
+    ReferenceScan,
+}
 
 /// Per-core simulation state.
 struct CoreState {
@@ -41,6 +62,15 @@ pub struct System {
     /// Scratch buffer the engines append predictions into (reused across
     /// accesses so the hot path stays allocation-free).
     actions: Vec<PrefetchAction>,
+    scheduler: Scheduler,
+    /// Ready-core heap for [`Scheduler::EventHeap`], keyed by `(now, idx)`.
+    /// Kept across phases so restarts are allocation-free.
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Per-core record targets for the current phase (reused across phases).
+    targets: Vec<u64>,
+    /// When present, every `step_core` appends the core index it stepped —
+    /// the differential tests compare schedulers on this exact sequence.
+    step_trace: Option<Vec<u32>>,
 }
 
 /// Compile-time guard: a whole [`System`] — streams, engines (including the
@@ -147,6 +177,10 @@ impl System {
             hierarchy,
             cores,
             actions: Vec::new(),
+            scheduler: Scheduler::default(),
+            ready: BinaryHeap::new(),
+            targets: Vec::new(),
+            step_trace: None,
         }
     }
 
@@ -224,16 +258,45 @@ impl System {
         &self.hierarchy
     }
 
-    /// Records each core has consumed so far (warm-up plus measurement).
-    pub fn records_consumed(&self) -> Vec<u64> {
-        self.cores.iter().map(|c| c.records_consumed).collect()
+    /// Records each core has consumed so far (warm-up plus measurement),
+    /// in core order.
+    pub fn records_consumed(&self) -> impl Iterator<Item = u64> + '_ {
+        self.cores.iter().map(|c| c.records_consumed)
     }
 
-    /// Whether each core's stream has ended. Always all-false for the
-    /// infinite synthetic generators; replayed traces set their core's
-    /// flag when the trace runs out.
-    pub fn exhausted(&self) -> Vec<bool> {
-        self.cores.iter().map(|c| c.exhausted).collect()
+    /// Whether each core's stream has ended, in core order. Always
+    /// all-false for the infinite synthetic generators; replayed traces set
+    /// their core's flag when the trace runs out.
+    pub fn exhausted(&self) -> impl Iterator<Item = bool> + '_ {
+        self.cores.iter().map(|c| c.exhausted)
+    }
+
+    /// Selects the run-loop implementation (event heap by default).
+    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
+        self.scheduler = scheduler;
+    }
+
+    /// The run-loop implementation in use.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// Starts (or stops) recording the core index of every step taken. The
+    /// differential tests compare schedulers on this exact sequence.
+    pub fn record_step_trace(&mut self, enabled: bool) {
+        self.step_trace = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the recorded step order, leaving recording enabled with an
+    /// empty trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::record_step_trace`] was not enabled.
+    pub fn take_step_trace(&mut self) -> Vec<u32> {
+        self.step_trace
+            .replace(Vec::new())
+            .expect("step-trace recording is not enabled")
     }
 
     /// Runs the warm-up and measurement windows and returns the metrics of
@@ -246,20 +309,72 @@ impl System {
     }
 
     /// Consumes up to `records_per_core` further trace records on every
+    /// core (one scheduling phase), without touching warm-up state — the
+    /// building block benchmarks and scheduler tests drive directly.
+    pub fn run_records(&mut self, records_per_core: u64) {
+        self.run_phase(records_per_core);
+    }
+
+    /// Consumes up to `records_per_core` further trace records on every
     /// core, always advancing the core whose local clock is furthest behind
     /// so the shared L2 sees a fair interleaving. A core whose stream ends
     /// early simply stops participating: the timing model is synchronous
     /// (no in-flight accesses to drain), so its statistics are coherent at
     /// whatever point the trace ran out.
     fn run_phase(&mut self, records_per_core: u64) {
-        let targets: Vec<u64> =
-            self.cores.iter().map(|c| c.records_consumed + records_per_core).collect();
+        self.targets.clear();
+        self.targets
+            .extend(self.cores.iter().map(|c| c.records_consumed + records_per_core));
+        match self.scheduler {
+            Scheduler::EventHeap => self.run_phase_heap(),
+            Scheduler::ReferenceScan => self.run_phase_reference(),
+        }
+    }
+
+    /// The event-heap run loop. The heap orders eligible cores by
+    /// `(now, idx)`; `Reverse` turns the max-heap into a min-heap, so the
+    /// pop is exactly the core the reference scan's first-minimum
+    /// `min_by_key` would pick. The popped core then runs until overtaken:
+    /// it keeps stepping while its key stays below the heap peek (strict
+    /// comparison — keys never tie, the indices differ), which consumes
+    /// long record runs on a lagging core with zero heap traffic. Cores
+    /// that exhaust or reach their target leave the heap instead of being
+    /// re-filtered on every step.
+    fn run_phase_heap(&mut self) {
+        debug_assert!(self.ready.is_empty(), "the previous phase drained the heap");
+        self.ready.clear();
+        for (idx, core) in self.cores.iter().enumerate() {
+            if !core.exhausted && core.records_consumed < self.targets[idx] {
+                self.ready.push(Reverse((core.model.now(), idx)));
+            }
+        }
+        while let Some(Reverse((_, idx))) = self.ready.pop() {
+            loop {
+                self.step_core(idx);
+                let core = &self.cores[idx];
+                if core.exhausted || core.records_consumed >= self.targets[idx] {
+                    break;
+                }
+                let key = (core.model.now(), idx);
+                if let Some(&Reverse(peek)) = self.ready.peek() {
+                    if key > peek {
+                        self.ready.push(Reverse(key));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The reference run loop: rescan every core per record (the original
+    /// implementation, kept verbatim for differential testing).
+    fn run_phase_reference(&mut self) {
         loop {
             let next = self
                 .cores
                 .iter()
                 .enumerate()
-                .filter(|(idx, core)| !core.exhausted && core.records_consumed < targets[*idx])
+                .filter(|(idx, core)| !core.exhausted && core.records_consumed < self.targets[*idx])
                 .min_by_key(|(_, core)| core.model.now())
                 .map(|(idx, _)| idx);
             let Some(idx) = next else { break };
@@ -280,6 +395,9 @@ impl System {
     }
 
     fn step_core(&mut self, idx: usize) {
+        if let Some(trace) = &mut self.step_trace {
+            trace.push(idx as u32);
+        }
         let Some(record) = self.cores[idx].stream.next_record() else {
             self.cores[idx].exhausted = true;
             return;
@@ -309,12 +427,15 @@ impl System {
         let core_id = self.cores[idx].id;
         self.cores[idx].model.retire_non_memory(record.non_mem_instructions);
         let now = self.cores[idx].model.now();
-        let response = self.hierarchy.access(
-            Requester::data(core_id),
+        // The eviction scratch lives on the stack: `EvictionBuffer` is a
+        // two-slot inline array, so the whole record path stays heap-free.
+        let mut evictions = EvictionBuffer::default();
+        let response = self.hierarchy.access_data(
+            core_id,
             record.address,
             CoreModel::access_kind(record.op),
-            DataClass::Application,
             now,
+            &mut evictions,
         );
         if record.op == MemOp::Load && response.first_use_of_prefetch {
             self.cores[idx].covered += 1;
@@ -334,7 +455,9 @@ impl System {
         let Some(mut engine) = self.cores[idx].engine.take() else {
             return;
         };
-        engine.on_l1_evictions(&response.l1_evictions, &mut self.hierarchy, None, now);
+        if !evictions.is_empty() {
+            engine.on_l1_evictions(evictions.as_slice(), &mut self.hierarchy, None, now);
+        }
         self.actions.clear();
         engine.on_data_access(
             record.pc,
@@ -347,11 +470,15 @@ impl System {
         for action_idx in 0..self.actions.len() {
             let action = self.actions[action_idx];
             let issue_at = action.issue_at.max(now);
-            let outcome = self.hierarchy.prefetch_into_l1d(core_id, action.block, issue_at);
+            let outcome =
+                self.hierarchy
+                    .prefetch_into_l1d(core_id, action.block, issue_at, &mut evictions);
             if outcome.issued {
                 self.cores[idx].prefetches_issued += 1;
             }
-            engine.on_l1_evictions(&outcome.l1_evictions, &mut self.hierarchy, None, issue_at);
+            if !evictions.is_empty() {
+                engine.on_l1_evictions(evictions.as_slice(), &mut self.hierarchy, None, issue_at);
+            }
         }
         self.cores[idx].engine = Some(engine);
     }
@@ -648,12 +775,11 @@ mod tests {
             .collect();
         let mut system = System::from_streams(config.clone(), streams);
         let metrics = system.run();
-        assert_eq!(
-            system.records_consumed(),
-            vec![full, full, short, full],
+        assert!(
+            system.records_consumed().eq([full, full, short, full]),
             "the short core stops at its trace end, the rest finish"
         );
-        assert_eq!(system.exhausted(), vec![false, false, true, false]);
+        assert!(system.exhausted().eq([false, false, true, false]));
         assert!(metrics.elapsed_cycles > 0);
         assert!(metrics.total_instructions > 0);
         assert!(
@@ -674,8 +800,8 @@ mod tests {
             .collect();
         let mut system = System::from_streams(config, streams);
         let metrics = system.run();
-        assert_eq!(system.records_consumed(), vec![0, 0, 0, 0]);
-        assert_eq!(system.exhausted(), vec![true, true, true, true]);
+        assert!(system.records_consumed().eq([0, 0, 0, 0]));
+        assert!(system.exhausted().eq([true, true, true, true]));
         assert_eq!(metrics.total_instructions, 0);
         assert_eq!(metrics.elapsed_cycles, 0);
     }

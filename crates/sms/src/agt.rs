@@ -42,6 +42,16 @@ pub struct AgtUpdate {
     pub completed: Vec<CompletedGeneration>,
 }
 
+impl AgtUpdate {
+    /// Empties the update for reuse, keeping the `completed` allocation —
+    /// callers on the per-record hot path hold one update and clear it
+    /// between events instead of constructing a fresh one.
+    pub fn clear(&mut self) {
+        self.trigger = None;
+        self.completed.clear();
+    }
+}
+
 #[derive(Debug, Clone)]
 struct FilterEntry {
     region: RegionAddr,

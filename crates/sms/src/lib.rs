@@ -73,6 +73,6 @@ pub use config::{PhtGeometry, SmsConfig};
 pub use index::{PhtIndex, TriggerKey};
 pub use pattern::SpatialPattern;
 pub use pht::{build_storage, DedicatedPht, InfinitePht, PatternLookup, PatternStorage};
-pub use prefetcher::{EngineResponse, PrefetchAction, SmsPrefetcher};
+pub use prefetcher::{AccessDecision, EngineResponse, PrefetchAction, SmsPrefetcher};
 pub use stats::SmsStats;
 pub use virtualized::{SmsEntry, VirtualizedPht};

@@ -30,6 +30,17 @@ pub struct EngineResponse {
     pub pht_hit: bool,
 }
 
+/// The allocation-free verdict of one access: what
+/// [`SmsPrefetcher::on_data_access_into`] decided, with the prefetches
+/// themselves appended to the caller-owned buffer instead of an owned `Vec`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessDecision {
+    /// Whether this access triggered a new spatial generation.
+    pub triggered: bool,
+    /// Whether the trigger's PHT lookup hit.
+    pub pht_hit: bool,
+}
+
 /// The Spatial Memory Streaming prefetch engine for one core.
 ///
 /// The engine is generic over its PHT storage: pass a
@@ -43,6 +54,9 @@ pub struct SmsPrefetcher {
     agt: ActiveGenerationTable,
     storage: Box<dyn PatternStorage>,
     stats: SmsStats,
+    /// Scratch AGT update reused across events so the per-record path does
+    /// not allocate (the `completed` buffer keeps its capacity).
+    update: AgtUpdate,
 }
 
 impl SmsPrefetcher {
@@ -58,6 +72,7 @@ impl SmsPrefetcher {
             config,
             storage,
             stats: SmsStats::default(),
+            update: AgtUpdate::default(),
         }
     }
 
@@ -95,11 +110,35 @@ impl SmsPrefetcher {
         shared: Option<&mut SharedPvProxy>,
         now: u64,
     ) -> EngineResponse {
+        let mut prefetches = Vec::new();
+        let decision = self.on_data_access_into(pc, address, mem, shared, now, &mut prefetches);
+        EngineResponse {
+            prefetches,
+            triggered: decision.triggered,
+            pht_hit: decision.pht_hit,
+        }
+    }
+
+    /// Observes one L1 data access like [`Self::on_data_access`], appending
+    /// any prefetches to the caller-owned `out` buffer — the simulator's
+    /// per-record hot path, which must not heap-allocate.
+    pub fn on_data_access_into(
+        &mut self,
+        pc: u64,
+        address: u64,
+        mem: &mut MemoryHierarchy,
+        shared: Option<&mut SharedPvProxy>,
+        now: u64,
+        out: &mut Vec<PrefetchAction>,
+    ) -> AccessDecision {
         self.stats.accesses_observed += 1;
         let block = Address::new(address).block();
-        let mut update = AgtUpdate::default();
+        let mut update = std::mem::take(&mut self.update);
+        update.clear();
         self.agt.on_access(pc, block, &mut update);
-        self.apply_update(update, block, mem, shared, now)
+        let decision = self.apply_update(&update, block, mem, shared, now, out);
+        self.update = update;
+        decision
     }
 
     /// Notifies the engine that blocks left the L1 data cache (evictions or
@@ -113,9 +152,11 @@ impl SmsPrefetcher {
         now: u64,
     ) {
         for &block in blocks {
-            let mut update = AgtUpdate::default();
+            let mut update = std::mem::take(&mut self.update);
+            update.clear();
             self.agt.on_l1_eviction(block, &mut update);
             self.store_completed(&update, mem, shared.as_deref_mut(), now);
+            self.update = update;
         }
     }
 
@@ -143,34 +184,35 @@ impl SmsPrefetcher {
 
     fn apply_update(
         &mut self,
-        update: AgtUpdate,
+        update: &AgtUpdate,
         trigger_block: BlockAddr,
         mem: &mut MemoryHierarchy,
         mut shared: Option<&mut SharedPvProxy>,
         now: u64,
-    ) -> EngineResponse {
-        self.store_completed(&update, mem, shared.as_deref_mut(), now);
-        let mut response = EngineResponse::default();
+        out: &mut Vec<PrefetchAction>,
+    ) -> AccessDecision {
+        self.store_completed(update, mem, shared.as_deref_mut(), now);
+        let mut decision = AccessDecision::default();
         let Some(trigger) = update.trigger else {
-            return response;
+            return decision;
         };
-        response.triggered = true;
+        decision.triggered = true;
         self.stats.triggers += 1;
         self.stats.pht_lookups += 1;
         let lookup = self.storage.lookup(trigger.key.index(), mem, shared, now);
         match lookup.pattern {
             Some(pattern) => {
                 self.stats.pht_hits += 1;
-                response.pht_hit = true;
-                response.prefetches =
-                    self.pattern_to_prefetches(pattern, trigger_block, lookup.ready_at);
-                self.stats.prefetch_candidates += response.prefetches.len() as u64;
+                decision.pht_hit = true;
+                let before = out.len();
+                self.pattern_to_prefetches(pattern, trigger_block, lookup.ready_at, out);
+                self.stats.prefetch_candidates += (out.len() - before) as u64;
             }
             None => {
                 self.stats.pht_misses += 1;
             }
         }
-        response
+        decision
     }
 
     fn store_completed(
@@ -198,24 +240,26 @@ impl SmsPrefetcher {
 
     /// Converts a predicted pattern into concrete prefetch addresses for the
     /// trigger's region, excluding the trigger block itself (the demand
-    /// access is already fetching it).
+    /// access is already fetching it), appending them to `out`.
     fn pattern_to_prefetches(
         &self,
         pattern: SpatialPattern,
         trigger_block: BlockAddr,
         issue_at: u64,
-    ) -> Vec<PrefetchAction> {
+        out: &mut Vec<PrefetchAction>,
+    ) {
         let region = trigger_block.region(self.config.region_blocks);
         let trigger_offset = trigger_block.region_offset(self.config.region_blocks);
-        pattern
-            .without(trigger_offset)
-            .offsets()
-            .filter(|&offset| offset < self.config.region_blocks)
-            .map(|offset| PrefetchAction {
-                block: region.block_at(offset, self.config.region_blocks),
-                issue_at,
-            })
-            .collect()
+        out.extend(
+            pattern
+                .without(trigger_offset)
+                .offsets()
+                .filter(|&offset| offset < self.config.region_blocks)
+                .map(|offset| PrefetchAction {
+                    block: region.block_at(offset, self.config.region_blocks),
+                    issue_at,
+                }),
+        );
     }
 }
 

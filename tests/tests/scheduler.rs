@@ -1,0 +1,181 @@
+//! Scheduler differential tests: the event-heap run loop must reproduce
+//! the reference scan's behaviour *exactly* — the same core stepped at
+//! every single decision point (the step trace) and therefore the same
+//! interleaving at the shared L2 and bit-identical metrics digests.
+
+use pv_mem::{ContentionModel, HierarchyConfig};
+use pv_sim::{PrefetcherKind, Scheduler, SimConfig, System};
+use pv_trace::Scenario;
+use pv_workloads::{
+    workloads, AccessStream, TakeStream, TraceGenerator, WorkloadId, WorkloadParams,
+};
+
+/// A small config for `cores` cores so the differential sweeps stay fast.
+fn config(cores: usize, prefetcher: PrefetcherKind, seed: u64) -> SimConfig {
+    let mut config = SimConfig::quick(prefetcher);
+    config.cores = cores;
+    config.hierarchy = HierarchyConfig::paper_baseline(cores);
+    config.warmup_records = 4_000;
+    config.measure_records = 6_000;
+    config.seed = seed;
+    config
+}
+
+/// Runs `config` over the streams `build` yields under both schedulers and
+/// asserts the step orders and digests are identical.
+fn assert_schedulers_agree(
+    config: &SimConfig,
+    build: impl Fn(&SimConfig) -> Vec<Box<dyn AccessStream>>,
+) {
+    let mut heap = System::from_streams(config.clone(), build(config));
+    let mut reference = System::from_streams(config.clone(), build(config));
+    assert_eq!(
+        heap.scheduler(),
+        Scheduler::EventHeap,
+        "heap is the default"
+    );
+    reference.set_scheduler(Scheduler::ReferenceScan);
+    heap.record_step_trace(true);
+    reference.record_step_trace(true);
+
+    let heap_metrics = heap.run();
+    let reference_metrics = reference.run();
+
+    let heap_trace = heap.take_step_trace();
+    let reference_trace = reference.take_step_trace();
+    assert_eq!(
+        heap_trace.len(),
+        reference_trace.len(),
+        "schedulers took a different number of steps"
+    );
+    if let Some(step) = heap_trace.iter().zip(&reference_trace).position(|(a, b)| a != b) {
+        panic!(
+            "step order diverged at step {step}: heap chose core {}, reference core {}",
+            heap_trace[step], reference_trace[step]
+        );
+    }
+    assert_eq!(
+        heap_metrics.digest(),
+        reference_metrics.digest(),
+        "identical step order must yield identical digests"
+    );
+    assert!(heap.records_consumed().eq(reference.records_consumed()));
+    assert!(heap.exhausted().eq(reference.exhausted()));
+}
+
+/// One generator stream per core, each core on its own workload.
+fn generator_streams(config: &SimConfig) -> Vec<Box<dyn AccessStream>> {
+    let rotation = [
+        workloads::qry1(),
+        workloads::apache(),
+        workloads::db2(),
+        workloads::qry17(),
+        workloads::qry2(),
+    ];
+    (0..config.cores)
+        .map(|core| {
+            let workload: &WorkloadParams = &rotation[core % rotation.len()];
+            Box::new(TraceGenerator::new(workload, config.seed, core)) as Box<dyn AccessStream>
+        })
+        .collect()
+}
+
+#[test]
+fn heap_matches_reference_on_mixed_generators_1_to_8_cores() {
+    for cores in 1..=8 {
+        let config = config(cores, PrefetcherKind::None, 7 + cores as u64);
+        assert_schedulers_agree(&config, generator_streams);
+    }
+}
+
+#[test]
+fn heap_matches_reference_with_prefetchers_and_contention() {
+    for (seed, kind) in [
+        (11, PrefetcherKind::sms_1k_11a()),
+        (13, PrefetcherKind::sms_pv8()),
+        (17, PrefetcherKind::markov_1k()),
+    ]
+    .into_iter()
+    {
+        let mut config = config(4, kind, seed);
+        if seed == 13 {
+            config.hierarchy = config.hierarchy.with_contention(ContentionModel::Queued);
+        }
+        assert_schedulers_agree(&config, generator_streams);
+    }
+}
+
+#[test]
+fn heap_matches_reference_when_finite_streams_exhaust_mid_phase() {
+    // Limits straddle every interesting boundary: mid-warmup, exactly at
+    // the phase edge, mid-measurement, and beyond the run.
+    let config = config(4, PrefetcherKind::sms_1k_11a(), 23);
+    let full = config.warmup_records + config.measure_records;
+    let limits = [
+        config.warmup_records / 2,
+        config.warmup_records,
+        config.warmup_records + config.measure_records / 3,
+        full + 1_000,
+    ];
+    assert_schedulers_agree(&config, move |config| {
+        (0..config.cores)
+            .map(|core| {
+                let generator = TraceGenerator::new(&workloads::qry1(), config.seed, core);
+                Box::new(TakeStream::new(generator, limits[core])) as Box<dyn AccessStream>
+            })
+            .collect()
+    });
+}
+
+#[test]
+fn heap_matches_reference_on_scenario_streams() {
+    let config = config(4, PrefetcherKind::sms_pv8(), 29);
+    let scenario = Scenario::PhaseFlip {
+        a: WorkloadId::Qry1,
+        b: WorkloadId::Apache,
+        period: 2_500,
+    };
+    assert_schedulers_agree(&config, move |config| {
+        scenario.build_streams(config.cores, config.seed)
+    });
+}
+
+/// Regression: a core that exhausts *inside* the run-until-overtaken burst
+/// (here: a single core, so the heap is empty and the burst never ends
+/// until the stream dries up) must retire cleanly, leave the heap, and
+/// report coherent statistics.
+#[test]
+fn core_exhausting_inside_burst_retires_cleanly() {
+    let solo = config(1, PrefetcherKind::sms_1k_11a(), 31);
+    let short = solo.warmup_records + solo.measure_records / 2;
+    let mut system = System::from_streams(
+        solo.clone(),
+        vec![Box::new(TakeStream::new(
+            TraceGenerator::new(&workloads::qry1(), solo.seed, 0),
+            short,
+        )) as Box<dyn AccessStream>],
+    );
+    let metrics = system.run();
+    assert!(system.records_consumed().eq([short]));
+    assert!(system.exhausted().eq([true]));
+    assert!(metrics.total_instructions > 0);
+    assert!(metrics.per_core_ipc.iter().all(|&ipc| ipc > 0.0));
+
+    // And the multi-core variant: the lagging core bursts while the others
+    // idle far ahead, then runs dry mid-burst — differentially checked.
+    let multi = config(3, PrefetcherKind::None, 37);
+    let short = multi.warmup_records / 3;
+    assert_schedulers_agree(&multi, move |config| {
+        (0..config.cores)
+            .map(|core| {
+                let generator = TraceGenerator::new(&workloads::qry17(), config.seed, core);
+                let stream: Box<dyn AccessStream> = if core == 1 {
+                    Box::new(TakeStream::new(generator, short))
+                } else {
+                    Box::new(generator)
+                };
+                stream
+            })
+            .collect()
+    });
+}
