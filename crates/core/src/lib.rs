@@ -108,7 +108,10 @@ pub use plan::PvRegionPlan;
 pub use proxy::PvProxy;
 pub use pvcache::{PvCache, PvCacheEntry, PvCacheEviction};
 pub use register::PvStartRegister;
-pub use shared::{SharedPvCache, SharedPvCacheEntry, SharedPvProxy, SharedSetAccess};
+pub use shared::{
+    ReplanOutcome, SharedPvCache, SharedPvCacheEntry, SharedPvProxy, SharedSetAccess,
+    SharedStoreOutcome,
+};
 pub use stats::PvStats;
 pub use storage::PvStorageBudget;
 pub use table::{PvSet, PvTable};

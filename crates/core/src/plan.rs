@@ -61,6 +61,26 @@ impl PvRegionPlan {
         }
     }
 
+    /// Re-plans the same tables to new sizes inside the same region — the
+    /// epoch-boundary move of the dynamic repartitioning loop. Validation is
+    /// identical to construction (every table non-empty, total within
+    /// `bytes_per_core`), plus the table count must not change: a replan
+    /// moves boundaries, it never adds or removes tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bytes.len()` differs from the planned table count,
+    /// if any table would be empty, or if the new sizes overflow the region
+    /// (same message as [`Self::new`]).
+    pub fn replan(&self, table_bytes: &[u64]) -> PvRegionPlan {
+        assert_eq!(
+            table_bytes.len(),
+            self.table_bytes.len(),
+            "a replan must keep the table count"
+        );
+        PvRegionPlan::new(self.region, table_bytes.to_vec())
+    }
+
     /// The region this plan carves up.
     pub fn region(&self) -> PvRegionConfig {
         self.region
@@ -135,6 +155,39 @@ mod tests {
         for core in 0..4 {
             assert_eq!(plan.base(core, 0), region.core_base(core));
         }
+    }
+
+    #[test]
+    fn replan_moves_the_boundary_inside_the_same_region() {
+        let region = PvRegionConfig::with_bytes_per_core(4, 128 * 1024);
+        let plan = PvRegionPlan::new(region, vec![64 * 1024, 64 * 1024]);
+        let moved = plan.replan(&[96 * 1024, 32 * 1024]);
+        assert_eq!(moved.region(), region);
+        assert_eq!(moved.table_bytes(0), 96 * 1024);
+        assert_eq!(moved.table_bytes(1), 32 * 1024);
+        // Table 0 keeps its base; table 1 starts where table 0 now ends.
+        for core in 0..4 {
+            assert_eq!(moved.base(core, 0), plan.base(core, 0));
+            assert_eq!(
+                moved.base(core, 1).raw(),
+                moved.base(core, 0).raw() + 96 * 1024
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserves only")]
+    fn replan_rejects_overflow_like_construction() {
+        let region = PvRegionConfig::with_bytes_per_core(4, 128 * 1024);
+        let plan = PvRegionPlan::new(region, vec![64 * 1024, 64 * 1024]);
+        let _ = plan.replan(&[128 * 1024, 64 * 1024]);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep the table count")]
+    fn replan_rejects_table_count_changes() {
+        let plan = PvRegionPlan::new(PvRegionConfig::paper_default(4), vec![32 * 1024]);
+        let _ = plan.replan(&[16 * 1024, 16 * 1024]);
     }
 
     #[test]

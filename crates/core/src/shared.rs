@@ -28,8 +28,23 @@
 //! included). Keeping the table current makes the cache metadata-only, which
 //! is what lets two entry types share one cache without type erasure.
 
+//! # Partial backing and re-planning
+//!
+//! Under a scarce [`crate::PvRegionPlan`] (sub-regions smaller than the full
+//! table), a table binding backs only the first `backed_blocks` *backing
+//! blocks* of its sub-region. Sets map to backing blocks bit-reversed
+//! ([`SharedPvProxy::bind_plan`]), so workloads whose hot sets cluster in a
+//! narrow index range still spread across the backed/unbacked split.
+//! Lookups to unbacked sets miss without traffic; stores to unbacked sets
+//! are dropped and the owner must skip its write-through update
+//! ([`SharedStoreOutcome`]). [`SharedPvProxy::apply_plan`] moves the
+//! boundaries at an epoch edge: because contents are write-through, the
+//! move only invalidates cache entries whose backing block address changed
+//! (writing dirty ones back at their *old* address) — data is never copied.
+
 use crate::buffers::{EvictBuffer, PatternBuffer};
 use crate::config::PvConfig;
+use crate::plan::PvRegionPlan;
 use crate::stats::PvStats;
 use pv_mem::{AccessKind, Address, DataClass, MemoryHierarchy, MshrFile, Requester};
 
@@ -151,18 +166,48 @@ struct TableBinding {
     base: Address,
     /// Number of PVTable sets.
     table_sets: usize,
+    /// Backing blocks the sub-region provides (≤ `table_sets`); sets whose
+    /// backing block falls past this bound are unbacked. Equal to
+    /// `table_sets` unless a scarce plan is bound.
+    backed_blocks: usize,
     /// Block size each set packs into.
     block_bytes: u64,
     /// Report label (e.g. `"SMS"`, `"Markov"`).
     label: String,
 }
 
+/// Outcome of one shared-proxy store.
+#[must_use]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedStoreOutcome {
+    /// The store was applied; the caller updates its own table
+    /// write-through.
+    Accepted,
+    /// The target set is not backed by the current plan: the store was
+    /// dropped, and the caller must *not* update its table — an entry that
+    /// survived in the owner's table without backing capacity would resurface
+    /// for free once the set becomes backed again.
+    Unbacked,
+}
+
+/// What applying a new region plan did to the shared cache
+/// ([`SharedPvProxy::apply_plan`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplanOutcome {
+    /// Cache entries removed because their backing block migrated (address
+    /// changed) or lost its backing.
+    pub invalidated: u64,
+    /// Invalidated dirty entries written back at their old address.
+    pub writebacks: u64,
+}
+
 /// Timing outcome of one shared-cache set access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SharedSetAccess {
-    /// Whether the set is (or will be) resident. `false` only when the
-    /// lookup was dropped because the pattern buffer was full — the caller
-    /// must then report a predictor miss without touching its table.
+    /// Whether the set is (or will be) resident. `false` when the lookup
+    /// was dropped because the pattern buffer was full, or when the set is
+    /// not backed by the current region plan — the caller must then report
+    /// a predictor miss without touching its table.
     pub resident: bool,
     /// Cycle at which the set's data is available.
     pub ready_at: u64,
@@ -187,6 +232,9 @@ pub struct SharedPvProxy {
     evict_buffer: EvictBuffer,
     tables: Vec<TableBinding>,
     stats: Vec<PvStats>,
+    /// Whether sets map to backing blocks bit-reversed (scarce-plan mode,
+    /// set by [`Self::bind_plan`]); the identity mapping otherwise.
+    interleaved: bool,
 }
 
 impl SharedPvProxy {
@@ -203,6 +251,7 @@ impl SharedPvProxy {
             evict_buffer: EvictBuffer::new(config.evict_buffer_entries),
             tables: Vec::new(),
             stats: Vec::new(),
+            interleaved: false,
             config,
         }
     }
@@ -223,6 +272,7 @@ impl SharedPvProxy {
         self.tables.push(TableBinding {
             base,
             table_sets,
+            backed_blocks: table_sets,
             block_bytes,
             label: label.to_owned(),
         });
@@ -276,20 +326,162 @@ impl SharedPvProxy {
         }
     }
 
-    /// The memory address of `(table, set_index)` — the shared-proxy analogue
-    /// of Figure 3b's `PVStart + set * block` computation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `table` or `set_index` is out of range.
-    pub fn set_address(&self, table: usize, set_index: usize) -> Address {
+    /// The backing-block index of `(table, set_index)`: the identity map by
+    /// default, or the set index bit-reversed (within the table's index
+    /// width) once a scarce plan is bound. Bit reversal makes "the first
+    /// `backed_blocks` blocks" an even sampling of the set space, so
+    /// workloads whose hot sets cluster in a narrow range (e.g. low Markov
+    /// set indices under few contexts) still feel capacity proportionally.
+    fn block_of(&self, table: usize, set_index: usize) -> usize {
         let binding = &self.tables[table];
         assert!(
             set_index < binding.table_sets,
             "set index {set_index} out of range for table {table} ({} sets)",
             binding.table_sets
         );
-        Address::new(binding.base.raw() + set_index as u64 * binding.block_bytes)
+        if !self.interleaved || binding.table_sets <= 1 {
+            set_index
+        } else {
+            let bits = binding.table_sets.trailing_zeros();
+            set_index.reverse_bits() >> (usize::BITS - bits)
+        }
+    }
+
+    /// Whether the current plan backs `(table, set_index)` with memory.
+    pub fn set_backed(&self, table: usize, set_index: usize) -> bool {
+        self.block_of(table, set_index) < self.tables[table].backed_blocks
+    }
+
+    /// Backing blocks the current plan gives `table` (equals the table's
+    /// set count unless a scarce plan is bound).
+    pub fn backed_blocks(&self, table: usize) -> usize {
+        self.tables[table].backed_blocks
+    }
+
+    /// Total sets of `table` (the registration-time geometry).
+    pub fn table_sets(&self, table: usize) -> usize {
+        self.tables[table].table_sets
+    }
+
+    /// The memory address of `(table, set_index)`'s backing block — the
+    /// shared-proxy analogue of Figure 3b's `PVStart + set * block`
+    /// computation (identical to it under the identity mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` or `set_index` is out of range, or if the set is
+    /// not backed by the current plan (unbacked sets have no address).
+    pub fn set_address(&self, table: usize, set_index: usize) -> Address {
+        let block = self.block_of(table, set_index);
+        let binding = &self.tables[table];
+        assert!(
+            block < binding.backed_blocks,
+            "set {set_index} of table {table} is not backed by the current plan \
+             ({} of {} blocks backed)",
+            binding.backed_blocks,
+            binding.table_sets
+        );
+        Address::new(binding.base.raw() + block as u64 * binding.block_bytes)
+    }
+
+    /// Validates `plan` against this proxy's bindings and returns the
+    /// per-table `(base, backed_blocks)` geometry it implies.
+    fn plan_geometry(&self, plan: &PvRegionPlan) -> Vec<(Address, usize)> {
+        assert_eq!(
+            plan.tables(),
+            self.tables.len(),
+            "the plan must cover exactly the registered tables"
+        );
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(table, binding)| {
+                let bytes = plan.table_bytes(table);
+                assert_eq!(
+                    bytes % binding.block_bytes,
+                    0,
+                    "table {table}'s sub-region must be block-aligned"
+                );
+                let backed = (bytes / binding.block_bytes) as usize;
+                assert!(
+                    backed <= binding.table_sets,
+                    "table {table} cannot back more blocks than it has sets"
+                );
+                (plan.base(self.core, table), backed)
+            })
+            .collect()
+    }
+
+    /// Binds a (possibly scarce) region plan to the registered tables and
+    /// switches set→block mapping to bit-reversed interleaving. Must be
+    /// called before any traffic; re-planning a live proxy goes through
+    /// [`Self::apply_plan`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if traffic already ran, if the plan's table count differs
+    /// from the registered tables, or if any sub-region is misaligned or
+    /// larger than its table.
+    pub fn bind_plan(&mut self, plan: &PvRegionPlan) {
+        assert!(
+            self.cache.is_empty(),
+            "bind_plan must run before any traffic reaches the proxy"
+        );
+        let geometry = self.plan_geometry(plan);
+        self.interleaved = true;
+        for (binding, (base, backed)) in self.tables.iter_mut().zip(geometry) {
+            binding.base = base;
+            binding.backed_blocks = backed;
+        }
+    }
+
+    /// Applies a new region plan to a live proxy: the epoch-boundary move
+    /// of dynamic repartitioning. Contents are write-through in the owning
+    /// tables, so no data moves — the only work is invalidating cache
+    /// entries whose backing block migrated (its address changed, or it
+    /// lost backing entirely). Migrated dirty entries are written back at
+    /// their *old* address first, as predictor-class traffic.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`Self::bind_plan`] (minus the no-traffic
+    /// requirement).
+    pub fn apply_plan(
+        &mut self,
+        plan: &PvRegionPlan,
+        mem: &mut MemoryHierarchy,
+        now: u64,
+    ) -> ReplanOutcome {
+        let geometry = self.plan_geometry(plan);
+        let mut outcome = ReplanOutcome::default();
+        let entries = std::mem::take(&mut self.cache.entries);
+        let mut kept = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let block = self.block_of(entry.table, entry.set_index);
+            let binding = &self.tables[entry.table];
+            let old_address = binding.base.raw() + block as u64 * binding.block_bytes;
+            let block_bytes = binding.block_bytes;
+            let (new_base, new_backed) = geometry[entry.table];
+            let survives =
+                block < new_backed && new_base.raw() + block as u64 * block_bytes == old_address;
+            if survives {
+                kept.push(entry);
+                continue;
+            }
+            outcome.invalidated += 1;
+            if entry.dirty {
+                outcome.writebacks += 1;
+                self.stats[entry.table].dirty_writebacks += 1;
+                self.evict_buffer.push(entry.set_index, now, now + mem.config().l2.data_latency);
+                mem.writeback(Requester::pv_proxy(self.core), old_address, now);
+            }
+        }
+        self.cache.entries = kept;
+        for (binding, (base, backed)) in self.tables.iter_mut().zip(geometry) {
+            binding.base = base;
+            binding.backed_blocks = backed;
+        }
+        outcome
     }
 
     /// Fetches `(table, set_index)` through the memory hierarchy and installs
@@ -363,6 +555,17 @@ impl SharedPvProxy {
         now: u64,
     ) -> SharedSetAccess {
         self.stats[table].lookups += 1;
+        if !self.set_backed(table, set_index) {
+            // No backing capacity: the set behaves like a permanent miss
+            // (counted as one, so hit rates reflect allocation) with no
+            // memory traffic.
+            self.stats[table].pvcache_misses += 1;
+            self.stats[table].unbacked_lookups += 1;
+            return SharedSetAccess {
+                resident: false,
+                ready_at: now,
+            };
+        }
         let pvcache_latency = self.config.pvcache_latency;
         if let Some(entry) = self.cache.lookup(table, set_index) {
             let ready_at = (now + pvcache_latency).max(entry.ready_at);
@@ -399,16 +602,21 @@ impl SharedPvProxy {
 
     /// A predictor store touching `(table, set_index)`: write-allocate (the
     /// set is fetched on a miss, so its other entries are preserved) and
-    /// mark the resident set dirty. The caller updates its own table
-    /// write-through *after* this returns.
+    /// mark the resident set dirty. On [`SharedStoreOutcome::Accepted`] the
+    /// caller updates its own table write-through *after* this returns; on
+    /// [`SharedStoreOutcome::Unbacked`] it must skip that update.
     pub fn store_set(
         &mut self,
         table: usize,
         set_index: usize,
         mem: &mut MemoryHierarchy,
         now: u64,
-    ) {
+    ) -> SharedStoreOutcome {
         self.stats[table].stores += 1;
+        if !self.set_backed(table, set_index) {
+            self.stats[table].unbacked_stores += 1;
+            return SharedStoreOutcome::Unbacked;
+        }
         if !self.cache.contains(table, set_index) {
             self.stats[table].store_misses += 1;
             let _ = self.fetch_set(table, set_index, mem, now);
@@ -418,6 +626,7 @@ impl SharedPvProxy {
             .lookup(table, set_index)
             .expect("the set was just installed in the shared PVCache");
         cached.dirty = true;
+        SharedStoreOutcome::Accepted
     }
 
     /// Writes every dirty resident set back to the memory hierarchy (used at
@@ -511,7 +720,10 @@ mod tests {
         let (mut mem, mut proxy) = setup();
         // Dirty one set of table 1, then flood with table 0 until it is
         // evicted: the write-back must be attributed to table 1.
-        proxy.store_set(1, 7, &mut mem, 0);
+        assert_eq!(
+            proxy.store_set(1, 7, &mut mem, 0),
+            SharedStoreOutcome::Accepted
+        );
         let capacity = proxy.cache().capacity();
         for set in 0..capacity {
             proxy.lookup_set(0, set, set as u64, &mut mem, 1_000 + (set as u64) * 1_000);
@@ -542,7 +754,7 @@ mod tests {
     fn drain_writes_back_only_dirty_sets() {
         let (mut mem, mut proxy) = setup();
         proxy.lookup_set(0, 1, 1, &mut mem, 0);
-        proxy.store_set(1, 2, &mut mem, 10);
+        let _ = proxy.store_set(1, 2, &mut mem, 10);
         let writes_before = mem.stats().l2_requests.predictor;
         proxy.drain(&mut mem, 1_000);
         assert_eq!(proxy.table_stats(1).dirty_writebacks, 1);
@@ -568,5 +780,123 @@ mod tests {
     fn out_of_range_set_panics() {
         let (_, proxy) = setup();
         proxy.set_address(0, 4096);
+    }
+
+    /// Two 1024-set tables bound to a scarce half-capacity plan (512 backing
+    /// blocks each) inside the paper-default 64 KB region.
+    fn scarce_setup() -> (MemoryHierarchy, SharedPvProxy, PvRegionPlan) {
+        let config = HierarchyConfig::paper_baseline(4);
+        let mem = MemoryHierarchy::new(config);
+        let mut proxy = SharedPvProxy::new(0, PvConfig::pv8());
+        let plan = PvRegionPlan::new(config.pv_regions, vec![512 * 64, 512 * 64]);
+        let a = proxy.add_table(plan.base(0, 0), 1024, 64, "A");
+        let b = proxy.add_table(plan.base(0, 1), 1024, 64, "B");
+        assert_eq!((a, b), (0, 1));
+        proxy.bind_plan(&plan);
+        (mem, proxy, plan)
+    }
+
+    #[test]
+    fn scarce_plans_back_an_even_sample_of_the_set_space() {
+        let (_, proxy, _) = scarce_setup();
+        assert_eq!(proxy.backed_blocks(0), 512);
+        assert_eq!(proxy.table_sets(0), 1024);
+        // Bit-reversed mapping: half capacity backs every *other* set, so a
+        // workload clustered in a narrow index range (like Markov sets under
+        // few contexts) still sees exactly its proportional share.
+        let backed_in_cluster = (0..400).filter(|&s| proxy.set_backed(0, s)).count();
+        assert_eq!(backed_in_cluster, 200);
+        // Backed sets of both tables stay inside their own sub-regions.
+        let boundary = proxy.set_address(1, 0).raw();
+        for set in (0..1024).filter(|&s| proxy.set_backed(0, s)) {
+            assert!(proxy.set_address(0, set).raw() < boundary);
+        }
+    }
+
+    #[test]
+    fn unbacked_accesses_miss_without_memory_traffic() {
+        let (mut mem, mut proxy, _) = scarce_setup();
+        // With 512 of 1024 blocks backed, odd sets are unbacked
+        // (rev10(odd) >= 512).
+        assert!(!proxy.set_backed(0, 1));
+        let access = proxy.lookup_set(0, 1, 1, &mut mem, 0);
+        assert!(!access.resident);
+        assert_eq!(
+            proxy.store_set(0, 1, &mut mem, 0),
+            SharedStoreOutcome::Unbacked
+        );
+        let stats = proxy.table_stats(0);
+        assert_eq!(stats.lookups, 1);
+        assert_eq!(stats.pvcache_misses, 1, "unbacked lookups count as misses");
+        assert_eq!(stats.unbacked_lookups, 1);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.unbacked_stores, 1);
+        assert_eq!(stats.store_misses, 0);
+        assert_eq!(stats.memory_requests, 0, "no traffic for unbacked sets");
+    }
+
+    #[test]
+    fn apply_plan_invalidates_only_migrated_blocks() {
+        let (mut mem, mut proxy, plan) = scarce_setup();
+        // Table 0: sets 0, 2, 4 map to blocks 0, 256, 128. Table 1: set 0
+        // maps to block 0 and is dirtied.
+        for set in [0, 2, 4] {
+            assert!(proxy.lookup_set(0, set, set as u64, &mut mem, 0).resident);
+        }
+        assert_eq!(
+            proxy.store_set(1, 0, &mut mem, 0),
+            SharedStoreOutcome::Accepted
+        );
+        let old_table1_addr = proxy.set_address(1, 0);
+        // Shrink table 0 to 256 blocks, grow table 1 to 768.
+        let moved = plan.replan(&[256 * 64, 768 * 64]);
+        let outcome = proxy.apply_plan(&moved, &mut mem, 1_000);
+        // Table 0 keeps its base: blocks 0 and 128 survive, block 256 lost
+        // its backing. Table 1's base moved: its entry migrates (dirty, so
+        // it is written back at the old address first).
+        assert_eq!(outcome.invalidated, 2);
+        assert_eq!(outcome.writebacks, 1);
+        assert!(proxy.cache().contains(0, 0));
+        assert!(proxy.cache().contains(0, 4));
+        assert!(!proxy.cache().contains(0, 2), "no stale entry survives");
+        assert!(!proxy.cache().contains(1, 0));
+        assert!(mem.l2_contains(old_table1_addr.block()));
+        assert_eq!(proxy.table_stats(1).dirty_writebacks, 1);
+        // The new geometry is live: table 0 halved, table 1 re-based.
+        assert_eq!(proxy.backed_blocks(0), 256);
+        assert!(!proxy.set_backed(0, 2));
+        assert_eq!(proxy.backed_blocks(1), 768);
+        assert!(proxy.set_address(1, 0).raw() < old_table1_addr.raw());
+    }
+
+    #[test]
+    fn apply_plan_keeps_every_entry_of_a_table_whose_blocks_did_not_move() {
+        let (mut mem, mut proxy, plan) = scarce_setup();
+        for set in [0, 4, 8, 12] {
+            assert!(proxy.lookup_set(0, set, set as u64, &mut mem, 0).resident);
+        }
+        // Growing table 0 keeps its base and every backed block address.
+        let moved = plan.replan(&[768 * 64, 256 * 64]);
+        let outcome = proxy.apply_plan(&moved, &mut mem, 1_000);
+        assert_eq!(outcome.invalidated, 0);
+        assert_eq!(outcome.writebacks, 0);
+        for set in [0, 4, 8, 12] {
+            assert!(proxy.cache().contains(0, set));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not backed")]
+    fn unbacked_sets_have_no_address() {
+        let (_, proxy, _) = scarce_setup();
+        proxy.set_address(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any traffic")]
+    fn bind_plan_rejects_a_live_proxy() {
+        let (mut mem, mut proxy, plan) = scarce_setup();
+        proxy.lookup_set(0, 0, 0, &mut mem, 0);
+        proxy.bind_plan(&plan);
     }
 }

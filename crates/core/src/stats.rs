@@ -25,6 +25,13 @@ pub struct PvStats {
     /// PVCache hits on sets whose fill was still in flight (the lookup had
     /// to wait for the fill's completion time).
     pub pending_hits: u64,
+    /// Lookups that targeted a set the current region plan does not back
+    /// (also counted in `pvcache_misses`, so per-table hit rates reflect the
+    /// table's allocated capacity). Always zero under a full-capacity plan.
+    pub unbacked_lookups: u64,
+    /// Stores dropped because the target set is not backed by the current
+    /// region plan; the owning table skips its write-through update too.
+    pub unbacked_stores: u64,
     /// Cycles this proxy's memory requests spent waiting for contended
     /// shared resources (L2 ports, MSHR slots, DRAM queues) beyond the
     /// unloaded latencies. Always zero under `ContentionModel::Ideal`; under
@@ -47,6 +54,8 @@ impl PvStats {
             dirty_writebacks,
             dropped_lookups,
             pending_hits,
+            unbacked_lookups,
+            unbacked_stores,
             queue_delay_cycles,
         } = *other;
         self.lookups += lookups;
@@ -59,6 +68,8 @@ impl PvStats {
         self.dirty_writebacks += dirty_writebacks;
         self.dropped_lookups += dropped_lookups;
         self.pending_hits += pending_hits;
+        self.unbacked_lookups += unbacked_lookups;
+        self.unbacked_stores += unbacked_stores;
         self.queue_delay_cycles += queue_delay_cycles;
     }
 

@@ -13,7 +13,9 @@
 //! threads (runs/sec each, and the scaling efficiency between them), plus
 //! scheduler (`system/schedule`, event heap vs reference scan) and L1-hit
 //! fast-path (`hierarchy/access_hit_fastpath`, classification-free vs
-//! general entry) micros, and writes the results as `BENCH_PR8.json`
+//! general entry) micros, plus the dynamically repartitioned scarce-region
+//! cohabiting pair (`SMS+Markov-shPV8-dyn`, the live capacity controller
+//! on the end-to-end path), and writes the results as `BENCH_PR9.json`
 //! (schema `pv-perfbench/2`, documented in the README's Performance
 //! section).
 //!
@@ -91,6 +93,7 @@ fn all_kinds() -> Vec<PrefetcherKind> {
         PrefetcherKind::markov_pv8(),
         PrefetcherKind::composite_dedicated(4),
         PrefetcherKind::composite_shared(8),
+        PrefetcherKind::composite_shared_dynamic(8),
         PrefetcherKind::sms_pv8_throttled(),
         PrefetcherKind::markov_pv8_throttled(),
     ]
@@ -479,7 +482,7 @@ fn main() {
             }
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_PR8.json".to_owned());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR9.json".to_owned());
 
     let mut runs = Vec::new();
     for kind in all_kinds() {

@@ -329,6 +329,8 @@ pub fn parse_kind(name: &str) -> Option<PrefetcherKind> {
         "markov-pv8" => PrefetcherKind::markov_pv8(),
         "composite-dedicated4" => PrefetcherKind::composite_dedicated(4),
         "composite-shared8" => PrefetcherKind::composite_shared(8),
+        "composite-shared8-dyn" => PrefetcherKind::composite_shared_dynamic(8),
+        "composite-shared8-scarce" => PrefetcherKind::composite_shared_scarce(8),
         _ => return None,
     };
     if throttled {
@@ -357,6 +359,8 @@ pub fn kind_names() -> &'static [&'static str] {
         "markov-pv8",
         "composite-dedicated4",
         "composite-shared8",
+        "composite-shared8-dyn",
+        "composite-shared8-scarce",
     ]
 }
 
@@ -405,6 +409,58 @@ mod tests {
         assert!(parse_kind("sms-pv8-throttled").unwrap().is_throttled());
         assert!(parse_kind("none-throttled").is_none());
         assert!(parse_kind("warp-drive").is_none());
+        let dynamic = parse_kind("composite-shared8-dyn").unwrap();
+        assert_eq!(dynamic.label(), "SMS+Markov-shPV8-dyn");
+        assert!(dynamic.is_repartitioned());
+        assert_eq!(
+            parse_kind("composite-shared8-scarce").unwrap().label(),
+            "SMS+Markov-shPV8-scarce"
+        );
+        let both = parse_kind("composite-shared8-dyn-throttled").unwrap();
+        assert!(both.is_throttled() && both.is_repartitioned());
+    }
+
+    /// Satellite determinism pin: the sorted row set of a sweep that
+    /// includes the dynamic repartitioning kind is byte-identical across
+    /// thread counts — replanning happens at deterministic window edges,
+    /// never on wall-clock state.
+    #[test]
+    fn dynamic_kind_rows_are_identical_across_thread_counts() {
+        let points = vec![
+            FleetPoint {
+                kind: parse_kind("composite-shared8-dyn").unwrap(),
+                workload: FleetWorkload::Homogeneous(WorkloadId::Qry1),
+                cycles_per_transfer: 0,
+            },
+            FleetPoint {
+                kind: parse_kind("composite-shared8-scarce").unwrap(),
+                workload: FleetWorkload::Homogeneous(WorkloadId::Qry1),
+                cycles_per_transfer: 0,
+            },
+            FleetPoint {
+                kind: parse_kind("composite-shared8-dyn").unwrap(),
+                workload: FleetWorkload::Homogeneous(WorkloadId::Apache),
+                cycles_per_transfer: 64,
+            },
+            FleetPoint {
+                kind: PrefetcherKind::None,
+                workload: FleetWorkload::Homogeneous(WorkloadId::Apache),
+                cycles_per_transfer: 64,
+            },
+        ];
+        let sorted_rows = |threads: usize| {
+            let mut out = Vec::new();
+            run_fleet(points.clone(), Scale::Smoke, threads, &mut out);
+            let text = String::from_utf8(out).unwrap();
+            let mut rows: Vec<String> = text
+                .lines()
+                .filter(|l| l.starts_with("{\"type\": \"run\""))
+                .map(str::to_owned)
+                .collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(sorted_rows(1), sorted_rows(4));
     }
 
     #[test]

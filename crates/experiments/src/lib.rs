@@ -32,6 +32,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fleet;
 pub mod mixes;
+pub mod repartition;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
@@ -89,6 +90,9 @@ pub enum Experiment {
     /// Non-stationary scenarios: phase flips, flash crowds, diurnal load,
     /// and an antagonist core (trace-composed workloads).
     Scenarios,
+    /// Dynamic PV-region repartitioning: static vs utility-driven sub-region
+    /// boundaries on a scarce region, across non-stationary scenarios.
+    Repartition,
 }
 
 impl Experiment {
@@ -96,8 +100,26 @@ impl Experiment {
     pub fn all() -> Vec<Experiment> {
         use Experiment::*;
         vec![
-            Table1, Table2, Table3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Sec46,
-            Ablation, Backends, Bandwidth, Mixes, Cohabit, Throttle, Scenarios,
+            Table1,
+            Table2,
+            Table3,
+            Fig4,
+            Fig5,
+            Fig6,
+            Fig7,
+            Fig8,
+            Fig9,
+            Fig10,
+            Fig11,
+            Sec46,
+            Ablation,
+            Backends,
+            Bandwidth,
+            Mixes,
+            Cohabit,
+            Throttle,
+            Scenarios,
+            Repartition,
         ]
     }
 
@@ -123,6 +145,7 @@ impl Experiment {
             Experiment::Cohabit => "cohabit",
             Experiment::Throttle => "throttle",
             Experiment::Scenarios => "scenarios",
+            Experiment::Repartition => "repartition",
         }
     }
 
@@ -153,6 +176,7 @@ impl Experiment {
             Experiment::Cohabit => cohabit::report(runner),
             Experiment::Throttle => throttle::report(runner),
             Experiment::Scenarios => scenarios::report(runner),
+            Experiment::Repartition => repartition::report(runner),
         }
     }
 }

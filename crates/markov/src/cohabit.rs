@@ -13,7 +13,9 @@
 
 use crate::entry::{MarkovEntry, MarkovIndex};
 use crate::storage::{NextAddrLookup, NextAddrStorage};
-use pv_core::{PvConfig, PvEntry, PvStartRegister, PvStorageBudget, PvTable, SharedPvProxy};
+use pv_core::{
+    PvConfig, PvEntry, PvStartRegister, PvStorageBudget, PvTable, SharedPvProxy, SharedStoreOutcome,
+};
 use pv_mem::{Address, MemoryHierarchy};
 
 /// The Markov next-address table bound to a shared, table-tagged PVProxy.
@@ -105,8 +107,13 @@ impl NextAddrStorage for SharedVirtualizedMarkov {
         let Some(entry) = MarkovEntry::new(tag as u16, delta) else {
             return;
         };
-        Self::proxy(shared).store_set(self.table_id, set_index, mem, now);
-        self.table.set_mut(set_index).insert(entry);
+        // Write-through only when the proxy accepted the store (unbacked
+        // sets have no memory behind them).
+        if Self::proxy(shared).store_set(self.table_id, set_index, mem, now)
+            == SharedStoreOutcome::Accepted
+        {
+            self.table.set_mut(set_index).insert(entry);
+        }
     }
 
     fn label(&self) -> String {

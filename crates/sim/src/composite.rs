@@ -19,6 +19,7 @@
 //! feedback throttler).
 
 use crate::engine::{EngineSnapshot, PrefetchEngine, PvTableStats};
+use crate::repartition::{RepartitionConfig, RepartitionController};
 use pv_core::{PvConfig, PvRegionPlan, SharedPvProxy};
 use pv_markov::{MarkovConfig, MarkovPrefetcher, SharedVirtualizedMarkov, VirtualizedMarkov};
 use pv_mem::{BlockAddr, MemoryHierarchy};
@@ -38,6 +39,10 @@ pub struct CompositePrefetcher {
     /// Present only in the shared arrangement: the proxy the children's
     /// cohabitation adapters registered their tables with.
     shared: Option<SharedPvProxy>,
+    /// Present only under dynamic repartitioning: the controller that
+    /// samples per-table pressure on the owned proxy and moves the
+    /// sub-region boundaries at window edges.
+    repartition: Option<RepartitionController>,
 }
 
 impl std::fmt::Debug for CompositePrefetcher {
@@ -45,6 +50,7 @@ impl std::fmt::Debug for CompositePrefetcher {
         f.debug_struct("CompositePrefetcher")
             .field("engines", &self.labels())
             .field("shared", &self.shared.is_some())
+            .field("repartition", &self.repartition.is_some())
             .finish()
     }
 }
@@ -62,6 +68,7 @@ impl CompositePrefetcher {
         CompositePrefetcher {
             engines,
             shared: None,
+            repartition: None,
         }
     }
 
@@ -116,6 +123,41 @@ impl CompositePrefetcher {
             ),
         ]);
         composite.shared = Some(proxy);
+        composite
+    }
+
+    /// The shared arrangement under utility-driven dynamic repartitioning:
+    /// the (typically scarce) `plan` is bound to the proxy with interleaved
+    /// partial backing, and a per-core [`RepartitionController`] moves the
+    /// sub-region boundaries toward the higher-pressure table at window
+    /// edges. With `repartition.step_blocks == 0` the controller is frozen —
+    /// the plan stays put, giving the static control arm under identical
+    /// scarcity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is not block-aligned or starts a table below the
+    /// controller's sub-region floor.
+    pub fn shared_repartitioned(
+        core: usize,
+        sms: SmsConfig,
+        markov: MarkovConfig,
+        pv: PvConfig,
+        plan: PvRegionPlan,
+        repartition: RepartitionConfig,
+    ) -> Self {
+        let mut composite = Self::shared(core, sms, markov, pv, &plan);
+        composite
+            .shared
+            .as_mut()
+            .expect("the shared arrangement owns a proxy")
+            .bind_plan(&plan);
+        composite.repartition = Some(RepartitionController::new(
+            core,
+            repartition,
+            plan,
+            pv.block_bytes,
+        ));
         composite
     }
 
@@ -184,6 +226,12 @@ impl PrefetchEngine for CompositePrefetcher {
         for (_, engine) in &mut self.engines {
             engine.on_data_access(pc, address, mem, proxy.as_deref_mut(), now, out);
         }
+        // The controller ticks after the engines fed, so a window edge sees
+        // the miss counters of every access up to and including this one.
+        // It only ever pairs with the owned proxy (shared_repartitioned).
+        if let (Some(controller), Some(proxy)) = (&mut self.repartition, &mut self.shared) {
+            controller.on_access(proxy, mem, now);
+        }
     }
 
     /// Resets engine and proxy statistics (learned state is preserved).
@@ -195,6 +243,11 @@ impl PrefetchEngine for CompositePrefetcher {
         }
         if let Some(proxy) = &mut self.shared {
             proxy.reset_stats();
+        }
+        // After the proxy: the controller re-bases its per-window miss
+        // deltas on the proxy's zeroed counters (see its reset contract).
+        if let Some(controller) = &mut self.repartition {
+            controller.reset_stats();
         }
     }
 
@@ -225,6 +278,7 @@ impl PrefetchEngine for CompositePrefetcher {
                 })
                 .collect();
         }
+        snapshot.repartition = self.repartition.as_ref().map(|c| c.metrics());
         snapshot
     }
 }
@@ -374,6 +428,39 @@ mod tests {
     #[should_panic(expected = "at least one engine")]
     fn empty_composites_are_rejected() {
         let _ = CompositePrefetcher::from_engines(Vec::new());
+    }
+
+    /// The repartitioned arrangement wires the controller into the feed
+    /// path: windows advance with data accesses and the snapshot carries
+    /// the controller's metrics (reset clears them but keeps the plan).
+    #[test]
+    fn shared_repartitioned_counts_windows_through_the_feed_path() {
+        use crate::repartition::RepartitionConfig;
+        // The scarce default: half the 64 KB baseline region per table.
+        let config = HierarchyConfig::paper_baseline(4);
+        let mut mem = MemoryHierarchy::new(config);
+        let plan = PvRegionPlan::new(config.pv_regions, vec![512 * 64, 512 * 64]);
+        let mut composite = CompositePrefetcher::shared_repartitioned(
+            0,
+            SmsConfig::paper_1k_11a(),
+            MarkovConfig::paper_1k(),
+            PvConfig::pv8(),
+            plan,
+            RepartitionConfig {
+                window_accesses: 64,
+                ..RepartitionConfig::feedback_default()
+            },
+        );
+        drive(&mut mem, &mut composite);
+        let snapshot = composite.snapshot();
+        let repartition = snapshot.repartition.expect("controller metrics present");
+        // drive() feeds 256 accesses through 64-access windows.
+        assert_eq!(repartition.windows, 4);
+        assert_eq!(repartition.final_backed.iter().sum::<u64>(), 1024);
+        composite.reset_stats();
+        let after = composite.snapshot().repartition.unwrap();
+        assert_eq!(after.windows, 0);
+        assert_eq!(after.final_backed.iter().sum::<u64>(), 1024);
     }
 
     /// A nested composite's per-table split survives aggregation: the

@@ -1,6 +1,7 @@
 //! Simulation configuration: core timing parameters, prefetcher selection
 //! and run lengths.
 
+use crate::repartition::RepartitionConfig;
 use crate::throttle::ThrottleConfig;
 use pv_core::PvConfig;
 use pv_markov::MarkovConfig;
@@ -129,6 +130,21 @@ pub enum PrefetcherKind {
         /// The accuracy-feedback policy.
         throttle: ThrottleConfig,
     },
+    /// The shared composite under utility-driven dynamic repartitioning:
+    /// the PV region is split into a (typically scarce) initial plan and a
+    /// per-core controller moves sub-region boundaries toward the
+    /// higher-pressure table at window edges. With
+    /// `repartition.step_blocks == 0` the loop is frozen — the static
+    /// control arm under identical scarcity. Opt-in: only this variant
+    /// constructs a controller or binds a scarce interleaved plan, every
+    /// other kind behaves bit-identically to before the subsystem existed.
+    Repartitioned {
+        /// The repartitioned engine configuration (must be
+        /// [`PrefetcherKind::CompositeShared`]: one proxy owns the plan).
+        inner: Box<PrefetcherKind>,
+        /// The capacity-reallocation policy.
+        repartition: RepartitionConfig,
+    },
 }
 
 impl PrefetcherKind {
@@ -222,6 +238,28 @@ impl PrefetcherKind {
         }
     }
 
+    /// Wraps this configuration (which must be the shared composite) in
+    /// utility-driven dynamic repartitioning.
+    pub fn repartitioned(self, repartition: RepartitionConfig) -> Self {
+        PrefetcherKind::Repartitioned {
+            inner: Box::new(self),
+            repartition,
+        }
+    }
+
+    /// The shared composite under the default repartitioning feedback
+    /// policy: capacity follows per-table PVC$ pressure at window edges.
+    pub fn composite_shared_dynamic(shared_pvcache_sets: usize) -> Self {
+        Self::composite_shared(shared_pvcache_sets)
+            .repartitioned(RepartitionConfig::feedback_default())
+    }
+
+    /// The static control arm: the same scarce even split the dynamic kind
+    /// starts from, with the control loop frozen (`step_blocks == 0`).
+    pub fn composite_shared_scarce(shared_pvcache_sets: usize) -> Self {
+        Self::composite_shared(shared_pvcache_sets).repartitioned(RepartitionConfig::frozen())
+    }
+
     /// The paper's final virtualized design with the default feedback
     /// policy: SMS-PV8 whose issue degree adapts to windowed accuracy.
     pub fn sms_pv8_throttled() -> Self {
@@ -243,6 +281,16 @@ impl PrefetcherKind {
             PrefetcherKind::CompositeDedicated { pv, .. }
             | PrefetcherKind::CompositeShared { pv, .. } => 2 * pv.table_bytes(),
             PrefetcherKind::Throttled { inner, .. } => inner.pv_bytes_per_core(),
+            // The whole point of repartitioning is running *scarce*: the
+            // region only has to hold the floor for both tables, and the
+            // system carves whatever is actually reserved into an even
+            // block-aligned starting split.
+            PrefetcherKind::Repartitioned { inner, repartition } => match &**inner {
+                PrefetcherKind::CompositeShared { pv, .. } => {
+                    (2 * repartition.min_blocks * pv.block_bytes).min(inner.pv_bytes_per_core())
+                }
+                _ => inner.pv_bytes_per_core(),
+            },
         }
     }
 
@@ -263,6 +311,13 @@ impl PrefetcherKind {
                 format!("SMS+Markov-shPV{}", pv.pvcache_sets)
             }
             PrefetcherKind::Throttled { inner, .. } => format!("{}-throttled", inner.label()),
+            PrefetcherKind::Repartitioned { inner, repartition } => {
+                if repartition.step_blocks == 0 {
+                    format!("{}-scarce", inner.label())
+                } else {
+                    format!("{}-dyn", inner.label())
+                }
+            }
         }
     }
 
@@ -273,7 +328,8 @@ impl PrefetcherKind {
             | PrefetcherKind::VirtualizedMarkov { .. }
             | PrefetcherKind::CompositeDedicated { .. }
             | PrefetcherKind::CompositeShared { .. } => true,
-            PrefetcherKind::Throttled { inner, .. } => inner.is_virtualized(),
+            PrefetcherKind::Throttled { inner, .. }
+            | PrefetcherKind::Repartitioned { inner, .. } => inner.is_virtualized(),
             PrefetcherKind::None | PrefetcherKind::Sms(_) | PrefetcherKind::Markov(_) => false,
         }
     }
@@ -283,13 +339,25 @@ impl PrefetcherKind {
         matches!(self, PrefetcherKind::Throttled { .. })
     }
 
-    /// Validates the configuration (currently only the throttled wrapper
-    /// carries parameters that can be inconsistent).
+    /// Whether this configuration carries a repartitioning controller
+    /// (directly or under a throttled wrapper).
+    pub fn is_repartitioned(&self) -> bool {
+        match self {
+            PrefetcherKind::Repartitioned { .. } => true,
+            PrefetcherKind::Throttled { inner, .. } => inner.is_repartitioned(),
+            _ => false,
+        }
+    }
+
+    /// Validates the configuration (only the throttled and repartitioned
+    /// wrappers carry parameters that can be inconsistent).
     ///
     /// # Panics
     ///
     /// Panics if a throttled wrapper has nothing to throttle, is nested in
-    /// another throttled wrapper, or carries an invalid feedback policy.
+    /// another throttled wrapper, or carries an invalid feedback policy; or
+    /// if a repartitioned wrapper wraps anything but the shared composite
+    /// or carries an invalid reallocation policy.
     pub fn assert_valid(&self) {
         if let PrefetcherKind::Throttled { inner, throttle } = self {
             assert!(
@@ -301,6 +369,15 @@ impl PrefetcherKind {
                 "throttled configurations must not nest"
             );
             throttle.assert_valid();
+            inner.assert_valid();
+        }
+        if let PrefetcherKind::Repartitioned { inner, repartition } = self {
+            assert!(
+                matches!(**inner, PrefetcherKind::CompositeShared { .. }),
+                "dynamic repartitioning requires the shared composite \
+                 (one proxy must own the whole plan)"
+            );
+            repartition.assert_valid();
             inner.assert_valid();
         }
     }
@@ -439,6 +516,47 @@ mod tests {
         );
         let config = SimConfig::quick(PrefetcherKind::sms_pv8_throttled());
         config.assert_valid();
+    }
+
+    #[test]
+    fn repartitioned_kinds_wrap_the_shared_composite() {
+        let dynamic = PrefetcherKind::composite_shared_dynamic(8);
+        assert_eq!(dynamic.label(), "SMS+Markov-shPV8-dyn");
+        assert!(dynamic.is_repartitioned());
+        assert!(!dynamic.is_throttled());
+        assert!(dynamic.is_virtualized());
+        dynamic.assert_valid();
+        // The dynamic kind runs *scarce*: it fits the 64 KB baseline region
+        // the plain shared composite (128 KB of tables) rejects.
+        assert_eq!(dynamic.pv_bytes_per_core(), 8 * 1024);
+        SimConfig::quick(PrefetcherKind::composite_shared_dynamic(8)).assert_valid();
+
+        let frozen = PrefetcherKind::composite_shared_scarce(8);
+        assert_eq!(frozen.label(), "SMS+Markov-shPV8-scarce");
+        frozen.assert_valid();
+
+        // Throttling composes on top of repartitioning (not the reverse).
+        let throttled = PrefetcherKind::composite_shared_dynamic(8)
+            .throttled(ThrottleConfig::feedback_default());
+        assert_eq!(throttled.label(), "SMS+Markov-shPV8-dyn-throttled");
+        assert!(throttled.is_repartitioned());
+        throttled.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "shared composite")]
+    fn repartitioning_a_single_engine_is_rejected() {
+        PrefetcherKind::sms_pv8()
+            .repartitioned(RepartitionConfig::feedback_default())
+            .assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "shared composite")]
+    fn nested_repartitioning_is_rejected() {
+        PrefetcherKind::composite_shared_dynamic(8)
+            .repartitioned(RepartitionConfig::feedback_default())
+            .assert_valid();
     }
 
     #[test]

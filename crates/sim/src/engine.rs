@@ -9,6 +9,7 @@
 //! flow out, and statistics are collected through a uniform
 //! [`EngineSnapshot`].
 
+use crate::repartition::RepartitionMetrics;
 use crate::throttle::ThrottleMetrics;
 use pv_core::{PvStats, SharedPvProxy, VirtualizedBackend};
 use pv_markov::{MarkovPrefetcher, MarkovStats, VirtualizedMarkov};
@@ -42,6 +43,9 @@ pub struct EngineSnapshot {
     pub pv_tables: Vec<PvTableStats>,
     /// Feedback-throttling statistics, when the engine is throttled.
     pub throttle: Option<ThrottleMetrics>,
+    /// Dynamic-repartitioning statistics, when a controller moves the
+    /// PV-region boundaries.
+    pub repartition: Option<RepartitionMetrics>,
 }
 
 impl EngineSnapshot {
@@ -64,6 +68,9 @@ impl EngineSnapshot {
         }
         if let Some(t) = other.throttle {
             self.throttle.get_or_insert_with(ThrottleMetrics::default).merge(&t);
+        }
+        if let Some(r) = other.repartition {
+            self.repartition.get_or_insert_with(RepartitionMetrics::default).merge(&r);
         }
     }
 }

@@ -40,6 +40,7 @@ pub mod config;
 pub mod core_model;
 pub mod engine;
 pub mod metrics;
+pub mod repartition;
 pub mod system;
 pub mod throttle;
 
@@ -48,6 +49,7 @@ pub use config::{CoreConfig, PrefetcherKind, SimConfig};
 pub use core_model::CoreModel;
 pub use engine::{EngineSnapshot, PrefetchEngine, PvTableStats};
 pub use metrics::{mean_and_ci95, CoverageMetrics, RunMetrics};
+pub use repartition::{PlanChange, RepartitionConfig, RepartitionController, RepartitionMetrics};
 pub use system::{run_streams, run_workload, run_workload_mix, Scheduler, System};
 pub use throttle::{
     LevelChange, ThrottleConfig, ThrottleController, ThrottleMetrics, ThrottledEngine,

@@ -81,6 +81,12 @@ pub struct RunMetrics {
     /// Feedback-throttling statistics summed over cores (`None` unless a
     /// throttled prefetcher kind ran).
     pub throttle: Option<crate::throttle::ThrottleMetrics>,
+    /// Dynamic-repartitioning statistics summed over cores (`None` unless a
+    /// repartitioned prefetcher kind ran). Deliberately excluded from
+    /// [`Self::digest`]: the digest pins simulated outcomes, and the
+    /// controller's bookkeeping is already reflected there through cycles
+    /// and traffic.
+    pub repartition: Option<crate::repartition::RepartitionMetrics>,
 }
 
 impl RunMetrics {
@@ -243,6 +249,7 @@ mod tests {
             pv_tables: Vec::new(),
             prefetches_issued: 0,
             throttle: None,
+            repartition: None,
         }
     }
 

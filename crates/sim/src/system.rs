@@ -236,6 +236,20 @@ impl System {
                     .expect("validation rejects throttled no-prefetch configurations");
                 Some(Box::new(ThrottledEngine::new(core, engine, *throttle)))
             }
+            PrefetcherKind::Repartitioned { inner, repartition } => {
+                let PrefetcherKind::CompositeShared { sms, markov, pv } = &**inner else {
+                    unreachable!("validation rejects repartitioning non-shared-composite kinds")
+                };
+                let plan = Self::scarce_plan(config, pv);
+                Some(Box::new(CompositePrefetcher::shared_repartitioned(
+                    core,
+                    *sms,
+                    *markov,
+                    *pv,
+                    plan,
+                    *repartition,
+                )))
+            }
         }
     }
 
@@ -246,6 +260,18 @@ impl System {
             config.hierarchy.pv_regions,
             vec![pv.table_bytes(), pv.table_bytes()],
         )
+    }
+
+    /// The starting plan of a repartitioned configuration: whatever the
+    /// hierarchy actually reserves per core, split evenly into two
+    /// block-aligned sub-regions (each capped at the table's own footprint —
+    /// backing more blocks than a table has sets buys nothing). On the
+    /// paper-default 64 KB region this backs half of each 64 KB table, the
+    /// scarcity the controller then reallocates.
+    fn scarce_plan(config: &SimConfig, pv: &pv_core::PvConfig) -> PvRegionPlan {
+        let half = config.hierarchy.pv_regions.bytes_per_core / 2;
+        let per_table = ((half / pv.block_bytes) * pv.block_bytes).min(pv.table_bytes());
+        PvRegionPlan::new(config.hierarchy.pv_regions, vec![per_table, per_table])
     }
 
     /// The configuration this system was built from.
@@ -522,6 +548,7 @@ impl System {
             pv_tables: snapshot.pv_tables,
             prefetches_issued,
             throttle: snapshot.throttle,
+            repartition: snapshot.repartition,
         }
     }
 }
@@ -673,6 +700,53 @@ mod tests {
                 metrics.configuration
             );
         }
+    }
+
+    #[test]
+    fn repartitioned_kind_runs_scarce_on_the_baseline_region() {
+        // The plain shared composite needs 128 KB/core and panics on the
+        // 64 KB baseline region (test below); the repartitioned kind runs
+        // there by design — scarcity is the point.
+        let workload = workloads::qry1();
+        let metrics = run_workload(
+            &tiny(PrefetcherKind::composite_shared_dynamic(8)),
+            &workload,
+        );
+        assert_eq!(metrics.configuration, "SMS+Markov-shPV8-dyn");
+        let repartition = metrics.repartition.as_ref().expect("controller metrics");
+        assert!(
+            repartition.windows > 0,
+            "windows must advance with accesses"
+        );
+        // Four cores, 1024 backed blocks each (half of each 1024-set table).
+        assert_eq!(repartition.final_backed.iter().sum::<u64>(), 4 * 1024);
+        assert_eq!(repartition.final_backed.len(), 2);
+        // Scarcity shows up in the per-table split: some lookups landed on
+        // unbacked sets and were counted as misses without memory traffic.
+        let unbacked: u64 = metrics.pv_tables.iter().map(|t| t.stats.unbacked_lookups).sum();
+        assert!(unbacked > 0, "a half-backed plan must see unbacked lookups");
+
+        // The frozen control arm runs under identical scarcity, zero moves.
+        let frozen = run_workload(&tiny(PrefetcherKind::composite_shared_scarce(8)), &workload);
+        assert_eq!(frozen.configuration, "SMS+Markov-shPV8-scarce");
+        let control = frozen.repartition.as_ref().expect("controller metrics");
+        assert_eq!(control.replans, 0);
+        assert_eq!(control.final_backed, vec![4 * 512, 4 * 512]);
+    }
+
+    #[test]
+    fn repartitioned_runs_are_deterministic() {
+        let workload = workloads::qry17();
+        let a = run_workload(
+            &tiny(PrefetcherKind::composite_shared_dynamic(8)),
+            &workload,
+        );
+        let b = run_workload(
+            &tiny(PrefetcherKind::composite_shared_dynamic(8)),
+            &workload,
+        );
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.repartition, b.repartition, "the plan trace must replay");
     }
 
     #[test]

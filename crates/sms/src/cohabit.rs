@@ -23,6 +23,7 @@ use crate::pht::{PatternLookup, PatternStorage};
 use crate::virtualized::SmsEntry;
 use pv_core::{
     PvConfig, PvEntry, PvLayout, PvStartRegister, PvStorageBudget, PvTable, SharedPvProxy,
+    SharedStoreOutcome,
 };
 use pv_mem::{Address, MemoryHierarchy};
 
@@ -137,8 +138,14 @@ impl PatternStorage for SharedVirtualizedPht {
             entry.payload(),
             self.layout.payload_bits
         );
-        Self::proxy(shared).store_set(self.table_id, set_index, mem, now);
-        self.table.set_mut(set_index).insert(entry);
+        // Write-through only when the proxy accepted the store: an unbacked
+        // set has no memory behind it, so the entry must not survive in the
+        // structured table either.
+        if Self::proxy(shared).store_set(self.table_id, set_index, mem, now)
+            == SharedStoreOutcome::Accepted
+        {
+            self.table.set_mut(set_index).insert(entry);
+        }
     }
 
     fn label(&self) -> String {
