@@ -119,8 +119,8 @@ pub fn rows_for(runner: &Runner, workloads: &[WorkloadId]) -> Vec<BandwidthRow> 
                     speedup: metrics.speedup_over(&baseline),
                     app_queue_delay: metrics.dram_queue_delay_application(),
                     pv_queue_delay: metrics.dram_queue_delay_predictor(),
-                    app_queue_cycles: delay.application_cycles,
-                    pv_queue_cycles: delay.predictor_cycles,
+                    app_queue_cycles: delay.application_cycles(),
+                    pv_queue_cycles: delay.predictor_cycles(),
                     dram_utilization: metrics.dram_utilization(),
                 });
             }

@@ -15,9 +15,14 @@
 //! fast-path (`hierarchy/access_hit_fastpath`, classification-free vs
 //! general entry) micros, plus the dynamically repartitioned scarce-region
 //! cohabiting pair (`SMS+Markov-shPV8-dyn`, the live capacity controller
-//! on the end-to-end path), and writes the results as `BENCH_PR9.json`
-//! (schema `pv-perfbench/2`, documented in the README's Performance
-//! section).
+//! on the end-to-end path), plus Queued contended-path micros
+//! (`hierarchy/classify_hoisted`, the cached-bounds PV classification vs
+//! the region lookup it replaced, and `memory/inflight_ring`, the
+//! fixed-capacity DRAM in-flight ring vs the retained `VecDeque`
+//! reference) and a Queued-contention end-to-end row whose ratio against
+//! its Ideal twin is reported in the summary, and writes the results as
+//! `BENCH_PR10.json` (schema `pv-perfbench/2`, documented in the README's
+//! Performance section).
 //!
 //! Each end-to-end row also carries a digest of the run's `RunMetrics`
 //! (cycles, misses, traffic, coverage): optimisation PRs must keep those
@@ -28,24 +33,34 @@
 //! ```text
 //! cargo run --release -p pv-experiments --bin perfbench [out.json] \
 //!     [--check-against BASELINE.json]
+//! cargo run --release -p pv-experiments --bin perfbench -- --profile
 //! ```
 //!
 //! With `--check-against`, the end-to-end rows are compared against the
 //! matching rows of a previously-recorded JSON (e.g. the committed
 //! `BENCH_PR4.json`): the process exits non-zero when the geometric-mean
-//! records/sec ratio regresses by more than 25%, and digest mismatches are
-//! reported as warnings (behaviour-changing PRs are expected to move them;
-//! perf-only PRs are not). Rows with no baseline counterpart — e.g. the
-//! replay-path row the PR that wrote `BENCH_PR6.json` introduced — are
-//! skipped by the gate.
+//! records/sec ratio regresses by more than 25% — or when the
+//! `hierarchy/access_queued` micro regresses by more than 50% against the
+//! baseline's recording, so the contended path cannot silently regress
+//! behind the end-to-end geomean — and digest mismatches are reported as
+//! warnings (behaviour-changing PRs are expected to move them; perf-only
+//! PRs are not). Rows with no baseline counterpart — e.g. the replay-path
+//! row the PR that wrote `BENCH_PR6.json` introduced — are skipped by the
+//! gate.
+//!
+//! With `--profile`, a lightweight counter mode runs instead: each hot
+//! component of the Queued access path is timed in isolation behind
+//! `std::hint::black_box` fences and printed as an attribution table (no
+//! JSON is written), followed by the `perf`/flamegraph recipe for
+//! instruction-level attribution.
 
 use pv_core::{decode_set, encode_set, packing, PvLayout, PvSet, RawEntry};
 use pv_experiments::fleet::{run_fleet, FleetGrid, FleetWorkload};
 use pv_experiments::Scale;
 use pv_mem::{
-    AccessKind, ContentionModel, DataClass, DramConfig, EvictionBuffer, HierarchyConfig,
-    MainMemory, MemoryHierarchy, PvRegionConfig, ReferenceSetAssociative, ReplacementKind,
-    Requester, SetAssociative,
+    AccessKind, BlockAddr, ContentionModel, DataClass, DelayBreakdown, DramConfig, EvictionBuffer,
+    HierarchyConfig, InflightRing, MainMemory, MemoryHierarchy, MshrFile, PvRegionConfig,
+    ReferenceInflightQueue, ReferenceSetAssociative, ReplacementKind, Requester, SetAssociative,
 };
 use pv_sim::{run_streams, run_workload, PrefetcherKind, Scheduler, SimConfig, System};
 use pv_trace::{record_generator, ReplayStream};
@@ -276,6 +291,139 @@ fn bench_memory_service(iters: u64) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// The per-request PV-region classification: the hoisted form (a single
+/// bound-compare against bounds cached in the hierarchy at construction)
+/// vs the un-hoisted region lookup through the DRAM model's config that
+/// the L2 path used to repeat up to three times per miss. The address mix
+/// interleaves application and PV-region blocks so neither branch
+/// direction is statically predictable away.
+fn bench_classify(hoisted: bool, iters: u64) -> f64 {
+    let hierarchy = MemoryHierarchy::new(HierarchyConfig::paper_baseline(4));
+    let pv_base = hierarchy.dram().pv_regions().core_base(0).raw();
+    let mut state = 0x6a09_e667_f3bc_c908u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let start = Instant::now();
+    for _ in 0..iters {
+        let r = next();
+        let addr = if r & 3 == 0 {
+            pv_base + (r >> 8) % (64 * 1024)
+        } else {
+            (r >> 8) % (1024 * 1024 * 1024)
+        };
+        let block = pv_mem::Address::new(addr).block();
+        if hoisted {
+            std::hint::black_box(hierarchy.classify(block).is_predictor());
+        } else {
+            std::hint::black_box(hierarchy.dram().is_predictor_address(block.base_address()));
+        }
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_classify_hoisted(iters: u64) -> f64 {
+    bench_classify(true, iters)
+}
+
+fn bench_classify_reference(iters: u64) -> f64 {
+    bench_classify(false, iters)
+}
+
+/// The per-channel DRAM in-flight queue in isolation: the identical
+/// drain/admit/push sequence over the fixed-capacity ring and the retained
+/// `VecDeque` reference, paced (arrivals every 3 cycles against a
+/// 16-cycle transfer) so the queue stays at `queue_depth` and every call
+/// exercises the full-queue admission path the ring turned into O(1)
+/// pointer arithmetic.
+fn bench_inflight(ring: bool, iters: u64) -> f64 {
+    let config = DramConfig::paper();
+    let depth = config.queue_depth;
+    let mut new_queue = InflightRing::new(depth);
+    let mut reference = ReferenceInflightQueue::new();
+    let mut bus_busy_until = 0u64;
+    let mut now = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let admitted = if ring {
+            new_queue.drain(now);
+            new_queue.admit(now)
+        } else {
+            reference.drain(now);
+            reference.admit(now, depth)
+        };
+        let done = (admitted + config.latency).max(bus_busy_until + config.cycles_per_transfer);
+        bus_busy_until = done;
+        if ring {
+            new_queue.push(done);
+        } else {
+            reference.push(done);
+        }
+        std::hint::black_box(admitted);
+        now += 3;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_inflight_ring(iters: u64) -> f64 {
+    bench_inflight(true, iters)
+}
+
+fn bench_inflight_reference(iters: u64) -> f64 {
+    bench_inflight(false, iters)
+}
+
+/// `DelayBreakdown::record` in isolation: the branchless class-indexed
+/// array update that replaced the branchy per-field one, fed an
+/// unpredictable class/cycles mix.
+fn bench_stats_record(iters: u64) -> f64 {
+    let mut delay = DelayBreakdown::default();
+    let mut state = 0xbb67_ae85_84ca_a73bu64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let start = Instant::now();
+    for _ in 0..iters {
+        let r = next();
+        delay.record(r & 1 == 0, r >> 58);
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(delay.total_cycles());
+    elapsed.as_nanos() as f64 / iters as f64
+}
+
+/// The L2-MSHR per-miss sequence (retire + lookup + register) with the
+/// cached-earliest early exit: on the common nothing-has-completed path
+/// each retire is a single compare instead of a map scan.
+fn bench_mshr_cycle(iters: u64) -> f64 {
+    let mut mshr = MshrFile::new(64);
+    let mut state = 0x3c6e_f372_fe94_f82bu64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut now = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let r = next();
+        let block = BlockAddr::new(r % 4096);
+        mshr.retire(now);
+        if mshr.lookup(block).is_none() {
+            std::hint::black_box(mshr.register(block, now, now + 400));
+        }
+        now += 3;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
 /// The run-loop scheduling cost end to end: a sixteen-core no-prefetcher
 /// system consuming records, timed per record, under the given scheduler.
 /// The event-heap and reference-scan variants run the identical workload,
@@ -416,6 +564,15 @@ fn parse_baseline(text: &str) -> Vec<BaselineRow> {
         .collect()
 }
 
+/// Finds the `ns_per_op` of the named `micro` row in a benchmark JSON, via
+/// the same line-oriented scan as [`parse_baseline`].
+fn parse_baseline_micro(text: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    text.lines()
+        .find(|line| line.contains(&needle))
+        .and_then(|line| extract_num(line, "\"ns_per_op\": "))
+}
+
 /// Geometric mean of `values`; 1.0 for an empty slice. A non-positive or
 /// non-finite input (e.g. a corrupt baseline row) poisons the result to NaN
 /// through `ln()`, which callers must treat as failure, never success.
@@ -455,12 +612,91 @@ fn check_against(runs: &[EndToEnd], baseline: &[BaselineRow]) -> Option<f64> {
     Some(geomean(&ratios))
 }
 
+/// `--profile`: a lightweight counter mode that attributes the Queued
+/// access path's cost across its hot components. Each component is timed
+/// in isolation on a representative stream behind `std::hint::black_box`
+/// fences — the rows are attribution hints for deciding where to cut, not
+/// a strict partition of the end-to-end figure (components overlap and
+/// isolation removes cache pressure the full path has). For
+/// instruction-level truth the printed `perf`/flamegraph recipe applies.
+fn run_profile() {
+    const E2E_ITERS: u64 = 1_000_000;
+    const COMPONENT_ITERS: u64 = 4_000_000;
+    eprintln!("profiling the Queued access path (black_box-fenced sub-timers, best of 3)...");
+    let best =
+        |f: fn(u64) -> f64, iters: u64| (0..3).map(|_| f(iters)).fold(f64::INFINITY, f64::min);
+    let total_queued = best(bench_hierarchy_queued, E2E_ITERS);
+    let total_ideal = best(bench_hierarchy_ideal, E2E_ITERS);
+    let rows: &[(&str, f64, &str)] = &[
+        (
+            "hierarchy/access_queued",
+            total_queued,
+            "end to end: 4-core contended read/write stream, 1 GB footprint",
+        ),
+        (
+            "hierarchy/access_ideal",
+            total_ideal,
+            "the same stream with contention off (the floor)",
+        ),
+        (
+            "memory/service_queued",
+            best(bench_memory_service, E2E_ITERS * 2),
+            "DRAM channel service incl. in-flight ring drain/admit",
+        ),
+        (
+            "memory/inflight_ring",
+            best(bench_inflight_ring, COMPONENT_ITERS),
+            "the in-flight ring alone (drain + admit + push, queue at depth)",
+        ),
+        (
+            "hierarchy/classify",
+            best(bench_classify_hoisted, COMPONENT_ITERS),
+            "PV-region classification (cached-bounds compare)",
+        ),
+        (
+            "stats/delay_record",
+            best(bench_stats_record, COMPONENT_ITERS),
+            "DelayBreakdown::record (branchless class-indexed update)",
+        ),
+        (
+            "mshr/retire_register",
+            best(bench_mshr_cycle, COMPONENT_ITERS),
+            "per-miss MSHR retire + lookup + register (cached earliest)",
+        ),
+    ];
+    eprintln!();
+    eprintln!("{:<26} {:>10}  note", "component", "ns/op");
+    for (name, ns, note) in rows {
+        eprintln!("{name:<26} {ns:>10.2}  {note}");
+    }
+    eprintln!();
+    eprintln!(
+        "queued/ideal overhead: {:.3}x ({:.1} vs {:.1} ns/op)",
+        total_queued / total_ideal,
+        total_queued,
+        total_ideal
+    );
+    eprintln!();
+    eprintln!("for instruction-level attribution, use hardware counters:");
+    eprintln!("  cargo build --release -p pv-experiments --bin perfbench");
+    eprintln!("  perf stat -e cycles,instructions,branches,branch-misses \\");
+    eprintln!("      target/release/perfbench /tmp/bench.json");
+    eprintln!("  perf record -g --call-graph dwarf target/release/perfbench /tmp/bench.json");
+    eprintln!("  perf report --no-children");
+    eprintln!("flamegraph (cargo-flamegraph, if installed):");
+    eprintln!("  cargo flamegraph --release -p pv-experiments --bin perfbench -- /tmp/bench.json");
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--profile" => {
+                run_profile();
+                return;
+            }
             "--check-against" => match args.next() {
                 Some(path) => baseline_path = Some(path),
                 None => {
@@ -472,7 +708,10 @@ fn main() {
             // that would both disable the regression gate and overwrite
             // whatever file the typo names.
             flag if flag.starts_with('-') => {
-                eprintln!("unknown flag '{flag}' (expected [out.json] [--check-against FILE])");
+                eprintln!(
+                    "unknown flag '{flag}' (expected [out.json] [--check-against FILE] \
+                     [--profile])"
+                );
                 std::process::exit(2);
             }
             path if out_path.is_none() => out_path = Some(path.to_owned()),
@@ -482,7 +721,7 @@ fn main() {
             }
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_PR9.json".to_owned());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR10.json".to_owned());
 
     let mut runs = Vec::new();
     for kind in all_kinds() {
@@ -568,6 +807,42 @@ fn main() {
         runs.push(row);
     }
 
+    // Queued-contention end-to-end: the (SMS-PV8, Qry1) smoke run under
+    // `ContentionModel::Queued` — the mode every bandwidth/throttle/fleet
+    // experiment actually runs. Its ratio against the Ideal twin above is
+    // the summary's `end_to_end_queued_over_ideal`, tracking what the
+    // contended path costs where it is actually paid.
+    {
+        let kind = PrefetcherKind::sms_pv8();
+        let workload = WorkloadId::Qry1;
+        let mut config = smoke_config(kind.clone());
+        config.hierarchy = config.hierarchy.with_contention(ContentionModel::Queued);
+        let records = (config.warmup_records + config.measure_records) * config.cores as u64;
+        let mut seconds = f64::INFINITY;
+        let mut metrics = None;
+        for _ in 0..5 {
+            let start = Instant::now();
+            let run = run_workload(&config, &workload.params());
+            seconds = seconds.min(start.elapsed().as_secs_f64());
+            metrics = Some(run);
+        }
+        let metrics = metrics.expect("at least one repetition ran");
+        let row = EndToEnd {
+            prefetcher: kind.label(),
+            workload: format!("{}-queued", workload.name()),
+            records,
+            seconds,
+            records_per_sec: records as f64 / seconds,
+            pre_refactor_records_per_sec: None,
+            digest: metrics.digest(),
+        };
+        eprintln!(
+            "end_to_end {:<14} {:<8} {:>10.0} records/sec ({})",
+            row.prefetcher, row.workload, row.records_per_sec, row.digest
+        );
+        runs.push(row);
+    }
+
     // Interleave the current and reference measurements in adjacent windows
     // and keep the best of each: a burst of background load then penalises
     // both sides instead of skewing the ratio.
@@ -588,6 +863,10 @@ fn main() {
     let (schedule, schedule_ref) =
         interleaved(bench_schedule_heap, bench_schedule_reference, 400_000);
     let (hit_fast, hit_general) = interleaved(bench_hit_fastpath, bench_hit_general, 4_000_000);
+    let (classify, classify_ref) =
+        interleaved(bench_classify_hoisted, bench_classify_reference, 8_000_000);
+    let (inflight, inflight_ref) =
+        interleaved(bench_inflight_ring, bench_inflight_reference, 8_000_000);
     let micros = vec![
         Micro {
             name: "packing/round_trip".to_owned(),
@@ -623,6 +902,16 @@ fn main() {
             name: "hierarchy/access_hit_fastpath".to_owned(),
             ns_per_op: hit_fast,
             reference_ns_per_op: Some(hit_general),
+        },
+        Micro {
+            name: "hierarchy/classify_hoisted".to_owned(),
+            ns_per_op: classify,
+            reference_ns_per_op: Some(classify_ref),
+        },
+        Micro {
+            name: "memory/inflight_ring".to_owned(),
+            ns_per_op: inflight,
+            reference_ns_per_op: Some(inflight_ref),
         },
     ];
     for micro in &micros {
@@ -665,6 +954,15 @@ fn main() {
         |name: &str| micros.iter().find(|m| m.name == name).expect("known micro name");
     let queued_overhead = micro_by_name("hierarchy/access_queued").ns_per_op
         / micro_by_name("hierarchy/access_ideal").ns_per_op;
+    // The end-to-end twin of `queued_overhead`: the full simulator on the
+    // same (prefetcher, workload) point, Ideal records/sec over Queued.
+    let run_rps = |workload: &str| {
+        runs.iter()
+            .find(|r| r.prefetcher == "SMS-PV8" && r.workload == workload)
+            .expect("known end-to-end row")
+            .records_per_sec
+    };
+    let end_to_end_queued_over_ideal = run_rps("Qry1") / run_rps("Qry1-queued");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -728,19 +1026,24 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"summary\": {{\"end_to_end_speedup_geomean\": {:.3}, \"packing_speedup\": {:.3}, \
-         \"set_assoc_speedup\": {:.3}, \"hierarchy_queued_overhead\": {:.3}}}\n",
+         \"set_assoc_speedup\": {:.3}, \"hierarchy_queued_overhead\": {:.3}, \
+         \"end_to_end_queued_over_ideal\": {:.3}, \"classify_hoisted_speedup\": {:.3}, \
+         \"inflight_ring_speedup\": {:.3}}}\n",
         speedup_geomean,
         micro_by_name("packing/round_trip").speedup().expect("has reference"),
         micro_by_name("set_assoc/get_insert").speedup().expect("has reference"),
         queued_overhead,
+        end_to_end_queued_over_ideal,
+        micro_by_name("hierarchy/classify_hoisted").speedup().expect("has reference"),
+        micro_by_name("memory/inflight_ring").speedup().expect("has reference"),
     ));
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
     eprintln!(
         "wrote {out_path}: end-to-end geomean {:.2}x vs pre-refactor, queued-contention \
-         hierarchy overhead {:.2}x",
-        speedup_geomean, queued_overhead,
+         hierarchy overhead {:.2}x (end-to-end queued/ideal {:.2}x)",
+        speedup_geomean, queued_overhead, end_to_end_queued_over_ideal,
     );
 
     // Regression gate: compare against a committed baseline JSON.
@@ -763,6 +1066,24 @@ fn main() {
             }
             None => {
                 eprintln!("FAIL: no matching end_to_end rows found in {path}");
+                std::process::exit(1);
+            }
+        }
+        // Dedicated contended-path gate: the `hierarchy/access_queued` micro
+        // must not regress behind the end-to-end geomean (the Ideal rows
+        // dominate it, so a Queued-only slowdown could otherwise hide). Both
+        // sides are wall-clock ns on the same host, so the threshold is
+        // looser than the ratio gate above.
+        if let Some(base_queued) = parse_baseline_micro(&text, "hierarchy/access_queued") {
+            let current = micro_by_name("hierarchy/access_queued").ns_per_op;
+            let ratio = current / base_queued;
+            eprintln!(
+                "check-against {path}: hierarchy/access_queued {current:.1} ns/op vs \
+                 baseline {base_queued:.1} ns/op (ratio {ratio:.3}, fail threshold 1.50)"
+            );
+            // As above, a NaN ratio (corrupt baseline row) must fail.
+            if ratio.is_nan() || ratio > 1.5 {
+                eprintln!("FAIL: the Queued contended micro regressed more than 50% vs {path}");
                 std::process::exit(1);
             }
         }

@@ -130,8 +130,8 @@ pub fn rows_for(runner: &Runner, workloads: &[WorkloadId]) -> Vec<ThrottleRow> {
                     cycles_per_transfer,
                     ipc: metrics.aggregate_ipc(),
                     speedup: metrics.speedup_over(&baseline),
-                    pv_queue_cycles: delay.predictor_cycles,
-                    app_queue_cycles: delay.application_cycles,
+                    pv_queue_cycles: delay.predictor_cycles(),
+                    app_queue_cycles: delay.application_cycles(),
                     prefetches_issued: metrics.prefetches_issued,
                     dropped_prefetches: metrics.dropped_prefetches(),
                     accuracy: metrics.throttle.as_ref().map_or(0.0, |t| t.accuracy()),

@@ -224,6 +224,11 @@ pub struct MemoryHierarchy {
     /// Cycle each L2 tag-pipeline bank becomes free (Queued mode only).
     l2_ports: Vec<u64>,
     dram: MainMemory,
+    /// Cached bounds of the reserved PV address range (`[pv_start,
+    /// pv_end)`), hoisted from the DRAM model's region config so the
+    /// per-request classification is a single inline bound-compare.
+    pv_start: u64,
+    pv_end: u64,
     iprefetch: Vec<NextLinePrefetcher>,
     /// Per-(core, data-class) windows over L1D prefetch outcomes
     /// (indexed `[core][DataClass::index()]`).
@@ -243,6 +248,8 @@ impl MemoryHierarchy {
         let l2_mshr = MshrFile::new(config.l2.mshr_entries);
         let l2_ports = vec![0; config.l2.banks.max(1)];
         let dram = MainMemory::new(config.dram, config.pv_regions, config.contention);
+        let pv_start = config.pv_regions.base.raw();
+        let pv_end = pv_start + config.pv_regions.total_bytes();
         MemoryHierarchy {
             config,
             l1d,
@@ -253,6 +260,8 @@ impl MemoryHierarchy {
             l2_mshr,
             l2_ports,
             dram,
+            pv_start,
+            pv_end,
             iprefetch: (0..cores).map(|_| NextLinePrefetcher::new()).collect(),
             accuracy: (0..cores)
                 .map(|_| {
@@ -291,8 +300,23 @@ impl MemoryHierarchy {
         );
     }
 
-    fn classify(&self, block: BlockAddr) -> DataClass {
-        if self.dram.is_predictor_address(block.base_address()) {
+    /// Whether `block` lies inside the reserved PV address range — the
+    /// hoisted form of [`MainMemory::is_predictor_address`]: one inline
+    /// bound-compare against cached bounds, no indirection through the
+    /// DRAM model's region config. This is computed once per request on
+    /// the L2 path and threaded through the miss/writeback/eviction chain.
+    #[inline]
+    fn in_pv_region(&self, block: BlockAddr) -> bool {
+        let addr = block.base_address().raw();
+        addr >= self.pv_start && addr < self.pv_end
+    }
+
+    /// Classification of `block` by the reserved PV regions. Exposed so the
+    /// perfbench `hierarchy/classify_hoisted` micro can time the hoisted
+    /// bound-compare against the un-hoisted region lookup it replaced.
+    #[inline]
+    pub fn classify(&self, block: BlockAddr) -> DataClass {
+        if self.in_pv_region(block) {
             DataClass::Predictor
         } else {
             DataClass::Application
@@ -583,7 +607,11 @@ impl MemoryHierarchy {
         class: DataClass,
         now: u64,
     ) -> L2Path {
-        let predictor = class.is_predictor() || self.classify(block).is_predictor();
+        // One region bound-compare per request: `region` feeds the DRAM
+        // traffic classification below (which splits strictly by address),
+        // while the stats rows also honour the requester's claimed class.
+        let region = self.in_pv_region(block);
+        let predictor = class.is_predictor() || region;
         self.stats.l2_requests.record(predictor);
         let queued = self.config.contention == ContentionModel::Queued;
         let mut queue_delay = 0u64;
@@ -630,7 +658,7 @@ impl MemoryHierarchy {
             queue_delay += mshr_stall;
             let issue_at = below_start + mshr_stall;
             self.stats.dram_reads += 1;
-            let response = self.dram.read(block.base_address(), issue_at);
+            let response = self.dram.read_classified(block.base_address(), region, issue_at);
             queue_delay += response.queue_delay;
             let ready = issue_at + response.latency;
             let _ = self.l2_mshr.register(block, start, ready);
@@ -641,10 +669,14 @@ impl MemoryHierarchy {
         let evicted = self.l2.fill(block, dirty, start + total, FillOrigin::Demand);
         if let Some(ev) = evicted {
             if ev.dirty {
-                let victim_predictor = self.classify(ev.block).is_predictor();
+                let victim_predictor = self.in_pv_region(ev.block);
                 self.stats.l2_writebacks.record(victim_predictor);
                 self.stats.dram_writes += 1;
-                self.dram.write(ev.block.base_address(), start + total);
+                self.dram.write_classified(
+                    ev.block.base_address(),
+                    victim_predictor,
+                    start + total,
+                );
             }
         }
         L2Path {
@@ -665,7 +697,7 @@ impl MemoryHierarchy {
     /// occupancy delays subsequent same-bank requests — dirty victims are no
     /// longer free.
     fn writeback_to_l2(&mut self, block: BlockAddr, now: u64) {
-        let predictor = self.classify(block).is_predictor();
+        let predictor = self.in_pv_region(block);
         self.stats.l2_requests.record(predictor);
         let start = self.acquire_l2_port(block, predictor, now);
         if self.l2.mark_dirty(block) {
@@ -682,10 +714,14 @@ impl MemoryHierarchy {
         );
         if let Some(ev) = evicted {
             if ev.dirty {
-                let victim_predictor = self.classify(ev.block).is_predictor();
+                let victim_predictor = self.in_pv_region(ev.block);
                 self.stats.l2_writebacks.record(victim_predictor);
                 self.stats.dram_writes += 1;
-                self.dram.write(ev.block.base_address(), start + self.config.l2.data_latency);
+                self.dram.write_classified(
+                    ev.block.base_address(),
+                    victim_predictor,
+                    start + self.config.l2.data_latency,
+                );
             }
         }
     }
@@ -764,8 +800,10 @@ impl MemoryHierarchy {
     }
 
     fn record_prefetch_outcome(&mut self, core: usize, block: BlockAddr, used: bool) {
-        let class = self.classify(block);
-        let window = &mut self.accuracy[core][class.index()];
+        // `in_pv_region as usize` is exactly `DataClass::index()` of the
+        // block's classification (Application = 0, Predictor = 1).
+        let class = self.in_pv_region(block) as usize;
+        let window = &mut self.accuracy[core][class];
         if used {
             window.record_used();
         } else {

@@ -52,6 +52,7 @@ pub mod block;
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
+pub mod inflight;
 pub mod memory;
 pub mod mshr;
 pub mod prefetch;
@@ -69,6 +70,7 @@ pub use hierarchy::{
     AccessResponse, DataClass, EvictionBuffer, MemoryHierarchy, PrefetchResponse, Requester,
     RequesterKind,
 };
+pub use inflight::{InflightRing, ReferenceInflightQueue};
 pub use memory::{DramResponse, MainMemory};
 pub use mshr::{MshrEntry, MshrFile, MshrOutcome};
 pub use prefetch::NextLinePrefetcher;

@@ -16,8 +16,8 @@
 
 use crate::address::{Address, BLOCK_OFFSET_BITS};
 use crate::config::{ContentionModel, DramConfig, PvRegionConfig};
+use crate::inflight::InflightRing;
 use crate::stats::{DelayBreakdown, TrafficBreakdown};
-use std::collections::VecDeque;
 
 /// Timing of one serviced DRAM request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +30,7 @@ pub struct DramResponse {
 }
 
 /// Timing state of one memory channel (only consulted in `Queued` mode).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 struct ChannelState {
     /// Cycle each bank becomes free.
     banks: Vec<u64>,
@@ -38,7 +38,7 @@ struct ChannelState {
     data_busy_until: u64,
     /// Completion cycles of requests currently occupying queue slots,
     /// sorted ascending (see `service` for why construction guarantees it).
-    inflight: VecDeque<u64>,
+    inflight: InflightRing,
 }
 
 /// The main-memory backing store.
@@ -75,7 +75,8 @@ impl MainMemory {
         let channels = (0..config.channels)
             .map(|_| ChannelState {
                 banks: vec![0; config.banks_per_channel],
-                ..ChannelState::default()
+                data_busy_until: 0,
+                inflight: InflightRing::new(config.queue_depth),
             })
             .collect();
         MainMemory {
@@ -108,6 +109,16 @@ impl MainMemory {
     /// Performs a block read issued at cycle `now`.
     pub fn read(&mut self, addr: Address, now: u64) -> DramResponse {
         let predictor = self.is_predictor_address(addr);
+        self.read_classified(addr, predictor, now)
+    }
+
+    /// Performs a block read whose PV-region classification the caller has
+    /// already computed (`predictor` must equal
+    /// [`Self::is_predictor_address`] for `addr`). The hierarchy resolves
+    /// the region once per request and threads the result through the
+    /// miss/writeback/eviction chain instead of re-deriving it here.
+    pub fn read_classified(&mut self, addr: Address, predictor: bool, now: u64) -> DramResponse {
+        debug_assert_eq!(predictor, self.is_predictor_address(addr));
         self.reads.record(predictor);
         self.service(addr, now, predictor, true)
     }
@@ -120,6 +131,13 @@ impl MainMemory {
     /// statistics — only to the shared timing state.
     pub fn write(&mut self, addr: Address, now: u64) -> DramResponse {
         let predictor = self.is_predictor_address(addr);
+        self.write_classified(addr, predictor, now)
+    }
+
+    /// Performs a block write with a caller-computed PV-region
+    /// classification; see [`Self::read_classified`].
+    pub fn write_classified(&mut self, addr: Address, predictor: bool, now: u64) -> DramResponse {
+        debug_assert_eq!(predictor, self.is_predictor_address(addr));
         self.writes.record(predictor);
         self.service(addr, now, predictor, false)
     }
@@ -142,16 +160,12 @@ impl MainMemory {
         // `inflight` is sorted ascending by construction: each request's
         // completion is strictly later than the previous one's on the same
         // channel (it waits for at least `data_busy_until`), so completed
-        // requests drain from the front without scanning the whole queue.
-        while channel.inflight.front().is_some_and(|&done| done <= now) {
-            channel.inflight.pop_front();
-        }
-        let mut start = now;
-        if channel.inflight.len() >= self.config.queue_depth {
-            // The request may enter once enough earlier requests complete
-            // for occupancy to drop below the queue depth.
-            start = channel.inflight[channel.inflight.len() - self.config.queue_depth];
-        }
+        // requests drain from the front without scanning the whole queue,
+        // and a full queue delays the newcomer until the oldest in-flight
+        // request — the ring front — completes (see `crate::inflight` for
+        // the equivalence with the historical `VecDeque` queue).
+        channel.inflight.drain(now);
+        let start = channel.inflight.admit(now);
 
         // Bank occupancy: earlier requests to the same bank serialize.
         let bank_start = start.max(channel.banks[bank_idx]);
@@ -161,7 +175,7 @@ impl MainMemory {
         let unloaded_done = bank_start + self.config.latency;
         let done = unloaded_done.max(channel.data_busy_until + self.config.cycles_per_transfer);
         channel.data_busy_until = done;
-        channel.inflight.push_back(done);
+        channel.inflight.push(done);
         self.busy_cycles += self.config.cycles_per_transfer;
 
         let latency = done - now;
@@ -298,8 +312,8 @@ mod tests {
             last > 400,
             "a 64-block burst must queue behind the data bus, got max latency {last}"
         );
-        assert!(mem.queue_delay().application_cycles > 0);
-        assert_eq!(mem.queue_delay().predictor_cycles, 0);
+        assert!(mem.queue_delay().application_cycles() > 0);
+        assert_eq!(mem.queue_delay().predictor_cycles(), 0);
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub enum MshrOutcome {
 pub struct MshrFile {
     capacity: usize,
     entries: HashMap<u64, MshrEntry>,
+    /// Cached minimum `ready_at` over `entries` (`u64::MAX` when empty), so
+    /// the per-miss [`Self::retire`] call is a single compare on the common
+    /// nothing-has-completed-yet path instead of a full map scan. Updated
+    /// on insert (`min`), recomputed only when entries actually retire.
+    earliest: u64,
     /// Peak simultaneous occupancy, for reporting.
     peak_occupancy: usize,
     /// Total merges performed.
@@ -52,6 +57,16 @@ pub struct MshrFile {
 impl MshrFile {
     /// Creates an MSHR file with `capacity` entries.
     ///
+    /// Occupancy is hard-capped at `capacity` ([`Self::register`] reports
+    /// [`MshrOutcome::Full`] instead of growing), so pre-sizing the map
+    /// here means it never reallocates afterwards — the access hot path
+    /// stays allocation-free (pinned by `tests/tests/alloc_free.rs`).
+    /// The reservation is 2× the cap because the std `HashMap` leaves
+    /// tombstones behind removals and only rehashes in place (rather than
+    /// growing) when live items fit in half the table; twice the cap keeps
+    /// every retire/insert churn pattern under that threshold, whatever
+    /// the per-process hash seed scatters where.
+    ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
@@ -59,7 +74,8 @@ impl MshrFile {
         assert!(capacity > 0, "an MSHR file needs at least one entry");
         MshrFile {
             capacity,
-            entries: HashMap::new(),
+            entries: HashMap::with_capacity(capacity * 2),
+            earliest: u64::MAX,
             peak_occupancy: 0,
             merges: 0,
             full_stalls: 0,
@@ -91,9 +107,15 @@ impl MshrFile {
         self.full_stalls
     }
 
-    /// Drops entries whose fills have completed by `now`.
+    /// Drops entries whose fills have completed by `now`. The cached
+    /// earliest completion makes the common no-entry-has-completed case a
+    /// single compare; the map is only scanned when something retires.
     pub fn retire(&mut self, now: u64) {
+        if self.earliest > now {
+            return;
+        }
         self.entries.retain(|_, entry| entry.ready_at > now);
+        self.earliest = self.entries.values().map(|entry| entry.ready_at).min().unwrap_or(u64::MAX);
     }
 
     /// Looks up an in-flight fill for `block`.
@@ -105,7 +127,7 @@ impl MshrFile {
     /// when the file is empty. Under queued contention a requester that
     /// finds the file full waits until this cycle for a slot to drain.
     pub fn earliest_ready(&self) -> Option<u64> {
-        self.entries.values().map(|entry| entry.ready_at).min()
+        (self.earliest != u64::MAX).then_some(self.earliest)
     }
 
     /// Queued-contention backpressure: when the file is full at cycle
@@ -150,6 +172,7 @@ impl MshrFile {
                 merged: 1,
             },
         );
+        self.earliest = self.earliest.min(ready_at);
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         MshrOutcome::Allocated
     }
@@ -158,6 +181,7 @@ impl MshrFile {
     /// windows).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.earliest = u64::MAX;
     }
 }
 
@@ -239,6 +263,25 @@ mod tests {
         assert_eq!(mshr.earliest_ready(), Some(100));
         mshr.retire(150);
         assert_eq!(mshr.earliest_ready(), Some(200));
+    }
+
+    /// The cached minimum behind `earliest_ready` must track inserts,
+    /// partial retires (including the nothing-completed early exit) and
+    /// clears.
+    #[test]
+    fn cached_earliest_survives_retire_insert_clear_cycles() {
+        let mut mshr = MshrFile::new(4);
+        mshr.register(BlockAddr::new(1), 0, 50);
+        mshr.register(BlockAddr::new(2), 0, 150);
+        mshr.retire(10); // nothing completed: the early-exit compare path
+        assert_eq!(mshr.earliest_ready(), Some(50));
+        assert_eq!(mshr.occupancy(), 2);
+        mshr.retire(60); // retires the first entry, recomputes the minimum
+        assert_eq!(mshr.earliest_ready(), Some(150));
+        mshr.register(BlockAddr::new(3), 60, 100);
+        assert_eq!(mshr.earliest_ready(), Some(100));
+        mshr.clear();
+        assert_eq!(mshr.earliest_ready(), None);
     }
 
     #[test]

@@ -94,50 +94,67 @@ impl TrafficBreakdown {
         self.application + self.predictor
     }
 
-    /// Records one event of the given class.
+    /// Records one event of the given class. Runs on every L2 request under
+    /// both contention models, so the update is branchless: each class adds
+    /// the bool cast of its own predicate instead of selecting a field.
+    #[inline]
     pub fn record(&mut self, predictor: bool) {
-        if predictor {
-            self.predictor += 1;
-        } else {
-            self.application += 1;
-        }
+        self.predictor += predictor as u64;
+        self.application += !predictor as u64;
     }
 }
 
 /// Queueing-delay cycles accumulated at a shared resource, split into
 /// application and predictor traffic, together with the number of delayed
 /// requests of each class (so mean waits can be reported).
+///
+/// The counters are class-indexed `[u64; 2]` arrays (`Application = 0`,
+/// `Predictor = 1`, matching [`crate::DataClass::index`]) so the per-access
+/// [`Self::record`] on the contended path is two branchless indexed adds;
+/// the per-class views and derived means are folded to read-time accessors.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DelayBreakdown {
-    /// Total wait cycles charged to application requests.
-    pub application_cycles: u64,
-    /// Total wait cycles charged to predictor requests.
-    pub predictor_cycles: u64,
-    /// Application requests that waited at least one cycle.
-    pub application_events: u64,
-    /// Predictor requests that waited at least one cycle.
-    pub predictor_events: u64,
+    /// Total wait cycles per class, indexed by `predictor as usize`.
+    cycles: [u64; 2],
+    /// Requests per class that waited at least one cycle, same indexing.
+    events: [u64; 2],
 }
 
 impl DelayBreakdown {
     /// Records `cycles` of waiting for one request of the given class.
-    /// Zero-cycle waits are not counted as events.
+    /// Zero-cycle waits are not counted as events: folding the event
+    /// predicate into a bool-cast add keeps the hot path free of both the
+    /// early return and the class branch the field-per-class layout needed.
+    #[inline]
     pub fn record(&mut self, predictor: bool, cycles: u64) {
-        if cycles == 0 {
-            return;
-        }
-        if predictor {
-            self.predictor_cycles += cycles;
-            self.predictor_events += 1;
-        } else {
-            self.application_cycles += cycles;
-            self.application_events += 1;
-        }
+        let class = predictor as usize;
+        self.cycles[class] += cycles;
+        self.events[class] += (cycles != 0) as u64;
+    }
+
+    /// Total wait cycles charged to application requests.
+    pub fn application_cycles(&self) -> u64 {
+        self.cycles[0]
+    }
+
+    /// Total wait cycles charged to predictor requests.
+    pub fn predictor_cycles(&self) -> u64 {
+        self.cycles[1]
+    }
+
+    /// Application requests that waited at least one cycle.
+    pub fn application_events(&self) -> u64 {
+        self.events[0]
+    }
+
+    /// Predictor requests that waited at least one cycle.
+    pub fn predictor_events(&self) -> u64 {
+        self.events[1]
     }
 
     /// Total wait cycles across both classes.
     pub fn total_cycles(&self) -> u64 {
-        self.application_cycles + self.predictor_cycles
+        self.cycles[0] + self.cycles[1]
     }
 
     /// Mean wait in cycles over `requests` requests of the application
@@ -146,7 +163,7 @@ impl DelayBreakdown {
         if requests == 0 {
             0.0
         } else {
-            self.application_cycles as f64 / requests as f64
+            self.cycles[0] as f64 / requests as f64
         }
     }
 
@@ -156,16 +173,16 @@ impl DelayBreakdown {
         if requests == 0 {
             0.0
         } else {
-            self.predictor_cycles as f64 / requests as f64
+            self.cycles[1] as f64 / requests as f64
         }
     }
 
     /// Adds another breakdown into this one.
     pub fn accumulate(&mut self, other: &DelayBreakdown) {
-        self.application_cycles += other.application_cycles;
-        self.predictor_cycles += other.predictor_cycles;
-        self.application_events += other.application_events;
-        self.predictor_events += other.predictor_events;
+        for class in 0..2 {
+            self.cycles[class] += other.cycles[class];
+            self.events[class] += other.events[class];
+        }
     }
 }
 
@@ -365,10 +382,10 @@ mod tests {
         delay.record(false, 0); // zero waits are not events
         delay.record(true, 5);
         delay.record(true, 15);
-        assert_eq!(delay.application_cycles, 10);
-        assert_eq!(delay.application_events, 1);
-        assert_eq!(delay.predictor_cycles, 20);
-        assert_eq!(delay.predictor_events, 2);
+        assert_eq!(delay.application_cycles(), 10);
+        assert_eq!(delay.application_events(), 1);
+        assert_eq!(delay.predictor_cycles(), 20);
+        assert_eq!(delay.predictor_events(), 2);
         assert_eq!(delay.total_cycles(), 30);
         assert!((delay.mean_application(5) - 2.0).abs() < 1e-12);
         assert!((delay.mean_predictor(10) - 2.0).abs() < 1e-12);
@@ -386,8 +403,8 @@ mod tests {
         stats.mshr_stall_delay.record(true, 4);
         stats.dram_queue_delay.record(false, 5);
         let total = stats.total_queue_delay();
-        assert_eq!(total.application_cycles, 8);
-        assert_eq!(total.predictor_cycles, 4);
+        assert_eq!(total.application_cycles(), 8);
+        assert_eq!(total.predictor_cycles(), 4);
         assert_eq!(total.total_cycles(), 12);
     }
 

@@ -896,11 +896,11 @@ mod tests {
         );
         let delay = queued_metrics.hierarchy.total_queue_delay();
         assert!(
-            delay.application_cycles > 0,
+            delay.application_cycles() > 0,
             "queued runs must observe application queueing"
         );
         assert!(
-            delay.predictor_cycles > 0,
+            delay.predictor_cycles() > 0,
             "PV traffic must compete too, not ride for free"
         );
         assert!(

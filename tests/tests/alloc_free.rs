@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pv_mem::{AccessKind, EvictionBuffer, HierarchyConfig, MemoryHierarchy};
+use pv_mem::{AccessKind, ContentionModel, EvictionBuffer, HierarchyConfig, MemoryHierarchy};
 use pv_sim::{PrefetcherKind, SimConfig, System};
 use pv_trace::{record_generator, ReplayStream};
 use pv_workloads::{workloads, AccessStream};
@@ -73,32 +73,42 @@ fn hot_paths_do_not_allocate() {
     // borrowed byte slice, no per-record work in the generator) a warmed-up
     // scheduling phase must reuse every buffer — event heap, targets,
     // action scratch, AGT update, eviction scratch — and allocate nothing.
+    // Queued contention exercises extra hot-path machinery the Ideal runs
+    // never touch — L2 port scalars, MSHR backpressure waits, and the
+    // per-channel DRAM in-flight rings (fixed-capacity since PR 10, so the
+    // contended drain/admit path must also stay at zero).
     let phase = 10_000u64;
-    for kind in [PrefetcherKind::None, PrefetcherKind::sms_1k_11a()] {
-        // Window sizes are irrelevant here — `run_records` drives phases
-        // directly — but validation requires a non-empty measurement window.
-        let mut config = SimConfig::quick(kind.clone());
-        config.warmup_records = 0;
-        config.measure_records = 1;
-        let streams: Vec<Box<dyn AccessStream>> = (0..config.cores)
-            .map(|core| {
-                let bytes =
-                    record_generator(&workloads::qry1(), config.seed, core as u32, 3 * phase)
-                        .expect("records fit the default layout");
-                Box::new(ReplayStream::new(bytes).expect("valid trace")) as Box<dyn AccessStream>
-            })
-            .collect();
-        let mut system = System::from_streams(config, streams);
-        // The first phases grow scratch capacities to their high-water
-        // marks (heap, targets, actions, AGT update, accuracy backlogs).
-        system.run_records(phase);
-        system.run_records(phase);
-        let before = allocations();
-        system.run_records(phase);
-        let grew = allocations() - before;
-        assert_eq!(
-            grew, 0,
-            "a warmed-up phase must be allocation-free ({kind:?}: {grew} allocations)"
-        );
+    for contention in [ContentionModel::Ideal, ContentionModel::Queued] {
+        for kind in [PrefetcherKind::None, PrefetcherKind::sms_1k_11a()] {
+            // Window sizes are irrelevant here — `run_records` drives phases
+            // directly — but validation requires a non-empty measurement
+            // window.
+            let mut config = SimConfig::quick(kind.clone());
+            config.warmup_records = 0;
+            config.measure_records = 1;
+            config.hierarchy = config.hierarchy.with_contention(contention);
+            let streams: Vec<Box<dyn AccessStream>> = (0..config.cores)
+                .map(|core| {
+                    let bytes =
+                        record_generator(&workloads::qry1(), config.seed, core as u32, 3 * phase)
+                            .expect("records fit the default layout");
+                    Box::new(ReplayStream::new(bytes).expect("valid trace"))
+                        as Box<dyn AccessStream>
+                })
+                .collect();
+            let mut system = System::from_streams(config, streams);
+            // The first phases grow scratch capacities to their high-water
+            // marks (heap, targets, actions, AGT update, accuracy backlogs).
+            system.run_records(phase);
+            system.run_records(phase);
+            let before = allocations();
+            system.run_records(phase);
+            let grew = allocations() - before;
+            assert_eq!(
+                grew, 0,
+                "a warmed-up {contention:?} phase must be allocation-free \
+                 ({kind:?}: {grew} allocations)"
+            );
+        }
     }
 }

@@ -198,8 +198,8 @@ fn queued_cohabitation_reports_per_table_queue_delays() {
         );
     }
     let delay = metrics.hierarchy.total_queue_delay();
-    assert!(delay.predictor_cycles > 0);
-    assert!(delay.application_cycles > 0);
+    assert!(delay.predictor_cycles() > 0);
+    assert!(delay.application_cycles() > 0);
 }
 
 /// The cohabiting pair must still *prefetch usefully*: coverage and issued

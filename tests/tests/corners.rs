@@ -1,13 +1,16 @@
 //! Queued-mode corner litmus tests.
 //!
-//! Two compound corners of the contention model that no single-mechanism
-//! test exercises: a demand read arriving behind a dirty victim *while* the
+//! Compound corners of the contention model that no single-mechanism test
+//! exercises: a demand read arriving behind a dirty victim *while* the
 //! L2 MSHR file is full (both backpressure mechanisms stack on one
-//! request), and a secondary miss whose L2 line was evicted while its fill
+//! request), a secondary miss whose L2 line was evicted while its fill
 //! was still in flight, merging into the draining MSHR entry instead of
-//! issuing duplicate DRAM traffic. Each litmus pins the relevant
-//! [`DelayBreakdown`] counters cycle-for-cycle and an end-to-end Queued
-//! digest so drift in either corner is loud.
+//! issuing duplicate DRAM traffic, and a DRAM channel filled to its
+//! `queue_depth` through the L2 boundary, where the overflow requests'
+//! slot waits must surface cycle-exactly in the queueing-delay statistics.
+//! Each litmus pins the relevant [`DelayBreakdown`] counters
+//! cycle-for-cycle and an end-to-end Queued digest so drift in either
+//! corner is loud.
 
 use pv_experiments::{HierarchyVariant, RunSpec, Runner, Scale};
 use pv_mem::{
@@ -73,9 +76,9 @@ fn mshr_full_behind_a_dirty_victim_in_the_same_bank_stacks_both_waits() {
     );
     // ...and exactly one request then stalled on the full MSHR file, for
     // most of an outstanding fill's remaining flight time.
-    assert_eq!(after.mshr_stall_delay.application_events, 1);
-    assert_eq!(after.mshr_stall_delay.predictor_events, 0);
-    let stall = after.mshr_stall_delay.application_cycles;
+    assert_eq!(after.mshr_stall_delay.application_events(), 1);
+    assert_eq!(after.mshr_stall_delay.predictor_events(), 0);
+    let stall = after.mshr_stall_delay.application_cycles();
     assert!(
         stall > 300,
         "draining a slot takes most of the 400-cycle DRAM flight (got {stall})"
@@ -165,6 +168,96 @@ fn a_secondary_miss_during_the_mshr_drain_merges_into_the_inflight_fill() {
         after.mshr_stall_delay.total_cycles(),
         0,
         "a merge never waits for a free MSHR slot"
+    );
+}
+
+/// Corner 3 (ROADMAP item 5's litmus): DRAM queue-depth backpressure at
+/// the L2 boundary. One channel is filled to exactly `queue_depth` with
+/// simultaneous L2 misses, then two more arrive: each overflow request
+/// must wait precisely one unloaded DRAM latency for the oldest in-flight
+/// request's slot — no more, no less — and the waits must land in the
+/// queueing-delay breakdown cycle-for-cycle.
+///
+/// The geometry removes every other wait so the slot wait is the *only*
+/// contribution: one channel with a bank per request (no bank
+/// serialization), an ideal data bus (`cycles_per_transfer = 0`, no
+/// transfer queueing), distinct L2 banks (no port waits) and a roomy MSHR
+/// file (no MSHR stalls). With all requests issued at cycle 0, the first
+/// `queue_depth` fills all complete at the same cycle, so each overflow
+/// request's admission cycle is exactly that completion cycle.
+#[test]
+fn filling_one_channel_to_queue_depth_charges_exact_slot_waits() {
+    let depth = 4usize;
+    let mut config = HierarchyConfig::paper_baseline(2).with_contention(ContentionModel::Queued);
+    config.dram.channels = 1;
+    config.dram.banks_per_channel = 32;
+    config.dram.queue_depth = depth;
+    config.dram.cycles_per_transfer = 0;
+    let unloaded = config.dram.latency;
+    let mut h = MemoryHierarchy::new(config);
+
+    // `depth` distinct blocks: distinct L2 banks (8 banks, block % 8) and
+    // distinct DRAM banks (block % 32), all missing at cycle 0.
+    for i in 0..depth as u64 {
+        let r = h.access(
+            Requester::pv_proxy(0),
+            i * 64,
+            AccessKind::Read,
+            DataClass::Application,
+            0,
+        );
+        assert_eq!(
+            r.queue_delay, 0,
+            "request {i} fits in the queue and must not wait"
+        );
+    }
+    let filled = h.stats();
+    assert_eq!(filled.dram_queue_delay.total_cycles(), 0);
+
+    // Two overflow requests: each must wait out exactly one unloaded DRAM
+    // flight for a slot (every in-flight fill completes at the same cycle,
+    // and the ideal bus adds nothing on top).
+    for i in depth as u64..depth as u64 + 2 {
+        let r = h.access(
+            Requester::pv_proxy(0),
+            i * 64,
+            AccessKind::Read,
+            DataClass::Application,
+            0,
+        );
+        assert_eq!(
+            r.queue_delay, unloaded,
+            "overflow request {i} must wait exactly one slot drain"
+        );
+    }
+    let after = h.stats();
+    assert_eq!(after.dram_queue_delay.application_cycles(), 2 * unloaded);
+    assert_eq!(after.dram_queue_delay.application_events(), 2);
+    assert_eq!(after.dram_queue_delay.predictor_cycles(), 0);
+    assert_eq!(after.l2_port_delay.total_cycles(), 0, "distinct L2 banks");
+    assert_eq!(after.mshr_stall_delay.total_cycles(), 0, "roomy MSHR file");
+    assert_eq!(after.dram_reads, depth as u64 + 2);
+}
+
+/// End-to-end pin for corner 3's configuration class: a virtualized SMS
+/// run under queued contention with a narrow data bus, where PV-region and
+/// demand fills keep the channel queues at depth and slot waits are
+/// routine.
+#[test]
+fn queued_sms_pv8_narrow_bus_digest_is_pinned() {
+    let runner = Runner::new(Scale::Smoke, 2);
+    let metrics = runner.metrics(&RunSpec {
+        workload: WorkloadId::Qry1,
+        prefetcher: PrefetcherKind::sms_pv8(),
+        hierarchy: HierarchyVariant::QueuedDram {
+            cycles_per_transfer: 128,
+        },
+    });
+    assert_eq!(
+        metrics.digest(),
+        "cycles=5005348|instr=381112|l2req=52918+10981|l2miss=38769+1101|l2wb=36+0|\
+         dram=39870r36w|cov=21579c15712u4268o|pf=27087",
+        "Queued sms-pv8 narrow-bus digest drifted"
     );
 }
 

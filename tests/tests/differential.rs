@@ -181,3 +181,132 @@ fn codec_generations_cross_decode() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// DRAM in-flight queue: the fixed-capacity ring against the retained
+// reference deque, replicated over the full channel timing model.
+// ---------------------------------------------------------------------------
+
+use pv_mem::{
+    Address, ContentionModel, DramConfig, MainMemory, PvRegionConfig, ReferenceInflightQueue,
+    BLOCK_OFFSET_BITS,
+};
+
+/// The pre-ring Queued channel service, reimplemented verbatim around
+/// [`ReferenceInflightQueue`]: growable deque, `len - depth` admission
+/// indexing, drain-on-entry. Every timing decision the production
+/// [`MainMemory`] makes through its [`pv_mem::InflightRing`] must match
+/// this model request for request.
+struct ReferenceDram {
+    config: DramConfig,
+    channels: Vec<(Vec<u64>, u64, ReferenceInflightQueue)>,
+}
+
+impl ReferenceDram {
+    fn new(config: DramConfig) -> Self {
+        let channels = (0..config.channels)
+            .map(|_| {
+                (
+                    vec![0u64; config.banks_per_channel],
+                    0u64,
+                    ReferenceInflightQueue::new(),
+                )
+            })
+            .collect();
+        ReferenceDram { config, channels }
+    }
+
+    /// `(latency, queue_delay)` of one request, original semantics.
+    fn service(&mut self, addr: Address, now: u64) -> (u64, u64) {
+        let block = addr.raw() >> BLOCK_OFFSET_BITS;
+        let channel_idx = (block % self.config.channels as u64) as usize;
+        let bank_idx =
+            ((block / self.config.channels as u64) % self.config.banks_per_channel as u64) as usize;
+        let (banks, data_busy_until, inflight) = &mut self.channels[channel_idx];
+        inflight.drain(now);
+        let start = inflight.admit(now, self.config.queue_depth);
+        let bank_start = start.max(banks[bank_idx]);
+        banks[bank_idx] = bank_start + self.config.bank_occupancy;
+        let unloaded_done = bank_start + self.config.latency;
+        let done = unloaded_done.max(*data_busy_until + self.config.cycles_per_transfer);
+        *data_busy_until = done;
+        inflight.push(done);
+        let latency = done - now;
+        (latency, latency - self.config.latency)
+    }
+
+    fn reset_timing(&mut self) {
+        for (banks, data_busy_until, inflight) in &mut self.channels {
+            banks.iter_mut().for_each(|bank| *bank = 0);
+            *data_busy_until = 0;
+            inflight.clear();
+        }
+    }
+}
+
+/// Seeded request streams (mixed reads/writes, PV and application
+/// addresses, non-monotone per-requester timestamps, a mid-stream timing
+/// rebase) driven through the production Queued [`MainMemory`] and the
+/// reference model: latency and queue delay must agree on every request,
+/// across geometries that keep the queues empty, saturated, and
+/// oscillating — including an ideal bus and a single one-deep queue.
+#[test]
+fn queued_dram_service_matches_the_reference_inflight_queue() {
+    let geometries = [
+        DramConfig::paper(),
+        DramConfig::paper().with_cycles_per_transfer(0),
+        DramConfig::paper().with_cycles_per_transfer(128),
+        {
+            let mut c = DramConfig::paper();
+            c.channels = 1;
+            c.banks_per_channel = 1;
+            c.queue_depth = 1;
+            c
+        },
+        {
+            let mut c = DramConfig::paper();
+            c.channels = 3;
+            c.banks_per_channel = 2;
+            c.queue_depth = 2;
+            c.cycles_per_transfer = 64;
+            c
+        },
+    ];
+    for seed in 0..4u64 {
+        for config in &geometries {
+            let regions = PvRegionConfig::paper_default(4);
+            let mut mem = MainMemory::new(*config, regions, ContentionModel::Queued);
+            let mut reference = ReferenceDram::new(*config);
+            let mut rng = StdRng::seed_from_u64(0xD3A1_0000 ^ (seed << 8));
+            let mut now = 0u64;
+            for op in 0..4_000u32 {
+                // Timestamps advance unevenly and occasionally jump back
+                // (independent requester clocks are not globally ordered).
+                now = (now + rng.gen_range(0u64..48)).saturating_sub(rng.gen_range(0u64..16));
+                let addr = if rng.gen_range(0u32..4) == 0 {
+                    Address::new(regions.core_base(0).raw() + rng.gen_range(0u64..256 * 1024))
+                } else {
+                    Address::new(rng.gen_range(0u64..1 << 30))
+                };
+                let response = if rng.gen_bool(0.8) {
+                    mem.read(addr, now)
+                } else {
+                    mem.write(addr, now)
+                };
+                let (latency, queue_delay) = reference.service(addr, now);
+                assert_eq!(
+                    (response.latency, response.queue_delay),
+                    (latency, queue_delay),
+                    "op {op} diverged (seed {seed}, config {config:?})"
+                );
+                // A measurement-window rebase mid-stream: both models must
+                // clear their queues identically.
+                if op == 2_500 {
+                    mem.reset_timing();
+                    reference.reset_timing();
+                    now = 0;
+                }
+            }
+        }
+    }
+}

@@ -40,7 +40,7 @@ fn queued_writeback_storm_produces_nonzero_l2_port_delay() {
         stats.l2_port_delay.total_cycles() > 0,
         "same-bank write-backs must wait for the port"
     );
-    assert!(stats.l2_port_delay.application_events > 0);
+    assert!(stats.l2_port_delay.application_events() > 0);
 }
 
 #[test]
